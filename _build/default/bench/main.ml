@@ -1,0 +1,751 @@
+(* Benchmark harness: regenerates every evaluation artifact of the paper
+   (DESIGN.md's per-experiment index).  Each section prints paper-vs-measured;
+   Bechamel micro-benchmarks time the underlying kernels.
+
+     dune exec bench/main.exe
+*)
+
+module Rect = Amg_geometry.Rect
+module Dir = Amg_geometry.Dir
+module Units = Amg_geometry.Units
+module Region = Amg_geometry.Region
+module Lobj = Amg_layout.Lobj
+module Shape = Amg_layout.Shape
+module Env = Amg_core.Env
+module Build = Amg_core.Build
+module Optimize = Amg_core.Optimize
+module Rating = Amg_core.Rating
+module Successive = Amg_compact.Successive
+module Edge_graph = Amg_compact.Edge_graph
+module M = Amg_modules
+module A = Amg_amplifier.Amplifier
+
+let um = Units.of_um
+
+let section title =
+  Fmt.pr "@.============================================================@.";
+  Fmt.pr "%s@." title;
+  Fmt.pr "============================================================@."
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let median_time ?(repeats = 5) f =
+  let times = List.init repeats (fun _ -> snd (wall f)) |> List.sort compare in
+  List.nth times (repeats / 2)
+
+let area_um2 obj = float_of_int (Lobj.bbox_area obj) /. 1.0e6
+
+let drc_count env obj =
+  List.length
+    (Amg_drc.Checker.run
+       ~checks:[ Amg_drc.Checker.Widths; Spacings; Enclosures; Extensions ]
+       ~tech:(Env.tech env) obj)
+
+(* ------------------------------------------------------------------ *)
+(* FIG1: the latch-up cover check and its 16 overlap cases.            *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 env =
+  section "FIG1  latch-up rule: 16-case cover check (paper Fig. 1)";
+  let solid = Rect.of_size ~x:0 ~y:0 ~w:(um 100.) ~h:(um 100.) in
+  let spans = [ (-20., 120.); (-20., 60.); (40., 120.); (30., 70.) ] in
+  let cases = ref 0 and ok = ref 0 in
+  List.iter
+    (fun (x0, x1) ->
+      List.iter
+        (fun (y0, y1) ->
+          incr cases;
+          let cover = Rect.make ~x0:(um x0) ~y0:(um y0) ~x1:(um x1) ~y1:(um y1) in
+          let res = Rect.subtract solid cover in
+          let inter =
+            match Rect.inter solid cover with Some i -> Rect.area i | None -> 0
+          in
+          let sum = List.fold_left (fun a r -> a + Rect.area r) 0 res in
+          if sum = Rect.area solid - inter then incr ok)
+        spans)
+    spans;
+  Fmt.pr "overlap cases exercised: %d/16, exact residue in all: %b@." !cases (!ok = 16);
+  (* Scaling: one long active strip covered by the union of n taps. *)
+  Fmt.pr "@.%6s %10s %12s@." "taps" "covered" "time/ms";
+  List.iter
+    (fun n ->
+      let o = Lobj.create "strip" in
+      let len = um (float_of_int (n * 60)) in
+      let _ =
+        Lobj.add_shape o ~layer:"ndiff" ~rect:(Rect.of_size ~x:0 ~y:0 ~w:len ~h:(um 4.)) ()
+      in
+      for i = 0 to n - 1 do
+        ignore
+          (Lobj.add_shape o ~layer:"subtap"
+             ~rect:(Rect.of_size ~x:(um (float_of_int ((i * 60) + 25))) ~y:(um 6.) ~w:(um 2.) ~h:(um 2.))
+             ())
+      done;
+      let uncovered, dt =
+        wall (fun () -> Amg_drc.Latchup.uncovered ~tech:(Env.tech env) o)
+      in
+      Fmt.pr "%6d %10b %12.3f@." n (uncovered = []) (dt *. 1000.))
+    [ 4; 16; 64; 256 ]
+
+(* ------------------------------------------------------------------ *)
+(* FIG3: contact-row parameter variants.                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 env =
+  section "FIG3  contact row: omitted parameters take design-rule minima";
+  Fmt.pr "%-14s %8s %8s %10s@." "variant" "W/um" "L/um" "contacts";
+  List.iter
+    (fun (label, w, l) ->
+      let o = M.Contact_row.make env ~layer:"poly" ?w ?l () in
+      let b = Lobj.bbox_exn o in
+      Fmt.pr "%-14s %8.2f %8.2f %10d@." label
+        (Units.to_um (Rect.height b))
+        (Units.to_um (Rect.width b))
+        (List.length (Lobj.shapes_on o "contact")))
+    [ ("both omitted", None, None);
+      ("W given", Some (um 2.), None);
+      ("W and L", Some (um 2.), Some (um 10.)) ];
+  Fmt.pr "(paper Fig. 3 shows exactly these three variants)@."
+
+(* ------------------------------------------------------------------ *)
+(* FIG5: variable edges.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 env =
+  section "FIG5  variable edges: strap insertion with and without shrinking";
+  let rules = Env.rules env in
+  let scenario variable =
+    let main = Lobj.create "main" in
+    (* Five alternating rows, the strap must reach the d rows. *)
+    for i = 0 to 4 do
+      let net = if i mod 2 = 0 then "s" else "d" in
+      let sides =
+        if variable then
+          Amg_layout.Edge.set Amg_layout.Edge.all_fixed Dir.North
+            Amg_layout.Edge.Variable
+        else Amg_layout.Edge.all_fixed
+      in
+      ignore
+        (Lobj.add_shape main ~layer:"metal1"
+           ~rect:(Rect.of_size ~x:(i * um 4.) ~y:0 ~w:(um 2.) ~h:(um 20.))
+           ~net ~sides ())
+    done;
+    let strap = Lobj.create "strap" in
+    let _ =
+      Lobj.add_shape strap ~layer:"metal1"
+        ~rect:(Rect.of_size ~x:0 ~y:0 ~w:(um 18.) ~h:(um 2.))
+        ~net:"d" ()
+    in
+    Successive.compact ~rules ~into:main strap Dir.South;
+    area_um2 main
+  in
+  let fixed = scenario false and variable = scenario true in
+  Fmt.pr "strap over 5 rows, fixed edges:    %8.1f um2@." fixed;
+  Fmt.pr "strap over 5 rows, variable edges: %8.1f um2@." variable;
+  Fmt.pr "area reduction: %.1f%%  (paper: \"a substantial reduction of the layout area\")@."
+    (100. *. (fixed -. variable) /. fixed)
+
+(* ------------------------------------------------------------------ *)
+(* FIG6/7: the simple MOS differential pair.                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 env =
+  section "FIG6/7  simple MOS differential pair, before/after compaction";
+  let w = um 10. and l = um 5. in
+  let trans () =
+    M.Mosfet.make env ~polarity:M.Mosfet.Pmos ~w ~l ~sd_contacts:`West ~well:false ()
+  in
+  (* Fig. 6a's "before": the three sub-objects placed side by side at plain
+     diffusion spacing, without merging. *)
+  let t1 = trans () in
+  let d2 = M.Contact_row.make env ~layer:"pdiff" ~w () in
+  let tb = Lobj.bbox_exn t1 and rb = Lobj.bbox_exn d2 in
+  let sp = um 2. in
+  let loose_w = (2 * Rect.width tb) + Rect.width rb + (2 * sp) in
+  let loose_h = max (Rect.height tb) (Rect.height rb) in
+  let loose = float_of_int (loose_w * loose_h) /. 1.0e6 in
+  let dp, dt =
+    wall (fun () -> M.Diff_pair.make env ~polarity:M.Mosfet.Pmos ~w ~l ~well:false ())
+  in
+  Fmt.pr "sub-objects side by side before compaction:  %8.1f um2@." loose;
+  Fmt.pr "after successive compaction:                 %8.1f um2 (%.0f%% of loose)@."
+    (area_um2 dp)
+    (100. *. area_um2 dp /. loose);
+  Fmt.pr "generation time: %.1f ms, %d shapes, DRC violations: %d@." (dt *. 1000.)
+    (Lobj.shape_count dp) (drc_count env dp);
+  (* The same module from the paper's own language source (Fig. 7). *)
+  let from_lang =
+    Amg_lang.Interp.parse_and_build env Amg_lang.Stdlib.all "DiffPair"
+      [ ("W", Amg_lang.Value.Num 10.); ("L", Amg_lang.Value.Num 5.) ]
+  in
+  Fmt.pr "same module from the Fig. 7 language source: %8.1f um2, DRC violations: %d@."
+    (area_um2 from_lang) (drc_count env from_lang)
+
+(* ------------------------------------------------------------------ *)
+(* FIG9: the BiCMOS amplifier.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 env =
+  section "FIG9  broad-band BiCMOS amplifier";
+  let r, dt = wall (fun () -> A.build env) in
+  Fmt.pr "generated: %.1f x %.1f um = %.0f um2 in %.2f s (%d shapes)@." r.A.width_um
+    r.A.height_um r.A.area_um2 dt
+    (Lobj.shape_count r.A.obj);
+  Fmt.pr "paper:     %.0f x %.0f um = %.0f um2 (1 um Siemens BiCMOS, larger devices)@."
+    A.paper_width_um A.paper_height_um A.paper_area_um2;
+  Fmt.pr "area ratio (generated/paper): %.2f@." (r.A.area_um2 /. A.paper_area_um2);
+  Fmt.pr "@.per-block areas (paper Fig. 9's blocks):@.";
+  List.iter (fun (n, a) -> Fmt.pr "  block %-3s %9.1f um2@." n a) r.A.block_areas;
+  let vios = Amg_drc.Checker.run ~tech:(Env.tech env) r.A.obj in
+  Fmt.pr "full DRC including latch-up: %d violations@." (List.length vios);
+  Fmt.pr "density: %.2f@."
+    (Amg_layout.Stats.of_lobj r.A.obj).Amg_layout.Stats.density;
+  Fmt.pr "global routing: %d nets routed (%s)@."
+    (List.length r.A.routing.Amg_route.Global.routed)
+    (String.concat ", " r.A.routing.Amg_route.Global.routed);
+  List.iter
+    (fun (n, why) -> Fmt.pr "  not routed: %s (%s)@." n why)
+    r.A.routing.Amg_route.Global.unrouted;
+  (* Layout-versus-schematic: the generated amplifier must contain exactly
+     the schematic's devices with merged finger widths. *)
+  let extracted = Amg_extract.Devices.extract ~tech:(Env.tech env) r.A.obj in
+  let lvs = Amg_extract.Compare.run ~golden:(Amg_amplifier.Schematic.netlist ()) extracted in
+  Fmt.pr "%a" Amg_extract.Compare.pp_result lvs;
+  (* Physical connectivity audit: every supply and routed net is one
+     electrical node. *)
+  let conn = Amg_extract.Connectivity.build ~tech:(Env.tech env) r.A.obj in
+  let single =
+    List.for_all
+      (fun net -> Amg_extract.Connectivity.label_node_count conn net = 1)
+      ([ "vdd"; "vss" ] @ r.A.routing.Amg_route.Global.routed)
+  in
+  Fmt.pr "connectivity audit: every supply and routed net is one node: %b@." single
+
+(* ------------------------------------------------------------------ *)
+(* APP-OTA: second full application through the same pipeline (§4's    *)
+(* "further amplifiers or modules").                                   *)
+(* ------------------------------------------------------------------ *)
+
+let app_ota env =
+  section "APP-OTA  five-transistor OTA: second application, zero new layout code";
+  let module Ota = Amg_amplifier.Ota in
+  let r, dt = wall (fun () -> Ota.build env) in
+  Fmt.pr "generated: %.1f x %.1f um = %.0f um2 in %.2f s (%d shapes)@."
+    r.Ota.width_um r.Ota.height_um r.Ota.area_um2 dt (Lobj.shape_count r.Ota.obj);
+  Fmt.pr "partition: %s@."
+    (String.concat ", "
+       (List.map
+          (fun (c : Amg_circuit.Partition.cluster) -> c.Amg_circuit.Partition.cluster_name)
+          (Ota.clusters ())));
+  let vios = Amg_drc.Checker.run ~tech:(Env.tech env) r.Ota.obj in
+  Fmt.pr "full DRC including latch-up: %d violations@." (List.length vios);
+  Fmt.pr "global routing: %d nets routed (%s), %d unrouted@."
+    (List.length r.Ota.routing.Amg_route.Global.routed)
+    (String.concat ", " r.Ota.routing.Amg_route.Global.routed)
+    (List.length r.Ota.routing.Amg_route.Global.unrouted);
+  let extracted = Amg_extract.Devices.extract ~tech:(Env.tech env) r.Ota.obj in
+  let lvs = Amg_extract.Compare.run ~golden:(Ota.netlist ()) extracted in
+  Fmt.pr "%a" Amg_extract.Compare.pp_result lvs;
+  let conn = Amg_extract.Connectivity.build ~tech:(Env.tech env) r.Ota.obj in
+  let single =
+    List.for_all
+      (fun net -> Amg_extract.Connectivity.label_node_count conn net = 1)
+      ([ "vdd"; "vss" ] @ r.Ota.routing.Amg_route.Global.routed)
+  in
+  Fmt.pr "connectivity audit: every supply and routed net is one node: %b@." single
+
+(* ------------------------------------------------------------------ *)
+(* FIG10: module E.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let count_source_lines path fallback =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    String.split_on_char '\n' src
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.length
+  with Sys_error _ -> fallback
+
+let fig10 env =
+  section "FIG10  module E: centroidal cross-coupled pair with dummies";
+  let build () =
+    M.Common_centroid.make env ~polarity:M.Mosfet.Pmos ~w:(um 10.) ~l:(um 2.) ()
+  in
+  let cc = build () in
+  let t = median_time build in
+  let st = Amg_layout.Stats.of_lobj cc in
+  Fmt.pr "generation time: %.1f ms (paper: 5 s on 1996 hardware)@." (t *. 1000.);
+  Fmt.pr "shapes: %d, size %.1f um2@." st.Amg_layout.Stats.shape_count
+    st.Amg_layout.Stats.bbox_area_um2;
+  (match
+     ( M.Common_centroid.gate_centroid cc ~net:"inp",
+       M.Common_centroid.gate_centroid cc ~net:"inn" )
+   with
+  | Some a, Some b ->
+      Fmt.pr "gate centroid delta: %.4f um (common centroid: 0 by construction)@."
+        (Float.abs (a -. b) /. 1000.)
+  | _ -> ());
+  let m1a, m2a, va = M.Common_centroid.wiring_summary cc ~net:"inp" in
+  let m1b, m2b, vb = M.Common_centroid.wiring_summary cc ~net:"inn" in
+  Fmt.pr "input wiring inp: m1 %.0f um2, m2 %.0f um2, %d vias@."
+    (float_of_int m1a /. 1e6) (float_of_int m2a /. 1e6) va;
+  Fmt.pr "input wiring inn: m1 %.0f um2, m2 %.0f um2, %d vias@."
+    (float_of_int m1b /. 1e6) (float_of_int m2b /. 1e6) vb;
+  Fmt.pr "via counts identical: %b (paper: \"every net has identical crossings\")@."
+    (va = vb);
+  Fmt.pr "DRC violations: %d@." (drc_count env cc);
+  Fmt.pr "module source: %d non-blank lines (paper: ~180 lines)@."
+    (count_source_lines "lib/modules/common_centroid.ml" 280);
+  (* The capacitor counterpart: common-centroid unit-cap array, with the
+     ablation that motivates the symmetric assignment — a naive row-major
+     assignment displaces the group centroids. *)
+  Fmt.pr "@.unit-capacitor array (4:4 units + dummy ring):@.";
+  let delta obj =
+    match
+      (M.Cap_array.centroid obj ~net:"ca", M.Cap_array.centroid obj ~net:"cb")
+    with
+    | Some (ax, ay), Some (bx, by) ->
+        sqrt (((ax -. bx) ** 2.) +. ((ay -. by) ** 2.)) /. 1000.
+    | _ -> nan
+  in
+  let sym_obj, p =
+    M.Cap_array.make env ~unit_ff:20. ~units_a:4 ~units_b:4 ()
+  in
+  let naive =
+    (* First four cells row-major to A — what a loop without the matching
+       knowledge would do. *)
+    let cells = Array.map Array.copy p.M.Cap_array.cells in
+    let k = ref 0 in
+    Array.iteri
+      (fun i row ->
+        Array.iteri
+          (fun j _ ->
+            cells.(i).(j) <- (if !k < 4 then M.Cap_array.A else M.Cap_array.B);
+            incr k)
+          row)
+      cells;
+    { p with M.Cap_array.cells }
+  in
+  let naive_obj, _ =
+    M.Cap_array.make env ~unit_ff:20. ~units_a:4 ~units_b:4 ~assignment:naive ()
+  in
+  Fmt.pr "  symmetric assignment: centroid offset %.3f um, DRC %d@."
+    (delta sym_obj) (drc_count env sym_obj);
+  Fmt.pr "  naive row-major:      centroid offset %.3f um, DRC %d@."
+    (delta naive_obj) (drc_count env naive_obj);
+  let caps obj =
+    (Amg_extract.Devices.extract ~tech:(Env.tech env) obj).Amg_extract.Devices.capacitors
+  in
+  List.iter
+    (fun (a, b, ff) -> Fmt.pr "  extracted C(%s,%s) = %.1f fF@." a b ff)
+    (caps sym_obj)
+
+(* ------------------------------------------------------------------ *)
+(* CLAIM-CODE: code-length comparison.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let claim_code _env =
+  section "CLAIM-CODE  procedural language vs coordinate-level generators";
+  let dsl_lines src =
+    String.split_on_char '\n' src
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.length
+  in
+  let row_dsl = dsl_lines Amg_lang.Stdlib.contact_row in
+  let dp_dsl = dsl_lines Amg_lang.Stdlib.all in
+  let row_base = M.Baseline.contact_row_loc () in
+  let dp_base = M.Baseline.diff_pair_loc () in
+  Fmt.pr "%-14s %14s %18s %8s@." "module" "language/LoC" "coordinates/LoC" "ratio";
+  Fmt.pr "%-14s %14d %18d %8.1f@." "ContactRow" row_dsl row_base
+    (float_of_int row_base /. float_of_int row_dsl);
+  Fmt.pr "%-14s %14d %18d %8.1f@." "DiffPair" dp_dsl dp_base
+    (float_of_int dp_base /. float_of_int dp_dsl);
+  Fmt.pr "(paper: coordinate methods \"needed a multiple of this source code\")@."
+
+(* ------------------------------------------------------------------ *)
+(* CLAIM-SPEED: successive vs edge-graph compaction.                   *)
+(* ------------------------------------------------------------------ *)
+
+let claim_speed env =
+  section "CLAIM-SPEED  successive compaction vs full constraint graph";
+  let rules = Env.rules env in
+  Fmt.pr "%6s %10s %14s %14s %10s@." "rows" "shapes" "successive/ms" "edge-graph/ms" "arcs";
+  List.iter
+    (fun n ->
+      (* n contact rows packed west-to-east. *)
+      let build_successive () =
+        let main = Lobj.create "pack" in
+        for i = 0 to n - 1 do
+          let row =
+            M.Contact_row.make env ~layer:"metal1"
+              ~net:("n" ^ string_of_int i) ~w:(um 8.) ()
+          in
+          Build.compact env ~into:main row Dir.West
+        done;
+        main
+      in
+      let main, t_succ = wall build_successive in
+      (* The baseline compacts the same shapes all at once from a loose
+         placement. *)
+      let loose = Lobj.create "loose" in
+      List.iter
+        (fun (s : Shape.t) ->
+          ignore
+            (Lobj.add_shape loose ~layer:s.Shape.layer
+               ~rect:(Rect.translate s.Shape.rect ~dx:(um 40.) ~dy:0)
+               ?net:s.Shape.net ()))
+        (Lobj.shapes main);
+      let arcs = ref 0 in
+      let t_graph =
+        snd (wall (fun () -> arcs := Edge_graph.compact_xy ~rules loose))
+      in
+      (* Incremental cost: adding one more object is a single pairwise scan
+         for the successive method, but a full graph rebuild for the
+         baseline ("this speeds up the compaction time", §2.3). *)
+      let extra =
+        M.Contact_row.make env ~layer:"metal1" ~net:"extra" ~w:(um 8.) ()
+      in
+      let t_incr =
+        snd (wall (fun () -> Build.compact env ~into:main extra Dir.West))
+      in
+      let t_rebuild = snd (wall (fun () -> ignore (Edge_graph.compact_xy ~rules loose))) in
+      Fmt.pr "%6d %10d %14.2f %14.2f %10d   +1 object: %.2f ms vs %.2f ms rebuild@."
+        n (Lobj.shape_count main) (t_succ *. 1000.) (t_graph *. 1000.) !arcs
+        (t_incr *. 1000.) (t_rebuild *. 1000.))
+    [ 8; 16; 32; 64 ];
+  Fmt.pr "(the successive method touches only the new object's pairs; the@.";
+  Fmt.pr " general method rebuilds its quadratic arc set on every change)@."
+
+(* ------------------------------------------------------------------ *)
+(* CLAIM-OPT: compaction-order optimization and variant selection.     *)
+(* ------------------------------------------------------------------ *)
+
+let claim_opt env =
+  section "CLAIM-OPT  optimization mode: order permutations + rating";
+  let mk name w h net =
+    let o = Lobj.create name in
+    let _ = Lobj.add_shape o ~layer:"metal1" ~rect:(Rect.of_size ~x:0 ~y:0 ~w ~h) ~net () in
+    o
+  in
+  let steps =
+    [
+      Optimize.step (mk "wide" (um 12.) (um 2.) "a") Dir.South;
+      Optimize.step (mk "tall" (um 2.) (um 8.) "b") Dir.West;
+      Optimize.step (mk "mid" (um 6.) (um 2.) "c") Dir.South;
+      Optimize.step (mk "small" (um 2.) (um 2.) "d") Dir.West;
+    ]
+  in
+  let results, dt = wall (fun () -> Optimize.evaluate_orders env ~name:"opt" steps) in
+  let ratings = List.map (fun (_, r, _) -> r) results in
+  let best = List.fold_left min infinity ratings in
+  let worst = List.fold_left max 0. ratings in
+  let default = match ratings with r :: _ -> r | [] -> nan in
+  Fmt.pr "orders evaluated: %d (4! = 24) in %.1f ms@." (List.length results) (dt *. 1000.);
+  Fmt.pr "bounding-box area: best %.1f um2, default order %.1f um2, worst %.1f um2@."
+    best default worst;
+  Fmt.pr "best/worst improvement: %.1f%%@." (100. *. (worst -. best) /. worst);
+  (* Topology variants selected by the rating function (§2.4): an
+     inter-digitated device with 2 or 8 fingers; the aspect-ratio target
+     picks the variant. *)
+  let variant fingers () =
+    M.Interdigitated.make env
+      ~name:(Printf.sprintf "fingers%d" fingers)
+      ~polarity:M.Mosfet.Nmos
+      ~w:(um (64. /. float_of_int fingers))
+      ~l:(um 2.) ~fingers ~well:false ()
+  in
+  let v =
+    Amg_core.Variants.alt
+      [ Amg_core.Variants.delay (variant 2); Amg_core.Variants.delay (variant 8) ]
+  in
+  let pick weights =
+    match Amg_core.Variants.best ~rate:(Rating.rate env weights) v with
+    | Some (o, _) -> Lobj.name o
+    | None -> "none"
+  in
+  let square = Rating.with_aspect Rating.area_only 1.0 in
+  let flat = Rating.with_aspect Rating.area_only 6.0 in
+  Fmt.pr "@.topology variants of a W=64um device:@.";
+  Fmt.pr "  rating for square aspect picks: %s@." (pick square);
+  Fmt.pr "  rating for flat aspect picks:   %s@." (pick flat);
+  (* Ablation: branch-and-bound explores a fraction of the order tree while
+     returning the same optimum. *)
+  let mk2 name w h net =
+    let o = Lobj.create name in
+    let _ = Lobj.add_shape o ~layer:"metal1" ~rect:(Rect.of_size ~x:0 ~y:0 ~w ~h) ~net () in
+    o
+  in
+  let steps6 =
+    List.mapi
+      (fun i (w, h, d) ->
+        Optimize.step (mk2 (Printf.sprintf "s%d" i) w h (Printf.sprintf "n%d" i)) d)
+      [
+        (um 12., um 2., Dir.South); (um 2., um 8., Dir.West);
+        (um 6., um 2., Dir.South); (um 2., um 2., Dir.West);
+        (um 8., um 2., Dir.South); (um 2., um 4., Dir.West);
+      ]
+  in
+  let (_, r_ex, _), t_ex = wall (fun () -> Optimize.optimize env ~name:"bb" steps6) in
+  let (_, r_bb, _, nodes), t_bb =
+    wall (fun () -> Optimize.optimize_bb env ~name:"bb" steps6)
+  in
+  Fmt.pr "@.ablation, 6 objects (720 orders):@.";
+  Fmt.pr "  exhaustive:   best %.1f in %.1f ms@." r_ex (t_ex *. 1000.);
+  Fmt.pr "  branch&bound: best %.1f in %.1f ms, %d nodes explored (full tree: 1957)@."
+    r_bb (t_bb *. 1000.) nodes;
+  let (_, r_lo, _, evals), t_lo =
+    wall (fun () -> Optimize.optimize_local env ~name:"bb" steps6)
+  in
+  Fmt.pr "  local search: best %.1f in %.1f ms, %d evaluations@." r_lo
+    (t_lo *. 1000.) evals;
+  (* Beyond exhaustive reach: 9 objects = 362 880 orders.  Branch-and-bound
+     stays exact; local search trades the guarantee for a tiny evaluation
+     count. *)
+  let steps9 =
+    List.mapi
+      (fun i (w, h, d) ->
+        Optimize.step (mk2 (Printf.sprintf "t%d" i) w h (Printf.sprintf "m%d" i)) d)
+      [
+        (um 12., um 2., Dir.South); (um 2., um 8., Dir.West);
+        (um 6., um 2., Dir.South); (um 2., um 2., Dir.West);
+        (um 8., um 2., Dir.South); (um 2., um 4., Dir.West);
+        (um 4., um 4., Dir.South); (um 2., um 6., Dir.West);
+        (um 10., um 2., Dir.South);
+      ]
+  in
+  let (_, r_bb9, _, nodes9), t_bb9 =
+    wall (fun () -> Optimize.optimize_bb env ~name:"big" steps9)
+  in
+  let (_, r_lo9, _, evals9), t_lo9 =
+    wall (fun () -> Optimize.optimize_local env ~name:"big" steps9)
+  in
+  Fmt.pr "@.scaling, 9 objects (362 880 orders):@.";
+  Fmt.pr "  branch&bound: best %.1f in %.0f ms, %d nodes@." r_bb9
+    (t_bb9 *. 1000.) nodes9;
+  Fmt.pr "  local search: best %.1f in %.0f ms, %d evaluations (gap to exact: %.1f%%)@."
+    r_lo9 (t_lo9 *. 1000.) evals9
+    (100. *. (r_lo9 -. r_bb9) /. r_bb9)
+
+(* ------------------------------------------------------------------ *)
+(* TECH-INDEP: the same sources in a second technology.                *)
+(* ------------------------------------------------------------------ *)
+
+let tech_indep () =
+  section "TECH-INDEP  unchanged module sources in two technologies (§4)";
+  let envs =
+    [ ("bicmos-1u", Env.bicmos ()); ("cmos-0.8u", Env.create (Amg_tech.Cmos08.get ())) ]
+  in
+  let builders =
+    [
+      ("contact_row", fun env -> M.Contact_row.make env ~layer:"poly" ~l:(um 8.) ());
+      ("diff_pair", fun env -> M.Diff_pair.make env ~polarity:M.Mosfet.Pmos ~w:(um 8.) ~l:(um 4.) ());
+      ("interdigitated",
+       fun env ->
+         M.Interdigitated.make env ~polarity:M.Mosfet.Nmos ~w:(um 8.) ~l:(um 1.6) ~fingers:4 ());
+      ("mirror_symmetric",
+       fun env -> M.Current_mirror.symmetric env ~polarity:M.Mosfet.Nmos ~w:(um 6.4) ~l:(um 1.6) ());
+      ("module_e",
+       fun env -> M.Common_centroid.make env ~polarity:M.Mosfet.Pmos ~w:(um 8.) ~l:(um 1.6) ());
+      ("resistor_pair",
+       fun env -> fst (M.Resistor_pair.make env ~squares:40. ()));
+      ("stacked",
+       fun env -> M.Stacked.series env ~polarity:M.Mosfet.Nmos ~w:(um 6.4) ~l:(um 1.6) ~stages:3 ());
+    ]
+  in
+  Fmt.pr "%-18s" "module";
+  List.iter (fun (n, _) -> Fmt.pr " %14s" (n ^ "/um2")) envs;
+  Fmt.pr " %10s@." "violations";
+  List.iter
+    (fun (name, build) ->
+      Fmt.pr "%-18s" name;
+      let vio_total = ref 0 in
+      List.iter
+        (fun (_, env) ->
+          let obj = build env in
+          vio_total := !vio_total + drc_count env obj;
+          Fmt.pr " %14.1f" (area_um2 obj))
+        envs;
+      Fmt.pr " %10d@." !vio_total)
+    builders;
+  Fmt.pr "(identical sources; all design-rule values come from the deck)@."
+
+(* ------------------------------------------------------------------ *)
+(* FLOORPLAN-ABL: exact slicing floorplan vs the scripted row stack,    *)
+(* on the amplifier's real block dimensions.                            *)
+(* ------------------------------------------------------------------ *)
+
+let floorplan_ablation env =
+  section "FLOORPLAN-ABL  slicing optimum vs the scripted three-row stack";
+  let netlist = Amg_amplifier.Schematic.netlist () in
+  let clusters = Amg_amplifier.Schematic.clusters () in
+  let blocks =
+    List.map
+      (fun (c : Amg_circuit.Partition.cluster) ->
+        let b = Amg_amplifier.Blocks.generate env netlist c in
+        let bb = Lobj.bbox_exn b in
+        Amg_core.Floorplan.block ~name:c.Amg_circuit.Partition.cluster_name
+          ~w:(Rect.width bb) ~h:(Rect.height bb))
+      clusters
+  in
+  let spacing = um 8. in
+  let rows3 =
+    (* The hand floorplan's grouping (Amplifier.build): C/MT/A on top,
+       E/CC in the middle, B/D/RZ/F at the bottom. *)
+    let by prefix =
+      List.filter
+        (fun (b : Amg_core.Floorplan.block) ->
+          List.exists
+            (fun p ->
+              String.length b.Amg_core.Floorplan.fp_name >= String.length p
+              && String.sub b.Amg_core.Floorplan.fp_name 0 (String.length p) = p)
+            prefix)
+        blocks
+    in
+    [ by [ "mirror"; "single_MD"; "passive_RZ"; "bjt" ];
+      by [ "pair"; "passive_CC" ];
+      by [ "sources"; "single_MT"; "cascode" ] ]
+  in
+  let rows = Amg_core.Floorplan.rows_area ~spacing rows3 in
+  let (opt, dt) = wall (fun () -> Amg_core.Floorplan.optimize ~spacing blocks) in
+  let sum =
+    List.fold_left
+      (fun a (b : Amg_core.Floorplan.block) ->
+        a + (b.Amg_core.Floorplan.fp_w * b.Amg_core.Floorplan.fp_h))
+      0 blocks
+  in
+  Fmt.pr "blocks: %d, total block area %.0f um2@." (List.length blocks)
+    (float_of_int sum /. 1e6);
+  Fmt.pr "three-row stack (the script's plan): %.0f um2@."
+    (float_of_int rows /. 1e6);
+  Fmt.pr "optimal slicing floorplan:           %.0f um2 (%.1f%% smaller, %.0f ms)@."
+    (float_of_int opt.Amg_core.Floorplan.area /. 1e6)
+    (100.
+    *. (float_of_int rows -. float_of_int opt.Amg_core.Floorplan.area)
+    /. float_of_int rows)
+    (dt *. 1000.);
+  Fmt.pr "(the row stack buys straight routing channels; the slicing plan@.";
+  Fmt.pr " is the pure-packing lower bound an automated placer could reach)@."
+
+(* ------------------------------------------------------------------ *)
+(* ROUTE-ABL: one-track-per-net (the global comb router's policy) vs   *)
+(* left-edge track sharing vs doglegs, on random channels.             *)
+(* ------------------------------------------------------------------ *)
+
+let route_ablation () =
+  section "ROUTE-ABL  channel tracks: per-net vs left-edge vs doglegs";
+  (* Deterministic pseudo-random pin sets. *)
+  let state = ref 123 in
+  let rand bound =
+    state := ((!state * 1664525) + 1013904223) land 0x3FFFFFFF;
+    !state mod bound
+  in
+  Fmt.pr "%8s %8s %10s %10s %10s %10s@." "pins" "nets" "density" "per-net"
+    "left-edge" "doglegs";
+  List.iter
+    (fun (npins, nnets) ->
+      let spec =
+        let pin used =
+          let rec fresh () =
+            let x = rand 40 * um 2. in
+            if List.mem x !used then fresh ()
+            else begin
+              used := x :: !used;
+              x
+            end
+          in
+          (fresh (), Printf.sprintf "n%d" (rand nnets))
+        in
+        let ut = ref [] and ub = ref [] in
+        {
+          Amg_route.Channel.top = List.init npins (fun _ -> pin ut);
+          bottom = List.init npins (fun _ -> pin ub);
+        }
+      in
+      let per_net = List.length (Amg_route.Channel.nets_of spec) in
+      let plain =
+        match Amg_route.Channel.assign spec with
+        | _, n -> string_of_int n
+        | exception Amg_route.Channel.Unroutable _ -> "cyclic"
+      in
+      let dogleg =
+        match Amg_route.Channel.assign_dogleg spec with
+        | _, _, n -> string_of_int n
+        | exception Amg_route.Channel.Unroutable _ -> "cyclic"
+      in
+      Fmt.pr "%8d %8d %10d %10d %10s %10s@." (2 * npins) per_net
+        (Amg_route.Channel.density spec) per_net plain dogleg)
+    [ (6, 4); (10, 6); (14, 8); (18, 10) ];
+  Fmt.pr "(per-net is what the block-level comb router uses; the detailed@.";
+  Fmt.pr " channel router packs disjoint intervals onto shared tracks)@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the core kernels.                      *)
+(* ------------------------------------------------------------------ *)
+
+let micro env =
+  section "micro-benchmarks (Bechamel, ns per run)";
+  let open Bechamel in
+  let open Toolkit in
+  let solids =
+    List.init 50 (fun i -> Rect.of_size ~x:(i * um 10.) ~y:0 ~w:(um 8.) ~h:(um 8.))
+  in
+  let covers =
+    List.init 20 (fun i ->
+        Rect.of_size ~x:(i * um 25.) ~y:(- um 10.) ~w:(um 30.) ~h:(um 30.))
+  in
+  let diffpair () =
+    ignore (M.Diff_pair.make env ~polarity:M.Mosfet.Pmos ~w:(um 10.) ~l:(um 5.) ~well:false ())
+  in
+  let contact_row () = ignore (M.Contact_row.make env ~layer:"poly" ~l:(um 10.) ()) in
+  let cover () = ignore (Region.residue ~solids ~covers) in
+  let tests =
+    [
+      Test.make ~name:"fig1_latchup_cover" (Staged.stage cover);
+      Test.make ~name:"fig3_contact_row" (Staged.stage contact_row);
+      Test.make ~name:"fig6_diff_pair" (Staged.stage diffpair);
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"amg" ~fmt:"%s/%s" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name res acc ->
+        match Analyze.OLS.estimates res with
+        | Some [ est ] -> (name, est) :: acc
+        | _ -> acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, ns) -> Fmt.pr "%-28s %12.0f ns/run@." name ns) rows
+
+let () =
+  let env = Env.bicmos () in
+  Fmt.pr "Analog module generator environment — benchmark harness@.";
+  Fmt.pr "technology: %s@." (Amg_tech.Technology.name (Env.tech env));
+  fig1 env;
+  fig3 env;
+  fig5 env;
+  fig6 env;
+  fig9 env;
+  app_ota env;
+  fig10 env;
+  claim_code env;
+  claim_speed env;
+  claim_opt env;
+  tech_indep ();
+  floorplan_ablation env;
+  route_ablation ();
+  micro env;
+  Fmt.pr "@.done.@."

@@ -1,0 +1,349 @@
+(* amgen — command-line front end of the module generator environment.
+
+     amgen build  FILE.amg ENTITY [-p k=v]... [--svg out.svg] [--cif out.cif]
+     amgen check  FILE.amg ENTITY [-p k=v]...      run the DRC
+     amgen tech   [--out FILE]                     dump the built-in deck
+     amgen amp    [--svg out.svg]                  build the BiCMOS amplifier
+*)
+
+module Env = Amg_core.Env
+module Lobj = Amg_layout.Lobj
+
+open Cmdliner
+
+let tech_arg =
+  let doc = "Technology description file (default: built-in generic 1um BiCMOS)." in
+  Arg.(value & opt (some file) None & info [ "t"; "tech" ] ~docv:"FILE" ~doc)
+
+let env_of_tech = function
+  | None -> Env.bicmos ()
+  | Some path -> Env.create (Amg_tech.Tech_file.load path)
+
+let params_arg =
+  let doc = "Entity parameter, e.g. -p W=10 or -p layer=poly (numbers in um)." in
+  Arg.(value & opt_all string [] & info [ "p"; "param" ] ~docv:"K=V" ~doc)
+
+let parse_params params =
+  List.map
+    (fun kv ->
+      match String.index_opt kv '=' with
+      | None -> failwith ("bad parameter " ^ kv ^ " (expected k=v)")
+      | Some i ->
+          let k = String.sub kv 0 i
+          and v = String.sub kv (i + 1) (String.length kv - i - 1) in
+          let value =
+            match float_of_string_opt v with
+            | Some f -> Amg_lang.Value.Num f
+            | None -> Amg_lang.Value.Str v
+          in
+          (k, value))
+    params
+
+let svg_arg =
+  Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc:"Write an SVG rendering.")
+
+let cif_arg =
+  Arg.(value & opt (some string) None & info [ "cif" ] ~docv:"FILE" ~doc:"Write a CIF file.")
+
+let gds_arg =
+  Arg.(value & opt (some string) None & info [ "gds" ] ~docv:"FILE" ~doc:"Write a GDSII file.")
+
+let ascii_arg =
+  Arg.(value & flag & info [ "ascii" ] ~doc:"Print an ASCII-art preview.")
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.amg" ~doc:"Module source file.")
+
+let entity_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"ENTITY" ~doc:"Entity to build.")
+
+let build_obj tech_file file entity params =
+  let env = env_of_tech tech_file in
+  let ic = open_in file in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let obj = Amg_lang.Interp.parse_and_build env src entity (parse_params params) in
+  (env, obj)
+
+let emit env obj svg cif gds ascii =
+  Fmt.pr "%a@." Amg_layout.Stats.pp (Amg_layout.Stats.of_lobj obj);
+  if ascii then begin
+    print_string (Amg_layout.Ascii.render ~tech:(Env.tech env) obj);
+    List.iter
+      (fun (g, l) -> Fmt.pr "  %c = %s@." g l)
+      (Amg_layout.Ascii.legend ~tech:(Env.tech env) obj)
+  end;
+  Option.iter
+    (fun path ->
+      Amg_layout.Svg.save ~tech:(Env.tech env) obj path;
+      Fmt.pr "wrote %s@." path)
+    svg;
+  Option.iter
+    (fun path ->
+      Amg_layout.Cif.save ~tech:(Env.tech env) obj path;
+      Fmt.pr "wrote %s@." path)
+    cif;
+  Option.iter
+    (fun path ->
+      Amg_layout.Gds.save ~tech:(Env.tech env) obj path;
+      Fmt.pr "wrote %s@." path)
+    gds
+
+let build_cmd =
+  let run tech_file file entity params svg cif gds ascii =
+    let env, obj = build_obj tech_file file entity params in
+    emit env obj svg cif gds ascii
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build an entity from a module source file.")
+    Term.(const run $ tech_arg $ file_arg $ entity_arg $ params_arg $ svg_arg
+          $ cif_arg $ gds_arg $ ascii_arg)
+
+let check_cmd =
+  let latchup_arg =
+    Arg.(value & flag
+         & info [ "latchup" ]
+             ~doc:"Also run the latch-up cover check (needs substrate taps; \
+                   meaningful for complete cells, not bare modules).")
+  in
+  let run tech_file file entity params latchup =
+    let env, obj = build_obj tech_file file entity params in
+    let checks =
+      let open Amg_drc.Checker in
+      [ Widths; Spacings; Enclosures; Extensions ]
+      @ (if latchup then [ Latch_up ] else [])
+    in
+    let vios = Amg_drc.Checker.run ~checks ~tech:(Env.tech env) obj in
+    Fmt.pr "%a" Amg_drc.Violation.pp_report vios;
+    if vios <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Build an entity and run the design-rule checker.")
+    Term.(const run $ tech_arg $ file_arg $ entity_arg $ params_arg $ latchup_arg)
+
+let tech_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let lint =
+    Arg.(value & flag
+         & info [ "lint" ]
+             ~doc:"Run the deck consistency lint (on --tech FILE or the \
+                   built-in deck) and exit non-zero on errors.")
+  in
+  let run tech_file out lint_flag =
+    if lint_flag then begin
+      let tech =
+        match tech_file with
+        | None -> Amg_tech.Bicmos1u.get ()
+        | Some path -> Amg_tech.Tech_file.load path
+      in
+      let issues = Amg_tech.Lint.check tech in
+      if issues = [] then
+        Fmt.pr "%s: deck is clean@." (Amg_tech.Technology.name tech)
+      else begin
+        List.iter (fun i -> Fmt.pr "%a@." Amg_tech.Lint.pp_issue i) issues;
+        if Amg_tech.Lint.errors issues <> [] then exit 1
+      end
+    end
+    else
+      match out with
+      | None -> print_string Amg_tech.Bicmos1u.source
+      | Some path ->
+          let oc = open_out path in
+          output_string oc Amg_tech.Bicmos1u.source;
+          close_out oc;
+          Fmt.pr "wrote %s@." path
+  in
+  Cmd.v
+    (Cmd.info "tech"
+       ~doc:"Print the built-in technology description file, or lint a deck.")
+    Term.(const run $ tech_arg $ out $ lint)
+
+let synth_cmd =
+  let sp_file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE.sp" ~doc:"SPICE netlist to synthesise.")
+  in
+  let hints_arg =
+    let doc =
+      "Matching hints, e.g. --hints M1:high,M2:high,M3:moderate \
+       (low/moderate/high; devices without a hint default to low)."
+    in
+    Arg.(value & opt (some string) None & info [ "hints" ] ~docv:"SPEC" ~doc)
+  in
+  let parse_hints = function
+    | None -> []
+    | Some spec ->
+        String.split_on_char ',' spec
+        |> List.map (fun kv ->
+               match String.split_on_char ':' kv with
+               | [ d; "low" ] -> (d, Amg_circuit.Partition.Low)
+               | [ d; "moderate" ] -> (d, Amg_circuit.Partition.Moderate)
+               | [ d; "high" ] -> (d, Amg_circuit.Partition.High)
+               | _ -> failwith ("bad hint " ^ kv ^ " (expected dev:low|moderate|high)"))
+  in
+  let run tech_file path hints svg cif gds ascii =
+    let env = env_of_tech tech_file in
+    let netlist = Amg_circuit.Spice_in.load path in
+    let r = Amg_amplifier.Synth.build env ~hints:(parse_hints hints) netlist in
+    Fmt.pr "synthesised %s: %.1f x %.1f um (%.0f um2) in %.2f s@."
+      (Amg_circuit.Netlist.name netlist)
+      r.Amg_amplifier.Synth.width_um r.Amg_amplifier.Synth.height_um
+      r.Amg_amplifier.Synth.area_um2 r.Amg_amplifier.Synth.build_time_s;
+    List.iter
+      (fun (c : Amg_circuit.Partition.cluster) ->
+        Fmt.pr "  cluster %-16s %s@." c.Amg_circuit.Partition.cluster_name
+          (String.concat "," c.Amg_circuit.Partition.device_names))
+      r.Amg_amplifier.Synth.clusters;
+    Fmt.pr "routed: %s@."
+      (String.concat ", " r.Amg_amplifier.Synth.routing.Amg_route.Global.routed);
+    List.iter
+      (fun (n, why) -> Fmt.pr "UNROUTED %s: %s@." n why)
+      r.Amg_amplifier.Synth.routing.Amg_route.Global.unrouted;
+    let vios = Amg_drc.Checker.run ~tech:(Env.tech env) r.Amg_amplifier.Synth.obj in
+    Fmt.pr "%a" Amg_drc.Violation.pp_report vios;
+    let x = Amg_extract.Devices.extract ~tech:(Env.tech env) r.Amg_amplifier.Synth.obj in
+    let lvs = Amg_extract.Compare.run ~golden:netlist x in
+    Fmt.pr "%a" Amg_extract.Compare.pp_result lvs;
+    emit env r.Amg_amplifier.Synth.obj svg cif gds ascii
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Synthesise a layout from a SPICE netlist: partition, generate \
+             modules, floorplan, route, check.")
+    Term.(const run $ tech_arg $ sp_file $ hints_arg $ svg_arg $ cif_arg
+          $ gds_arg $ ascii_arg)
+
+let fmt_cmd =
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the formatted source to FILE (default: stdout).")
+  in
+  let in_place =
+    Arg.(value & flag & info [ "i"; "in-place" ] ~doc:"Rewrite the input file.")
+  in
+  let run file out in_place =
+    let ic = open_in file in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let formatted =
+      Amg_lang.Printer.program_str (Amg_lang.Parser.parse_program src)
+    in
+    match (in_place, out) with
+    | true, _ ->
+        let oc = open_out file in
+        output_string oc formatted;
+        close_out oc;
+        Fmt.pr "formatted %s@." file
+    | false, Some path ->
+        let oc = open_out path in
+        output_string oc formatted;
+        close_out oc;
+        Fmt.pr "wrote %s@." path
+    | false, None -> print_string formatted
+  in
+  Cmd.v
+    (Cmd.info "fmt"
+       ~doc:"Reformat a module source file (parse and pretty-print; the \
+             output parses back to the identical program).")
+    Term.(const run $ file_arg $ out $ in_place)
+
+let gds_cmd =
+  let gds_file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE.gds" ~doc:"GDSII stream file to import.")
+  in
+  let latchup_arg =
+    Arg.(value & flag & info [ "latchup" ] ~doc:"Also run the latch-up cover check.")
+  in
+  let run tech_file path latchup ascii =
+    let env = env_of_tech tech_file in
+    let tech = Env.tech env in
+    let obj, dropped = Amg_layout.Gds.import_file ~tech path in
+    Fmt.pr "%a@." Amg_layout.Stats.pp (Amg_layout.Stats.of_lobj obj);
+    List.iter
+      (fun g -> Fmt.pr "warning: GDS layer %d not in deck %s, boundaries dropped@."
+          g (Amg_tech.Technology.name tech))
+      dropped;
+    if ascii then print_string (Amg_layout.Ascii.render ~tech obj);
+    let checks =
+      let open Amg_drc.Checker in
+      [ Widths; Spacings; Enclosures; Extensions ]
+      @ (if latchup then [ Latch_up ] else [])
+    in
+    let vios = Amg_drc.Checker.run ~checks ~tech obj in
+    Fmt.pr "%a" Amg_drc.Violation.pp_report vios;
+    if vios <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "gds"
+       ~doc:"Import a GDSII file against the deck and run the design-rule \
+             checker on it.")
+    Term.(const run $ tech_arg $ gds_file $ latchup_arg $ ascii_arg)
+
+let netlist_cmd =
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write the SPICE deck to FILE.")
+  in
+  let run tech_file file entity params out =
+    let env, obj = build_obj tech_file file entity params in
+    let x = Amg_extract.Devices.extract ~tech:(Env.tech env) obj in
+    let deck =
+      Amg_extract.Spice.of_extracted
+        ~title:(Printf.sprintf "extracted from %s (%s)" entity file) x
+    in
+    match out with
+    | None -> print_string deck
+    | Some path ->
+        Amg_extract.Spice.write_file path deck;
+        Fmt.pr "wrote %s@." path
+  in
+  Cmd.v
+    (Cmd.info "netlist"
+       ~doc:"Build an entity, extract its devices and print a SPICE deck.")
+    Term.(const run $ tech_arg $ file_arg $ entity_arg $ params_arg $ out)
+
+let amp_cmd =
+  let spice_arg =
+    Arg.(value & opt (some string) None
+         & info [ "spice" ] ~docv:"FILE"
+             ~doc:"Extract the finished layout and write a SPICE deck.")
+  in
+  let run tech_file svg cif gds ascii spice =
+    let env = env_of_tech tech_file in
+    let r = Amg_amplifier.Amplifier.build env in
+    Fmt.pr "BiCMOS amplifier: %.1f x %.1f um (%.0f um2), %d shapes, %.2f s@."
+      r.Amg_amplifier.Amplifier.width_um r.Amg_amplifier.Amplifier.height_um
+      r.Amg_amplifier.Amplifier.area_um2
+      (Lobj.shape_count r.Amg_amplifier.Amplifier.obj)
+      r.Amg_amplifier.Amplifier.build_time_s;
+    let vios = Amg_drc.Checker.run ~tech:(Env.tech env) r.Amg_amplifier.Amplifier.obj in
+    Fmt.pr "%a" Amg_drc.Violation.pp_report vios;
+    Option.iter
+      (fun path ->
+        let x =
+          Amg_extract.Devices.extract ~tech:(Env.tech env)
+            r.Amg_amplifier.Amplifier.obj
+        in
+        Amg_extract.Spice.write_file path
+          (Amg_extract.Spice.of_extracted ~title:"extracted BiCMOS amplifier" x);
+        Fmt.pr "wrote %s@." path)
+      spice;
+    emit env r.Amg_amplifier.Amplifier.obj svg cif gds ascii
+  in
+  Cmd.v
+    (Cmd.info "amp" ~doc:"Generate the BiCMOS broad-band amplifier (paper §3).")
+    Term.(const run $ tech_arg $ svg_arg $ cif_arg $ gds_arg $ ascii_arg
+          $ spice_arg)
+
+let () =
+  let doc = "analog module generator environment (DATE'96 reproduction)" in
+  let info = Cmd.info "amgen" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ build_cmd; check_cmd; tech_cmd; netlist_cmd; gds_cmd; fmt_cmd;
+            synth_cmd; amp_cmd ]))

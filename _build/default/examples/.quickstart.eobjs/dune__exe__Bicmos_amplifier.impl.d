@@ -1,0 +1,1 @@
+examples/bicmos_amplifier.ml: Amg_amplifier Amg_circuit Amg_core Amg_drc Amg_extract Amg_layout Amg_route Fmt List String

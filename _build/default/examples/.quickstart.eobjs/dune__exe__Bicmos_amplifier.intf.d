@@ -1,0 +1,1 @@
+examples/bicmos_amplifier.mli:

@@ -1,0 +1,1 @@
+examples/common_centroid_demo.ml: Amg_core Amg_drc Amg_extract Amg_geometry Amg_layout Amg_modules Array Float Fmt List Sys

@@ -1,0 +1,1 @@
+examples/common_centroid_demo.mli:

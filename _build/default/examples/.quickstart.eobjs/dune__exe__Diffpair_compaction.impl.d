@@ -1,0 +1,1 @@
+examples/diffpair_compaction.ml: Amg_core Amg_drc Amg_geometry Amg_layout Amg_modules Fmt

@@ -1,0 +1,1 @@
+examples/diffpair_compaction.mli:

@@ -1,0 +1,1 @@
+examples/language_tour.ml: Amg_core Amg_drc Amg_geometry Amg_lang Amg_layout Fmt List

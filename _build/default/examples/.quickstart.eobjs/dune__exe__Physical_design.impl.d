@@ -1,0 +1,1 @@
+examples/physical_design.ml: Amg_core Amg_drc Amg_geometry Amg_layout Amg_modules Amg_route Fmt List String

@@ -1,0 +1,1 @@
+examples/physical_design.mli:

@@ -1,0 +1,53 @@
+(* The paper's §3 demonstration: the complete broad-band BiCMOS amplifier.
+   Partition the schematic, generate every block, floorplan, add substrate
+   taps and supply rails, check, and export.
+
+     dune exec examples/bicmos_amplifier.exe
+*)
+
+module Env = Amg_core.Env
+module A = Amg_amplifier.Amplifier
+module Partition = Amg_circuit.Partition
+
+let () =
+  let env = Env.bicmos () in
+
+  Fmt.pr "=== knowledge-based partitioning (paper blocks A-F) ===@.";
+  List.iter
+    (fun (c : Partition.cluster) ->
+      Fmt.pr "  %-14s %-26s matching=%-8s devices=%s@." c.Partition.cluster_name
+        (Partition.show_style c.Partition.style)
+        (Partition.show_matching c.Partition.matching)
+        (String.concat "," c.Partition.device_names))
+    (Amg_amplifier.Schematic.clusters ());
+
+  let r = A.build env in
+  Fmt.pr "@.=== generated amplifier ===@.";
+  Fmt.pr "size: %.1f x %.1f um = %.0f um2@." r.A.width_um r.A.height_um r.A.area_um2;
+  Fmt.pr "(the paper's amplifier: %.0f x %.0f um = %.0f um2 in its 1um Siemens process)@."
+    A.paper_width_um A.paper_height_um A.paper_area_um2;
+  Fmt.pr "build time: %.2f s@." r.A.build_time_s;
+  List.iter (fun (n, a) -> Fmt.pr "  block %-3s %9.1f um2@." n a) r.A.block_areas;
+
+  Fmt.pr "global routing: %s routed@."
+    (String.concat ", " r.A.routing.Amg_route.Global.routed);
+  List.iter
+    (fun (n, why) -> Fmt.pr "  not routed: %s (%s)@." n why)
+    r.A.routing.Amg_route.Global.unrouted;
+
+  let vios = Amg_drc.Checker.run ~tech:(Env.tech env) r.A.obj in
+  Fmt.pr "@.full DRC including the latch-up rule: %a@." Amg_drc.Violation.pp_report vios;
+
+  let extracted = Amg_extract.Devices.extract ~tech:(Env.tech env) r.A.obj in
+  Fmt.pr "layout versus schematic: %a@."
+    Amg_extract.Compare.pp_result
+    (Amg_extract.Compare.run ~golden:(Amg_amplifier.Schematic.netlist ()) extracted);
+
+  Fmt.pr "parasitic capacitances of the internal nodes:@.";
+  Fmt.pr "%a@."
+    Amg_layout.Parasitics.pp_report
+    (Amg_layout.Parasitics.of_lobj ~tech:(Env.tech env) r.A.obj);
+
+  Amg_layout.Svg.save ~tech:(Env.tech env) r.A.obj "bicmos_amplifier.svg";
+  Amg_layout.Cif.save ~tech:(Env.tech env) r.A.obj "bicmos_amplifier.cif";
+  Fmt.pr "wrote bicmos_amplifier.svg, bicmos_amplifier.cif@."

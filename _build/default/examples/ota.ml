@@ -1,0 +1,48 @@
+(* Second full application: a five-transistor OTA through the identical
+   partition -> module library -> assembly pipeline as the paper's
+   amplifier — no OTA-specific layout code exists anywhere in the library.
+
+     dune exec examples/ota.exe
+*)
+
+module Env = Amg_core.Env
+module Ota = Amg_amplifier.Ota
+module Partition = Amg_circuit.Partition
+
+let () =
+  let env = Env.bicmos () in
+
+  Fmt.pr "=== OTA schematic partition ===@.";
+  List.iter
+    (fun (c : Partition.cluster) ->
+      Fmt.pr "  %-14s %-26s devices=%s@." c.Partition.cluster_name
+        (Partition.show_style c.Partition.style)
+        (String.concat "," c.Partition.device_names))
+    (Ota.clusters ());
+
+  let r = Ota.build env in
+  Fmt.pr "@.=== generated OTA ===@.";
+  Fmt.pr "size: %.1f x %.1f um = %.0f um2 in %.2f s@." r.Ota.width_um
+    r.Ota.height_um r.Ota.area_um2 r.Ota.build_time_s;
+  Fmt.pr "routed nets: %s@."
+    (String.concat ", " r.Ota.routing.Amg_route.Global.routed);
+  List.iter
+    (fun (net, why) -> Fmt.pr "  UNROUTED %s: %s@." net why)
+    r.Ota.routing.Amg_route.Global.unrouted;
+
+  let tech = Env.tech env in
+  let vios = Amg_drc.Checker.run ~tech r.Ota.obj in
+  Fmt.pr "full DRC (incl. latch-up): %d violations@." (List.length vios);
+
+  let x = Amg_extract.Devices.extract ~tech r.Ota.obj in
+  let cmp = Amg_extract.Compare.run ~golden:(Ota.netlist ()) x in
+  Fmt.pr "LVS: %s (%d devices)@."
+    (if Amg_extract.Compare.clean cmp then "clean" else "MISMATCH")
+    cmp.Amg_extract.Compare.matched;
+
+  (* Post-layout SPICE deck, the hand-off to simulation. *)
+  Fmt.pr "@.=== extracted SPICE deck ===@.";
+  print_string (Amg_extract.Spice.of_extracted ~title:"five-transistor OTA" x);
+
+  Amg_layout.Svg.save ~tech r.Ota.obj "ota.svg";
+  Fmt.pr "@.wrote ota.svg@."

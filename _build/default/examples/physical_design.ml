@@ -1,0 +1,105 @@
+(* The physical-design toolbox around the generator: Euler-path finger
+   ordering, exact slicing floorplans, detailed channel routing with
+   doglegs, and automatic latch-up repair.
+
+     dune exec examples/physical_design.exe
+*)
+
+module Env = Amg_core.Env
+module F = Amg_core.Floorplan
+module Euler = Amg_modules.Euler
+module MA = Amg_modules.Mos_array
+module Channel = Amg_route.Channel
+module Rect = Amg_geometry.Rect
+module Lobj = Amg_layout.Lobj
+
+let um = Amg_geometry.Units.of_um
+
+let () =
+  let env = Env.bicmos () in
+  let tech = Env.tech env in
+
+  (* 1. Euler ordering: the mirror pattern derived from the schematic. *)
+  Fmt.pr "=== Euler-path finger ordering ===@.";
+  let bank =
+    [
+      Euler.device ~name:"M1" ~g:"vg" ~s:"vss" ~d:"vg" ();
+      Euler.device ~name:"M2" ~g:"vg" ~s:"vss" ~d:"dout" ();
+    ]
+  in
+  List.iter
+    (fun cols ->
+      Fmt.pr "  columns: %s@."
+        (String.concat " "
+           (List.map
+              (function MA.Row n -> "[" ^ n ^ "]" | MA.Fin g -> g)
+              cols)))
+    (Euler.column_plans bank);
+  let st = Euler.sharing_stats bank in
+  Fmt.pr "  %d fingers in %d trail(s): %d contact rows instead of %d@."
+    st.Euler.fingers st.Euler.trails_count st.Euler.rows_shared
+    st.Euler.rows_unshared;
+
+  (* 2. Exact slicing floorplan of mismatched blocks. *)
+  Fmt.pr "@.=== slicing floorplan ===@.";
+  let blocks =
+    [
+      F.block ~name:"bias" ~w:(um 30.) ~h:(um 18.);
+      F.block ~name:"pair" ~w:(um 60.) ~h:(um 40.);
+      F.block ~name:"mirror" ~w:(um 28.) ~h:(um 22.);
+      F.block ~name:"out" ~w:(um 25.) ~h:(um 30.);
+      F.block ~name:"comp" ~w:(um 35.) ~h:(um 24.);
+    ]
+  in
+  let r = F.optimize ~spacing:(um 8.) blocks in
+  Fmt.pr "  optimum: %.0f x %.0f um = %.0f um2@."
+    (float_of_int r.F.width /. 1000.)
+    (float_of_int r.F.height /. 1000.)
+    (float_of_int r.F.area /. 1e6);
+  List.iter
+    (fun (n, (rc : Rect.t)) ->
+      Fmt.pr "    %-8s at (%.0f, %.0f)@." n
+        (float_of_int rc.Rect.x0 /. 1000.)
+        (float_of_int rc.Rect.y0 /. 1000.))
+    r.F.positions;
+  Fmt.pr "  row-stack baseline: %.0f um2@."
+    (float_of_int (F.rows_area ~spacing:(um 8.) [ blocks ]) /. 1e6);
+
+  (* 3. Channel routing with a vertical-constraint cycle only doglegs can
+     break. *)
+  Fmt.pr "@.=== channel routing ===@.";
+  let spec =
+    {
+      Channel.top = [ (um 0., "a"); (um 20., "b") ];
+      bottom = [ (um 0., "b"); (um 10., "a"); (um 20., "a") ];
+    }
+  in
+  (match Channel.assign spec with
+  | exception Channel.Unroutable why -> Fmt.pr "  without doglegs: %s@." why
+  | _ -> ());
+  let obj = Lobj.create "channel" in
+  let res = Channel.route_dogleg env obj ~spec ~y_top:(um 40.) ~y_bottom:0 ~x0:0 in
+  Fmt.pr "  with doglegs: %d tracks (density %d), height %.1f um@."
+    res.Channel.track_count res.Channel.density
+    (float_of_int res.Channel.height /. 1000.);
+  let vios =
+    Amg_drc.Checker.run
+      ~checks:[ Amg_drc.Checker.Widths; Spacings; Enclosures ] ~tech obj
+  in
+  Fmt.pr "  DRC: %d violations@." (List.length vios);
+
+  (* 4. Latch-up repair on an untapped structure. *)
+  Fmt.pr "@.=== automatic latch-up repair ===@.";
+  let bare = Lobj.create "untapped" in
+  for i = 0 to 3 do
+    ignore
+      (Lobj.add_shape bare ~layer:"ndiff"
+         ~rect:(Rect.of_size ~x:(um (float_of_int i *. 80.)) ~y:0 ~w:(um 30.) ~h:(um 6.))
+         ())
+  done;
+  Fmt.pr "  uncovered regions before: %d@."
+    (List.length (Amg_drc.Latchup.uncovered ~tech bare));
+  let added = Amg_modules.Tap_repair.repair env bare in
+  Fmt.pr "  taps inserted: %d; uncovered after: %d; full DRC: %d@." added
+    (List.length (Amg_drc.Latchup.uncovered ~tech bare))
+    (List.length (Amg_drc.Checker.run ~tech bare))

@@ -1,0 +1,1 @@
+lib/amplifier/amplifier.pp.ml: Amg_circuit Amg_core Amg_geometry Amg_layout Amg_route Amg_tech Assembly Blocks List Schematic String Sys

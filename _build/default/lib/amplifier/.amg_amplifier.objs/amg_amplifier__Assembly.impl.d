@@ -1,0 +1,1 @@
+lib/amplifier/assembly.pp.ml: Amg_circuit Amg_core Amg_extract Amg_geometry Amg_layout Amg_modules Amg_route Amg_tech List Option String

@@ -1,0 +1,1 @@
+lib/amplifier/blocks.pp.ml: Amg_circuit Amg_core Amg_geometry Amg_layout Amg_modules List

@@ -1,0 +1,1 @@
+lib/amplifier/ota.pp.ml: Amg_circuit Amg_core Amg_geometry Amg_layout Amg_route Assembly Blocks List String Sys

@@ -1,0 +1,1 @@
+lib/amplifier/schematic.pp.ml: Amg_circuit Amg_geometry

@@ -1,0 +1,1 @@
+lib/amplifier/synth.pp.mli: Amg_circuit Amg_core Amg_layout Amg_route

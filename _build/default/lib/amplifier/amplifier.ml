@@ -1,0 +1,107 @@
+(* The complete amplifier layout (§3, Fig. 9).
+
+   The paper placed the generated modules and routed the global nets by
+   hand; this module is the scripted equivalent of that manual step:
+
+   - a three-row floorplan with reserved routing channels between the
+     rows, each carrying a substrate-tap row (latch-up coverage);
+   - metal1 supply rails (the tap rows double as the vss rails, vdd gets
+     its own bars) with metal2 risers from every supply port, tied
+     together per net by edge risers;
+   - the global comb router connecting every internal signal net through
+     the channels and the east spine.
+
+   The result is physically complete: full DRC including latch-up, clean
+   layout-versus-schematic, and every net a single electrical node. *)
+
+module Rect = Amg_geometry.Rect
+module Dir = Amg_geometry.Dir
+module Units = Amg_geometry.Units
+module Rules = Amg_tech.Rules
+module Lobj = Amg_layout.Lobj
+module Shape = Amg_layout.Shape
+module Port = Amg_layout.Port
+module Env = Amg_core.Env
+module Build = Amg_core.Build
+module Path = Amg_route.Path
+module Wire = Amg_route.Wire
+module Partition = Amg_circuit.Partition
+
+type report = {
+  obj : Lobj.t;
+  width_um : float;
+  height_um : float;
+  area_um2 : float;
+  block_areas : (string * float) list;
+  routing : Amg_route.Global.result;
+  build_time_s : float;
+}
+
+let um = Units.of_um
+
+let find_cluster clusters prefix =
+  match
+    List.find_opt
+      (fun (c : Partition.cluster) ->
+        String.length c.Partition.cluster_name >= String.length prefix
+        && String.sub c.Partition.cluster_name 0 (String.length prefix) = prefix)
+      clusters
+  with
+  | Some c -> c
+  | None -> Env.reject "Amplifier: no cluster %s*" prefix
+
+let build env =
+  let t0 = Sys.time () in
+  let netlist = Schematic.netlist () in
+  let clusters = Schematic.clusters () in
+  let gen prefix = Blocks.generate env netlist (find_cluster clusters prefix) in
+  let block_a = gen "cascode_MA1" in
+  let block_b = gen "mirror_MB1" in
+  let block_c = gen "sources_MC1" in
+  let block_mt = gen "single_MT" in
+  let block_d = gen "single_MD1" in
+  let block_e = gen "pair_ME1" in
+  let block_f = gen "bjt_Q1" in
+  let block_rz = gen "passive_RZ" in
+  let block_cc = gen "passive_CC" in
+  let blocks =
+    [
+      ("A", block_a); ("B", block_b); ("C", block_c); ("MT", block_mt);
+      ("D", block_d); ("E", block_e); ("F", block_f); ("RZ", block_rz);
+      ("CC", block_cc);
+    ]
+  in
+  let block_areas =
+    List.map
+      (fun (n, b) -> (n, float_of_int (Lobj.bbox_area b) /. 1.0e6))
+      blocks
+  in
+  (* Three rows: supplies/bias on top, the input pair in the middle, the
+     output path at the bottom.  The generic assembly stacks them with
+     reserved routing channels, tap rows, supply rails and global comb
+     routing (see {!Assembly}). *)
+  let row_top = Assembly.pack_row env ~name:"row_top" [ block_c; block_mt; block_a ] in
+  let row_mid = Assembly.pack_row env ~name:"row_mid" [ block_e; block_cc ] in
+  let row_low = Assembly.pack_row env ~name:"row_low" [ block_b; block_d; block_rz; block_f ] in
+  let asm =
+    Assembly.assemble env ~name:"bicmos_amp" ~netlist
+      ~rows:[ row_low; row_mid; row_top ] ()
+  in
+  let amp = asm.Assembly.obj and routing = asm.Assembly.routing in
+  let bbox = Lobj.bbox_exn amp in
+  let t1 = Sys.time () in
+  {
+    obj = amp;
+    width_um = Units.to_um (Rect.width bbox);
+    height_um = Units.to_um (Rect.height bbox);
+    area_um2 = float_of_int (Rect.area bbox) /. 1.0e6;
+    block_areas;
+    routing;
+    build_time_s = t1 -. t0;
+  }
+
+(* The paper's result for comparison: 592 x 481 um^2 in the 1 um Siemens
+   BiCMOS technology. *)
+let paper_width_um = 592.
+let paper_height_um = 481.
+let paper_area_um2 = paper_width_um *. paper_height_um

@@ -1,0 +1,46 @@
+(** Generic block-level assembly.
+
+    Stacks rows of generated modules bottom-to-top with a reserved routing
+    channel between consecutive rows, adds substrate-tap rows (latch-up
+    coverage + vss rails), vdd bars, metal2 risers from every supply port,
+    per-net edge ties, global comb routing of every internal signal net,
+    and a connectivity-repair pass that guarantees each supply net is one
+    electrical node.
+
+    This is the scripted equivalent of the paper's manual placement and
+    global wiring step, factored out of the amplifier so any partitioned
+    circuit can reuse it ({!Amplifier} and {!Ota} are the two users). *)
+
+type result = { obj : Amg_layout.Lobj.t; routing : Amg_route.Global.result }
+
+val pack_row :
+  Amg_core.Env.t ->
+  name:string ->
+  ?gap:int ->
+  Amg_layout.Lobj.t list ->
+  Amg_layout.Lobj.t
+(** Place blocks in one row, west to east, [gap] (default 8 um) apart —
+    the clearance gives the global router escape lanes at block edges. *)
+
+val tap_row :
+  Amg_core.Env.t -> width:int -> n:int -> Amg_layout.Lobj.t
+(** A full-width substrate-tap row (named [taprowN]). *)
+
+val assemble :
+  Amg_core.Env.t ->
+  name:string ->
+  netlist:Amg_circuit.Netlist.t ->
+  rows:Amg_layout.Lobj.t list ->
+  ?track_zone:int ->
+  ?tap_band:int ->
+  ?vdd:string ->
+  ?vss:string ->
+  unit ->
+  result
+(** [assemble env ~name ~netlist ~rows ()] stacks the packed [rows]
+    (bottom first) and completes the layout.  [track_zone] (default 32 um)
+    is each channel's metal1 trunk band, [tap_band] (default 6 um) the tap
+    row above it.  Internal signal nets are every netlist net that is
+    neither an external port nor a supply.  Failed hookups are reported in
+    [routing.unrouted].
+    @raise Amg_core.Env.Rejected when [rows] is empty. *)

@@ -1,0 +1,94 @@
+(* A classic five-transistor OTA, assembled with the same partition ->
+   module -> {!Assembly} pipeline as the paper's amplifier.
+
+   This is the second application of the environment: the paper's claim is
+   that the module library plus the compaction/assembly machinery handles
+   "further amplifiers or modules" without new layout code, and this
+   circuit — a different topology, NMOS input instead of PMOS, no bipolar
+   stage — exercises exactly that. *)
+
+module D = Amg_circuit.Device
+module Netlist = Amg_circuit.Netlist
+module Partition = Amg_circuit.Partition
+module Rect = Amg_geometry.Rect
+module Units = Amg_geometry.Units
+module Lobj = Amg_layout.Lobj
+module Env = Amg_core.Env
+
+type report = {
+  obj : Lobj.t;
+  width_um : float;
+  height_um : float;
+  area_um2 : float;
+  routing : Amg_route.Global.result;
+  build_time_s : float;
+}
+
+let um = Units.of_um
+
+let netlist () =
+  Netlist.create ~name:"ota5"
+    ~external_ports:[ "inp"; "inn"; "out"; "vbias"; "vdd"; "vss" ]
+    [
+      (* NMOS input pair. *)
+      D.mos ~name:"M1" ~polarity:D.Nmos ~w:(um 20.) ~l:(um 1.) ~g:"inp"
+        ~d:"n1" ~s:"tail" ~b:"vss";
+      D.mos ~name:"M2" ~polarity:D.Nmos ~w:(um 20.) ~l:(um 1.) ~g:"inn"
+        ~d:"out" ~s:"tail" ~b:"vss";
+      (* PMOS mirror load, diode on the pair's first drain. *)
+      D.mos ~name:"M3" ~polarity:D.Pmos ~w:(um 16.) ~l:(um 2.) ~g:"n1"
+        ~d:"n1" ~s:"vdd" ~b:"vdd";
+      D.mos ~name:"M4" ~polarity:D.Pmos ~w:(um 16.) ~l:(um 2.) ~g:"n1"
+        ~d:"out" ~s:"vdd" ~b:"vdd";
+      (* NMOS tail current source. *)
+      D.mos ~name:"MT" ~polarity:D.Nmos ~w:(um 24.) ~l:(um 2.) ~g:"vbias"
+        ~d:"tail" ~s:"vss" ~b:"vss";
+    ]
+
+let hints =
+  [
+    ("M1", Partition.High); ("M2", Partition.High);
+    ("M3", Partition.Moderate); ("M4", Partition.Moderate);
+    ("MT", Partition.Low);
+  ]
+
+let clusters () = Partition.partition ~hints (netlist ())
+
+let find_cluster clusters prefix =
+  match
+    List.find_opt
+      (fun (c : Partition.cluster) ->
+        String.length c.Partition.cluster_name >= String.length prefix
+        && String.sub c.Partition.cluster_name 0 (String.length prefix) = prefix)
+      clusters
+  with
+  | Some c -> c
+  | None -> Env.reject "Ota: no cluster %s*" prefix
+
+let build env =
+  let t0 = Sys.time () in
+  let netlist = netlist () in
+  let clusters = clusters () in
+  let gen prefix = Blocks.generate env netlist (find_cluster clusters prefix) in
+  let pair = gen "pair_M1" in
+  let mirror = gen "mirror_M3" in
+  let tail = gen "single_MT" in
+  (* NMOS devices at the bottom near the substrate taps, PMOS mirror at the
+     top near vdd. *)
+  let row_low = Assembly.pack_row env ~name:"row_low" [ tail ] in
+  let row_mid = Assembly.pack_row env ~name:"row_mid" [ pair ] in
+  let row_top = Assembly.pack_row env ~name:"row_top" [ mirror ] in
+  let asm =
+    Assembly.assemble env ~name:"ota5" ~netlist
+      ~rows:[ row_low; row_mid; row_top ] ()
+  in
+  let bbox = Lobj.bbox_exn asm.Assembly.obj in
+  let t1 = Sys.time () in
+  {
+    obj = asm.Assembly.obj;
+    width_um = Units.to_um (Rect.width bbox);
+    height_um = Units.to_um (Rect.height bbox);
+    area_um2 = float_of_int (Rect.area bbox) /. 1.0e6;
+    routing = asm.Assembly.routing;
+    build_time_s = t1 -. t0;
+  }

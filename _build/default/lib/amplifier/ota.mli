@@ -1,0 +1,28 @@
+(** A five-transistor OTA: the second full application of the environment.
+
+    Different topology from the paper's amplifier (NMOS input pair, PMOS
+    mirror load, no bipolar stage), generated entirely by the same
+    partition → module-library → {!Assembly} pipeline — demonstrating the
+    paper's claim that "further amplifiers or modules" need no new layout
+    code. *)
+
+type report = {
+  obj : Amg_layout.Lobj.t;
+  width_um : float;
+  height_um : float;
+  area_um2 : float;
+  routing : Amg_route.Global.result;
+  build_time_s : float;
+}
+
+val netlist : unit -> Amg_circuit.Netlist.t
+(** The transistor-level schematic (external ports: inp, inn, out, vbias,
+    vdd, vss). *)
+
+val hints : (string * Amg_circuit.Partition.matching) list
+
+val clusters : unit -> Amg_circuit.Partition.cluster list
+
+val build : Amg_core.Env.t -> report
+(** Generate the complete layout: three rows (tail / input pair / mirror),
+    routed and supply-connected. *)

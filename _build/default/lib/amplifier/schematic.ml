@@ -1,0 +1,75 @@
+(* Transistor-level netlist of the broad-band BiCMOS amplifier (§3,
+   Fig. 8, after ref. [10]).
+
+   The exact Siemens device sizes are unpublished; this is the documented
+   substitute (DESIGN.md §2): same block structure A-F with plausible 1 um
+   device sizes, so the knowledge-based partitioning reproduces exactly
+   the module selection the paper describes:
+
+   - block A: cascode transistors of the bias circuit (no matching);
+   - block B: current mirror with moderate matching (symmetric, diode in
+     the middle);
+   - block C: current sources with high symmetry and matching
+     (cross-coupled inter-digitated);
+   - block D: second gain stage (no special matching) with the
+     compensation network;
+   - block E: input differential pair (centroidal cross-coupled
+     inter-digitated with dummies);
+   - block F: bipolar output stage, composed symmetrically. *)
+
+module D = Amg_circuit.Device
+module Netlist = Amg_circuit.Netlist
+module Partition = Amg_circuit.Partition
+
+let um = Amg_geometry.Units.of_um
+
+let netlist () =
+  Netlist.create ~name:"bicmos_amp"
+    ~external_ports:[ "inp"; "inn"; "out"; "vdd"; "vss"; "ibias" ]
+    [
+      (* Block A: bias cascode. *)
+      D.mos ~name:"MA1" ~polarity:D.Nmos ~w:(um 12.) ~l:(um 2.) ~g:"vb1"
+        ~d:"vb1" ~s:"vss" ~b:"vss";
+      D.mos ~name:"MA2" ~polarity:D.Nmos ~w:(um 12.) ~l:(um 2.) ~g:"vb2"
+        ~d:"vbp" ~s:"vb1" ~b:"vss";
+      (* Block B: load current mirror, moderate matching. *)
+      D.mos ~name:"MB1" ~polarity:D.Nmos ~w:(um 20.) ~l:(um 2.) ~g:"nm"
+        ~d:"nm" ~s:"vss" ~b:"vss";
+      D.mos ~name:"MB2" ~polarity:D.Nmos ~w:(um 20.) ~l:(um 2.) ~g:"nm"
+        ~d:"outm" ~s:"vss" ~b:"vss";
+      (* Block C: matched current sources, high symmetry. *)
+      D.mos ~name:"MC1" ~polarity:D.Pmos ~w:(um 24.) ~l:(um 2.) ~g:"vbp"
+        ~d:"nm" ~s:"vdd" ~b:"vdd";
+      D.mos ~name:"MC2" ~polarity:D.Pmos ~w:(um 24.) ~l:(um 2.) ~g:"vbp"
+        ~d:"outm" ~s:"vdd" ~b:"vdd";
+      (* Tail current source for the input pair. *)
+      D.mos ~name:"MT" ~polarity:D.Pmos ~w:(um 48.) ~l:(um 2.) ~g:"vbp"
+        ~d:"tail" ~s:"vdd" ~b:"vdd";
+      (* Block E: input pair, high matching. *)
+      D.mos ~name:"ME1" ~polarity:D.Pmos ~w:(um 40.) ~l:(um 2.) ~g:"inp"
+        ~d:"nm" ~s:"tail" ~b:"vdd";
+      D.mos ~name:"ME2" ~polarity:D.Pmos ~w:(um 40.) ~l:(um 2.) ~g:"inn"
+        ~d:"outm" ~s:"tail" ~b:"vdd";
+      (* Block D: second stage and compensation. *)
+      D.mos ~name:"MD1" ~polarity:D.Nmos ~w:(um 32.) ~l:(um 1.) ~g:"outm"
+        ~d:"outd" ~s:"vss" ~b:"vss";
+      D.res ~name:"RZ" ~a:"outd" ~b:"zc" ~ohms:2000.;
+      D.cap ~name:"CC" ~a:"zc" ~b:"outm" ~ff:400.;
+      (* Block F: bipolar output followers, composed symmetrically. *)
+      D.bjt ~name:"Q1" ~c:"vdd" ~b:"outd" ~e:"out";
+      D.bjt ~name:"Q2" ~c:"vdd" ~b:"outd" ~e:"out";
+    ]
+
+(* Matching hints as indicated in the paper's schematic partition. *)
+let hints =
+  [
+    ("MA1", Partition.Low); ("MA2", Partition.Low);
+    ("MB1", Partition.Moderate); ("MB2", Partition.Moderate);
+    ("MC1", Partition.High); ("MC2", Partition.High);
+    ("MT", Partition.Low);
+    ("ME1", Partition.High); ("ME2", Partition.High);
+    ("MD1", Partition.Low);
+    ("Q1", Partition.Moderate); ("Q2", Partition.Moderate);
+  ]
+
+let clusters () = Partition.partition ~hints (netlist ())

@@ -1,0 +1,77 @@
+(* Netlist-to-layout synthesis: the whole environment as one function.
+
+   Partition the schematic with the knowledge-based rules, generate each
+   cluster with the module library, assign clusters to rows by device
+   polarity (NMOS near the substrate taps at the bottom, PMOS near vdd at
+   the top, bipolar/passives in the middle), and hand the rows to the
+   generic {!Assembly} engine.  `amgen synth netlist.sp` drives this from
+   a SPICE file. *)
+
+module D = Amg_circuit.Device
+module Netlist = Amg_circuit.Netlist
+module Partition = Amg_circuit.Partition
+module Rect = Amg_geometry.Rect
+module Units = Amg_geometry.Units
+module Lobj = Amg_layout.Lobj
+module Env = Amg_core.Env
+
+type report = {
+  obj : Lobj.t;
+  width_um : float;
+  height_um : float;
+  area_um2 : float;
+  clusters : Partition.cluster list;
+  routing : Amg_route.Global.result;
+  build_time_s : float;
+}
+
+(* Which row a cluster belongs to, by its devices' type/polarity. *)
+type row_class = Bottom | Middle | Top
+
+let classify netlist (c : Partition.cluster) =
+  let devs =
+    List.filter_map (Netlist.find netlist) c.Partition.device_names
+  in
+  let has p = List.exists p devs in
+  match c.Partition.style with
+  (* Input pairs go in their own middle row: their drain straps face the
+     channel below them, and they want channels on both sides (exactly the
+     amplifier's hand floorplan). *)
+  | Partition.Diff_pair_style | Partition.Common_centroid_style -> Middle
+  | _ ->
+      if has (function D.Mos m -> m.D.polarity = D.Nmos | _ -> false) then
+        Bottom
+      else if has (function D.Mos m -> m.D.polarity = D.Pmos | _ -> false)
+      then Top
+      else Middle
+
+let build env ?(name = "synth") ?(hints = []) netlist =
+  let t0 = Sys.time () in
+  let clusters = Partition.partition ~hints netlist in
+  if clusters = [] then Env.reject "Synth: netlist has no devices";
+  let blocks =
+    List.map (fun c -> (c, Blocks.generate env netlist c)) clusters
+  in
+  let of_class k =
+    List.filter_map
+      (fun (c, b) -> if classify netlist c = k then Some b else None)
+      blocks
+  in
+  let rows =
+    [ of_class Bottom; of_class Middle; of_class Top ]
+    |> List.filter (fun r -> r <> [])
+    |> List.mapi (fun i blocks ->
+           Assembly.pack_row env ~name:(Printf.sprintf "row%d" i) blocks)
+  in
+  let asm = Assembly.assemble env ~name ~netlist ~rows () in
+  let bbox = Lobj.bbox_exn asm.Assembly.obj in
+  let t1 = Sys.time () in
+  {
+    obj = asm.Assembly.obj;
+    width_um = Units.to_um (Rect.width bbox);
+    height_um = Units.to_um (Rect.height bbox);
+    area_um2 = float_of_int (Rect.area bbox) /. 1.0e6;
+    clusters;
+    routing = asm.Assembly.routing;
+    build_time_s = t1 -. t0;
+  }

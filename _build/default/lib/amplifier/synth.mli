@@ -1,0 +1,25 @@
+(** Netlist-to-layout synthesis: partition → module library → assembly as
+    one call, so any schematic (e.g. read from a SPICE file by
+    {!Amg_circuit.Spice_in}) becomes a placed, routed, supply-connected
+    layout. *)
+
+type report = {
+  obj : Amg_layout.Lobj.t;
+  width_um : float;
+  height_um : float;
+  area_um2 : float;
+  clusters : Amg_circuit.Partition.cluster list;
+  routing : Amg_route.Global.result;
+  build_time_s : float;
+}
+
+val build :
+  Amg_core.Env.t ->
+  ?name:string ->
+  ?hints:(string * Amg_circuit.Partition.matching) list ->
+  Amg_circuit.Netlist.t ->
+  report
+(** Rows are assigned by polarity: NMOS clusters at the bottom (near the
+    substrate-tap rows), PMOS at the top (near vdd), bipolar and passives
+    in the middle.
+    @raise Amg_core.Env.Rejected when the netlist has no devices. *)

@@ -1,0 +1,1 @@
+lib/circuit/device.pp.ml: Ppx_deriving_runtime String

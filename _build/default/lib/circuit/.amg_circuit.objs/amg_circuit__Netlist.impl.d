@@ -1,0 +1,1 @@
+lib/circuit/netlist.pp.ml: Device Fmt Hashtbl List String

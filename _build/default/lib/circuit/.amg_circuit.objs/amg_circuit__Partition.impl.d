@@ -1,0 +1,1 @@
+lib/circuit/partition.pp.ml: Device Hashtbl List Netlist Option Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/circuit/spice_in.pp.ml: Char Device Fmt List Netlist Option String

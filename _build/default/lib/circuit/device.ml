@@ -1,0 +1,49 @@
+type mos_polarity = Nmos | Pmos [@@deriving show { with_path = false }, eq, ord]
+
+type mos = {
+  m_name : string;
+  polarity : mos_polarity;
+  w : int;  (* nm *)
+  l : int;  (* nm *)
+  g : string;
+  d : string;
+  s : string;
+  b : string;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+type bjt = { q_name : string; c : string; bb : string; e : string }
+[@@deriving show { with_path = false }, eq, ord]
+
+type res = { r_name : string; ra : string; rb : string; ohms : float }
+[@@deriving show { with_path = false }, eq, ord]
+
+type cap = { c_name : string; ca : string; cb : string; ff : float }
+[@@deriving show { with_path = false }, eq, ord]
+
+type t = Mos of mos | Bjt of bjt | Res of res | Cap of cap
+[@@deriving show { with_path = false }, eq, ord]
+
+let name = function
+  | Mos m -> m.m_name
+  | Bjt q -> q.q_name
+  | Res r -> r.r_name
+  | Cap c -> c.c_name
+
+let nets = function
+  | Mos m -> [ m.g; m.d; m.s; m.b ]
+  | Bjt q -> [ q.c; q.bb; q.e ]
+  | Res r -> [ r.ra; r.rb ]
+  | Cap c -> [ c.ca; c.cb ]
+
+let mos ~name ~polarity ~w ~l ~g ~d ~s ~b =
+  Mos { m_name = name; polarity; w; l; g; d; s; b }
+
+let bjt ~name ~c ~b ~e = Bjt { q_name = name; c; bb = b; e }
+
+let res ~name ~a ~b ~ohms = Res { r_name = name; ra = a; rb = b; ohms }
+
+let cap ~name ~a ~b ~ff = Cap { c_name = name; ca = a; cb = b; ff }
+
+(* Diode-connected MOS: gate tied to drain. *)
+let is_diode = function Mos m -> String.equal m.g m.d | _ -> false

@@ -1,0 +1,43 @@
+type t = {
+  name : string;
+  devices : Device.t list;
+  external_ports : string list;
+}
+
+let create ~name ?(external_ports = []) devices =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      let n = Device.name d in
+      if Hashtbl.mem seen n then Fmt.invalid_arg "Netlist.create: duplicate device %s" n;
+      Hashtbl.replace seen n ())
+    devices;
+  { name; devices; external_ports }
+
+let devices t = t.devices
+
+let name t = t.name
+
+let external_ports t = t.external_ports
+
+let find t dname =
+  List.find_opt (fun d -> String.equal (Device.name d) dname) t.devices
+
+let nets t =
+  List.concat_map Device.nets t.devices |> List.sort_uniq String.compare
+
+let devices_on_net t net =
+  List.filter (fun d -> List.mem net (Device.nets d)) t.devices
+
+let mos_devices t =
+  List.filter_map (function Device.Mos m -> Some m | _ -> None) t.devices
+
+let bjt_devices t =
+  List.filter_map (function Device.Bjt q -> Some q | _ -> None) t.devices
+
+let device_count t = List.length t.devices
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>netlist %s (%d devices)@," t.name (device_count t);
+  List.iter (fun d -> Fmt.pf ppf "  %a@," Device.pp d) t.devices;
+  Fmt.pf ppf "@]"

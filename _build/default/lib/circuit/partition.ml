@@ -1,0 +1,209 @@
+(* Knowledge-based partitioning of a schematic into module clusters (§3).
+
+   "The knowledge based partitioning of the modules takes additional analog
+   properties like matching and symmetry requirements … into account."
+   Matching requirements arrive as per-device hints; structural rules then
+   recognise the classic analog sub-circuits, in priority order:
+
+   1. current mirrors: a diode-connected device plus the devices sharing
+      its gate and source;
+   2. differential pairs: two equal devices sharing their source with
+      distinct gates;
+   3. cascodes: a device stacked on another (source on the other's drain);
+   4. matched current-source banks: equal devices sharing gate and source;
+   5. bipolar pairs; passives; leftovers as single devices.
+
+   The matching hint picks the layout style, as in the paper's §3: low →
+   plain inter-digitated, moderate → symmetric (diode in the middle),
+   high → cross-coupled / common-centroid. *)
+
+type matching = Low | Moderate | High [@@deriving show { with_path = false }, eq, ord]
+
+type style =
+  | Single
+  | Interdigitated
+  | Diff_pair_style
+  | Common_centroid_style
+  | Mirror_simple_style
+  | Mirror_symmetric_style
+  | Cross_coupled_style
+  | Cascode_style
+  | Bjt_pair_style
+  | Passive
+[@@deriving show { with_path = false }, eq, ord]
+
+type cluster = {
+  cluster_name : string;
+  device_names : string list;
+  style : style;
+  matching : matching;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+let hint hints dname =
+  Option.value ~default:Low (List.assoc_opt dname hints)
+
+let group_hint hints names =
+  List.fold_left
+    (fun acc n -> match (acc, hint hints n) with
+      | High, _ | _, High -> High
+      | Moderate, _ | _, Moderate -> Moderate
+      | Low, Low -> Low)
+    Low names
+
+let same_dims (a : Device.mos) (b : Device.mos) = a.w = b.w && a.l = b.l
+
+let partition ?(hints = []) netlist =
+  let taken = Hashtbl.create 16 in
+  let free (m : Device.mos) = not (Hashtbl.mem taken m.m_name) in
+  let take names = List.iter (fun n -> Hashtbl.replace taken n ()) names in
+  let clusters = ref [] in
+  let emit ~name ~names ~style =
+    take names;
+    clusters :=
+      { cluster_name = name; device_names = names; style; matching = group_hint hints names }
+      :: !clusters
+  in
+  let mos = Netlist.mos_devices netlist in
+  (* 1. Mirrors around each diode-connected device. *)
+  List.iter
+    (fun (d : Device.mos) ->
+      if free d && String.equal d.g d.d then begin
+        let followers =
+          List.filter
+            (fun (m : Device.mos) ->
+              free m
+              && (not (String.equal m.m_name d.m_name))
+              && m.polarity = d.polarity
+              && String.equal m.g d.g && String.equal m.s d.s
+              && not (String.equal m.g m.d))
+            mos
+        in
+        if followers <> [] then begin
+          let names = d.m_name :: List.map (fun (m : Device.mos) -> m.m_name) followers in
+          let style =
+            match group_hint hints names with
+            | Low -> Mirror_simple_style
+            | Moderate | High -> Mirror_symmetric_style
+          in
+          emit ~name:("mirror_" ^ d.m_name) ~names ~style
+        end
+      end)
+    mos;
+  (* 2. Differential pairs. *)
+  List.iter
+    (fun (a : Device.mos) ->
+      if free a then
+        match
+          List.find_opt
+            (fun (b : Device.mos) ->
+              free b
+              && (not (String.equal b.m_name a.m_name))
+              && b.polarity = a.polarity && same_dims a b
+              && String.equal b.s a.s
+              && (not (String.equal b.g a.g))
+              && not (String.equal b.d a.d))
+            mos
+        with
+        | Some b ->
+            let names = [ a.m_name; b.m_name ] in
+            let style =
+              match group_hint hints names with
+              | High -> Common_centroid_style
+              | Low | Moderate -> Diff_pair_style
+            in
+            emit ~name:("pair_" ^ a.m_name) ~names ~style
+        | None -> ())
+    mos;
+  (* 3. Cascode stacks: b sits on a (b.s = a.d). *)
+  List.iter
+    (fun (a : Device.mos) ->
+      if free a then
+        match
+          List.find_opt
+            (fun (b : Device.mos) ->
+              free b
+              && (not (String.equal b.m_name a.m_name))
+              && b.polarity = a.polarity && String.equal b.s a.d)
+            mos
+        with
+        | Some b ->
+            emit ~name:("cascode_" ^ a.m_name) ~names:[ a.m_name; b.m_name ]
+              ~style:Cascode_style
+        | None -> ())
+    mos;
+  (* 4. Matched current-source banks: same gate, same source, equal dims. *)
+  List.iter
+    (fun (a : Device.mos) ->
+      if free a then begin
+        let bank =
+          List.filter
+            (fun (b : Device.mos) ->
+              free b && b.polarity = a.polarity && same_dims a b
+              && String.equal b.g a.g && String.equal b.s a.s)
+            mos
+        in
+        if List.length bank >= 2 then begin
+          let names = List.map (fun (m : Device.mos) -> m.m_name) bank in
+          let style =
+            match group_hint hints names with
+            | High -> Cross_coupled_style
+            | Low | Moderate -> Interdigitated
+          in
+          emit ~name:("sources_" ^ a.m_name) ~names ~style
+        end
+      end)
+    mos;
+  (* 5. Remaining MOS devices as singles. *)
+  List.iter
+    (fun (m : Device.mos) ->
+      if free m then
+        emit ~name:("single_" ^ m.m_name) ~names:[ m.m_name ]
+          ~style:(if m.w >= 4 * m.l then Interdigitated else Single))
+    mos;
+  (* 6. Bipolar devices: pair symmetric emitter followers, else singles. *)
+  let bjts = Netlist.bjt_devices netlist in
+  let btaken = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Device.bjt) ->
+      if not (Hashtbl.mem btaken a.q_name) then begin
+        match
+          List.find_opt
+            (fun (b : Device.bjt) ->
+              (not (Hashtbl.mem btaken b.q_name))
+              && not (String.equal b.q_name a.q_name))
+            bjts
+        with
+        | Some b ->
+            Hashtbl.replace btaken a.q_name ();
+            Hashtbl.replace btaken b.q_name ();
+            clusters :=
+              { cluster_name = "bjt_" ^ a.q_name;
+                device_names = [ a.q_name; b.q_name ];
+                style = Bjt_pair_style;
+                matching = group_hint hints [ a.q_name; b.q_name ] }
+              :: !clusters
+        | None ->
+            Hashtbl.replace btaken a.q_name ();
+            clusters :=
+              { cluster_name = "bjt_" ^ a.q_name;
+                device_names = [ a.q_name ];
+                style = Bjt_pair_style;
+                matching = hint hints a.q_name }
+              :: !clusters
+      end)
+    bjts;
+  (* 7. Passives. *)
+  List.iter
+    (fun d ->
+      match d with
+      | Device.Res _ | Device.Cap _ ->
+          clusters :=
+            { cluster_name = "passive_" ^ Device.name d;
+              device_names = [ Device.name d ];
+              style = Passive;
+              matching = hint hints (Device.name d) }
+            :: !clusters
+      | Device.Mos _ | Device.Bjt _ -> ())
+    (Netlist.devices netlist);
+  List.rev !clusters

@@ -1,0 +1,146 @@
+(* SPICE netlist reader: the classic card subset every 1996 flow produced
+   (M/Q/R/C elements, .subckt/.ends, engineering suffixes).  Together with
+   the partitioner and the assembly engine this closes the loop: a text
+   netlist in, a generated layout out. *)
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* Engineering-suffixed value: "2k", "400f", "10u", "4.7meg". *)
+let value_of_string s =
+  let s = String.lowercase_ascii s in
+  let num_part, mult =
+    let n = String.length s in
+    let suffixes =
+      [ ("meg", 1e6); ("mil", 25.4e-6); ("t", 1e12); ("g", 1e9); ("k", 1e3);
+        ("m", 1e-3); ("u", 1e-6); ("n", 1e-9); ("p", 1e-12); ("f", 1e-15) ]
+    in
+    let rec try_suffix = function
+      | [] -> (s, 1.)
+      | (suf, m) :: rest ->
+          let ls = String.length suf in
+          if n > ls && String.sub s (n - ls) ls = suf then
+            (String.sub s 0 (n - ls), m)
+          else try_suffix rest
+    in
+    try_suffix suffixes
+  in
+  match float_of_string_opt num_part with
+  | Some f -> f *. mult
+  | None -> fail "bad numeric value %S" s
+
+(* Key=value parameters on a card ("w=10u l=2u"). *)
+let split_params words =
+  List.partition_map
+    (fun w ->
+      match String.index_opt w '=' with
+      | Some i ->
+          Right
+            ( String.lowercase_ascii (String.sub w 0 i),
+              String.sub w (i + 1) (String.length w - i - 1) )
+      | None -> Left w)
+    words
+
+let param params key =
+  Option.map value_of_string (List.assoc_opt key params)
+
+let strip_comment line =
+  match String.index_opt line ';' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let words line =
+  String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
+  |> List.filter (fun w -> w <> "")
+
+(* Continuation lines start with '+'. *)
+let logical_lines src =
+  let raw = String.split_on_char '\n' src in
+  List.fold_left
+    (fun acc line ->
+      let line = strip_comment line in
+      let t = String.trim line in
+      if t = "" then acc
+      else if String.length t > 0 && t.[0] = '+' then
+        match acc with
+        | last :: rest ->
+            (last ^ " " ^ String.sub t 1 (String.length t - 1)) :: rest
+        | [] -> fail "continuation line with nothing to continue"
+      else t :: acc)
+    [] raw
+  |> List.rev
+
+let nm_of_metres v = int_of_float ((v *. 1e9) +. 0.5)
+
+let parse_string ?(name = "netlist") src =
+  let devices = ref [] in
+  let ports = ref [] in
+  let subckt_name = ref None in
+  let add d = devices := d :: !devices in
+  let lines = logical_lines src in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let ws = words line in
+      match ws with
+      | [] -> ()
+      | first :: rest -> (
+          let lower = String.lowercase_ascii first in
+          if lower = ".subckt" then (
+            match rest with
+            | nm :: ps ->
+                subckt_name := Some nm;
+                ports := ps
+            | [] -> fail "line %d: .subckt needs a name" lineno)
+          else if lower = ".ends" || lower = ".end" then ()
+          else if first.[0] = '*' then ()
+          else
+            match Char.lowercase_ascii first.[0] with
+            | 'm' -> (
+                let pos, params = split_params rest in
+                match pos with
+                | d :: g :: s :: b :: model :: _ ->
+                    let polarity =
+                      let m = String.lowercase_ascii model in
+                      if String.length m > 0 && m.[0] = 'p' then Device.Pmos
+                      else Device.Nmos
+                    in
+                    let dim key =
+                      match param params key with
+                      | Some v -> nm_of_metres v
+                      | None -> fail "line %d: %s needs %s=" lineno first key
+                    in
+                    add
+                      (Device.mos ~name:first ~polarity ~w:(dim "w")
+                         ~l:(dim "l") ~g ~d ~s ~b)
+                | _ -> fail "line %d: M card needs d g s b model" lineno)
+            | 'q' -> (
+                match rest with
+                | c :: b :: e :: _model ->
+                    ignore _model;
+                    add (Device.bjt ~name:first ~c ~b ~e)
+                | _ -> fail "line %d: Q card needs c b e" lineno)
+            | 'r' -> (
+                match rest with
+                | a :: b :: v :: _ ->
+                    add (Device.res ~name:first ~a ~b ~ohms:(value_of_string v))
+                | _ -> fail "line %d: R card needs a b value" lineno)
+            | 'c' -> (
+                match rest with
+                | a :: b :: v :: _ ->
+                    add
+                      (Device.cap ~name:first ~a ~b
+                         ~ff:(value_of_string v /. 1e-15))
+                | _ -> fail "line %d: C card needs a b value" lineno)
+            | '.' | '*' -> ()
+            | _ -> fail "line %d: unsupported card %S" lineno first))
+    lines;
+  let name = Option.value ~default:name !subckt_name in
+  Netlist.create ~name ~external_ports:!ports (List.rev !devices)
+
+let load ?name path =
+  let ic = open_in path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  parse_string ?name src

@@ -1,0 +1,19 @@
+(** SPICE netlist reader (classic card subset).
+
+    Parses M/Q/R/C element cards with engineering-suffixed values,
+    [.subckt]/[.ends] wrappers (the subckt's pins become the netlist's
+    external ports), [*] comment lines, and [+] continuations.  MOS
+    dimensions come from [w=]/[l=] parameters in metres.  With the
+    partitioner and the assembly engine this closes the loop: text netlist
+    in, generated layout out ([amgen synth]). *)
+
+exception Parse_error of string
+
+val value_of_string : string -> float
+(** ["2k"] → 2000., ["400f"] → 4e-13, ["4.7meg"] → 4.7e6.
+    @raise Parse_error on malformed numbers. *)
+
+val parse_string : ?name:string -> string -> Netlist.t
+(** @raise Parse_error with a line number on malformed cards. *)
+
+val load : ?name:string -> string -> Netlist.t

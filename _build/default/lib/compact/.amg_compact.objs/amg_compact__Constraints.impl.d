@@ -1,0 +1,1 @@
+lib/compact/constraints.pp.ml: Amg_geometry Amg_layout Amg_tech List Ppx_deriving_runtime String

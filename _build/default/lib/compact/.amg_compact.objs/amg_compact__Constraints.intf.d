@@ -1,0 +1,1 @@
+lib/compact/constraints.pp.mli: Amg_geometry Amg_layout Amg_tech Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/compact/edge_graph.pp.ml: Amg_geometry Amg_layout Amg_tech Array Constraints List

@@ -1,0 +1,1 @@
+lib/compact/edge_graph.pp.mli: Amg_geometry Amg_layout Amg_tech

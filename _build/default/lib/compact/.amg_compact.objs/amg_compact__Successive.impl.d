@@ -1,0 +1,1 @@
+lib/compact/successive.pp.ml: Amg_geometry Amg_layout Amg_tech Constraints List Logs String

@@ -1,0 +1,1 @@
+lib/compact/successive.pp.mli: Amg_geometry Amg_layout Amg_tech

@@ -1,0 +1,94 @@
+module Rect = Amg_geometry.Rect
+module Dir = Amg_geometry.Dir
+module Interval = Amg_geometry.Interval
+module Rules = Amg_tech.Rules
+module Shape = Amg_layout.Shape
+
+(* Relation between two shapes as seen by the compactor. *)
+type relation =
+  | Unconstrained          (* may overlap freely *)
+  | Mergeable              (* same potential, same layer: may overlap but not
+                              pass through each other *)
+  | Separation of int      (* minimum L-inf distance *)
+[@@deriving show { with_path = false }, eq]
+
+(* Classify a pair.  [ignore_layers] is the compaction call's "layers which
+   are not relevant during this compaction step" (§2.5): their same-layer
+   spacing is waived because the geometries will be merged/connected.
+   Cross-layer rules always hold (they are what stops the mover). *)
+let relation rules ?(ignore_layers = []) (a : Shape.t) (b : Shape.t) =
+  let ignored = List.mem a.Shape.layer ignore_layers in
+  let same_layer = String.equal a.layer b.layer in
+  if same_layer then
+    if Shape.same_net a b || ignored then Mergeable
+    else
+      match Rules.space rules a.layer b.layer with
+      | Some d -> Separation d
+      | None -> Separation 0
+  else if
+    (* One rectangle fully inside the other on a different layer is an
+       intended enclosure (a cut inside its landing shape), not a spacing
+       situation. *)
+    Rect.contains_rect a.rect b.rect || Rect.contains_rect b.rect a.rect
+  then Unconstrained
+  else
+    (* Cross-layer spacing rules hold regardless of potential: a gate poly
+       stripe must not touch even its own net's diffusion row. *)
+    match Rules.space rules a.layer b.layer with
+    | Some d -> Separation d
+    | None ->
+        (* No spacing rule: different layers may overlap (e.g. metal over
+           poly) unless one of them asked to be kept clear of overlaps
+           ("a special property ... can avoid undesired overlaps", §2.3) —
+           the keep-clear does not apply between same-potential shapes,
+           whose overlap is a connection. *)
+        if (a.keep_clear || b.keep_clear) && not (Shape.same_net a b) then
+          Separation 0
+        else Unconstrained
+
+(* Does the pair constrain movement along [axis]?  With the L-inf distance
+   model, a separation [sep] matters only when the cross-axis projections,
+   each inflated by [sep], overlap. *)
+let shadows ~axis ~sep (ra : Rect.t) (rb : Rect.t) =
+  let cross : Dir.axis = match axis with Dir.Horizontal -> Vertical | Vertical -> Horizontal in
+  let ia = Rect.span cross ra and ib = Rect.span cross rb in
+  Interval.overlaps (Interval.inflate ia sep) ib
+
+(* Minimal translation [delta] (signed, along [Dir.axis d]) that the moving
+   rectangle [a] must respect against stationary [b], or [None] when the
+   pair does not constrain this movement.  The mover travels in direction
+   [d]; the constraint keeps it from travelling too far. *)
+let pair_limit rules ?ignore_layers d (a : Shape.t) (b : Shape.t) =
+  let axis = Dir.axis d in
+  let sign = Dir.sign d in
+  match relation rules ?ignore_layers a b with
+  | Unconstrained -> None
+  | Mergeable ->
+      (* May merge: the mover's trailing edge must not pass b's trailing
+         edge, so full overlap is reachable but not pass-through. *)
+      if shadows ~axis ~sep:0 a.rect b.rect then
+        (* Moving by delta: the mover's trailing edge must not pass b's
+           trailing edge; the bound is the same expression for both signs. *)
+        let trailing r = Rect.side r (Dir.opposite d) in
+        Some (trailing b.rect - trailing a.rect)
+      else None
+  | Separation sep ->
+      if shadows ~axis ~sep a.rect b.rect then
+        (* For sign = -1 (moving South/West): a.lo + delta >= b.hi + sep.
+           For sign = +1 (moving North/East): a.hi + delta <= b.lo - sep. *)
+        let ia = Rect.span axis a.rect and ib = Rect.span axis b.rect in
+        Some
+          (if sign < 0 then ib.Interval.hi + sep - ia.Interval.lo
+           else ib.Interval.lo - sep - ia.Interval.hi)
+      else None
+
+(* Combine limits: the mover wants delta as far in direction [d] as
+   possible; each limit bounds delta from the [d] side. *)
+let tightest d limits =
+  let sign = Dir.sign d in
+  List.fold_left
+    (fun acc l ->
+      match acc with
+      | None -> Some l
+      | Some best -> Some (if sign < 0 then max best l else min best l))
+    None limits

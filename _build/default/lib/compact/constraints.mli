@@ -1,0 +1,51 @@
+(** Pairwise compaction constraints.
+
+    Distance is measured in the L∞ metric: a separation rule [sep] between
+    two shapes is violated iff both their x-gap and y-gap are below [sep].
+    Consequently a pair constrains movement along an axis only when the
+    cross-axis projections, inflated by [sep], overlap ("shadowing"). *)
+
+type relation =
+  | Unconstrained
+      (** may overlap freely (different layers without a spacing rule, or
+          same potential on different layers, or an ignored layer) *)
+  | Mergeable
+      (** same potential, same layer: may abut or overlap — "edges on the
+          same potential are not considered during compaction, because they
+          can be merged" (§2.3) — but may not pass through each other *)
+  | Separation of int  (** minimum L∞ distance in nm *)
+[@@deriving show, eq]
+
+val relation :
+  Amg_tech.Rules.t ->
+  ?ignore_layers:string list ->
+  Amg_layout.Shape.t ->
+  Amg_layout.Shape.t ->
+  relation
+(** Classify a pair under the given design rules.  [ignore_layers] is the
+    compact call's "layers which are not relevant during this compaction
+    step": their {e same-layer} spacing is waived (the geometries merge),
+    while cross-layer rules always hold.  A rectangle fully containing the
+    other on a different layer (cut-in-landing) is unconstrained. *)
+
+val shadows :
+  axis:Amg_geometry.Dir.axis ->
+  sep:int ->
+  Amg_geometry.Rect.t ->
+  Amg_geometry.Rect.t ->
+  bool
+
+val pair_limit :
+  Amg_tech.Rules.t ->
+  ?ignore_layers:string list ->
+  Amg_geometry.Dir.t ->
+  Amg_layout.Shape.t ->
+  Amg_layout.Shape.t ->
+  int option
+(** Signed translation bound that stationary shape [b] imposes on shape [a]
+    moving in the given direction, or [None] when the pair does not
+    constrain the move. *)
+
+val tightest : Amg_geometry.Dir.t -> int list -> int option
+(** Tightest of several bounds for a mover travelling in the direction:
+    the maximum for South/West movement, the minimum for North/East. *)

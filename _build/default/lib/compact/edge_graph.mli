@@ -1,0 +1,26 @@
+(** Baseline: general constraint-graph ("edge graph") compaction.
+
+    The classical one-dimensional symbolic compaction the paper contrasts
+    with (§2.3, refs [17, 18]): all shapes move simultaneously, every
+    constrained pair becomes an arc, and positions are solved by longest
+    path.  Used by the CLAIM-SPEED benchmark to quantify the speed-up of
+    the successive approach. *)
+
+type arc = { src : int; dst : int; weight : int }
+
+type graph = { node_count : int; arcs : arc list }
+
+val build_graph :
+  Amg_tech.Rules.t -> Amg_geometry.Dir.axis -> Amg_layout.Shape.t array -> graph
+
+val solve : graph -> int array
+(** Longest-path positions (lower bound 0 per node).
+    @raise Failure on a positive cycle. *)
+
+val compact_axis :
+  rules:Amg_tech.Rules.t -> Amg_layout.Lobj.t -> Amg_geometry.Dir.axis -> int
+(** Compact along one axis in place; returns the number of arcs built
+    (the cost the successive method avoids). *)
+
+val compact_xy : rules:Amg_tech.Rules.t -> Amg_layout.Lobj.t -> int
+(** Horizontal then vertical pass; returns total arcs built. *)

@@ -1,0 +1,254 @@
+module Rect = Amg_geometry.Rect
+module Dir = Amg_geometry.Dir
+module Interval = Amg_geometry.Interval
+module Rules = Amg_tech.Rules
+module Shape = Amg_layout.Shape
+module Edge = Amg_layout.Edge
+module Lobj = Amg_layout.Lobj
+module Derive = Amg_layout.Derive
+
+let src = Logs.Src.create "amg.compact" ~doc:"successive compactor"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type side = Mover | Target
+
+type limit = { bound : int; mover : Shape.t; target : Shape.t; rel : Constraints.relation }
+
+type align = [ `Keep | `Center | `Min | `Max ]
+
+(* Cross-axis pre-alignment of the moving object relative to the target's
+   bounding box. *)
+let apply_align ~align ~(d : Dir.t) ~main obj =
+  match (align, Lobj.bbox main, Lobj.bbox obj) with
+  | `Keep, _, _ | _, None, _ | _, _, None -> ()
+  | (`Center | `Min | `Max), Some mb, Some ob ->
+      let cross = Dir.cross_axis d in
+      let mi = Rect.span cross mb and oi = Rect.span cross ob in
+      let shift =
+        match align with
+        | `Center ->
+            ((mi.Interval.lo + mi.Interval.hi) - (oi.Interval.lo + oi.Interval.hi)) / 2
+        | `Min -> mi.Interval.lo - oi.Interval.lo
+        | `Max -> mi.Interval.hi - oi.Interval.hi
+        | `Keep -> 0
+      in
+      (match cross with
+      | Dir.Horizontal -> Lobj.translate obj ~dx:shift ~dy:0
+      | Dir.Vertical -> Lobj.translate obj ~dx:0 ~dy:shift)
+
+let collect_limits rules ?ignore_layers d ~main obj =
+  List.concat_map
+    (fun (a : Shape.t) ->
+      List.filter_map
+        (fun (b : Shape.t) ->
+          match Constraints.pair_limit rules ?ignore_layers d a b with
+          | Some bound ->
+              Some { bound; mover = a; target = b; rel = Constraints.relation rules ?ignore_layers a b }
+          | None -> None)
+        (Lobj.shapes main))
+    (Lobj.shapes obj)
+
+let tightest_limit d limits =
+  Constraints.tightest d (List.map (fun l -> l.bound) limits)
+
+(* Minimum extent a shape may be shrunk to along [axis]: its layer's minimum
+   width, raised to the one-cut minimum when it is a container of a
+   registered cut array. *)
+let min_extent rules owner (s : Shape.t) =
+  let cut_layers = Lobj.array_cut_layers_of_container owner s.id in
+  List.fold_left
+    (fun acc cut_layer ->
+      max acc (Derive.min_container_extent rules ~container_layer:s.layer ~cut_layer))
+    (Rules.width rules s.layer) cut_layers
+
+(* Shrink the [facing] edge of shape [s] (owned by [owner]) inward by
+   [amount], clamped to the minimum extent; rebuilds derived arrays.
+   A shrink that would slide the shape away from its array's other
+   containers (leaving the array without a single cut, i.e. disconnecting
+   the structure) is rolled back.  Returns how much was actually shrunk. *)
+let shrink_edge rules owner (s : Shape.t) facing amount =
+  let axis = Dir.axis facing in
+  let extent = Interval.length (Rect.span axis s.rect) in
+  let slack = extent - min_extent rules owner s in
+  let step = min amount slack in
+  if step <= 0 then 0
+  else begin
+    let r = Rect.grow_side s.rect facing (-step) in
+    Lobj.replace owner (Shape.with_rect s r);
+    Lobj.rederive owner rules;
+    let arrays = Lobj.arrays_of_container owner s.Shape.id in
+    if List.exists (fun a -> Lobj.array_member_count owner a = 0) arrays then begin
+      Lobj.replace owner s;
+      Lobj.rederive owner rules;
+      0
+    end
+    else step
+  end
+
+(* One round of the variable-edge optimization of §2.3: while the binding
+   constraint pair has a variable facing edge, move that edge inward until
+   the pair "is no longer relevant", i.e. until another (eventually fixed)
+   constraint defines the minimum distance. *)
+let relax_variable_edges rules ?ignore_layers d ~main obj =
+  let max_rounds = 64 in
+  let rec loop round =
+    if round >= max_rounds then ()
+    else
+      let limits = collect_limits rules ?ignore_layers d ~main obj in
+      match tightest_limit d limits with
+      | None -> ()
+      | Some best ->
+          let binding =
+            List.filter
+              (fun l ->
+                l.bound = best
+                && match l.rel with Constraints.Separation _ -> true | _ -> false)
+              limits
+          in
+          let second =
+            List.filter (fun l -> l.bound <> best) limits |> tightest_limit d
+          in
+          (* How much slack until the next constraint binds; unlimited when
+             this pair is the only constraint. *)
+          let want =
+            match second with Some s -> abs (best - s) | None -> max_int / 2
+          in
+          let progressed = ref false in
+          List.iter
+            (fun l ->
+              if not !progressed then begin
+                (* The target's facing edge looks back at the mover
+                   (opposite d); the mover's facing edge looks ahead (d). *)
+                let try_side role =
+                  let owner, shape, facing =
+                    match role with
+                    | Target -> (main, l.target, Dir.opposite d)
+                    | Mover -> (obj, l.mover, d)
+                  in
+                  (* Re-fetch: a previous shrink may have replaced it. *)
+                  match Lobj.find owner shape.Shape.id with
+                  | Some s when Edge.is_variable s.Shape.sides facing ->
+                      shrink_edge rules owner s facing want > 0
+                  | _ -> false
+                in
+                if try_side Target || try_side Mover then progressed := true
+              end)
+            binding;
+          if !progressed then loop (round + 1)
+  in
+  loop 0
+
+(* Fallback when no pair constrains the move: abut bounding boxes. *)
+let bbox_abut_delta d ~main obj =
+  match (Lobj.bbox main, Lobj.bbox obj) with
+  | Some mb, Some ob ->
+      let axis = Dir.axis d in
+      let mi = Rect.span axis mb and oi = Rect.span axis ob in
+      if Dir.sign d < 0 then mi.Interval.hi - oi.Interval.lo
+      else mi.Interval.lo - oi.Interval.hi
+  | _ -> 0
+
+let translate_along d obj delta =
+  match Dir.axis d with
+  | Dir.Horizontal -> Lobj.translate obj ~dx:delta ~dy:0
+  | Dir.Vertical -> Lobj.translate obj ~dx:0 ~dy:delta
+
+(* Would growing shape [s] of [owner] to [r'] violate a separation against
+   any other shape of [main] or [obj]? *)
+let extension_safe rules ?ignore_layers ~main ~obj (s : Shape.t) r' =
+  let ok (other : Shape.t) =
+    other == s
+    ||
+    match Constraints.relation rules ?ignore_layers s other with
+    | Constraints.Unconstrained | Constraints.Mergeable -> true
+    | Constraints.Separation sep ->
+        let dx = Rect.gap Dir.Horizontal r' other.Shape.rect in
+        let dy = Rect.gap Dir.Vertical r' other.Shape.rect in
+        max dx dy >= sep
+  in
+  List.for_all ok (Lobj.shapes main) && List.for_all ok (Lobj.shapes obj)
+
+(* Auto-connection (§2.3, Fig. 5a): after placement, same-layer same-net
+   shape pairs whose cross-axis spans overlap but which still have a gap
+   along the movement axis are connected by stretching the target shape's
+   facing edge up to the mover. *)
+let auto_connect rules ?ignore_layers d ~main obj =
+  let axis = Dir.axis d in
+  let cross = Dir.cross_axis d in
+  (* Cut layers (fixed-size openings) must never be stretched. *)
+  let stretchable (s : Shape.t) = Rules.cut_size_opt rules s.Shape.layer = None in
+  List.iter
+    (fun (a : Shape.t) ->
+      List.iter
+        (fun (b : Shape.t) ->
+          if
+            String.equal a.Shape.layer b.Shape.layer
+            && Shape.same_net a b && stretchable b
+          then begin
+            let ia = Rect.span cross a.rect and ib = Rect.span cross b.rect in
+            if Interval.overlaps ia ib then begin
+              let sa = Rect.span axis a.rect and sb = Rect.span axis b.rect in
+              let gap = max (sa.Interval.lo - sb.Interval.hi) (sb.Interval.lo - sa.Interval.hi) in
+              if gap > 0 then begin
+                (* Extend b toward a. *)
+                let facing =
+                  if sb.Interval.hi <= sa.Interval.lo then
+                    (* b is on the low side: grow its high edge *)
+                    match axis with Dir.Horizontal -> Dir.East | Vertical -> Dir.North
+                  else match axis with Dir.Horizontal -> Dir.West | Vertical -> Dir.South
+                in
+                match Lobj.find main b.Shape.id with
+                | Some cur ->
+                    let r' = Rect.grow_side cur.Shape.rect facing gap in
+                    if extension_safe rules ?ignore_layers ~main ~obj cur r' then
+                      Lobj.replace main (Shape.with_rect cur r')
+                | None -> ()
+              end
+            end
+          end)
+        (Lobj.shapes main))
+    (Lobj.shapes obj)
+
+let delta rules ?ignore_layers d ~main obj =
+  let limits = collect_limits rules ?ignore_layers d ~main obj in
+  match tightest_limit d limits with
+  | Some bound -> bound
+  | None -> bbox_abut_delta d ~main obj
+
+(* Start the mover outside the main structure, beyond its far edge in the
+   opposite direction, so that it genuinely "approaches" — otherwise a
+   mover generated at the origin may begin inside the structure and
+   position-dependent relations (containment) misfire. *)
+let stage_outside ~grid d ~main obj =
+  match (Lobj.bbox main, Lobj.bbox obj) with
+  | Some mb, Some ob ->
+      let axis = Dir.axis d in
+      let mi = Rect.span axis mb and oi = Rect.span axis ob in
+      let shift =
+        if Dir.sign d < 0 then
+          (* moving low-ward: start above/right of main *)
+          max 0 (mi.Interval.hi + grid - oi.Interval.lo)
+        else min 0 (mi.Interval.lo - grid - oi.Interval.hi)
+      in
+      if shift <> 0 then translate_along d obj shift
+  | _ -> ()
+
+(* The paper's compact(obj, DIR, layers): place [obj] against [main] moving
+   in direction [d], then absorb it into [main].  [main] empty means the
+   first compaction command simply copies the object in (§2.5). *)
+let compact ~rules ~into:main ?ignore_layers ?(align = (`Keep : align))
+    ?(variable_edges = true) obj d =
+  (match Lobj.bbox main with
+  | None -> ()
+  | Some _ ->
+      apply_align ~align ~d ~main obj;
+      stage_outside ~grid:(Rules.grid rules) d ~main obj;
+      if variable_edges then relax_variable_edges rules ?ignore_layers d ~main obj;
+      let dl = delta rules ?ignore_layers d ~main obj in
+      Log.debug (fun m ->
+          m "compact %s into %s %s: delta=%d" (Lobj.name obj) (Lobj.name main)
+            (Dir.to_string d) dl);
+      translate_along d obj dl;
+      auto_connect rules ?ignore_layers d ~main obj);
+  ignore (Lobj.absorb main obj)

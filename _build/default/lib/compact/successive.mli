@@ -1,0 +1,58 @@
+(** The successive compactor (§2.3).
+
+    "Complex modules are constructed by compacting either geometric
+    primitives or hierarchically built objects to an existing structure …
+    the compaction is done successively by involving only one new object in
+    each step."  Consequences implemented here:
+
+    - only the moving object is constrained against the existing structure
+      (no global edge graph), so each step is a single pairwise scan and the
+      designer can predict the result;
+    - edges on the same potential are not considered and are merged
+      afterwards (auto-connection, Fig. 5a);
+    - variable edges that define the minimum distance are moved inward until
+      fixed edges define it, with derived geometry (contact arrays) rebuilt
+      automatically (Fig. 5b);
+    - per-shape [keep_clear] forbids otherwise legal overlaps. *)
+
+type align = [ `Keep | `Center | `Min | `Max ]
+(** Cross-axis pre-alignment of the mover relative to the target bounding
+    box: keep as generated, centre, align low edges, or align high edges. *)
+
+val delta :
+  Amg_tech.Rules.t ->
+  ?ignore_layers:string list ->
+  Amg_geometry.Dir.t ->
+  main:Amg_layout.Lobj.t ->
+  Amg_layout.Lobj.t ->
+  int
+(** Signed translation along the movement axis that places the object as far
+    in the direction as the design rules allow (bounding boxes abut when no
+    pair constrains the move).  Pure query: mutates nothing. *)
+
+val auto_connect :
+  Amg_tech.Rules.t ->
+  ?ignore_layers:string list ->
+  Amg_geometry.Dir.t ->
+  main:Amg_layout.Lobj.t ->
+  Amg_layout.Lobj.t ->
+  unit
+(** Stretch same-layer same-net target shapes up to the placed mover when a
+    gap remains along the movement axis and the extension violates no
+    spacing rule.  Exposed for tests. *)
+
+val compact :
+  rules:Amg_tech.Rules.t ->
+  into:Amg_layout.Lobj.t ->
+  ?ignore_layers:string list ->
+  ?align:align ->
+  ?variable_edges:bool ->
+  Amg_layout.Lobj.t ->
+  Amg_geometry.Dir.t ->
+  unit
+(** [compact ~rules ~into:main obj d] is the paper's
+    [compact(obj, D, layers…)]: optionally pre-align, run the variable-edge
+    relaxation (disable with [~variable_edges:false] to reproduce
+    Fig. 5a vs 5b), translate the object to its minimum-distance position,
+    auto-connect, and absorb it into [main].  When [main] is empty the
+    object is copied in unchanged. *)

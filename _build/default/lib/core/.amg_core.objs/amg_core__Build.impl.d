@@ -1,0 +1,1 @@
+lib/core/build.pp.ml: Amg_compact Amg_geometry Amg_layout Env

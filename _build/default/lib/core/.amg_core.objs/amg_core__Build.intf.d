@@ -1,0 +1,1 @@
+lib/core/build.pp.mli: Amg_compact Amg_geometry Amg_layout Env

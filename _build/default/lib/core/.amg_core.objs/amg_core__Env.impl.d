@@ -1,0 +1,1 @@
+lib/core/env.pp.ml: Amg_geometry Amg_tech Fmt

@@ -1,0 +1,1 @@
+lib/core/env.pp.mli: Amg_tech Format

@@ -1,0 +1,1 @@
+lib/core/floorplan.pp.ml: Amg_geometry Array Env List

@@ -1,0 +1,1 @@
+lib/core/floorplan.pp.mli: Amg_geometry

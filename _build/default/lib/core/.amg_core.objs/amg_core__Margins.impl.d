@@ -1,0 +1,1 @@
+lib/core/margins.pp.ml: Amg_tech List String

@@ -1,0 +1,1 @@
+lib/core/margins.pp.mli: Amg_tech

@@ -1,0 +1,1 @@
+lib/core/optimize.pp.ml: Amg_compact Amg_geometry Amg_layout Array Env List Rating Seq

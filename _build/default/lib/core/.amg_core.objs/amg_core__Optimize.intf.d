@@ -1,0 +1,1 @@
+lib/core/optimize.pp.mli: Amg_compact Amg_geometry Amg_layout Env Rating Seq

@@ -1,0 +1,1 @@
+lib/core/prim.pp.ml: Amg_geometry Amg_layout Amg_tech Env List Margins Option

@@ -1,0 +1,1 @@
+lib/core/prim.pp.mli: Amg_geometry Amg_layout Env

@@ -1,0 +1,1 @@
+lib/core/rating.pp.ml: Amg_geometry Amg_layout Env Float List

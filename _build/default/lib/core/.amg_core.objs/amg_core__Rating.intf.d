@@ -1,0 +1,1 @@
+lib/core/rating.pp.mli: Amg_layout Env

@@ -1,0 +1,1 @@
+lib/core/variants.pp.ml: Env List

@@ -1,0 +1,20 @@
+module Technology = Amg_tech.Technology
+module Rules = Amg_tech.Rules
+
+type t = { tech : Technology.t }
+
+let create tech = { tech }
+
+let bicmos () = create (Amg_tech.Bicmos1u.get ())
+
+let tech t = t.tech
+
+let rules t = Technology.rules t.tech
+
+let grid t = Rules.grid (rules t)
+
+let um = Amg_geometry.Units.of_um
+
+exception Rejected of string
+
+let reject fmt = Fmt.kstr (fun m -> raise (Rejected m)) fmt

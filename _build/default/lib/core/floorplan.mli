@@ -1,0 +1,32 @@
+(** Optimal slicing floorplans.
+
+    Exact minimum-area (optionally aspect-penalised) packing of a block
+    set over all slicing trees, by dynamic programming on block subsets
+    with Pareto-pruned (w, h) shape lists.  The automated alternative to
+    the paper's manual amplifier floorplan; exact and fast for the block
+    counts a module generator sees (≤ 14). *)
+
+type block = { fp_name : string; fp_w : int; fp_h : int }
+
+val block : name:string -> w:int -> h:int -> block
+(** @raise Env.Rejected on non-positive sizes. *)
+
+type tree = Leaf of int | Beside of tree * tree | Above of tree * tree
+
+type result = {
+  width : int;
+  height : int;
+  area : int;
+  positions : (string * Amg_geometry.Rect.t) list;
+      (** non-overlapping placements, origin at (0,0) *)
+}
+
+val optimize : ?spacing:int -> ?aspect:float -> block list -> result
+(** Best slicing floorplan.  [spacing] is inserted at every cut (routing
+    clearance); [aspect] penalises the area by how far w/h strays from
+    the target ratio.
+    @raise Env.Rejected on an empty list or more than 14 blocks. *)
+
+val rows_area : ?spacing:int -> block list list -> int
+(** Bounding-box area of the row-stack baseline (each inner list one row,
+    rows stacked) — the ablation comparison. *)

@@ -1,0 +1,15 @@
+(** Automatic inter-layer overlap margins (§2.2).
+
+    When a rectangle is placed inside rectangles of other layers, "the
+    necessary overlap between all involved layers is considered
+    automatically": explicit enclosure rules are used when present, and
+    otherwise the margin is derived through a cut layer that both layers
+    must enclose, so that any cut legal in the inner rectangle is legal in
+    all outer ones. *)
+
+val cuts_enclosed_by : Amg_tech.Rules.t -> string -> (string * int) list
+(** Cut layers the given layer must enclose, with margins, sorted. *)
+
+val inside : Amg_tech.Rules.t -> outer:string -> inner:string -> int
+(** Margin by which [outer] must extend past [inner]; 0 for unrelated
+    layers. *)

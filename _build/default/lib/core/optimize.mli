@@ -1,0 +1,78 @@
+(** Compaction-order optimization (§2.4).
+
+    The successive compactor's result depends on the order in which objects
+    are compacted; optimization mode re-runs the sequence over permutations
+    of the order and keeps the result the {!Rating} function likes best. *)
+
+type step = {
+  obj : Amg_layout.Lobj.t;
+  dir : Amg_geometry.Dir.t;
+  ignore_layers : string list;
+  align : Amg_compact.Successive.align;
+  variable_edges : bool;
+}
+
+val step :
+  ?ignore_layers:string list ->
+  ?align:Amg_compact.Successive.align ->
+  ?variable_edges:bool ->
+  Amg_layout.Lobj.t ->
+  Amg_geometry.Dir.t ->
+  step
+(** One [compact(obj, dir, …)] call of a module description. *)
+
+val apply : Env.t -> name:string -> step list -> Amg_layout.Lobj.t
+(** Run the steps in the given order against a fresh main object; every
+    step compacts a fresh copy of its object, so the same steps can be
+    replayed in any order. *)
+
+val permutations : 'a list -> 'a list Seq.t
+(** All permutations, lazily. *)
+
+val evaluate_orders :
+  Env.t ->
+  name:string ->
+  ?rating:Rating.t ->
+  ?max_orders:int ->
+  step list ->
+  (Amg_layout.Lobj.t * float * step list) list
+(** Build and rate every order (up to [max_orders], default 720 = 6!);
+    rejected orders are skipped. *)
+
+val optimize :
+  Env.t ->
+  name:string ->
+  ?rating:Rating.t ->
+  ?max_orders:int ->
+  step list ->
+  Amg_layout.Lobj.t * float * step list
+(** The best order's result, its rating, and the order itself.
+    @raise Env.Rejected when every order is rejected. *)
+
+val optimize_bb :
+  Env.t ->
+  name:string ->
+  ?rating:Rating.t ->
+  step list ->
+  Amg_layout.Lobj.t * float * step list * int
+(** Branch-and-bound over orders: same optimum as the exhaustive search
+    (placing an object never shrinks the bounding box, so the partial area
+    is a sound lower bound), usually visiting far fewer nodes.  The last
+    component is the number of search nodes explored.
+    @raise Env.Rejected when every order is rejected. *)
+
+val optimize_local :
+  Env.t ->
+  name:string ->
+  ?rating:Rating.t ->
+  ?restarts:int ->
+  ?seed:int ->
+  step list ->
+  Amg_layout.Lobj.t * float * step list * int
+(** Heuristic order search for step counts beyond exhaustive reach:
+    first-improvement hill climbing over pairwise swaps, with
+    [restarts] deterministically shuffled starting orders ([seed] makes
+    runs reproducible).  Never worse than the best starting order; not
+    guaranteed optimal.  The last component is the number of full
+    rebuild-and-rate evaluations performed.
+    @raise Env.Rejected when every order is rejected. *)

@@ -1,0 +1,52 @@
+(* The rating function of §2.4: "Each solution is evaluated by a rating
+   function which considers the area and electrical conditions." *)
+
+module Lobj = Amg_layout.Lobj
+module Parasitics = Amg_layout.Parasitics
+
+type t = {
+  area_weight : float;        (* per um^2 of bounding box *)
+  cap_weight : float;         (* per fF on a sensitive net *)
+  sensitive_nets : string list;
+  aspect_weight : float;      (* per unit deviation from target aspect *)
+  target_aspect : float;      (* width / height *)
+}
+
+let area_only = {
+  area_weight = 1.0;
+  cap_weight = 0.;
+  sensitive_nets = [];
+  aspect_weight = 0.;
+  target_aspect = 1.0;
+}
+
+let default = area_only
+
+let with_sensitive_nets ?(cap_weight = 50.) t nets =
+  { t with cap_weight; sensitive_nets = nets }
+
+let with_aspect ?(aspect_weight = 100.) t target =
+  { t with aspect_weight; target_aspect = target }
+
+let rate env t obj =
+  let area_um2 = float_of_int (Lobj.bbox_area obj) /. 1.0e6 in
+  let cap_cost =
+    if t.cap_weight = 0. || t.sensitive_nets = [] then 0.
+    else
+      List.fold_left
+        (fun acc net -> acc +. Parasitics.net_total ~tech:(Env.tech env) obj net)
+        0. t.sensitive_nets
+  in
+  let aspect_cost =
+    if t.aspect_weight = 0. then 0.
+    else
+      match Lobj.bbox obj with
+      | None -> 0.
+      | Some r ->
+          let w = float_of_int (Amg_geometry.Rect.width r)
+          and h = float_of_int (Amg_geometry.Rect.height r) in
+          if h = 0. then 0. else Float.abs ((w /. h) -. t.target_aspect)
+  in
+  (t.area_weight *. area_um2)
+  +. (t.cap_weight *. cap_cost)
+  +. (t.aspect_weight *. aspect_cost)

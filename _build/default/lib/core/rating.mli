@@ -1,0 +1,21 @@
+(** The rating function (§2.4): area plus electrical conditions.
+
+    Lower is better.  Electrical cost is the estimated parasitic
+    capacitance of the declared sensitive nets; an optional aspect-ratio
+    term lets a parent module prefer a shape that floorplans well. *)
+
+type t = {
+  area_weight : float;        (** cost per um² of bounding box *)
+  cap_weight : float;         (** cost per fF on a sensitive net *)
+  sensitive_nets : string list;
+  aspect_weight : float;      (** cost per unit aspect deviation *)
+  target_aspect : float;      (** desired width / height *)
+}
+
+val area_only : t
+val default : t
+
+val with_sensitive_nets : ?cap_weight:float -> t -> string list -> t
+val with_aspect : ?aspect_weight:float -> t -> float -> t
+
+val rate : Env.t -> t -> Amg_layout.Lobj.t -> float

@@ -1,0 +1,96 @@
+(* Backtracking over topology variants (§2.1, §2.4).
+
+   "Due to design-rule constraints, the designer has to specify different
+   topology alternatives for parameterizable modules.  For this purpose
+   backtracking is supported … because no complex if-then-structures with
+   deep hierarchies have to be programmed."
+
+   A computation is a tree of alternatives; a branch that raises
+   [Env.Rejected] is abandoned and the next alternative is tried.  The
+   rating function of §2.4 selects among the surviving results. *)
+
+type 'a t =
+  | Return : 'a -> 'a t
+  | Delay : (unit -> 'a) -> 'a t
+  | Alt : 'a t list -> 'a t
+  | Bind : 'b t * ('b -> 'a t) -> 'a t
+
+let return x = Return x
+
+let delay f = Delay f
+
+let alt ts = Alt ts
+
+let of_list xs = Alt (List.map (fun x -> Return x) xs)
+
+let fail msg = Delay (fun () -> Env.reject "%s" msg)
+
+let bind m f = Bind (m, f)
+
+let map f m = Bind (m, fun x -> Return (f x))
+
+let ( let* ) = bind
+let ( let+ ) m f = map f m
+
+(* Depth-first enumeration; every [Env.Rejected] turns into an [Error]. *)
+let rec run : type a. a t -> (a, string) result list = function
+  | Return x -> [ Ok x ]
+  | Delay f -> ( try [ Ok (f ()) ] with Env.Rejected m -> [ Error m ])
+  | Alt ts -> List.concat_map run ts
+  | Bind (m, f) ->
+      run m
+      |> List.concat_map (function
+           | Error m -> [ Error m ]
+           | Ok v -> ( try run (f v) with Env.Rejected m -> [ Error m ]))
+
+let successes m =
+  List.filter_map (function Ok x -> Some x | Error _ -> None) (run m)
+
+let failures m =
+  List.filter_map (function Error e -> Some e | Ok _ -> None) (run m)
+
+(* First success, depth first — plain backtracking. *)
+let first m =
+  let rec go : type a. a t -> a option = function
+    | Return x -> Some x
+    | Delay f -> ( try Some (f ()) with Env.Rejected _ -> None)
+    | Alt ts ->
+        List.fold_left
+          (fun acc t -> match acc with Some _ -> acc | None -> go t)
+          None ts
+    | Bind (m, f) -> (
+        (* Try each solution of [m] in order until one continuation
+           succeeds. *)
+        let rec try_solutions = function
+          | [] -> None
+          | Ok v :: rest -> (
+              match (try go (f v) with Env.Rejected _ -> None) with
+              | Some r -> Some r
+              | None -> try_solutions rest)
+          | Error _ :: rest -> try_solutions rest
+        in
+        try_solutions (run m))
+  in
+  go m
+
+let first_exn m =
+  match first m with
+  | Some x -> x
+  | None -> Env.reject "Variants.first_exn: all alternatives rejected"
+
+(* Rate every surviving variant and keep the best (lowest rating) —
+   "the rating function is also applied to select the best variant"
+   (§2.4). *)
+let best ~rate m =
+  let rated = List.map (fun x -> (x, rate x)) (successes m) in
+  List.fold_left
+    (fun acc (x, r) ->
+      match acc with
+      | Some (_, br) when br <= r -> acc
+      | _ -> Some (x, r))
+    None rated
+
+let best_exn ~rate m =
+  match best ~rate m with
+  | Some xr -> xr
+  | None -> Env.reject "Variants.best_exn: all alternatives rejected"

@@ -1,0 +1,47 @@
+(** Backtracking over topology variants (§2.1, §2.4).
+
+    A ['a t] is a tree of alternatives.  Generator code inside a branch may
+    raise {!Env.Rejected} (directly or through any primitive); that branch
+    is abandoned and the next alternative tried — the paper's backtracking
+    "which eases the writing of different variants of a module because no
+    complex if-then-structures … have to be programmed". *)
+
+type 'a t
+
+val return : 'a -> 'a t
+
+val delay : (unit -> 'a) -> 'a t
+(** A single alternative, evaluated lazily; may raise {!Env.Rejected}. *)
+
+val alt : 'a t list -> 'a t
+(** Try each in order. *)
+
+val of_list : 'a list -> 'a t
+
+val fail : string -> 'a t
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+
+val run : 'a t -> ('a, string) result list
+(** Depth-first enumeration of every alternative; rejections appear as
+    [Error] with the rejection message. *)
+
+val successes : 'a t -> 'a list
+val failures : 'a t -> string list
+
+val first : 'a t -> 'a option
+(** Plain backtracking: the first alternative that survives. *)
+
+val first_exn : 'a t -> 'a
+(** @raise Env.Rejected when every alternative is rejected. *)
+
+val best : rate:('a -> float) -> 'a t -> ('a * float) option
+(** Evaluate all surviving variants and keep the one with the lowest
+    rating — §2.4's variant selection. *)
+
+val best_exn : rate:('a -> float) -> 'a t -> 'a * float
+(** @raise Env.Rejected when every alternative is rejected. *)

@@ -1,0 +1,1 @@
+lib/drc/checker.pp.ml: Amg_compact Amg_geometry Amg_layout Amg_tech Array Hashtbl Latchup List Option Ppx_deriving_runtime String Violation

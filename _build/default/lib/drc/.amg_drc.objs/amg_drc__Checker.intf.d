@@ -1,0 +1,1 @@
+lib/drc/checker.pp.mli: Amg_layout Amg_tech Ppx_deriving_runtime Violation

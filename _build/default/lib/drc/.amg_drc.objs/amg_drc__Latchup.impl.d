@@ -1,0 +1,1 @@
+lib/drc/latchup.pp.ml: Amg_geometry Amg_layout Amg_tech Array Fun Hashtbl List Option Violation

@@ -1,0 +1,1 @@
+lib/drc/latchup.pp.mli: Amg_geometry Amg_layout Amg_tech Violation

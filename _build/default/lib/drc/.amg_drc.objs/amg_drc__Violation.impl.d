@@ -1,0 +1,1 @@
+lib/drc/violation.pp.ml: Amg_geometry Fmt List Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/drc/violation.pp.mli: Amg_geometry Format Ppx_deriving_runtime

@@ -1,0 +1,125 @@
+(* The latch-up rule check of the paper's Fig. 1.
+
+   "Temporary rectangles which are placed around the substrate contacts
+   [must] enclose all locos areas of MOS-transistors.  The size of these
+   temporary rectangles is specified in the design rules.  …  If after
+   examining all enclosing rectangles no parts of the solid rectangles are
+   remaining, the latch-up rule is fulfilled."
+
+   Substrate/well taps are identified by the [subtap] marker layer that the
+   contact generators draw over every tap.  Each tap rectangle is inflated
+   by the technology's latch-up distance; the diffusion ("locos") rectangles
+   are then reduced by successive subtraction (each overlap case of the
+   16-case analysis leaves 0–4 residual rectangles). *)
+
+module Rect = Amg_geometry.Rect
+module Region = Amg_geometry.Region
+module Rules = Amg_tech.Rules
+module Technology = Amg_tech.Technology
+module Layer = Amg_tech.Layer
+module Lobj = Amg_layout.Lobj
+module Shape = Amg_layout.Shape
+
+let tap_layer = "subtap"
+
+(* The temporary rectangles: taps inflated by the latch-up distance. *)
+let cover_rects ~tech obj =
+  let dist = Rules.latchup_dist (Technology.rules tech) in
+  List.map (fun r -> Rect.inflate r dist) (Lobj.rects_on obj tap_layer)
+
+let active_rects ~tech obj =
+  List.filter_map
+    (fun (s : Shape.t) ->
+      match Technology.layer tech s.Shape.layer with
+      | Some l when Layer.is_active l -> Some s.Shape.rect
+      | _ -> None)
+    (Lobj.shapes obj)
+
+(* Residual active-area rectangles not reachable from any tap; empty means
+   the rule is fulfilled. *)
+let uncovered ~tech obj =
+  Region.residue ~solids:(active_rects ~tech obj) ~covers:(cover_rects ~tech obj)
+
+let check ~tech obj =
+  match uncovered ~tech obj with
+  | [] -> []
+  | residues ->
+      let where =
+        match Rect.hull_list residues with
+        | Some r -> r
+        | None -> Rect.of_size ~x:0 ~y:0 ~w:0 ~h:0
+      in
+      [ Violation.make (Violation.Latchup { uncovered = residues }) where ]
+
+(* Well-tap rule: every well region must contain at least one tap (a
+   [subtap]-marked contact inside the well), or the well floats and the
+   parasitic thyristor has no clamped base — the well-side half of the
+   latch-up protection.  Well rectangles merge into regions when they
+   touch, exactly like the checker's same-layer components. *)
+let untapped_wells ~tech obj =
+  let wells =
+    List.filter_map
+      (fun (s : Shape.t) ->
+        match Technology.layer tech s.Shape.layer with
+        | Some l when l.Layer.kind = Layer.Well -> Some s.Shape.rect
+        | _ -> None)
+      (Lobj.shapes obj)
+  in
+  let taps = Lobj.rects_on obj tap_layer in
+  (* Merge touching well rects into regions. *)
+  let wells = Array.of_list wells in
+  let n = Array.length wells in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else begin
+    let r = find parent.(i) in parent.(i) <- r; r end
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rect.touches wells.(i) wells.(j) then begin
+        let ri = find i and rj = find j in
+        if ri <> rj then parent.(ri) <- rj
+      end
+    done
+  done;
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i r ->
+      let root = find i in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt groups root) in
+      Hashtbl.replace groups root (r :: cur))
+    wells;
+  (* Wells that ARE a device terminal (a bipolar collector well, marked by
+     the base implant inside it) are biased through the device, not a body
+     tap: exempt. *)
+  let implants =
+    List.filter_map
+      (fun (s : Shape.t) ->
+        match Technology.layer tech s.Shape.layer with
+        | Some l when l.Layer.kind = Layer.Implant -> Some s.Shape.rect
+        | _ -> None)
+      (Lobj.shapes obj)
+  in
+  Hashtbl.fold
+    (fun _root rects acc ->
+      let tapped =
+        List.exists
+          (fun tap -> List.exists (fun w -> Rect.overlaps w tap) rects)
+          taps
+      in
+      let device_well =
+        List.exists
+          (fun im -> List.exists (fun w -> Rect.overlaps w im) rects)
+          implants
+      in
+      if tapped || device_well then acc
+      else
+        match Rect.hull_list rects with
+        | Some hull -> hull :: acc
+        | None -> acc)
+    groups []
+
+let check_well_taps ~tech obj =
+  List.map
+    (fun hull ->
+      Violation.make (Violation.Latchup { uncovered = [ hull ] }) hull)
+    (untapped_wells ~tech obj)

@@ -1,0 +1,34 @@
+(** Latch-up rule check (the paper's Fig. 1).
+
+    Every diffusion ("locos") rectangle must be covered by the union of
+    temporary rectangles obtained by inflating each substrate/well tap by
+    the technology's latch-up distance.  Coverage is established by
+    successive subtraction, exactly the 16-overlap-case procedure the paper
+    illustrates. *)
+
+val tap_layer : string
+(** The marker layer ("subtap") that tap generators draw over every
+    substrate/well contact. *)
+
+val cover_rects :
+  tech:Amg_tech.Technology.t -> Amg_layout.Lobj.t -> Amg_geometry.Rect.t list
+(** The inflated temporary rectangles. *)
+
+val active_rects :
+  tech:Amg_tech.Technology.t -> Amg_layout.Lobj.t -> Amg_geometry.Rect.t list
+
+val uncovered :
+  tech:Amg_tech.Technology.t -> Amg_layout.Lobj.t -> Amg_geometry.Rect.t list
+(** Residual active area out of reach of every tap; [] iff the rule is
+    fulfilled. *)
+
+val check : tech:Amg_tech.Technology.t -> Amg_layout.Lobj.t -> Violation.t list
+
+val untapped_wells :
+  tech:Amg_tech.Technology.t -> Amg_layout.Lobj.t -> Amg_geometry.Rect.t list
+(** Hulls of well regions (touching well rectangles merged) that contain no
+    tap — floating wells whose parasitic thyristor base is unclamped.  The
+    well-side half of the latch-up protection. *)
+
+val check_well_taps :
+  tech:Amg_tech.Technology.t -> Amg_layout.Lobj.t -> Violation.t list

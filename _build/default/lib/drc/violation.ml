@@ -1,0 +1,53 @@
+module Rect = Amg_geometry.Rect
+
+type kind =
+  | Width of { layer : string; required : int; actual : int }
+  | Spacing of { layer_a : string; layer_b : string; required : int; actual : int }
+  | Short of { layer : string; net_a : string; net_b : string }
+  | Enclosure of { outer : string; inner : string; required : int }
+  | Extension of { of_ : string; past : string; required : int; actual : int }
+  | Cut_size of { layer : string; required : int; actual_w : int; actual_h : int }
+  | Min_area of { layer : string; required : int; actual : int }
+      (** areas in nm^2, over a connected same-layer region *)
+  | Latchup of { uncovered : Rect.t list }
+[@@deriving show { with_path = false }, eq]
+
+type t = { kind : kind; where : Rect.t } [@@deriving show { with_path = false }, eq]
+
+let make kind where = { kind; where }
+
+let describe v =
+  let um = Amg_geometry.Units.to_um in
+  match v.kind with
+  | Width { layer; required; actual } ->
+      Printf.sprintf "width %s: %.2fum < %.2fum" layer (um actual) (um required)
+  | Spacing { layer_a; layer_b; required; actual } ->
+      Printf.sprintf "spacing %s/%s: %.2fum < %.2fum" layer_a layer_b (um actual)
+        (um required)
+  | Short { layer; net_a; net_b } ->
+      Printf.sprintf "short on %s between nets %s and %s" layer net_a net_b
+  | Enclosure { outer; inner; required } ->
+      Printf.sprintf "enclosure: %s must enclose %s by %.2fum" outer inner
+        (um required)
+  | Extension { of_; past; required; actual } ->
+      Printf.sprintf "extension: %s past %s %.2fum < %.2fum" of_ past (um actual)
+        (um required)
+  | Cut_size { layer; required; actual_w; actual_h } ->
+      Printf.sprintf "cut size %s: %.2fx%.2fum, must be %.2fum square" layer
+        (um actual_w) (um actual_h) (um required)
+  | Min_area { layer; required; actual } ->
+      Printf.sprintf "min area %s: %.2fum2 < %.2fum2" layer
+        (float_of_int actual /. 1.0e6)
+        (float_of_int required /. 1.0e6)
+  | Latchup { uncovered } ->
+      Printf.sprintf "latch-up: %d active region(s) too far from a substrate tap"
+        (List.length uncovered)
+
+let pp_report ppf vs =
+  if vs = [] then Fmt.pf ppf "DRC clean@."
+  else begin
+    Fmt.pf ppf "%d DRC violation(s):@." (List.length vs);
+    List.iter
+      (fun v -> Fmt.pf ppf "  %s at %a@." (describe v) Rect.pp_um v.where)
+      vs
+  end

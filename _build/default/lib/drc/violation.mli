@@ -1,0 +1,23 @@
+(** DRC violation records. *)
+
+type kind =
+  | Width of { layer : string; required : int; actual : int }
+  | Spacing of { layer_a : string; layer_b : string; required : int; actual : int }
+  | Short of { layer : string; net_a : string; net_b : string }
+      (** two different nets touch on the same layer *)
+  | Enclosure of { outer : string; inner : string; required : int }
+  | Extension of { of_ : string; past : string; required : int; actual : int }
+  | Cut_size of { layer : string; required : int; actual_w : int; actual_h : int }
+  | Min_area of { layer : string; required : int; actual : int }
+      (** areas in nm^2, over a connected same-layer region *)
+  | Latchup of { uncovered : Amg_geometry.Rect.t list }
+[@@deriving show, eq]
+
+type t = { kind : kind; where : Amg_geometry.Rect.t } [@@deriving show, eq]
+
+val make : kind -> Amg_geometry.Rect.t -> t
+
+val describe : t -> string
+(** One-line human-readable description (distances in um). *)
+
+val pp_report : Format.formatter -> t list -> unit

@@ -1,0 +1,1 @@
+lib/extract/compare.pp.ml: Amg_circuit Amg_geometry Devices Float Fmt Hashtbl List Ppx_deriving_runtime Printf String

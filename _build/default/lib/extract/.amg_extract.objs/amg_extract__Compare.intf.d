@@ -1,0 +1,1 @@
+lib/extract/compare.pp.mli: Amg_circuit Devices Format Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/extract/connectivity.pp.ml: Amg_geometry Amg_layout Amg_tech Array Fun Hashtbl List Option Printf String

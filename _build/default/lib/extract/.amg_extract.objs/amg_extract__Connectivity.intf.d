@@ -1,0 +1,1 @@
+lib/extract/connectivity.pp.mli: Amg_geometry Amg_layout Amg_tech

@@ -1,0 +1,1 @@
+lib/extract/devices.pp.ml: Amg_circuit Amg_geometry Amg_layout Amg_tech Connectivity Fmt Hashtbl List Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/extract/devices.pp.mli: Amg_circuit Amg_layout Amg_tech Format Ppx_deriving_runtime

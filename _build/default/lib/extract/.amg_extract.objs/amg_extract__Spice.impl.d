@@ -1,0 +1,1 @@
+lib/extract/spice.pp.ml: Amg_circuit Buffer Devices Float Fun List Printf String

@@ -1,0 +1,1 @@
+lib/extract/spice.pp.mli: Amg_circuit Devices

@@ -1,0 +1,26 @@
+(** Layout-versus-schematic comparison ("LVS").
+
+    Devices match on their terminal net names (source/drain unordered,
+    bulk ignored); MOS widths must agree within a relative tolerance after
+    parallel-finger merging; dummy fingers on the layout side are dropped;
+    extracted label conflicts are reported as shorts. *)
+
+type mismatch =
+  | Missing_device of string
+  | Extra_device of string
+  | Size_mismatch of string * string
+  | Short of string list
+[@@deriving show, eq]
+
+type result = { matched : int; mismatches : mismatch list }
+
+val clean : result -> bool
+
+val golden_mos : Amg_circuit.Netlist.t -> Devices.mos list
+(** The schematic's MOS devices in extracted form, parallel-merged. *)
+
+val run :
+  ?tol:float -> golden:Amg_circuit.Netlist.t -> Devices.extracted -> result
+(** [tol] is the relative width tolerance (default 5%). *)
+
+val pp_result : Format.formatter -> result -> unit

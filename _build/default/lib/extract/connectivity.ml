@@ -1,0 +1,236 @@
+(* Electrical connectivity extraction.
+
+   Conducting shapes are reduced to "pieces": diffusion rectangles are
+   split by the gate poly crossing them (the channel interrupts the
+   diffusion), and anything under a [resmark] is a resistor body and does
+   not conduct.  Pieces merge when they touch on the same layer; contact
+   and via cuts merge their overlapped landing/metal pieces across layers.
+   Every resulting node carries the set of user net labels found on its
+   pieces — more than one distinct label on a node is an extracted short. *)
+
+module Rect = Amg_geometry.Rect
+module Technology = Amg_tech.Technology
+module Layer = Amg_tech.Layer
+module Lobj = Amg_layout.Lobj
+module Shape = Amg_layout.Shape
+
+type piece = {
+  p_layer : string;
+  p_rect : Rect.t;
+  p_net : string option;
+  p_src : int;          (* id of the originating shape *)
+  p_conducting : bool;  (* false for resistor bodies *)
+}
+
+type t = {
+  pieces : piece array;
+  parent : int array;
+  tech : Technology.t;
+  labels : (int, string list) Hashtbl.t; (* root -> sorted distinct labels *)
+}
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let r = find t p in
+    t.parent.(i) <- r;
+    r
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri <> rj then t.parent.(ri) <- rj
+
+let kind_of tech (s : Shape.t) =
+  match Technology.layer tech s.Shape.layer with
+  | Some l -> Some l.Layer.kind
+  | None -> None
+
+let is_kind tech s k = kind_of tech s = Some k
+
+(* Split the diffusion shapes by every overlapping poly rectangle. *)
+let split_diffusion tech shapes (s : Shape.t) =
+  let gates =
+    List.filter_map
+      (fun (p : Shape.t) ->
+        if is_kind tech p Layer.Poly && Rect.overlaps p.Shape.rect s.Shape.rect then
+          Some p.Shape.rect
+        else None)
+      shapes
+  in
+  List.fold_left
+    (fun acc g -> List.concat_map (fun r -> Rect.subtract r g) acc)
+    [ s.Shape.rect ] gates
+
+let build ~tech obj =
+  let shapes = Lobj.shapes obj in
+  let resmarks = Lobj.rects_on obj "resmark" in
+  let in_resmark r = List.exists (fun m -> Rect.contains_rect m r) resmarks in
+  let pieces = ref [] in
+  let add (s : Shape.t) rect =
+    pieces :=
+      { p_layer = s.Shape.layer; p_rect = rect; p_net = s.Shape.net;
+        p_src = s.Shape.id; p_conducting = not (in_resmark s.Shape.rect) }
+      :: !pieces
+  in
+  List.iter
+    (fun (s : Shape.t) ->
+      match Technology.layer tech s.Shape.layer with
+      (* Only routing layers conduct laterally; wells and implants are
+         junction-isolated and never short the circuit. *)
+      | Some l when l.Layer.conducting && Layer.is_routing l ->
+          if Layer.is_active l then
+            List.iter (add s) (split_diffusion tech shapes s)
+          else add s s.Shape.rect
+      | _ -> ())
+    shapes;
+  let pieces = Array.of_list (List.rev !pieces) in
+  let t =
+    { pieces; parent = Array.init (Array.length pieces) Fun.id; tech;
+      labels = Hashtbl.create 32 }
+  in
+  let n = Array.length pieces in
+  (* Same-layer touching pieces conduct into one node. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = pieces.(i) and b = pieces.(j) in
+      if
+        a.p_conducting && b.p_conducting
+        && String.equal a.p_layer b.p_layer
+        && Rect.touches a.p_rect b.p_rect
+      then union t i j
+    done
+  done;
+  (* Cuts merge across layers, but only between the layers the rules say
+     the cut lands on (its enclosure rules) — a contact inside a big well
+     rectangle does not make the well a wire. *)
+  let rules = Technology.rules tech in
+  List.iter
+    (fun (c : Shape.t) ->
+      match Technology.layer tech c.Shape.layer with
+      | Some l when Layer.is_cut l ->
+          let landing =
+            List.map fst (Amg_tech.Rules.enclosing_layers rules ~inner:c.Shape.layer)
+          in
+          let hits = ref [] in
+          Array.iteri
+            (fun i p ->
+              if
+                p.p_conducting
+                && List.mem p.p_layer landing
+                && Rect.overlaps p.p_rect c.Shape.rect
+              then hits := i :: !hits)
+            pieces;
+          (* A cut reaches the metal(s) above and only the TOPMOST of the
+             overlapped non-metal landing layers: a contact on a poly2 top
+             plate does not also reach the poly bottom plate under it. *)
+          let is_metal_piece i =
+            match Technology.layer tech pieces.(i).p_layer with
+            | Some pl -> Layer.is_metal pl
+            | None -> false
+          in
+          let metals, landings = List.partition is_metal_piece !hits in
+          let top_index layer = Technology.draw_index tech layer in
+          let top_layer =
+            List.fold_left
+              (fun acc i ->
+                let l = pieces.(i).p_layer in
+                match acc with
+                | None -> Some l
+                | Some cur -> if top_index l > top_index cur then Some l else acc)
+              None landings
+          in
+          let landings =
+            match top_layer with
+            | None -> []
+            | Some l -> List.filter (fun i -> String.equal pieces.(i).p_layer l) landings
+          in
+          (match metals @ landings with
+          | first :: rest -> List.iter (fun i -> union t first i) rest
+          | [] -> ())
+      | _ -> ())
+    shapes;
+  (* Collect labels. *)
+  Array.iteri
+    (fun i p ->
+      if p.p_conducting then
+        match p.p_net with
+        | None -> ()
+        | Some net ->
+            let r = find t i in
+            let cur = Option.value ~default:[] (Hashtbl.find_opt t.labels r) in
+            if not (List.mem net cur) then
+              Hashtbl.replace t.labels r (List.sort compare (net :: cur)))
+    pieces;
+  t
+
+(* The node (union-find root) of the conducting piece at a point on a
+   layer, if any. *)
+let node_at t ~layer ~x ~y =
+  let found = ref None in
+  Array.iteri
+    (fun i p ->
+      if
+        !found = None && p.p_conducting
+        && String.equal p.p_layer layer
+        && Rect.contains_point p.p_rect ~x ~y
+      then found := Some (find t i))
+    t.pieces;
+  !found
+
+(* Preferred net name of a node: its single label, a "name1+name2" short
+   marker for conflicting labels, or a synthetic node name. *)
+let net_name t node =
+  match Hashtbl.find_opt t.labels node with
+  | Some [ l ] -> l
+  | Some ls -> String.concat "+" ls
+  | None -> Printf.sprintf "n%d" node
+
+(* Every user net label present anywhere in the layout; synthetic "n%d"
+   names are never in this list, so it distinguishes internal nodes from
+   user nets even when a user net happens to be called "n5". *)
+let labeled_nets t =
+  Hashtbl.fold (fun _root labels acc -> labels @ acc) t.labels []
+  |> List.sort_uniq String.compare
+
+(* Nodes carrying more than one distinct user label: extracted shorts. *)
+let shorts t =
+  Hashtbl.fold
+    (fun _root labels acc ->
+      match labels with _ :: _ :: _ -> labels :: acc | _ -> acc)
+    t.labels []
+
+(* Number of distinct nodes carrying the given user label: 1 means the net
+   is physically one piece; more means it relies on labels only. *)
+let label_node_count t label =
+  let roots = Hashtbl.create 8 in
+  Array.iteri
+    (fun i p ->
+      if p.p_conducting && p.p_net = Some label then
+        Hashtbl.replace roots (find t i) ())
+    t.pieces;
+  Hashtbl.length roots
+
+(* The connected components carrying the given label, each as its pieces'
+   (layer, rect) list — used by repair passes to find and wire up
+   disconnected islands of a net. *)
+let label_components t label =
+  let tbl = Hashtbl.create 8 in
+  Array.iteri
+    (fun i p ->
+      if p.p_conducting && p.p_net = Some label then begin
+        let r = find t i in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt tbl r) in
+        Hashtbl.replace tbl r ((p.p_layer, p.p_rect) :: cur)
+      end)
+    t.pieces;
+  Hashtbl.fold (fun _ pieces acc -> pieces :: acc) tbl []
+
+(* Distinct conducting nodes. *)
+let node_count t =
+  let roots = Hashtbl.create 32 in
+  Array.iteri
+    (fun i p -> if p.p_conducting then Hashtbl.replace roots (find t i) ())
+    t.pieces;
+  Hashtbl.length roots

@@ -1,0 +1,48 @@
+(** Device recognition: MOS transistors from gate crossings, bipolars from
+    base/well containment, resistors from marked films, capacitors from
+    plate overlaps.  Parallel MOS fingers are merged with summed widths —
+    the reduction every LVS performs before comparing. *)
+
+type mos = {
+  x_polarity : Amg_circuit.Device.mos_polarity;
+  x_w : int;   (** summed channel width, nm *)
+  x_l : int;   (** channel length, nm *)
+  x_g : string;
+  x_s : string;
+  x_d : string; (** source/drain order is geometric; compare unordered *)
+}
+[@@deriving show, eq, ord]
+
+type extracted = {
+  mosfets : mos list;
+  bjts : (string * string * string) list;      (** collector, base, emitter *)
+  resistors : (string * string * float) list;  (** terminal nets, ohms *)
+  capacitors : (string * string * float) list; (** top, bottom, fF *)
+  short_nets : string list list;
+      (** label sets of nodes carrying conflicting user nets *)
+}
+
+val extract : tech:Amg_tech.Technology.t -> Amg_layout.Lobj.t -> extracted
+
+val merge_parallel : mos list -> mos list
+
+val reduce_resistors :
+  internal:(string -> bool) ->
+  (string * string * float) list ->
+  (string * string * float) list
+(** Series/parallel resistor reduction: chains through [internal] nodes
+    (appearing in exactly two resistor terminals) merge with summed
+    values; parallel resistors between one node pair combine
+    reciprocally.  [extract] passes an [internal] predicate that is true
+    only for unlabeled nodes touched by no other device. *)
+
+val merge_parallel_caps :
+  (string * string * float) list -> (string * string * float) list
+(** Drop capacitors whose plates share a node (dummy units tied to the
+    bottom plate) and sum parallel capacitors between the same node pair
+    (unit-capacitor arrays) — the reduction every LVS performs. *)
+
+val is_dummy : mos -> bool
+(** Gate tied to source or drain — dummy fingers and off devices. *)
+
+val pp_extracted : Format.formatter -> extracted -> unit

@@ -1,0 +1,122 @@
+(* SPICE netlist export — the hand-off format every 1996 analog flow used
+   downstream of layout extraction: the extracted circuit goes to a
+   simulator for post-layout verification. *)
+
+module Device = Amg_circuit.Device
+module Netlist = Amg_circuit.Netlist
+
+(* SPICE node names: alphanumerics plus a few safe punctuation characters.
+   Hierarchical nets like "pair/out" become "pair_out". *)
+let node name =
+  if String.equal name "" then "0"
+  else
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> c
+        | _ -> '_')
+      name
+
+(* Engineering notation with SPICE suffixes, trimmed of trailing zeros. *)
+let si_value v =
+  let mag = Float.abs v in
+  let scaled, suffix =
+    if mag = 0.0 then (v, "")
+    else if mag >= 1e9 then (v /. 1e9, "g")
+    else if mag >= 1e6 then (v /. 1e6, "meg")
+    else if mag >= 1e3 then (v /. 1e3, "k")
+    else if mag >= 1.0 then (v, "")
+    else if mag >= 1e-3 then (v *. 1e3, "m")
+    else if mag >= 1e-6 then (v *. 1e6, "u")
+    else if mag >= 1e-9 then (v *. 1e9, "n")
+    else if mag >= 1e-12 then (v *. 1e12, "p")
+    else (v *. 1e15, "f")
+  in
+  let s = Printf.sprintf "%.6g" scaled in
+  s ^ suffix
+
+let micron_value nm = si_value (float_of_int nm *. 1e-9) (* nm -> m *)
+
+let mos_model = function Device.Nmos -> "nmos1u" | Device.Pmos -> "pmos1u"
+
+let mos_card ~name ~polarity ~g ~d ~s ~b ~w ~l =
+  Printf.sprintf "M%s %s %s %s %s %s w=%s l=%s" name (node d) (node g) (node s)
+    (node b) (mos_model polarity) (micron_value w) (micron_value l)
+
+let bjt_card ~name ~c ~b ~e =
+  Printf.sprintf "Q%s %s %s %s npn1u" name (node c) (node b) (node e)
+
+let res_card ~name ~a ~b ~ohms =
+  Printf.sprintf "R%s %s %s %s" name (node a) (node b) (si_value ohms)
+
+let cap_card ~name ~a ~b ~ff =
+  Printf.sprintf "C%s %s %s %s" name (node a) (node b) (si_value (ff *. 1e-15))
+
+let device_card = function
+  | Device.Mos m ->
+      mos_card ~name:m.Device.m_name ~polarity:m.Device.polarity ~g:m.Device.g
+        ~d:m.Device.d ~s:m.Device.s ~b:m.Device.b ~w:m.Device.w ~l:m.Device.l
+  | Device.Bjt q ->
+      bjt_card ~name:q.Device.q_name ~c:q.Device.c ~b:q.Device.bb ~e:q.Device.e
+  | Device.Res r ->
+      res_card ~name:r.Device.r_name ~a:r.Device.ra ~b:r.Device.rb
+        ~ohms:r.Device.ohms
+  | Device.Cap c ->
+      cap_card ~name:c.Device.c_name ~a:c.Device.ca ~b:c.Device.cb ~ff:c.Device.ff
+
+let subckt_of_netlist (nl : Netlist.t) =
+  let ports = List.map node (Netlist.external_ports nl) in
+  let header =
+    if ports = [] then [ Printf.sprintf "* circuit %s" (Netlist.name nl) ]
+    else
+      [ Printf.sprintf ".subckt %s %s" (node (Netlist.name nl))
+          (String.concat " " ports) ]
+  in
+  let footer = if ports = [] then [] else [ ".ends" ] in
+  header @ List.map device_card (Netlist.devices nl) @ footer
+
+let of_netlist ?(title = "amg extracted netlist") (nl : Netlist.t) =
+  String.concat "\n"
+    (("* " ^ title) :: (subckt_of_netlist nl @ [ ".end"; "" ]))
+
+(* Extracted devices carry no names or bulk nets; synthesize stable names
+   from position in the list and default bulks from polarity. *)
+let of_extracted ?(title = "amg extracted netlist") ?(nmos_bulk = "vss")
+    ?(pmos_bulk = "vdd") (x : Devices.extracted) =
+  let buf = Buffer.create 1024 in
+  let line s =
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  line ("* " ^ title);
+  List.iteri
+    (fun i (m : Devices.mos) ->
+      let b =
+        match m.Devices.x_polarity with
+        | Device.Nmos -> nmos_bulk
+        | Device.Pmos -> pmos_bulk
+      in
+      line
+        (mos_card ~name:(string_of_int i) ~polarity:m.Devices.x_polarity
+           ~g:m.Devices.x_g ~d:m.Devices.x_d ~s:m.Devices.x_s ~b
+           ~w:m.Devices.x_w ~l:m.Devices.x_l))
+    x.Devices.mosfets;
+  List.iteri
+    (fun i (c, b, e) -> line (bjt_card ~name:(string_of_int i) ~c ~b ~e))
+    x.Devices.bjts;
+  List.iteri
+    (fun i (a, b, ohms) -> line (res_card ~name:(string_of_int i) ~a ~b ~ohms))
+    x.Devices.resistors;
+  List.iteri
+    (fun i (a, b, ff) -> line (cap_card ~name:(string_of_int i) ~a ~b ~ff))
+    x.Devices.capacitors;
+  List.iter
+    (fun labels ->
+      line ("* SHORT: conflicting nets on one node: " ^ String.concat " " labels))
+    x.Devices.short_nets;
+  line ".end";
+  Buffer.contents buf
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)

@@ -1,0 +1,39 @@
+(** SPICE netlist export for schematic and extracted circuits.
+
+    The 1996 flow the paper sits in hands extracted layouts to a circuit
+    simulator for post-layout verification; this module produces that
+    hand-off.  Device cards follow classic SPICE3 syntax ([M] / [Q] / [R] /
+    [C]); MOS dimensions are emitted in metres with engineering suffixes. *)
+
+val node : string -> string
+(** Sanitise a net name into a legal SPICE node ([""] becomes ground ["0"];
+    hierarchy separators become underscores). *)
+
+val si_value : float -> string
+(** Engineering notation with SPICE magnitude suffixes
+    (e.g. [2000.] → ["2k"], [4e-13] → ["400f"]). *)
+
+val device_card : Amg_circuit.Device.t -> string
+(** One SPICE card for a schematic device. *)
+
+val subckt_of_netlist : Amg_circuit.Netlist.t -> string list
+(** Netlist as a [.subckt] (when it has external ports) or a flat card
+    list, one line per element. *)
+
+val of_netlist : ?title:string -> Amg_circuit.Netlist.t -> string
+(** Complete SPICE deck for a schematic netlist, ending in [.end]. *)
+
+val of_extracted :
+  ?title:string ->
+  ?nmos_bulk:string ->
+  ?pmos_bulk:string ->
+  Devices.extracted ->
+  string
+(** Complete SPICE deck for an extracted circuit.  Extracted devices carry
+    no names or bulk terminals, so names are positional ([M0], [M1], …) and
+    bulks default to [vss] / [vdd].  Detected shorts are emitted as comment
+    lines so the deck documents extraction problems instead of hiding
+    them. *)
+
+val write_file : string -> string -> unit
+(** [write_file path deck] writes the deck to [path]. *)

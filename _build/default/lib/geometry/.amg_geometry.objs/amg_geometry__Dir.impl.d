@@ -1,0 +1,1 @@
+lib/geometry/dir.pp.ml: Ppx_deriving_runtime String

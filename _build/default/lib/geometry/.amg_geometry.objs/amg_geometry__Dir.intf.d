@@ -1,0 +1,1 @@
+lib/geometry/dir.pp.mli: Ppx_deriving_runtime

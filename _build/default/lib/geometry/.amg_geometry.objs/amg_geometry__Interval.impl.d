@@ -1,0 +1,1 @@
+lib/geometry/interval.pp.ml: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/geometry/interval.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/geometry/rect.pp.ml: Dir Fmt Interval List Ppx_deriving_runtime Units

@@ -1,0 +1,1 @@
+lib/geometry/rect.pp.mli: Dir Format Interval Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/geometry/region.pp.mli: Rect

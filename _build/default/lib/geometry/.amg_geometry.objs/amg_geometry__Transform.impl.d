@@ -1,0 +1,1 @@
+lib/geometry/transform.pp.ml: List Ppx_deriving_runtime Rect

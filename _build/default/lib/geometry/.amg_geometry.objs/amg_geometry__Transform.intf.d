@@ -1,0 +1,1 @@
+lib/geometry/transform.pp.mli: Ppx_deriving_runtime Rect

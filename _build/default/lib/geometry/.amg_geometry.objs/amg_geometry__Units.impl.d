@@ -1,0 +1,1 @@
+lib/geometry/units.pp.ml: Float Fmt

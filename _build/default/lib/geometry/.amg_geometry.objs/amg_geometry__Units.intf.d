@@ -1,0 +1,1 @@
+lib/geometry/units.pp.mli: Format

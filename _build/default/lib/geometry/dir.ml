@@ -1,0 +1,34 @@
+type t = North | South | East | West [@@deriving show { with_path = false }, eq, ord]
+
+type axis = Horizontal | Vertical [@@deriving show { with_path = false }, eq, ord]
+
+let all = [ North; South; East; West ]
+
+let axis = function
+  | East | West -> Horizontal
+  | North | South -> Vertical
+
+let cross_axis d =
+  match axis d with Horizontal -> Vertical | Vertical -> Horizontal
+
+let opposite = function
+  | North -> South
+  | South -> North
+  | East -> West
+  | West -> East
+
+let sign = function North | East -> 1 | South | West -> -1
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "NORTH" | "N" | "TOP" | "UP" -> Some North
+  | "SOUTH" | "S" | "BOTTOM" | "DOWN" -> Some South
+  | "EAST" | "E" | "RIGHT" -> Some East
+  | "WEST" | "W" | "LEFT" -> Some West
+  | _ -> None
+
+let to_string = function
+  | North -> "NORTH"
+  | South -> "SOUTH"
+  | East -> "EAST"
+  | West -> "WEST"

@@ -1,0 +1,32 @@
+(** Compass directions.
+
+    The compactor abuts an object against the main structure by moving it in
+    one of the four compass directions, exactly as the paper's
+    [compact(obj, SOUTH, "poly")] calls do. *)
+
+type t = North | South | East | West [@@deriving show, eq, ord]
+
+type axis = Horizontal | Vertical [@@deriving show, eq, ord]
+
+val all : t list
+(** The four directions, in [North; South; East; West] order. *)
+
+val axis : t -> axis
+(** Axis of movement: [East]/[West] move horizontally, [North]/[South]
+    vertically. *)
+
+val cross_axis : t -> axis
+(** The axis perpendicular to the movement, used for shadow tests. *)
+
+val opposite : t -> t
+(** [opposite North = South], etc. *)
+
+val sign : t -> int
+(** [+1] for coordinate-increasing directions ([North], [East]), [-1]
+    otherwise. *)
+
+val of_string : string -> t option
+(** Parses ["NORTH"], ["south"], ["E"], ["left"], … *)
+
+val to_string : t -> string
+(** Upper-case canonical name as used in the layout language. *)

@@ -1,0 +1,36 @@
+(** Regions: unordered collections of (possibly overlapping) rectangles.
+
+    Provides the successive-subtraction cover test used by the latch-up rule
+    (Fig. 1) and exact union-area measurement used by the optimizer's rating
+    function. *)
+
+type t = Rect.t list
+
+val empty : t
+
+val of_rects : Rect.t list -> t
+(** Drops degenerate rectangles. *)
+
+val is_empty : t -> bool
+
+val residue : solids:Rect.t list -> covers:Rect.t list -> Rect.t list
+(** [residue ~solids ~covers] is what remains of [solids] after subtracting
+    every rectangle of [covers], computed by successive subtraction exactly as
+    in the paper's latch-up check: every cover splits each remaining solid
+    into at most four residual rectangles. *)
+
+val covered : solids:Rect.t list -> covers:Rect.t list -> bool
+(** True iff the union of [covers] covers the union of [solids]
+    ("the latch-up rule is fulfilled"). *)
+
+val area : Rect.t list -> int
+(** Exact area of the union (overlaps counted once), by slab sweep. *)
+
+val hull : Rect.t list -> Rect.t option
+
+val contains_point : t -> x:int -> y:int -> bool
+
+val inter_rect : t -> Rect.t -> t
+(** Clip every rectangle to the given window. *)
+
+val translate : t -> dx:int -> dy:int -> t

@@ -1,0 +1,61 @@
+type orientation = R0 | R90 | R180 | R270 | MX | MY | MXR90 | MYR90
+[@@deriving show { with_path = false }, eq, ord]
+
+type t = { orient : orientation; dx : int; dy : int }
+[@@deriving show { with_path = false }, eq, ord]
+
+let identity = { orient = R0; dx = 0; dy = 0 }
+
+let translation ~dx ~dy = { orient = R0; dx; dy }
+
+let of_orientation orient = { orient; dx = 0; dy = 0 }
+
+(* Apply only the orientation part to a point around the origin.
+   MX mirrors across the x axis (flips y); MY mirrors across the y axis. *)
+let orient_point orient (x, y) =
+  match orient with
+  | R0 -> (x, y)
+  | R90 -> (-y, x)
+  | R180 -> (-x, -y)
+  | R270 -> (y, -x)
+  | MX -> (x, -y)
+  | MY -> (-x, y)
+  | MXR90 -> (-y, -x)
+  | MYR90 -> (y, x)
+
+let point t (x, y) =
+  let x', y' = orient_point t.orient (x, y) in
+  (x' + t.dx, y' + t.dy)
+
+let rect t (r : Rect.t) =
+  let x0, y0 = point t (r.x0, r.y0) and x1, y1 = point t (r.x1, r.y1) in
+  Rect.make ~x0 ~y0 ~x1 ~y1
+
+(* Composition of the eight-element orientation group (dihedral D4). *)
+let compose_orient a b =
+  (* Result applies b first, then a: probe the composed map on basis points. *)
+  let probe = [ (1, 0); (0, 1) ] in
+  let image = List.map (fun p -> orient_point a (orient_point b p)) probe in
+  match image with
+  | [ (1, 0); (0, 1) ] -> R0
+  | [ (0, 1); (-1, 0) ] -> R90
+  | [ (-1, 0); (0, -1) ] -> R180
+  | [ (0, -1); (1, 0) ] -> R270
+  | [ (1, 0); (0, -1) ] -> MX
+  | [ (-1, 0); (0, 1) ] -> MY
+  | [ (0, -1); (-1, 0) ] -> MXR90
+  | [ (0, 1); (1, 0) ] -> MYR90
+  | _ -> assert false
+
+(* [compose a b] applies [b] first, then [a]. *)
+let compose a b =
+  let bx, by = point a (b.dx, b.dy) in
+  { orient = compose_orient a.orient b.orient; dx = bx; dy = by }
+
+(* Mirror a rectangle across the vertical line x = axis_x. *)
+let mirror_rect_x ~axis_x (r : Rect.t) =
+  Rect.make ~x0:((2 * axis_x) - r.x1) ~y0:r.y0 ~x1:((2 * axis_x) - r.x0) ~y1:r.y1
+
+(* Mirror a rectangle across the horizontal line y = axis_y. *)
+let mirror_rect_y ~axis_y (r : Rect.t) =
+  Rect.make ~x0:r.x0 ~y0:((2 * axis_y) - r.y1) ~x1:r.x1 ~y1:((2 * axis_y) - r.y0)

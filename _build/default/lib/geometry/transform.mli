@@ -1,0 +1,33 @@
+(** Rigid layout transforms: the eight axis-aligned orientations (dihedral
+    group D4) plus a translation.  Used for symmetric module construction
+    (mirrored halves of differential pairs, cross-coupled quads). *)
+
+type orientation = R0 | R90 | R180 | R270 | MX | MY | MXR90 | MYR90
+[@@deriving show, eq, ord]
+(** [MX] mirrors across the x axis (flips y), [MY] across the y axis;
+    [MXR90]/[MYR90] are the mirrored rotations. *)
+
+type t = { orient : orientation; dx : int; dy : int } [@@deriving show, eq, ord]
+(** Orientation applied first (around the origin), then translation. *)
+
+val identity : t
+val translation : dx:int -> dy:int -> t
+val of_orientation : orientation -> t
+
+val orient_point : orientation -> int * int -> int * int
+
+val point : t -> int * int -> int * int
+
+val rect : t -> Rect.t -> Rect.t
+
+val compose_orient : orientation -> orientation -> orientation
+(** [compose_orient a b] applies [b] first, then [a]. *)
+
+val compose : t -> t -> t
+(** [compose a b] applies [b] first, then [a]. *)
+
+val mirror_rect_x : axis_x:int -> Rect.t -> Rect.t
+(** Mirror across the vertical line [x = axis_x]. *)
+
+val mirror_rect_y : axis_y:int -> Rect.t -> Rect.t
+(** Mirror across the horizontal line [y = axis_y]. *)

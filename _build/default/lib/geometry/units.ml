@@ -1,0 +1,26 @@
+(* All geometry in this project is carried in integer nanometres.  Design
+   rules of a 1 um technology are therefore exact integers and no floating
+   point rounding can ever produce an off-grid or rule-violating layout. *)
+
+type nm = int
+
+let nm_per_um = 1000
+
+let of_um f = int_of_float (Float.round (f *. float_of_int nm_per_um))
+
+let to_um n = float_of_int n /. float_of_int nm_per_um
+
+let um = of_um
+
+let pp_nm ppf n = Fmt.pf ppf "%gum" (to_um n)
+
+(* Round [n] up (resp. down) to the nearest multiple of [grid] > 0. *)
+let snap_up ~grid n =
+  if grid <= 0 then invalid_arg "Units.snap_up: grid must be positive";
+  let r = n mod grid in
+  if r = 0 then n else if n >= 0 then n + (grid - r) else n - r
+
+let snap_down ~grid n =
+  if grid <= 0 then invalid_arg "Units.snap_down: grid must be positive";
+  let r = n mod grid in
+  if r = 0 then n else if n >= 0 then n - r else n - (grid + r)

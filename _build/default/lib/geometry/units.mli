@@ -1,0 +1,33 @@
+(** Length units.
+
+    All geometry in the library is expressed in integer nanometres so that
+    design-rule arithmetic is exact.  Helpers here convert between micrometres
+    (the unit used in technology documentation and in the paper) and the
+    internal representation. *)
+
+type nm = int
+(** A length or coordinate in nanometres. *)
+
+val nm_per_um : int
+(** Nanometres per micrometre (1000). *)
+
+val of_um : float -> nm
+(** [of_um f] converts micrometres to nanometres, rounding to the nearest
+    integer nanometre. *)
+
+val to_um : nm -> float
+(** [to_um n] converts nanometres back to micrometres. *)
+
+val um : float -> nm
+(** Alias of {!of_um}; [um 1.5] reads naturally at call sites. *)
+
+val pp_nm : Format.formatter -> nm -> unit
+(** Prints a length as micrometres, e.g. [1500] prints as ["1.5um"]. *)
+
+val snap_up : grid:int -> nm -> nm
+(** [snap_up ~grid n] rounds [n] up to the next multiple of [grid].
+    @raise Invalid_argument if [grid <= 0]. *)
+
+val snap_down : grid:int -> nm -> nm
+(** [snap_down ~grid n] rounds [n] down to the previous multiple of [grid].
+    @raise Invalid_argument if [grid <= 0]. *)

@@ -1,0 +1,1 @@
+lib/lang/ast.pp.ml: List Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/lang/interp.pp.ml: Amg_compact Amg_core Amg_geometry Amg_layout Amg_route Ast Buffer Float Fmt Fun Hashtbl List Option Parser String Value

@@ -1,0 +1,1 @@
+lib/lang/interp.pp.mli: Amg_core Amg_layout Ast Hashtbl Value

@@ -1,0 +1,1 @@
+lib/lang/lexer.pp.ml: Buffer Fmt List Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/lang/parser.pp.ml: Array Ast Fmt Lexer List

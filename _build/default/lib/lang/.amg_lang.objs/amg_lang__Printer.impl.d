@@ -1,0 +1,1 @@
+lib/lang/printer.pp.ml: Ast Float List Printf String

@@ -1,0 +1,1 @@
+lib/lang/printer.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/lang/stdlib.pp.ml: String

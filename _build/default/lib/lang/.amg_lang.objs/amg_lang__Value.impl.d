@@ -1,0 +1,1 @@
+lib/lang/value.pp.ml: Amg_layout Fmt

@@ -1,0 +1,54 @@
+(* Abstract syntax of the procedural layout description language (§2.1).
+
+   The surface syntax follows the paper's Figs. 2 and 7:
+
+     gatecon = ContactRow(layer = "poly", W = 1)
+
+     ENT ContactRow(layer, <W>, <L>)
+       INBOX(layer, W, L)
+       INBOX("metal1")
+       ARRAY("contact")
+
+   extended with the loop, conditional and backtracking constructs the
+   paper describes in prose (IF/ELSE/END, FOR/TO/END, CHOOSE/ORELSE/END). *)
+
+type binop =
+  | Add | Sub | Mul | Div
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+[@@deriving show { with_path = false }, eq]
+
+type unop = Neg | Not [@@deriving show { with_path = false }, eq]
+
+type expr =
+  | Num of float                   (* micrometres / scalars *)
+  | Str of string
+  | Bool of bool
+  | Ident of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * arg list
+[@@deriving show { with_path = false }, eq]
+
+and arg = { arg_name : string option; arg_value : expr }
+[@@deriving show { with_path = false }, eq]
+
+type stmt =
+  | Assign of string * expr                  (* x = expr (copies objects) *)
+  | Expr of expr
+  | If of expr * stmt list * stmt list
+  | For of string * expr * expr * stmt list  (* FOR i = a TO b *)
+  | Choose of stmt list list                 (* CHOOSE … ORELSE … END *)
+[@@deriving show { with_path = false }, eq]
+
+type param = { pname : string; optional : bool }
+[@@deriving show { with_path = false }, eq]
+
+type entity = { ent_name : string; params : param list; body : stmt list }
+[@@deriving show { with_path = false }, eq]
+
+type program = { entities : entity list; top : stmt list }
+[@@deriving show { with_path = false }, eq]
+
+let find_entity program name =
+  List.find_opt (fun e -> String.equal e.ent_name name) program.entities

@@ -1,0 +1,41 @@
+(** Interpreter for the procedural layout description language.
+
+    Entity bodies build an implicit current object through the primitive
+    functions; [compact(obj, DIR, layers…)] places sub-objects with the
+    successive compactor; assignment of an object value copies its data
+    structure; [CHOOSE]/[ORELSE] backtracks over design-rule rejections. *)
+
+exception Runtime_error of string
+
+type ctx
+(** Interpreter context: environment, program, and collected PRINT output. *)
+
+type frame
+
+val create_ctx : Amg_core.Env.t -> Ast.program -> ctx
+
+val output : ctx -> string
+(** Everything PRINT produced. *)
+
+val run : Amg_core.Env.t -> Ast.program -> ctx * (string, Value.t) Hashtbl.t
+(** Execute the top-level statements; returns the context and the top-level
+    variable bindings (generated objects among them). *)
+
+val build :
+  Amg_core.Env.t ->
+  Ast.program ->
+  string ->
+  (string * Value.t) list ->
+  Amg_layout.Lobj.t
+(** [build env program entity args] instantiates one entity with keyword
+    arguments and returns its layout object.
+    @raise Runtime_error on type or arity errors, unknown entities.
+    @raise Amg_core.Env.Rejected when generation fails every variant. *)
+
+val parse_and_build :
+  Amg_core.Env.t ->
+  string ->
+  string ->
+  (string * Value.t) list ->
+  Amg_layout.Lobj.t
+(** Parse source text, then {!build}. *)

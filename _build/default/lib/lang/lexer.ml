@@ -1,0 +1,118 @@
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | STRING of string
+  | LPAREN | RPAREN
+  | COMMA
+  | ASSIGN                       (* = *)
+  | OP of string                 (* + - * / == != < <= > >= && || ! *)
+  | KW_ENT | KW_IF | KW_ELSE | KW_END | KW_FOR | KW_TO
+  | KW_CHOOSE | KW_ORELSE | KW_TRUE | KW_FALSE
+  | NEWLINE
+  | EOF
+[@@deriving show { with_path = false }, eq]
+
+type t = { tok : token; line : int; col : int }
+
+exception Error of int * string
+
+let fail line fmt = Fmt.kstr (fun m -> raise (Error (line, m))) fmt
+
+let keyword = function
+  | "ENT" -> Some KW_ENT
+  | "IF" -> Some KW_IF
+  | "ELSE" -> Some KW_ELSE
+  | "END" -> Some KW_END
+  | "FOR" -> Some KW_FOR
+  | "TO" -> Some KW_TO
+  | "CHOOSE" -> Some KW_CHOOSE
+  | "ORELSE" -> Some KW_ORELSE
+  | "TRUE" -> Some KW_TRUE
+  | "FALSE" -> Some KW_FALSE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let line_start = ref 0 in
+  let tok_start = ref 0 in
+  let emit tok =
+    toks := { tok; line = !line; col = !tok_start - !line_start } :: !toks
+  in
+  let last_real () =
+    match !toks with { tok = NEWLINE; _ } :: _ | [] -> None | { tok; _ } :: _ -> Some tok
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    tok_start := !i;
+    if c = '\n' then begin
+      (* Suppress empty lines and leading newlines. *)
+      (match last_real () with Some _ -> emit NEWLINE | None -> ());
+      incr line;
+      incr i;
+      line_start := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      let b = Buffer.create 16 in
+      while !j < n && src.[!j] <> '"' do
+        if src.[!j] = '\n' then fail !line "unterminated string";
+        Buffer.add_char b src.[!j];
+        incr j
+      done;
+      if !j >= n then fail !line "unterminated string";
+      emit (STRING (Buffer.contents b));
+      i := !j + 1
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let j = ref !i in
+      while !j < n && (is_digit src.[!j] || src.[!j] = '.') do incr j done;
+      let s = String.sub src !i (!j - !i) in
+      (match float_of_string_opt s with
+      | Some f -> emit (NUMBER f)
+      | None -> fail !line "bad number %S" s);
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      let s = String.sub src !i (!j - !i) in
+      (match keyword s with Some k -> emit k | None -> emit (IDENT s));
+      i := !j
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some (("==" | "!=" | "<=" | ">=" | "&&" | "||") as op) ->
+          emit (OP op);
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '(' -> emit LPAREN; incr i
+          | ')' -> emit RPAREN; incr i
+          | ',' -> emit COMMA; incr i
+          | '=' -> emit ASSIGN; incr i
+          | '+' | '-' | '*' | '/' | '<' | '>' | '!' ->
+              emit (OP (String.make 1 c));
+              incr i
+          | _ -> fail !line "unexpected character %C" c)
+    end
+  done;
+  tok_start := n;
+  (match last_real () with Some _ -> emit NEWLINE | None -> ());
+  emit EOF;
+  List.rev !toks

@@ -1,0 +1,84 @@
+(* Pretty-printer from the AST back to layout-language source.  The output
+   re-parses to the same AST (round-trip property in the tests), which also
+   documents the concrete syntax precisely. *)
+
+let binop_str = function
+  | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/"
+  | Ast.Eq -> "==" | Ast.Ne -> "!=" | Ast.Lt -> "<" | Ast.Le -> "<="
+  | Ast.Gt -> ">" | Ast.Ge -> ">=" | Ast.And -> "&&" | Ast.Or -> "||"
+
+let precedence = function
+  | Ast.Or -> 1
+  | Ast.And -> 2
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 3
+  | Ast.Add | Ast.Sub -> 4
+  | Ast.Mul | Ast.Div -> 5
+
+let number_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let rec expr_str ?(prec = 0) (e : Ast.expr) =
+  match e with
+  | Ast.Num f -> number_str f
+  | Ast.Str s -> Printf.sprintf "%S" s
+  | Ast.Bool true -> "TRUE"
+  | Ast.Bool false -> "FALSE"
+  | Ast.Ident x -> x
+  | Ast.Unop (Ast.Neg, e) -> "-" ^ expr_str ~prec:10 e
+  | Ast.Unop (Ast.Not, e) -> "!" ^ expr_str ~prec:10 e
+  | Ast.Binop (op, a, b) ->
+      let p = precedence op in
+      let s =
+        Printf.sprintf "%s %s %s" (expr_str ~prec:p a) (binop_str op)
+          (expr_str ~prec:(p + 1) b)
+      in
+      if p < prec then "(" ^ s ^ ")" else s
+  | Ast.Call (name, args) ->
+      let arg_str (a : Ast.arg) =
+        match a.Ast.arg_name with
+        | Some n -> n ^ " = " ^ expr_str a.Ast.arg_value
+        | None -> expr_str a.Ast.arg_value
+      in
+      Printf.sprintf "%s(%s)" name (String.concat ", " (List.map arg_str args))
+
+let rec stmt_lines ~indent (s : Ast.stmt) =
+  let pad = String.make indent ' ' in
+  match s with
+  | Ast.Assign (x, e) -> [ pad ^ x ^ " = " ^ expr_str e ]
+  | Ast.Expr e -> [ pad ^ expr_str e ]
+  | Ast.If (cond, then_b, else_b) ->
+      [ pad ^ "IF " ^ expr_str cond ]
+      @ block_lines ~indent:(indent + 2) then_b
+      @ (if else_b = [] then []
+         else (pad ^ "ELSE") :: block_lines ~indent:(indent + 2) else_b)
+      @ [ pad ^ "END" ]
+  | Ast.For (v, lo, hi, body) ->
+      [ Printf.sprintf "%sFOR %s = %s TO %s" pad v (expr_str lo) (expr_str hi) ]
+      @ block_lines ~indent:(indent + 2) body
+      @ [ pad ^ "END" ]
+  | Ast.Choose branches ->
+      (pad ^ "CHOOSE")
+      :: (List.concat
+            (List.mapi
+               (fun i b ->
+                 (if i = 0 then [] else [ pad ^ "ORELSE" ])
+                 @ block_lines ~indent:(indent + 2) b)
+               branches)
+         @ [ pad ^ "END" ])
+
+and block_lines ~indent stmts = List.concat_map (stmt_lines ~indent) stmts
+
+let entity_lines (e : Ast.entity) =
+  let param (p : Ast.param) =
+    if p.Ast.optional then "<" ^ p.Ast.pname ^ ">" else p.Ast.pname
+  in
+  (Printf.sprintf "ENT %s(%s)" e.Ast.ent_name
+     (String.concat ", " (List.map param e.Ast.params)))
+  :: block_lines ~indent:2 e.Ast.body
+
+let program_str (p : Ast.program) =
+  let tops = block_lines ~indent:0 p.Ast.top in
+  let ents = List.concat_map (fun e -> entity_lines e @ [ "" ]) p.Ast.entities in
+  String.concat "\n" (tops @ (if tops = [] then [] else [ "" ]) @ ents) ^ "\n"

@@ -1,0 +1,24 @@
+(** Pretty-printer from the AST back to layout-language source.
+
+    The output re-parses to the same AST ({!Parser.parse_program} of
+    {!program_str} is the identity up to [Ast.equal_program]); the
+    round-trip property is checked in the test suite.  Useful for
+    normalising hand-written sources and for emitting generated module
+    descriptions. *)
+
+val number_str : float -> string
+(** Shortest lossless rendering: integers without a decimal point. *)
+
+val expr_str : ?prec:int -> Ast.expr -> string
+(** Render an expression, parenthesising only where the surrounding
+    precedence [prec] requires it. *)
+
+val stmt_lines : indent:int -> Ast.stmt -> string list
+(** Render one statement as source lines, indented by [indent] spaces. *)
+
+val entity_lines : Ast.entity -> string list
+(** Render an [ENT] definition; the body is indented two spaces so the
+    margin rule terminates it correctly. *)
+
+val program_str : Ast.program -> string
+(** Render a whole program: top-level statements first, then entities. *)

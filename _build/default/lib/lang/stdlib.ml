@@ -1,0 +1,89 @@
+(* Module sources in the layout language, mirroring the paper's Figs. 2
+   and 7.  These are used by the examples, the tests and the code-length
+   benchmark (CLAIM-CODE). *)
+
+(* Fig. 2: "with these three primitive function-calls a complete
+   parameterizable contact row is described without specifying or
+   calculating an exact coordinate and without evaluating a design rule." *)
+let contact_row = {|
+ENT ContactRow(layer, <W>, <L>, <net>)
+  INBOX(layer, W, L, net = net)
+  INBOX("metal1", net = net)
+  ARRAY("contact", net = net)
+|}
+
+(* Fig. 7: the simple MOS differential pair.  The transistor has its poly
+   contact row compacted onto the gate from the north and its diffusion
+   contact row from the east; the pair shares the middle diffusion row. *)
+let diff_pair = {|
+ENT Trans(<W>, <L>)
+  TWORECTS("poly", "pdiff", W, L, neta = "g")
+  polycon = ContactRow(layer = "poly", L = L, net = "g")
+  diffcon = ContactRow(layer = "pdiff", W = W, net = "sd")
+  compact(polycon, SOUTH, "poly", align = "CENTER")
+  compact(diffcon, EAST, "pdiff", align = "MIN")
+
+ENT DiffPair(<W>, <L>)
+  trans1 = Trans(W = W, L = L)
+  RENAME_NET(trans1, "g", "g1")
+  RENAME_NET(trans1, "sd", "d1")
+  trans2 = trans1
+  RENAME_NET(trans2, "g1", "g2")
+  RENAME_NET(trans2, "d1", "s")
+  diffcon = ContactRow(layer = "pdiff", W = W, net = "d2")
+  compact(trans1, WEST)
+  compact(trans2, WEST, "pdiff", align = "MIN")
+  compact(diffcon, WEST, "pdiff", align = "MIN")
+  PORT("g1", "g1", "poly")
+  PORT("g2", "g2", "poly")
+  PORT("d1", "d1", "metal1")
+  PORT("d2", "d2", "metal1")
+  PORT("s", "s", "metal1")
+|}
+
+(* A contact row demonstrating CHOOSE backtracking: the requested width is
+   tried first; when the design rules reject it, the branch is abandoned
+   and the minimum-width fallback is used instead — no if-then cascade
+   needed (§2.1). *)
+let choose_demo = {|
+ENT FlexRow(W, L)
+  CHOOSE
+    INBOX("pdiff", W, L)
+  ORELSE
+    INBOX("pdiff", 2, L)
+  END
+  INBOX("metal1")
+  ARRAY("contact")
+|}
+
+(* A topology-variant module: a single row is tried first and explicitly
+   rejected when the result exceeds the width budget; the fallback folds
+   the row into two stacked halves.  Uses the geometry-query builtins. *)
+let fit_row = {|
+ENT FitRow(L, MaxW)
+  CHOOSE
+    INBOX("pdiff", 2, L, net = "x")
+    INBOX("metal1", net = "x")
+    ARRAY("contact", net = "x")
+    IF WIDTH_OF() > MaxW
+      REJECT("single row too wide")
+    END
+  ORELSE
+    half = ContactRow(layer = "pdiff", L = L / 2, net = "x")
+    half2 = half
+    compact(half, NORTH)
+    compact(half2, NORTH, "pdiff", align = "MIN")
+  END
+|}
+
+(* A tap ladder: FOR loop + derived net names ("tap" + i), the idiom for
+   array-style generators in the language. *)
+let ladder = {|
+ENT Ladder(N, <W>)
+  FOR i = 1 TO N
+    seg = ContactRow(layer = "pdiff", W = W, net = "tap" + i)
+    compact(seg, SOUTH, align = "MIN")
+  END
+|}
+
+let all = String.concat "\n" [ contact_row; diff_pair; fit_row; ladder ]

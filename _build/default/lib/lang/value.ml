@@ -1,0 +1,29 @@
+module Lobj = Amg_layout.Lobj
+
+type t =
+  | Num of float     (* scalars; lengths are micrometres *)
+  | Str of string
+  | Bool of bool
+  | Obj of Lobj.t
+  | Unit             (* also the value of an omitted optional parameter *)
+
+let type_name = function
+  | Num _ -> "number"
+  | Str _ -> "string"
+  | Bool _ -> "bool"
+  | Obj _ -> "object"
+  | Unit -> "unit"
+
+let truthy = function
+  | Bool b -> b
+  | Num f -> f <> 0.
+  | Unit -> false
+  | Str s -> s <> ""
+  | Obj _ -> true
+
+let pp ppf = function
+  | Num f -> Fmt.pf ppf "%g" f
+  | Str s -> Fmt.pf ppf "%S" s
+  | Bool b -> Fmt.pf ppf "%b" b
+  | Obj o -> Fmt.pf ppf "<object %s>" (Lobj.name o)
+  | Unit -> Fmt.pf ppf "()"

@@ -1,0 +1,1 @@
+lib/layout/ascii.pp.ml: Amg_geometry Amg_tech Array Buffer List Lobj Shape String

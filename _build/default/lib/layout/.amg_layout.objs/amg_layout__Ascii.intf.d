@@ -1,0 +1,1 @@
+lib/layout/ascii.pp.mli: Amg_tech Lobj

@@ -1,0 +1,1 @@
+lib/layout/cif.pp.ml: Amg_geometry Amg_tech Buffer Char Hashtbl List Lobj Option Printf Shape String

@@ -1,0 +1,1 @@
+lib/layout/cif.pp.mli: Amg_tech Lobj

@@ -1,0 +1,1 @@
+lib/layout/derive.pp.ml: Amg_geometry Amg_tech List Option

@@ -1,0 +1,1 @@
+lib/layout/derive.pp.mli: Amg_geometry Amg_tech

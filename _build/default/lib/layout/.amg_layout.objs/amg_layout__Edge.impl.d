@@ -1,0 +1,1 @@
+lib/layout/edge.pp.ml: Amg_geometry Ppx_deriving_runtime

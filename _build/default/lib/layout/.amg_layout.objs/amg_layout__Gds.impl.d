@@ -1,0 +1,1 @@
+lib/layout/gds.pp.ml: Amg_geometry Amg_tech Buffer Char Float Fun Int64 List Lobj Shape String

@@ -1,0 +1,1 @@
+lib/layout/gds.pp.mli: Amg_geometry Amg_tech Lobj

@@ -1,0 +1,1 @@
+lib/layout/lobj.pp.ml: Amg_geometry Amg_tech Derive Fmt List Option Port Shape String

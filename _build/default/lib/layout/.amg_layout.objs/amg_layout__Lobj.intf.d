@@ -1,0 +1,1 @@
+lib/layout/lobj.pp.mli: Amg_geometry Amg_tech Edge Format Port Shape

@@ -1,0 +1,1 @@
+lib/layout/parasitics.pp.ml: Amg_geometry Amg_tech Fmt Hashtbl List Lobj Option Shape String

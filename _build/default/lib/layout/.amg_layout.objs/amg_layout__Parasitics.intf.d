@@ -1,0 +1,1 @@
+lib/layout/parasitics.pp.mli: Amg_tech Format Lobj

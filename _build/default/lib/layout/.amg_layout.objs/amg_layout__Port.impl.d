@@ -1,0 +1,1 @@
+lib/layout/port.pp.ml: Amg_geometry Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/layout/shape.pp.ml: Amg_geometry Edge List Ppx_deriving_runtime String

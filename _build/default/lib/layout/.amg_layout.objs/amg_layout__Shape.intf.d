@@ -1,0 +1,1 @@
+lib/layout/shape.pp.mli: Amg_geometry Edge Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/layout/stats.pp.ml: Amg_geometry Fmt List Lobj

@@ -1,0 +1,1 @@
+lib/layout/stats.pp.mli: Amg_geometry Format Lobj

@@ -1,0 +1,1 @@
+lib/layout/svg.pp.ml: Amg_geometry Amg_tech Buffer List Lobj Port Printf Shape

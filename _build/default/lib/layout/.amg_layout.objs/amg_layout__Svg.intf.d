@@ -1,0 +1,1 @@
+lib/layout/svg.pp.mli: Amg_geometry Amg_tech Lobj Port

@@ -1,0 +1,11 @@
+(** ASCII-art layout preview for the terminal.
+
+    Topmost layer (technology drawing order) wins per cell; the aspect
+    ratio compensates for terminal cell geometry. *)
+
+val layer_glyph : Amg_tech.Technology.t -> string -> char
+
+val render : tech:Amg_tech.Technology.t -> ?width:int -> Lobj.t -> string
+
+val legend : tech:Amg_tech.Technology.t -> Lobj.t -> (char * string) list
+(** Glyph-to-layer mapping for the object's layers. *)

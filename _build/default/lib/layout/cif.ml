@@ -1,0 +1,60 @@
+module Rect = Amg_geometry.Rect
+module Technology = Amg_tech.Technology
+
+(* CIF distance unit is a centimicron = 10 nm. *)
+let cif_unit = 10
+
+let to_cif nm =
+  (* Round to nearest centimicron; generated geometry is on a >= 50 nm grid
+     so this is exact in practice. *)
+  (nm + (cif_unit / 2)) / cif_unit
+
+(* CIF layer names must be short alphanumerics; derive from the layer name. *)
+let cif_layer_name lname =
+  let b = Buffer.create 4 in
+  String.iter
+    (fun c ->
+      if Buffer.length b < 4 then
+        match c with
+        | 'a' .. 'z' -> Buffer.add_char b (Char.uppercase_ascii c)
+        | 'A' .. 'Z' | '0' .. '9' -> Buffer.add_char b c
+        | _ -> ())
+    lname;
+  if Buffer.length b = 0 then "LX" else Buffer.contents b
+
+let of_lobj ~tech obj =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "(CIF file: %s, technology %s);\n" (Lobj.name obj)
+       (Technology.name tech));
+  Buffer.add_string b "DS 1 1 1;\n";
+  let by_layer = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Shape.t) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_layer s.layer) in
+      Hashtbl.replace by_layer s.layer (s.rect :: cur))
+    (Lobj.shapes obj);
+  List.iter
+    (fun lname ->
+      match Hashtbl.find_opt by_layer lname with
+      | None -> ()
+      | Some rects ->
+          Buffer.add_string b (Printf.sprintf "L %s;\n" (cif_layer_name lname));
+          List.iter
+            (fun (r : Rect.t) ->
+              (* B width height centerx centery *)
+              Buffer.add_string b
+                (Printf.sprintf "B %d %d %d %d;\n"
+                   (to_cif (Rect.width r))
+                   (to_cif (Rect.height r))
+                   (to_cif ((r.Rect.x0 + r.Rect.x1) / 2))
+                   (to_cif ((r.Rect.y0 + r.Rect.y1) / 2))))
+            (List.rev rects))
+    (Technology.layer_names tech);
+  Buffer.add_string b "DF;\nC 1;\nE\n";
+  Buffer.contents b
+
+let save ~tech obj path =
+  let oc = open_out path in
+  output_string oc (of_lobj ~tech obj);
+  close_out oc

@@ -1,0 +1,11 @@
+(** CIF 2.0 export (flat).
+
+    One definition per object; boxes grouped by layer in technology order.
+    The CIF distance unit is the centimicron (10 nm). *)
+
+val cif_layer_name : string -> string
+(** Short upper-case CIF layer name derived from the technology layer name. *)
+
+val of_lobj : tech:Amg_tech.Technology.t -> Lobj.t -> string
+
+val save : tech:Amg_tech.Technology.t -> Lobj.t -> string -> unit

@@ -1,0 +1,30 @@
+type freedom = Fixed | Variable [@@deriving show { with_path = false }, eq, ord]
+
+type sides = {
+  north : freedom;
+  south : freedom;
+  east : freedom;
+  west : freedom;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+let all_fixed = { north = Fixed; south = Fixed; east = Fixed; west = Fixed }
+
+let all_variable =
+  { north = Variable; south = Variable; east = Variable; west = Variable }
+
+let get sides (d : Amg_geometry.Dir.t) =
+  match d with
+  | North -> sides.north
+  | South -> sides.south
+  | East -> sides.east
+  | West -> sides.west
+
+let set sides (d : Amg_geometry.Dir.t) freedom =
+  match d with
+  | North -> { sides with north = freedom }
+  | South -> { sides with south = freedom }
+  | East -> { sides with east = freedom }
+  | West -> { sides with west = freedom }
+
+let is_variable sides d = get sides d = Variable

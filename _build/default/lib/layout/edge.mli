@@ -1,0 +1,23 @@
+(** Per-edge freedom properties.
+
+    "Each geometry contains special properties that define if its edges are
+    fixed or variable for moving inwards or outwards" (§2.2).  The compactor
+    shrinks [Variable] edges while they are the binding constraint
+    (§2.3, Fig. 5b). *)
+
+type freedom = Fixed | Variable [@@deriving show, eq, ord]
+
+type sides = {
+  north : freedom;
+  south : freedom;
+  east : freedom;
+  west : freedom;
+}
+[@@deriving show, eq, ord]
+
+val all_fixed : sides
+val all_variable : sides
+
+val get : sides -> Amg_geometry.Dir.t -> freedom
+val set : sides -> Amg_geometry.Dir.t -> freedom -> sides
+val is_variable : sides -> Amg_geometry.Dir.t -> bool

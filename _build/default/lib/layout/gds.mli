@@ -1,0 +1,29 @@
+(** GDSII stream export and a minimal reader.
+
+    One library ("AMG"), one structure per object, a BOUNDARY element per
+    shape, database unit 1 nm.  Marker layers are not emitted.  The reader
+    parses structures back to [(gds_layer, rect)] lists, giving a testable
+    round trip. *)
+
+exception Bad_gds of string
+
+val to_bytes : tech:Amg_tech.Technology.t -> Lobj.t -> string
+
+val save : tech:Amg_tech.Technology.t -> Lobj.t -> string -> unit
+
+val parse : string -> string * (int * Amg_geometry.Rect.t) list
+(** Structure name and its boundary rectangles (bounding boxes of the
+    polygon points). @raise Bad_gds on malformed input. *)
+
+val load : string -> string * (int * Amg_geometry.Rect.t) list
+
+val import :
+  tech:Amg_tech.Technology.t -> string -> Lobj.t * int list
+(** Rebuild a layout object from GDS bytes, mapping layer numbers back to
+    the deck's layer names.  Imported shapes carry no nets (GDS stores
+    geometry only).  The second component lists GDS layer numbers the deck
+    does not declare (their boundaries are dropped, not silently lost).
+    @raise Bad_gds on malformed input. *)
+
+val import_file :
+  tech:Amg_tech.Technology.t -> string -> Lobj.t * int list

@@ -1,0 +1,251 @@
+module Rect = Amg_geometry.Rect
+module Region = Amg_geometry.Region
+module Transform = Amg_geometry.Transform
+module Rules = Amg_tech.Rules
+
+type array_spec = {
+  cut_layer : string;
+  container_ids : int list;
+  array_net : string option;
+}
+
+type t = {
+  mutable name : string;
+  mutable shapes : Shape.t list; (* kept in insertion order *)
+  mutable ports : Port.t list;
+  mutable arrays : (int * array_spec) list;
+  mutable next_id : int;
+}
+
+let create name = { name; shapes = []; ports = []; arrays = []; next_id = 0 }
+
+let name t = t.name
+let set_name t n = t.name <- n
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let add_shape t ~layer ~rect ?net ?sides ?keep_clear ?origin () =
+  let s = Shape.make ~id:(fresh_id t) ~layer ~rect ?net ?sides ?keep_clear ?origin () in
+  t.shapes <- t.shapes @ [ s ];
+  s
+
+let shapes t = t.shapes
+
+let shape_count t = List.length t.shapes
+
+let find t id = List.find_opt (fun (s : Shape.t) -> s.id = id) t.shapes
+
+let find_exn t id =
+  match find t id with
+  | Some s -> s
+  | None -> Fmt.invalid_arg "Lobj.find_exn: no shape %d in %s" id t.name
+
+let replace t (s : Shape.t) =
+  let found = ref false in
+  t.shapes <-
+    List.map
+      (fun (old : Shape.t) ->
+        if old.id = s.id then (
+          found := true;
+          s)
+        else old)
+      t.shapes;
+  if not !found then Fmt.invalid_arg "Lobj.replace: no shape %d in %s" s.Shape.id t.name
+
+let remove t id =
+  t.shapes <- List.filter (fun (s : Shape.t) -> s.id <> id) t.shapes
+
+let shapes_on t layer = List.filter (fun s -> Shape.on_layer s layer) t.shapes
+
+let shapes_on_net t net =
+  List.filter (fun (s : Shape.t) -> s.net = Some net) t.shapes
+
+let rects t = List.map (fun (s : Shape.t) -> s.rect) t.shapes
+
+let rects_on t layer = List.map (fun (s : Shape.t) -> s.rect) (shapes_on t layer)
+
+let bbox t = Rect.hull_list (rects t)
+
+let bbox_exn t =
+  match bbox t with
+  | Some r -> r
+  | None -> Fmt.invalid_arg "Lobj.bbox_exn: %s is empty" t.name
+
+let bbox_on t layer = Rect.hull_list (rects_on t layer)
+
+let bbox_area t = match bbox t with None -> 0 | Some r -> Rect.area r
+
+let union_area t = Region.area (rects t)
+
+let layers t =
+  List.fold_left
+    (fun acc (s : Shape.t) ->
+      if List.mem s.layer acc then acc else s.layer :: acc)
+    [] t.shapes
+  |> List.rev
+
+let nets t =
+  List.fold_left
+    (fun acc (s : Shape.t) ->
+      match s.net with
+      | Some n when not (List.mem n acc) -> n :: acc
+      | _ -> acc)
+    [] t.shapes
+  |> List.rev
+
+let translate t ~dx ~dy =
+  t.shapes <- List.map (fun s -> Shape.translate s ~dx ~dy) t.shapes;
+  t.ports <- List.map (fun p -> Port.translate p ~dx ~dy) t.ports
+
+let transform t tr =
+  t.shapes <- List.map (fun s -> Shape.transform s tr) t.shapes;
+  t.ports <- List.map (fun p -> Port.transform p tr) t.ports
+
+(* Deep copy; shape ids are per-object so they are kept ("trans2 = trans1
+   copies the data structure", §2.5). *)
+let copy ?name t =
+  {
+    name = Option.value ~default:t.name name;
+    shapes = t.shapes;
+    ports = t.ports;
+    arrays = t.arrays;
+    next_id = t.next_id;
+  }
+
+let add_port t ~name ~net ~layer ~rect =
+  let p = Port.make ~name ~net ~layer ~rect in
+  t.ports <- t.ports @ [ p ];
+  p
+
+let ports t = t.ports
+
+let port t name = List.find_opt (fun (p : Port.t) -> String.equal p.name name) t.ports
+
+let port_exn t pname =
+  match port t pname with
+  | Some p -> p
+  | None -> Fmt.invalid_arg "Lobj.port_exn: no port %s in %s" pname t.name
+
+let remove_port t pname =
+  t.ports <- List.filter (fun (p : Port.t) -> not (String.equal p.name pname)) t.ports
+
+let rename_net t ~from_ ~to_ =
+  t.shapes <-
+    List.map
+      (fun (s : Shape.t) ->
+        if s.net = Some from_ then Shape.with_net s (Some to_) else s)
+      t.shapes;
+  t.ports <-
+    List.map
+      (fun (p : Port.t) ->
+        if String.equal p.net from_ then { p with net = to_ } else p)
+      t.ports;
+  t.arrays <-
+    List.map
+      (fun (id, spec) ->
+        if spec.array_net = Some from_ then (id, { spec with array_net = Some to_ })
+        else (id, spec))
+      t.arrays
+
+(* Prefix every net of the object, giving instance-local net names. *)
+let qualify_nets t prefix =
+  let q n = prefix ^ "." ^ n in
+  t.shapes <-
+    List.map
+      (fun (s : Shape.t) -> Shape.with_net s (Option.map q s.net))
+      t.shapes;
+  t.ports <- List.map (fun (p : Port.t) -> { p with net = q p.net }) t.ports;
+  t.arrays <-
+    List.map
+      (fun (id, spec) -> (id, { spec with array_net = Option.map q spec.array_net }))
+      t.arrays
+
+(* --- Derived cut arrays (§2.2 / §2.3) --- *)
+
+let register_array t ~cut_layer ~container_ids ?net () =
+  let id = fresh_id t in
+  t.arrays <- t.arrays @ [ (id, { cut_layer; container_ids; array_net = net }) ];
+  id
+
+let array_specs t = t.arrays
+
+let arrays_of_container t id =
+  List.filter_map
+    (fun (aid, spec) -> if List.mem id spec.container_ids then Some aid else None)
+    t.arrays
+
+let array_member_count t array_id =
+  List.length
+    (List.filter (fun (s : Shape.t) -> s.origin = Shape.Array_member array_id) t.shapes)
+
+(* Is this shape a container of some registered array?  If so the compactor
+   must not shrink it below the one-cut minimum. *)
+let array_cut_layers_of_container t id =
+  List.filter_map
+    (fun (_, spec) ->
+      if List.mem id spec.container_ids then Some spec.cut_layer else None)
+    t.arrays
+
+let rederive t rules =
+  List.iter
+    (fun (array_id, spec) ->
+      t.shapes <-
+        List.filter
+          (fun (s : Shape.t) -> s.origin <> Shape.Array_member array_id)
+          t.shapes;
+      let containers =
+        List.map
+          (fun id ->
+            let s = find_exn t id in
+            (s.Shape.layer, s.Shape.rect))
+          spec.container_ids
+      in
+      let cuts = Derive.cut_array rules ~containers ~cut_layer:spec.cut_layer in
+      List.iter
+        (fun rect ->
+          ignore
+            (add_shape t ~layer:spec.cut_layer ~rect ?net:spec.array_net
+               ~origin:(Shape.Array_member array_id) ()))
+        cuts)
+    t.arrays
+
+(* Merge [src] into [t], renumbering ids; returns the id offset applied. *)
+let absorb t src =
+  let offset = t.next_id in
+  let bump (s : Shape.t) =
+    let origin =
+      match s.origin with
+      | Shape.User -> Shape.User
+      | Shape.Array_member a -> Shape.Array_member (a + offset)
+    in
+    { s with id = s.id + offset; origin }
+  in
+  t.shapes <- t.shapes @ List.map bump src.shapes;
+  t.ports <- t.ports @ src.ports;
+  t.arrays <-
+    t.arrays
+    @ List.map
+        (fun (id, spec) ->
+          ( id + offset,
+            { spec with container_ids = List.map (fun i -> i + offset) spec.container_ids } ))
+        src.arrays;
+  t.next_id <- t.next_id + src.next_id;
+  offset
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>object %s (%d shapes, %d ports)@," t.name
+    (List.length t.shapes) (List.length t.ports);
+  List.iter
+    (fun (s : Shape.t) ->
+      Fmt.pf ppf "  %3d %-8s %a %a@," s.id s.layer Rect.pp_um s.rect
+        Fmt.(option string)
+        s.net)
+    t.shapes;
+  List.iter
+    (fun (p : Port.t) ->
+      Fmt.pf ppf "  port %s net=%s %s %a@," p.name p.net p.layer Rect.pp_um p.rect)
+    t.ports;
+  Fmt.pf ppf "@]"

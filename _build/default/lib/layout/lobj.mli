@@ -1,0 +1,112 @@
+(** Layout objects — the paper's "objects".
+
+    A layout object is the mutable data structure a module generator builds:
+    a list of shapes, named ports, and registered cut arrays whose members
+    are derived from container shapes.  Complex modules are constructed by
+    compacting objects one at a time into a growing main object (§2.3). *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+val set_name : t -> string -> unit
+
+val add_shape :
+  t ->
+  layer:string ->
+  rect:Amg_geometry.Rect.t ->
+  ?net:string ->
+  ?sides:Edge.sides ->
+  ?keep_clear:bool ->
+  ?origin:Shape.origin ->
+  unit ->
+  Shape.t
+(** Appends a shape with a fresh id and returns it. *)
+
+val shapes : t -> Shape.t list
+(** In insertion order (drawing order). *)
+
+val shape_count : t -> int
+
+val find : t -> int -> Shape.t option
+val find_exn : t -> int -> Shape.t
+
+val replace : t -> Shape.t -> unit
+(** Replace the shape with the same id.
+    @raise Invalid_argument when the id is absent. *)
+
+val remove : t -> int -> unit
+
+val shapes_on : t -> string -> Shape.t list
+val shapes_on_net : t -> string -> Shape.t list
+val rects : t -> Amg_geometry.Rect.t list
+val rects_on : t -> string -> Amg_geometry.Rect.t list
+
+val bbox : t -> Amg_geometry.Rect.t option
+val bbox_exn : t -> Amg_geometry.Rect.t
+val bbox_on : t -> string -> Amg_geometry.Rect.t option
+
+val bbox_area : t -> int
+(** Area of the bounding box — the optimizer's primary rating term. *)
+
+val union_area : t -> int
+(** Exact union area of all shapes. *)
+
+val layers : t -> string list
+(** Layers present, in first-use order. *)
+
+val nets : t -> string list
+
+val translate : t -> dx:int -> dy:int -> unit
+val transform : t -> Amg_geometry.Transform.t -> unit
+
+val copy : ?name:string -> t -> t
+(** Deep copy — the paper's ["trans2 = trans1"] object copy (§2.5). *)
+
+val add_port :
+  t -> name:string -> net:string -> layer:string -> rect:Amg_geometry.Rect.t -> Port.t
+
+val ports : t -> Port.t list
+val port : t -> string -> Port.t option
+val port_exn : t -> string -> Port.t
+val remove_port : t -> string -> unit
+
+val rename_net : t -> from_:string -> to_:string -> unit
+(** Connect a sub-module's formal net to an actual net of the parent. *)
+
+val qualify_nets : t -> string -> unit
+(** Prefix every net with ["prefix."] to make instance-local names. *)
+
+type array_spec = {
+  cut_layer : string;
+  container_ids : int list;
+  array_net : string option;
+}
+
+val register_array :
+  t -> cut_layer:string -> container_ids:int list -> ?net:string -> unit -> int
+(** Declare a derived cut array bounded by the given container shapes;
+    returns the array id.  Members carry [Shape.Array_member id]. *)
+
+val array_specs : t -> (int * array_spec) list
+
+val arrays_of_container : t -> int -> int list
+(** Ids of the registered arrays using shape [id] as a container. *)
+
+val array_member_count : t -> int -> int
+(** Current number of members of the given array. *)
+
+val array_cut_layers_of_container : t -> int -> string list
+(** Cut layers of every registered array that uses shape [id] as a
+    container; non-empty means variable-edge shrinking must preserve the
+    one-cut minimum extent. *)
+
+val rederive : t -> Amg_tech.Rules.t -> unit
+(** Recompute all array members from the current container rectangles —
+    the automatic rebuild of §2.3. *)
+
+val absorb : t -> t -> int
+(** [absorb t src] appends [src]'s shapes, ports and arrays into [t],
+    renumbering ids; returns the id offset applied to [src]'s ids. *)
+
+val pp : Format.formatter -> t -> unit

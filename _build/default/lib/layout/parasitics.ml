@@ -1,0 +1,79 @@
+module Rect = Amg_geometry.Rect
+module Units = Amg_geometry.Units
+module Technology = Amg_tech.Technology
+module Layer = Amg_tech.Layer
+
+(* Crossing capacitance between two different conducting layers, aF/um^2.
+   A single generic value is enough for the rating function: it only has to
+   penalise avoidable crossings over sensitive nets consistently. *)
+let crossing_cap = 40.
+
+type net_cap = {
+  net : string;
+  ground_cap : float;   (* fF: plate + fringe to substrate *)
+  coupling_cap : float; (* fF: crossings with other nets *)
+}
+
+let um2 nm2 = float_of_int nm2 /. 1.0e6
+
+let um nm = Units.to_um nm
+
+let shape_ground_cap (layer : Layer.t) (r : Rect.t) =
+  let a = um2 (Rect.area r) in
+  let p = 2. *. (um (Rect.width r) +. um (Rect.height r)) in
+  (layer.Layer.area_cap *. a) +. (layer.Layer.fringe_cap *. p)
+
+(* Total capacitance per net of an object, in fF. *)
+let of_lobj ~tech obj =
+  let shapes =
+    List.filter_map
+      (fun (s : Shape.t) ->
+        match (s.Shape.net, Technology.layer tech s.Shape.layer) with
+        | Some net, Some layer when layer.Layer.conducting -> Some (net, layer, s.Shape.rect)
+        | _ -> None)
+      (Lobj.shapes obj)
+  in
+  let tbl = Hashtbl.create 16 in
+  let bump net dg dc =
+    let g, c = Option.value ~default:(0., 0.) (Hashtbl.find_opt tbl net) in
+    Hashtbl.replace tbl net (g +. dg, c +. dc)
+  in
+  List.iter (fun (net, layer, r) -> bump net (shape_ground_cap layer r) 0.) shapes;
+  (* Crossing coupling: overlaps between conducting shapes on different
+     layers belonging to different nets. *)
+  let rec pairs = function
+    | [] -> ()
+    | (na, la, ra) :: tl ->
+        List.iter
+          (fun (nb, lb, rb) ->
+            if
+              (not (String.equal na nb))
+              && not (String.equal la.Layer.name lb.Layer.name)
+            then
+              match Rect.inter ra rb with
+              | Some i ->
+                  let c = crossing_cap *. um2 (Rect.area i) in
+                  bump na 0. c;
+                  bump nb 0. c
+              | None -> ())
+          tl;
+        pairs tl
+  in
+  pairs shapes;
+  Hashtbl.fold
+    (fun net (g, c) acc ->
+      { net; ground_cap = g /. 1000.; coupling_cap = c /. 1000. } :: acc)
+    tbl []
+  |> List.sort (fun a b -> String.compare a.net b.net)
+
+let net_total ~tech obj net =
+  match List.find_opt (fun nc -> String.equal nc.net net) (of_lobj ~tech obj) with
+  | Some nc -> nc.ground_cap +. nc.coupling_cap
+  | None -> 0.
+
+let pp_report ppf caps =
+  Fmt.pf ppf "@[<v>%-16s %10s %10s@," "net" "Cgnd/fF" "Ccpl/fF";
+  List.iter
+    (fun nc -> Fmt.pf ppf "%-16s %10.2f %10.2f@," nc.net nc.ground_cap nc.coupling_cap)
+    caps;
+  Fmt.pf ppf "@]"

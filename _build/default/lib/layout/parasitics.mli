@@ -1,0 +1,26 @@
+(** Parasitic-capacitance estimation.
+
+    The optimizer's rating function "considers the area and electrical
+    conditions" (§2.4) and the paper judges the amplifier by the "parasitic
+    capacitances of the internal nodes" (§3).  This module estimates, per
+    net, plate + fringe capacitance to substrate and crossing coupling
+    between different nets. *)
+
+type net_cap = {
+  net : string;
+  ground_cap : float;   (** fF, plate + fringe to substrate *)
+  coupling_cap : float; (** fF, crossings with other nets *)
+}
+
+val crossing_cap : float
+(** Generic crossing capacitance between two different conducting layers,
+    aF per um². *)
+
+val of_lobj : tech:Amg_tech.Technology.t -> Lobj.t -> net_cap list
+(** Per-net capacitances of every net-annotated conducting shape, sorted by
+    net name. *)
+
+val net_total : tech:Amg_tech.Technology.t -> Lobj.t -> string -> float
+(** Total (ground + coupling) capacitance of one net, fF. *)
+
+val pp_report : Format.formatter -> net_cap list -> unit

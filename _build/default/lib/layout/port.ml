@@ -1,0 +1,10 @@
+module Rect = Amg_geometry.Rect
+
+type t = { name : string; net : string; layer : string; rect : Rect.t }
+[@@deriving show { with_path = false }, eq, ord]
+
+let make ~name ~net ~layer ~rect = { name; net; layer; rect }
+
+let translate p ~dx ~dy = { p with rect = Rect.translate p.rect ~dx ~dy }
+
+let transform p tr = { p with rect = Amg_geometry.Transform.rect tr p.rect }

@@ -1,0 +1,17 @@
+(** Named connection points of a layout object.
+
+    A port exposes a rectangle on a routing layer, bound to a net, through
+    which a module's "external connections" (§1) are made by the routing
+    routines and by parent modules. *)
+
+type t = {
+  name : string;
+  net : string;
+  layer : string;
+  rect : Amg_geometry.Rect.t;
+}
+[@@deriving show, eq, ord]
+
+val make : name:string -> net:string -> layer:string -> rect:Amg_geometry.Rect.t -> t
+val translate : t -> dx:int -> dy:int -> t
+val transform : t -> Amg_geometry.Transform.t -> t

@@ -1,0 +1,51 @@
+module Rect = Amg_geometry.Rect
+module Region = Amg_geometry.Region
+module Units = Amg_geometry.Units
+
+type t = {
+  object_name : string;
+  shape_count : int;
+  port_count : int;
+  bbox : Rect.t option;
+  bbox_area_um2 : float;
+  layer_areas : (string * float) list; (* union area per layer, um^2 *)
+  density : float;                     (* union of all shapes / bbox *)
+}
+
+let um2 nm2 = float_of_int nm2 /. 1.0e6
+
+let of_lobj obj =
+  let bbox = Lobj.bbox obj in
+  let bbox_area = match bbox with None -> 0 | Some r -> Rect.area r in
+  let layer_areas =
+    List.map
+      (fun layer -> (layer, um2 (Region.area (Lobj.rects_on obj layer))))
+      (Lobj.layers obj)
+  in
+  {
+    object_name = Lobj.name obj;
+    shape_count = Lobj.shape_count obj;
+    port_count = List.length (Lobj.ports obj);
+    bbox;
+    bbox_area_um2 = um2 bbox_area;
+    layer_areas;
+    density =
+      (if bbox_area = 0 then 0.
+       else um2 (Lobj.union_area obj) /. um2 bbox_area);
+  }
+
+let pp ppf s =
+  Fmt.pf ppf "@[<v>%s: %d shapes, %d ports@," s.object_name s.shape_count
+    s.port_count;
+  (match s.bbox with
+  | Some r ->
+      Fmt.pf ppf "  bbox %a (%.1f x %.1f um, %.1f um2)@," Rect.pp_um r
+        (Units.to_um (Rect.width r))
+        (Units.to_um (Rect.height r))
+        s.bbox_area_um2
+  | None -> Fmt.pf ppf "  (empty)@,");
+  Fmt.pf ppf "  density %.2f@," s.density;
+  List.iter
+    (fun (layer, a) -> Fmt.pf ppf "  %-10s %10.2f um2@," layer a)
+    s.layer_areas;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,16 @@
+(** Layout statistics: size, per-layer utilisation, density. *)
+
+type t = {
+  object_name : string;
+  shape_count : int;
+  port_count : int;
+  bbox : Amg_geometry.Rect.t option;
+  bbox_area_um2 : float;
+  layer_areas : (string * float) list;
+      (** union area per layer in um², in first-use layer order *)
+  density : float;
+      (** union area of all shapes divided by bounding-box area *)
+}
+
+val of_lobj : Lobj.t -> t
+val pp : Format.formatter -> t -> unit

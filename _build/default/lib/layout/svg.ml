@@ -1,0 +1,111 @@
+module Rect = Amg_geometry.Rect
+module Units = Amg_geometry.Units
+module Technology = Amg_tech.Technology
+module Layer = Amg_tech.Layer
+module Patterns = Amg_tech.Patterns
+
+(* Scale: pixels per micrometre. *)
+let default_scale = 12.
+
+let pattern_id (layer : Layer.t) = "fill-" ^ layer.name
+
+let pattern_def b (layer : Layer.t) =
+  let { Patterns.style; color } = layer.Layer.fill in
+  let id = pattern_id layer in
+  let line x1 y1 x2 y2 =
+    Printf.sprintf
+      "<line x1='%g' y1='%g' x2='%g' y2='%g' stroke='%s' stroke-width='1'/>" x1
+      y1 x2 y2 color
+  in
+  let pat body =
+    Buffer.add_string b
+      (Printf.sprintf
+         "<pattern id='%s' width='6' height='6' patternUnits='userSpaceOnUse'>%s</pattern>\n"
+         id body)
+  in
+  match style with
+  | Patterns.Solid | Patterns.Outline -> ()
+  | Patterns.Hatch -> pat (line 0. 6. 6. 0. ^ line (-1.) 1. 1. (-1.) ^ line 5. 7. 7. 5.)
+  | Patterns.Back_hatch -> pat (line 0. 0. 6. 6. ^ line 5. (-1.) 7. 1. ^ line (-1.) 5. 1. 7.)
+  | Patterns.Cross_hatch -> pat (line 0. 6. 6. 0. ^ line 0. 0. 6. 6.)
+  | Patterns.Dots ->
+      pat (Printf.sprintf "<circle cx='2' cy='2' r='1' fill='%s'/>" color)
+
+let fill_attr (layer : Layer.t) =
+  let { Patterns.style; color } = layer.Layer.fill in
+  match style with
+  | Patterns.Solid -> Printf.sprintf "fill='%s' fill-opacity='0.85'" color
+  | Patterns.Outline -> "fill='none'"
+  | _ -> Printf.sprintf "fill='url(#%s)'" (pattern_id layer)
+
+(* Render a list of (layer, rect) pairs plus optional port markers. *)
+let render_rects ~tech ?(scale = default_scale) ?(margin = 2.0)
+    ~(title : string) rects ports =
+  let b = Buffer.create 8192 in
+  let bbox =
+    match Rect.hull_list (List.map snd rects) with
+    | Some r -> r
+    | None -> Rect.of_size ~x:0 ~y:0 ~w:1000 ~h:1000
+  in
+  let px_of_um um = um *. scale in
+  let x_of nm = px_of_um (Units.to_um (nm - bbox.Rect.x0) +. margin) in
+  (* SVG y grows downward; layout y grows upward. *)
+  let y_of nm = px_of_um (Units.to_um (bbox.Rect.y1 - nm) +. margin) in
+  let w_px = px_of_um (Units.to_um (Rect.width bbox) +. (2. *. margin)) in
+  let h_px = px_of_um (Units.to_um (Rect.height bbox) +. (2. *. margin)) in
+  Buffer.add_string b
+    (Printf.sprintf
+       "<svg xmlns='http://www.w3.org/2000/svg' width='%g' height='%g' \
+        viewBox='0 0 %g %g'>\n"
+       w_px h_px w_px h_px);
+  Buffer.add_string b (Printf.sprintf "<title>%s</title>\n" title);
+  Buffer.add_string b "<defs>\n";
+  List.iter (pattern_def b) (Technology.layers tech);
+  Buffer.add_string b "</defs>\n";
+  Buffer.add_string b
+    (Printf.sprintf "<rect width='%g' height='%g' fill='white'/>\n" w_px h_px);
+  (* Draw in technology layer order, bottom first. *)
+  let order (l, _) = Technology.draw_index tech l in
+  let sorted = List.stable_sort (fun a bb -> compare (order a) (order bb)) rects in
+  List.iter
+    (fun (lname, (r : Rect.t)) ->
+      match Technology.layer tech lname with
+      | None -> ()
+      | Some layer ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "<rect x='%g' y='%g' width='%g' height='%g' %s stroke='%s' \
+                stroke-width='0.6'/>\n"
+               (x_of r.Rect.x0) (y_of r.Rect.y1)
+               (px_of_um (Units.to_um (Rect.width r)))
+               (px_of_um (Units.to_um (Rect.height r)))
+               (fill_attr layer) layer.Layer.fill.Patterns.color))
+    sorted;
+  List.iter
+    (fun (p : Port.t) ->
+      let r = p.Port.rect in
+      Buffer.add_string b
+        (Printf.sprintf
+           "<rect x='%g' y='%g' width='%g' height='%g' fill='none' \
+            stroke='black' stroke-width='1' stroke-dasharray='3,2'/>\n\
+            <text x='%g' y='%g' font-size='8' font-family='monospace'>%s</text>\n"
+           (x_of r.Rect.x0) (y_of r.Rect.y1)
+           (px_of_um (Units.to_um (Rect.width r)))
+           (px_of_um (Units.to_um (Rect.height r)))
+           (x_of r.Rect.x0)
+           (y_of r.Rect.y1 -. 2.)
+           p.Port.name))
+    ports;
+  Buffer.add_string b "</svg>\n";
+  Buffer.contents b
+
+let of_lobj ~tech ?scale ?margin obj =
+  let rects =
+    List.map (fun (s : Shape.t) -> (s.Shape.layer, s.Shape.rect)) (Lobj.shapes obj)
+  in
+  render_rects ~tech ?scale ?margin ~title:(Lobj.name obj) rects (Lobj.ports obj)
+
+let save ~tech ?scale ?margin obj path =
+  let oc = open_out path in
+  output_string oc (of_lobj ~tech ?scale ?margin obj);
+  close_out oc

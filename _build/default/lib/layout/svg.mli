@@ -1,0 +1,28 @@
+(** SVG export.
+
+    Renders layout objects with the per-layer fill patterns of the
+    technology (the paper's Fig. 4), y axis up, ports as dashed outlines. *)
+
+val default_scale : float
+(** Pixels per micrometre (12). *)
+
+val render_rects :
+  tech:Amg_tech.Technology.t ->
+  ?scale:float ->
+  ?margin:float ->
+  title:string ->
+  (string * Amg_geometry.Rect.t) list ->
+  Port.t list ->
+  string
+(** Low-level entry: render labelled rectangles and port markers. *)
+
+val of_lobj :
+  tech:Amg_tech.Technology.t -> ?scale:float -> ?margin:float -> Lobj.t -> string
+
+val save :
+  tech:Amg_tech.Technology.t ->
+  ?scale:float ->
+  ?margin:float ->
+  Lobj.t ->
+  string ->
+  unit

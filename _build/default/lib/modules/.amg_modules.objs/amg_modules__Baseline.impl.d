@@ -1,0 +1,1 @@
+lib/modules/baseline.pp.ml: Amg_core Amg_geometry Amg_layout Amg_tech List Option String

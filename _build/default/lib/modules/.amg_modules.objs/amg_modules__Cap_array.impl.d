@@ -1,0 +1,1 @@
+lib/modules/cap_array.pp.ml: Amg_core Amg_geometry Amg_layout Amg_tech Array Capacitor List Mosfet

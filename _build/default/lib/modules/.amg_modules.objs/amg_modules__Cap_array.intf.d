@@ -1,0 +1,1 @@
+lib/modules/cap_array.pp.mli: Amg_core Amg_layout

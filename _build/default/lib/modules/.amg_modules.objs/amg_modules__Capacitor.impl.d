@@ -1,0 +1,1 @@
+lib/modules/capacitor.pp.ml: Amg_core Amg_geometry Amg_layout Amg_tech Mosfet

@@ -1,0 +1,1 @@
+lib/modules/common_centroid.pp.ml: Amg_core Amg_geometry Amg_layout Amg_route Amg_tech Contact_row Fun List Mos_array Mosfet String

@@ -1,0 +1,1 @@
+lib/modules/contact_row.pp.ml: Amg_core Amg_geometry Amg_layout Amg_tech List

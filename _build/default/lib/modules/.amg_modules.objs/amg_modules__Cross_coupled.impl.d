@@ -1,0 +1,1 @@
+lib/modules/cross_coupled.pp.ml: Amg_core Amg_geometry Mos_array

@@ -1,0 +1,1 @@
+lib/modules/cross_coupled.pp.mli: Amg_core Amg_layout Mos_array Mosfet

@@ -1,0 +1,1 @@
+lib/modules/current_mirror.pp.ml: Amg_core Amg_geometry Amg_layout Amg_route Amg_tech List Mos_array

@@ -1,0 +1,1 @@
+lib/modules/current_mirror.pp.mli: Amg_core Amg_layout Mos_array Mosfet

@@ -1,0 +1,1 @@
+lib/modules/diff_pair.pp.ml: Amg_core Amg_geometry Amg_layout Contact_row Mosfet

@@ -1,0 +1,1 @@
+lib/modules/diff_pair.pp.mli: Amg_core Amg_layout Mosfet

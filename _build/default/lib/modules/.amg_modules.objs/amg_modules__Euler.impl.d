@@ -1,0 +1,1 @@
+lib/modules/euler.pp.ml: Amg_core Amg_layout Array Hashtbl List Mos_array Option String

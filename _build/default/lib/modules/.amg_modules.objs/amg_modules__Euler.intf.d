@@ -1,0 +1,1 @@
+lib/modules/euler.pp.mli: Mos_array

@@ -1,0 +1,1 @@
+lib/modules/mos_array.pp.mli: Amg_core Amg_geometry Amg_layout Mosfet

@@ -1,0 +1,1 @@
+lib/modules/mosfet.pp.ml: Amg_core Amg_geometry Amg_layout Amg_route Amg_tech Contact_row List Option Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/modules/mosfet.pp.mli: Amg_core Amg_layout Ppx_deriving_runtime

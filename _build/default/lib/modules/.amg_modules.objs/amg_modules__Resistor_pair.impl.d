@@ -1,0 +1,1 @@
+lib/modules/resistor_pair.pp.ml: Amg_core Amg_geometry Amg_layout Amg_tech Contact_row List Mosfet Option

@@ -1,0 +1,1 @@
+lib/modules/resistor_pair.pp.mli: Amg_core Amg_layout

@@ -1,0 +1,1 @@
+lib/modules/stacked.pp.ml: Amg_core Amg_geometry Amg_layout Amg_tech Contact_row Mosfet

@@ -1,0 +1,1 @@
+lib/modules/tap_repair.pp.ml: Amg_compact Amg_core Amg_drc Amg_geometry Amg_layout Amg_tech Contact_row List

@@ -1,0 +1,1 @@
+lib/modules/tap_repair.pp.mli: Amg_core Amg_layout Amg_tech

@@ -1,0 +1,46 @@
+(** Common-centroid unit-capacitor array.
+
+    Two ratioed capacitors C_A : C_B = [units_a] : [units_b] built from
+    identical poly/poly2 unit cells on a shared bottom plate, assigned to
+    grid cells in point-symmetric pairs so both groups' centroids coincide
+    with the array centre (the capacitor counterpart of module E's
+    transistor centroid).  Group wiring is single-layer metal1: per-row A
+    straps above / B straps below each row, joined by an east A rail and a
+    west B rail.  An optional dummy ring at the same unit size surrounds
+    the array, every dummy tied to the bottom-plate net (so extraction
+    reduces dummies away as same-node capacitors). *)
+
+type group = A | B
+
+type plan = { rows : int; cols : int; cells : group array array }
+
+val grid_dims : int -> int * int
+(** Near-square factorisation [(rows, cols)] of a unit count. *)
+
+val plan : units_a:int -> units_b:int -> plan
+(** The symmetric assignment.  Cell [(i,j)] and its point-symmetric partner
+    always carry the same group.
+    @raise Amg_core.Env.Rejected when the counts cannot be assigned
+    symmetrically (even grid needs both counts even; odd grid needs
+    exactly one odd count). *)
+
+val centroid : Amg_layout.Lobj.t -> net:string -> (float * float) option
+(** Area-weighted centroid of a net's poly2 top plates, in nm. *)
+
+val make :
+  Amg_core.Env.t ->
+  ?name:string ->
+  unit_ff:float ->
+  units_a:int ->
+  units_b:int ->
+  ?net_a:string ->
+  ?net_b:string ->
+  ?net_bot:string ->
+  ?dummies:bool ->
+  ?assignment:plan ->
+  unit ->
+  Amg_layout.Lobj.t * plan
+(** Build the array.  Ports: [net_a], [net_b] (top-plate groups) and
+    [net_bot] (shared bottom plate, south contact tab).  [assignment]
+    overrides the symmetric {!plan} — used by the benchmark ablation to
+    measure the centroid error of a naive row-major assignment. *)

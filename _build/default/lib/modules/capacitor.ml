@@ -1,0 +1,87 @@
+(* Poly/poly2 plate capacitor.
+
+   The bottom plate is poly with a contact tab on the west; the top plate
+   is poly2 inside it with its own metal1/contact array.  The capacitance
+   is set by the poly2 area times the technology's poly2 area
+   capacitance. *)
+
+module Rect = Amg_geometry.Rect
+module Units = Amg_geometry.Units
+module Rules = Amg_tech.Rules
+module Technology = Amg_tech.Technology
+module Layer = Amg_tech.Layer
+module Lobj = Amg_layout.Lobj
+module Env = Amg_core.Env
+module Prim = Amg_core.Prim
+module Margins = Amg_core.Margins
+
+(* Top-plate side length (square plate) for the requested capacitance in
+   fF. *)
+let plate_side env ~cap_ff =
+  let cap_per_um2 =
+    match Technology.layer (Env.tech env) "poly2" with
+    | Some l -> l.Layer.area_cap (* aF / um^2 *)
+    | None -> 0.
+  in
+  if cap_per_um2 <= 0. then Env.reject "capacitor: poly2 has no area capacitance";
+  let area_um2 = cap_ff *. 1000. /. cap_per_um2 in
+  let side_um = sqrt area_um2 in
+  Units.snap_up ~grid:(Env.grid env) (Units.of_um side_um)
+
+let make env ?(name = "capacitor") ~cap_ff ?(net_top = "top") ?(net_bot = "bot") () =
+  let rules = Env.rules env in
+  let side = plate_side env ~cap_ff in
+  let m = Rules.enclosure_or_zero rules ~outer:"poly" ~inner:"poly2" in
+  (* Bottom-plate contact tab west of the top plate: wide enough for a
+     contact row plus clearance to the top plate. *)
+  let tab = Amg_layout.Derive.min_container_extent rules ~container_layer:"poly" ~cut_layer:"contact"
+            + Rules.width rules "poly" in
+  let obj = Lobj.create name in
+  let bottom =
+    Prim.raw obj ~layer:"poly"
+      ~rect:(Rect.of_size ~x:(-m - tab) ~y:(-m) ~w:(side + (2 * m) + tab) ~h:(side + (2 * m)))
+      ~net:net_bot ()
+  in
+  let top =
+    Prim.raw obj ~layer:"poly2" ~rect:(Rect.of_size ~x:0 ~y:0 ~w:side ~h:side)
+      ~net:net_top ()
+  in
+  (* Top-plate metal and contact array inside the poly2. *)
+  let mm = Margins.inside rules ~outer:"poly2" ~inner:"metal1" in
+  let metal =
+    Prim.raw obj ~layer:"metal1"
+      ~rect:(Rect.inflate top.Amg_layout.Shape.rect (-mm))
+      ~net:net_top ()
+  in
+  let _ = Prim.array env obj ~layer:"contact" ~net:net_top ~within:[ top; metal ] () in
+  (* Bottom-plate contact row on the tab. *)
+  let tab_window =
+    Rect.make
+      ~x0:(-m - tab)
+      ~y0:(-m)
+      ~x1:(-m - Rules.width rules "poly")
+      ~y1:(side + m)
+  in
+  let land_ = Prim.raw obj ~layer:"poly" ~rect:tab_window ~net:net_bot () in
+  let mbot =
+    Prim.raw obj ~layer:"metal1"
+      ~rect:(Rect.inflate tab_window (-Margins.inside rules ~outer:"poly" ~inner:"metal1"))
+      ~net:net_bot ()
+  in
+  let _ = Prim.array env obj ~layer:"contact" ~net:net_bot ~within:[ land_; mbot ] () in
+  ignore bottom;
+  Mosfet.port_on obj ~name:net_top ~net:net_top ();
+  Mosfet.port_on obj ~name:net_bot ~net:net_bot ();
+  let cap_per_um2 =
+    match Technology.layer (Env.tech env) "poly2" with
+    | Some l -> l.Layer.area_cap
+    | None -> 0.
+  in
+  (* The array call may have expanded the plates; re-fetch the top plate. *)
+  let top_rect =
+    match Lobj.find obj top.Amg_layout.Shape.id with
+    | Some s -> s.Amg_layout.Shape.rect
+    | None -> top.Amg_layout.Shape.rect
+  in
+  let actual_ff = cap_per_um2 *. (float_of_int (Rect.area top_rect) /. 1.0e6) /. 1000. in
+  (obj, actual_ff)

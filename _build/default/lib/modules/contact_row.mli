@@ -1,0 +1,66 @@
+(** Contact rows (Fig. 2), via rows, taps and guard rings. *)
+
+val variable_sides : Amg_geometry.Dir.t list -> Amg_layout.Edge.sides
+(** All-fixed sides with the listed directions made variable. *)
+
+val make :
+  Amg_core.Env.t ->
+  ?name:string ->
+  layer:string ->
+  ?w:int ->
+  ?l:int ->
+  ?net:string ->
+  ?var_edges:Amg_geometry.Dir.t list ->
+  ?port:string ->
+  unit ->
+  Amg_layout.Lobj.t
+(** The paper's [ContactRow(layer, <W>, <L>)]: landing rectangle on
+    [layer], metal1 inside it, equidistant contact array.  Omitted sizes
+    take their design-rule minima (Fig. 3).  [var_edges] marks edges of the
+    landing and metal rectangles variable so a parent compaction can shrink
+    the row (Fig. 5b).  [port] adds a metal1 port. *)
+
+val via_row :
+  Amg_core.Env.t ->
+  ?name:string ->
+  ?w:int ->
+  ?l:int ->
+  ?net:string ->
+  ?var_edges:Amg_geometry.Dir.t list ->
+  ?port:string ->
+  unit ->
+  Amg_layout.Lobj.t
+(** Metal1/metal2 via row for layer changes on straps; [port] is on
+    metal2. *)
+
+val substrate_tap :
+  Amg_core.Env.t ->
+  ?name:string ->
+  ?w:int ->
+  ?l:int ->
+  ?net:string ->
+  unit ->
+  Amg_layout.Lobj.t
+(** P-diffusion tap row with the [subtap] marker for the latch-up check;
+    net defaults to ["vss"], port ["tap"]. *)
+
+val well_tap :
+  Amg_core.Env.t ->
+  ?name:string ->
+  ?w:int ->
+  ?l:int ->
+  ?net:string ->
+  unit ->
+  Amg_layout.Lobj.t
+(** N-diffusion well tap; net defaults to ["vdd"], port ["tap"]. *)
+
+val guard_ring :
+  Amg_core.Env.t ->
+  Amg_layout.Lobj.t ->
+  layer:string ->
+  ?net:string ->
+  unit ->
+  Amg_layout.Shape.t list
+(** Diffusion guard ring around the current structure, with metal and
+    contact arrays on the horizontal legs and [subtap] markers all around.
+    Returns the four legs. *)

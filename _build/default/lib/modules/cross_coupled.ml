@@ -1,0 +1,47 @@
+(* Cross-coupled pair of inter-digitated current sources (block C): the
+   ABBA finger pattern puts both devices' centroids on the same axis, so
+   gradient-induced mismatch cancels to first order. *)
+
+module Dir = Amg_geometry.Dir
+module Env = Amg_core.Env
+
+(* ABBA columns with the shared source between the pairs:
+   dA  A  s  B  dB  B  s  A  dA. *)
+let columns ~net_s ~net_da ~net_db ~net_ga ~net_gb =
+  [
+    Mos_array.Row net_da; Mos_array.Fin net_ga; Mos_array.Row net_s;
+    Mos_array.Fin net_gb; Mos_array.Row net_db; Mos_array.Fin net_gb;
+    Mos_array.Row net_s; Mos_array.Fin net_ga; Mos_array.Row net_da;
+  ]
+
+let make env ?(name = "cross_coupled") ?well_tap ~polarity ~w ~l ?(net_s = "vss")
+    ?(net_da = "da") ?(net_db = "db") ?(net_ga = "ga") ?(net_gb = "gb") () =
+  let arr =
+    Mos_array.make env ~name ?well_tap ~polarity ~w ~l
+      ~columns:(columns ~net_s ~net_da ~net_db ~net_ga ~net_gb)
+      ~straps:
+        [
+          { Mos_array.strap_net = net_s; side = Dir.North; metal = Mos_array.M1 };
+          { Mos_array.strap_net = net_da; side = Dir.South; metal = Mos_array.M1 };
+          { Mos_array.strap_net = net_db; side = Dir.South; metal = Mos_array.M2 };
+        ]
+      ()
+  in
+  arr.Mos_array.obj
+
+(* With both gates on one bias net — the matched current sources of block C
+   driven from a single mirror. *)
+let common_gate env ?(name = "cross_coupled_cs") ?well_tap ~polarity ~w ~l
+    ?(net_s = "vss") ?(net_da = "da") ?(net_db = "db") ?(net_g = "vbias") () =
+  let arr =
+    Mos_array.make env ~name ?well_tap ~polarity ~w ~l
+      ~columns:(columns ~net_s ~net_da ~net_db ~net_ga:net_g ~net_gb:net_g)
+      ~straps:
+        [
+          { Mos_array.strap_net = net_s; side = Dir.North; metal = Mos_array.M1 };
+          { Mos_array.strap_net = net_da; side = Dir.South; metal = Mos_array.M1 };
+          { Mos_array.strap_net = net_db; side = Dir.South; metal = Mos_array.M2 };
+        ]
+      ()
+  in
+  arr.Mos_array.obj

@@ -1,0 +1,43 @@
+(** Cross-coupled pair of inter-digitated current sources (block C).
+
+    ABBA finger pattern (dA A s B dB B s A dA), shared source rail on
+    metal1 north, drain A on metal1 south, drain B on metal2 south crossing
+    the other rails through vias.  Gates on separate nets ({!make}) or tied
+    to one bias net ({!common_gate}). *)
+
+val columns :
+  net_s:string ->
+  net_da:string ->
+  net_db:string ->
+  net_ga:string ->
+  net_gb:string ->
+  Mos_array.column list
+
+val make :
+  Amg_core.Env.t ->
+  ?name:string ->
+  ?well_tap:string ->
+  polarity:Mosfet.polarity ->
+  w:int ->
+  l:int ->
+  ?net_s:string ->
+  ?net_da:string ->
+  ?net_db:string ->
+  ?net_ga:string ->
+  ?net_gb:string ->
+  unit ->
+  Amg_layout.Lobj.t
+
+val common_gate :
+  Amg_core.Env.t ->
+  ?name:string ->
+  ?well_tap:string ->
+  polarity:Mosfet.polarity ->
+  w:int ->
+  l:int ->
+  ?net_s:string ->
+  ?net_da:string ->
+  ?net_db:string ->
+  ?net_g:string ->
+  unit ->
+  Amg_layout.Lobj.t

@@ -1,0 +1,53 @@
+(** Current mirrors (paper §3, blocks A and B).
+
+    All variants share the source row(s) on a south metal1 rail, collect
+    the output drain on a north metal1 rail, and carry the diode/gate net
+    on metal2 where it can cross the metal1 rails.  The diode connection
+    falls out of the compactor: the metal2 gate strap lands merged onto the
+    gate track (same potential). *)
+
+val connect_diode : Amg_core.Env.t -> Amg_layout.Lobj.t -> net:string -> unit
+(** Safety join between the gate track and the gate strap (vertical metal2
+    path); usually a no-op because the strap already merged. *)
+
+val simple :
+  Amg_core.Env.t ->
+  ?name:string ->
+  ?well_tap:string ->
+  polarity:Mosfet.polarity ->
+  w:int ->
+  l:int ->
+  ?net_g:string ->
+  ?net_s:string ->
+  ?net_dout:string ->
+  unit ->
+  Amg_layout.Lobj.t
+(** Two-finger mirror: diode finger and output finger sharing the source
+    row.  Ports: gate/diode net, source net, output net. *)
+
+val symmetric :
+  Amg_core.Env.t ->
+  ?name:string ->
+  ?well_tap:string ->
+  polarity:Mosfet.polarity ->
+  w:int ->
+  l:int ->
+  ?net_g:string ->
+  ?net_s:string ->
+  ?net_dout:string ->
+  unit ->
+  Amg_layout.Lobj.t
+(** Block-B style: output device split in two fingers flanking the diode
+    ("a symmetrical layout module … with the diode transistor in the
+    middle"). *)
+
+val stacked_pair :
+  Amg_core.Env.t ->
+  ?name:string ->
+  bottom:Mos_array.t ->
+  top:Mos_array.t ->
+  unit ->
+  Amg_layout.Lobj.t
+(** Abut two arrays vertically (block A's cascode): give the bottom array a
+    north strap and the top array a south strap on the same net — the
+    compactor merges the rails. *)

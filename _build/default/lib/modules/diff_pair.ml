@@ -1,0 +1,38 @@
+(* The simple MOS differential pair of Fig. 6/7: two transistors sharing
+   the middle diffusion contact row — built exactly as the paper's source
+   code does, by compacting a copied transistor and a third contact row
+   westward. *)
+
+module Dir = Amg_geometry.Dir
+module Lobj = Amg_layout.Lobj
+module Env = Amg_core.Env
+module Prim = Amg_core.Prim
+module Build = Amg_core.Build
+
+let make env ?(name = "diff_pair") ~polarity ~w ~l ?(net_g1 = "g1")
+    ?(net_g2 = "g2") ?(net_d1 = "d1") ?(net_d2 = "d2") ?(net_s = "s")
+    ?(well = true) () =
+  let t1 =
+    Mosfet.make env ~name:"t1" ~polarity ~w ~l ~sd_contacts:`West ~net_g:net_g1
+      ~net_s:net_d1 ~well:false ()
+  in
+  let t2 =
+    Mosfet.make env ~name:"t2" ~polarity ~w ~l ~sd_contacts:`West ~net_g:net_g2
+      ~net_s:net_s ~well:false ()
+  in
+  let diff = Mosfet.diffusion_layer polarity in
+  let d2row =
+    Contact_row.make env ~name:"d2row" ~layer:diff ~w ~net:net_d2 ()
+  in
+  let obj = Lobj.create name in
+  Build.compact env ~into:obj t1 Dir.West;
+  Build.compact env ~into:obj ~ignore_layers:[ diff ] t2 Dir.West;
+  (* Align the drain row with the in-transistor rows (bbox minimum): at
+     short gate lengths an unaligned row is pushed east by the diagonal
+     metal clearance to the gate's contact pad and would miss the
+     diffusion. *)
+  Build.compact env ~into:obj ~ignore_layers:[ diff ] ~align:`Min d2row Dir.West;
+  Mosfet.merge_diff_gaps env obj ~diff;
+  if polarity = Mosfet.Pmos && well then ignore (Prim.around env obj ~layer:"nwell" ());
+  Mosfet.port_on obj ~name:net_d2 ~net:net_d2 ();
+  obj

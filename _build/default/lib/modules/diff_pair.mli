@@ -1,0 +1,21 @@
+(** The simple MOS differential pair of the paper's Figs. 6 and 7.
+
+    Two transistors (each with gate contact and one source/drain row) plus
+    a third shared row, compacted westward exactly as the paper's DiffPair
+    entity does.  Ports: [g1], [g2], [d1], [d2] and the shared source [s]
+    (port names follow the net parameters). *)
+
+val make :
+  Amg_core.Env.t ->
+  ?name:string ->
+  polarity:Mosfet.polarity ->
+  w:int ->
+  l:int ->
+  ?net_g1:string ->
+  ?net_g2:string ->
+  ?net_d1:string ->
+  ?net_d2:string ->
+  ?net_s:string ->
+  ?well:bool ->
+  unit ->
+  Amg_layout.Lobj.t

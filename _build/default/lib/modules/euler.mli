@@ -1,0 +1,43 @@
+(** Euler-path finger ordering for diffusion sharing.
+
+    A bank of same-polarity transistors is a multigraph (nodes =
+    source/drain nets, one edge per channel finger); a trail through it is
+    a legal {!Mos_array} column list in which consecutive fingers share
+    the diffusion row between them.  A connected component admits one
+    trail when it has at most two odd-degree nodes — the generator derives
+    the classic mirror pattern [din | g | s | g | dout] from the schematic
+    alone. *)
+
+type device = {
+  e_name : string;
+  e_g : string;
+  e_s : string;
+  e_d : string;
+  e_fingers : int;
+}
+
+val device :
+  ?fingers:int -> name:string -> g:string -> s:string -> d:string -> unit ->
+  device
+(** @raise Amg_core.Env.Rejected when [fingers < 1]. *)
+
+type edge = { id : int; a : string; b : string; gate : string }
+
+val trails : device list -> (string * edge list) list
+(** Trail decomposition with the minimum number of trails per connected
+    component (Hierholzer with circuit splicing); each trail is its start
+    node plus the edge sequence. *)
+
+val columns_of_trail : string * edge list -> Mos_array.column list
+
+val column_plans : device list -> Mos_array.column list list
+(** One ready-to-build column list per trail. *)
+
+type stats = {
+  fingers : int;
+  trails_count : int;
+  rows_shared : int;    (** contact rows with sharing: fingers + trails *)
+  rows_unshared : int;  (** 2 per finger without sharing *)
+}
+
+val sharing_stats : device list -> stats

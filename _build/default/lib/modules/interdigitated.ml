@@ -1,0 +1,114 @@
+(* Inter-digitated MOS transistor (§3, blocks A, C and E): [fingers] gate
+   stripes sharing source/drain contact rows, a poly bar strapping the
+   gates, metal straps for source (south) and drain (north), and a gate
+   contact row on the bar's western extension.
+
+   The straps exercise the paper's Fig. 5 machinery: row metals whose
+   strap-facing edges are variable are shrunk by the compactor until the
+   strap reaches its own net's rows, and same-net rows auto-connect. *)
+
+module Rect = Amg_geometry.Rect
+module Dir = Amg_geometry.Dir
+module Rules = Amg_tech.Rules
+module Lobj = Amg_layout.Lobj
+module Derive = Amg_layout.Derive
+module Env = Amg_core.Env
+module Prim = Amg_core.Prim
+module Build = Amg_core.Build
+
+type row_role = Source | Drain
+
+let row_role ~source_first i =
+  if i mod 2 = if source_first then 0 else 1 then Source else Drain
+
+(* A bare gate finger: just the TWORECTS, contacts come from the shared
+   rows. *)
+let finger env ~diff ~w ~l ~net_g =
+  let o = Lobj.create "finger" in
+  let _ = Prim.tworects env o ~layer_a:"poly" ~layer_b:diff ~w ~l ~net_a:net_g () in
+  o
+
+let strap_obj env ~name ~layer ~len ~net =
+  let rules = Env.rules env in
+  let o = Lobj.create name in
+  let w = Rules.width rules layer in
+  let _ =
+    Lobj.add_shape o ~layer ~rect:(Rect.of_size ~x:0 ~y:0 ~w:len ~h:w) ~net ()
+  in
+  o
+
+let make env ?(name = "interdigitated") ?well_tap ~polarity ~w ~l ~fingers
+    ?(net_g = "g") ?(net_s = "s") ?(net_d = "d") ?(source_first = true)
+    ?(gate_contact = true) ?(straps = true) ?(well = true) () =
+  if fingers < 1 then Env.reject "interdigitated: needs at least one finger";
+  let rules = Env.rules env in
+  let diff = Mosfet.diffusion_layer polarity in
+  let obj = Lobj.create name in
+  let row_net i =
+    match row_role ~source_first i with Source -> net_s | Drain -> net_d
+  in
+  (* Strap-facing metal edges are variable: source rows may shrink away
+     from the drain strap in the north, drain rows from the source strap in
+     the south (Fig. 5b). *)
+  let row_var i =
+    match row_role ~source_first i with
+    | Source -> [ Dir.North ]
+    | Drain -> [ Dir.South ]
+  in
+  let add_row i =
+    let row =
+      Contact_row.make env ~name:"row" ~layer:diff ~w ~net:(row_net i)
+        ~var_edges:(if straps then row_var i else [])
+        ()
+    in
+    Build.compact env ~into:obj ~ignore_layers:[ diff ] row Dir.West
+  in
+  add_row 0;
+  for k = 0 to fingers - 1 do
+    Build.compact env ~into:obj ~ignore_layers:[ diff ]
+      (finger env ~diff ~w ~l ~net_g)
+      Dir.West;
+    add_row (k + 1)
+  done;
+  let rows_bbox = Lobj.bbox_exn obj in
+  let rows_span = Rect.width rows_bbox in
+  (* Poly bar strapping the gates, extended west for the gate contact. *)
+  let bar_ext =
+    if gate_contact then
+      Derive.min_container_extent rules ~container_layer:"poly" ~cut_layer:"contact"
+      + Rules.space_exn rules "metal1" "metal1"
+    else 0
+  in
+  let bar = strap_obj env ~name:"gatebar" ~layer:"poly" ~len:(rows_span + bar_ext) ~net:net_g in
+  Build.compact env ~into:obj ~align:`Max bar Dir.South;
+  if gate_contact then begin
+    let polycon =
+      Contact_row.make env ~name:"polycon" ~layer:"poly" ~net:net_g ()
+    in
+    Build.compact env ~into:obj ~ignore_layers:[ "poly" ] ~align:`Min polycon
+      Dir.South
+  end;
+  if straps then begin
+    let drain_strap = strap_obj env ~name:"drain_strap" ~layer:"metal1" ~len:rows_span ~net:net_d in
+    Build.compact env ~into:obj ~align:`Max drain_strap Dir.South;
+    let source_strap = strap_obj env ~name:"source_strap" ~layer:"metal1" ~len:rows_span ~net:net_s in
+    Build.compact env ~into:obj ~align:`Max source_strap Dir.North
+  end;
+  if polarity = Mosfet.Pmos && well then begin
+    (match well_tap with
+    | Some tap_net ->
+        let tap = Contact_row.well_tap env ~net:tap_net () in
+        Lobj.remove_port tap "tap";
+        Build.compact env ~into:obj ~align:`Center tap Dir.South;
+        Mosfet.port_on obj ~name:tap_net ~net:tap_net ()
+    | None -> ());
+    ignore (Prim.around env obj ~layer:"nwell" ())
+  end;
+  if gate_contact then Mosfet.port_on obj ~name:"g" ~net:net_g ();
+  Mosfet.port_on obj ~name:"s" ~net:net_s ();
+  Mosfet.port_on obj ~name:"d" ~net:net_d ();
+  obj
+
+(* Count of source/drain rows, for tests. *)
+let row_count ~fingers = fingers + 1
+

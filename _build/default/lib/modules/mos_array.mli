@@ -1,0 +1,49 @@
+(** General inter-digitated MOS array engine.
+
+    A module is a west-to-east column list alternating diffusion contact
+    rows and gate fingers, plus a strap plan.  Expresses current mirrors
+    (block B), cross-coupled current sources (block C), and the
+    common-centroid structures of module E. *)
+
+type column =
+  | Row of string  (** diffusion contact row on the given net *)
+  | Fin of string  (** gate finger with the given gate net *)
+
+type metal = M1 | M2
+
+type strap = {
+  strap_net : string;
+  side : Amg_geometry.Dir.t;  (** which side of the array the bar lands on *)
+  metal : metal;              (** M2 bars connect to their rows through vias
+                                  and may cross the M1 bars *)
+}
+
+type t = {
+  obj : Amg_layout.Lobj.t;
+  rows : (string * Amg_layout.Lobj.t) list;
+  fins : (string * Amg_layout.Lobj.t) list;
+  pads : (string * Amg_geometry.Rect.t) list;
+      (** gate-net landing-pad metal rectangles *)
+}
+
+val make :
+  Amg_core.Env.t ->
+  ?name:string ->
+  ?gate_tracks:bool ->
+  ?well_tap:string ->
+  polarity:Mosfet.polarity ->
+  w:int ->
+  l:int ->
+  columns:column list ->
+  straps:strap list ->
+  unit ->
+  t
+(** Build the array.  Columns must alternate [Row]/[Fin], starting and
+    ending with [Row].  [gate_tracks] (default true) collects multi-pad
+    gate nets on stacked metal2 tracks with metal1 drops; disable it when
+    the parent does its own gate wiring (common-centroid modules).  Every gate finger receives a poly landing pad with
+    a metal1 port; every strapped net receives a port on its strap metal.
+    PMOS arrays get their n-well automatically; [well_tap] additionally
+    places a well-tie contact row (with its latch-up marker and a port) on
+    the given net inside the well.
+    @raise Amg_core.Env.Rejected on malformed column lists. *)

@@ -1,0 +1,59 @@
+(** Single MOS transistor module — the "Trans" entity of Fig. 7.
+
+    Gate [TWORECTS] with a vertical gate stripe (channel width [w] vertical,
+    length [l] horizontal), a poly contact row compacted onto the gate from
+    the north, and diffusion contact rows on the west (source) and east
+    (drain).  PMOS devices receive their n-well automatically. *)
+
+type polarity = Nmos | Pmos [@@deriving show, eq]
+
+val diffusion_layer : polarity -> string
+
+type sd_contacts = [ `Both | `West | `East | `None ]
+
+val port_on :
+  Amg_layout.Lobj.t ->
+  name:string ->
+  net:string ->
+  ?layer:string ->
+  unit ->
+  unit
+(** Add a port over the hull of the object's [layer] (default metal1)
+    shapes belonging to [net]; no-op when the net has no such shapes. *)
+
+val merge_diff_gaps :
+  Amg_core.Env.t -> Amg_layout.Lobj.t -> diff:string -> unit
+(** Auto-connection repair: stretch netted S/D row diffusion over
+    sub-spacing gaps to the facing (un-netted) channel diffusion left by
+    diagonal metal clearances during compaction. *)
+
+val make :
+  Amg_core.Env.t ->
+  ?name:string ->
+  polarity:polarity ->
+  w:int ->
+  l:int ->
+  ?gate_contact:bool ->
+  ?sd_contacts:sd_contacts ->
+  ?net_g:string ->
+  ?net_s:string ->
+  ?net_d:string ->
+  ?well:bool ->
+  unit ->
+  Amg_layout.Lobj.t
+(** Ports [g], [s], [d] are created on metal1 for the sides that have
+    contact rows. *)
+
+val diode_connected :
+  Amg_core.Env.t ->
+  ?name:string ->
+  polarity:polarity ->
+  w:int ->
+  l:int ->
+  ?net_g:string ->
+  ?net_s:string ->
+  ?well:bool ->
+  unit ->
+  Amg_layout.Lobj.t
+(** Diode-connected transistor: the drain is tied to the gate with an
+    L-shaped metal wire; ports [g] and [s]. *)

@@ -1,0 +1,30 @@
+(** Matched interdigitated resistor pair.
+
+    Two equal poly resistors in A B B A strip order: identical straight
+    film strips at constant pitch, each resistor's two strips chained in
+    series by a metal1 link (A below the array, B above), so both
+    resistors share the array centroid and the same etch environment.
+    Extraction reduces each chain to one schematic resistor of the summed
+    value (see {!Amg_extract.Devices.reduce_resistors}). *)
+
+val make :
+  Amg_core.Env.t ->
+  ?name:string ->
+  ?layer:string ->
+  squares:float ->
+  ?width:int ->
+  ?net_a1:string ->
+  ?net_a2:string ->
+  ?net_b1:string ->
+  ?net_b2:string ->
+  unit ->
+  Amg_layout.Lobj.t * float
+(** [make env ~squares ()] builds the pair; each resistor is [squares]
+    squares (half per strip) and the returned float is the nominal value
+    of each in ohms.  Ports: [net_a1]/[net_a2] and [net_b1]/[net_b2].
+    @raise Amg_core.Env.Rejected when [squares <= 0]. *)
+
+val film_centroid_x :
+  Amg_layout.Lobj.t -> strips:int list -> float option
+(** Area-weighted x centroid of the given strip indices' film rectangles
+    (0-based, in A B B A insertion order) — the matching check. *)

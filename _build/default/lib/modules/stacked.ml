@@ -1,0 +1,60 @@
+(* Stacked transistors (§1 lists them among the required module types):
+   [stages] gates in series over one diffusion column — the standard way to
+   realise a very long channel (large-L current sources) in a compact
+   square module.  The intermediate diffusions between the gates are the
+   internal series nodes; only the two ends are contacted. *)
+
+module Rect = Amg_geometry.Rect
+module Dir = Amg_geometry.Dir
+module Rules = Amg_tech.Rules
+module Lobj = Amg_layout.Lobj
+module Env = Amg_core.Env
+module Prim = Amg_core.Prim
+module Build = Amg_core.Build
+
+(* One horizontal gate stage crossing the vertical diffusion column. *)
+let stage env ~diff ~w ~l ~net_g =
+  let o = Lobj.create "stage" in
+  let _ =
+    Prim.tworects env o ~layer_a:"poly" ~layer_b:diff ~w ~l ~net_a:net_g
+      ~orient:`Horizontal ()
+  in
+  o
+
+let series env ?(name = "stacked") ~polarity ~w ~l ~stages ?(net_g = "g")
+    ?(net_a = "a") ?(net_b = "b") ?(well = true) () =
+  if stages < 1 then Env.reject "stacked: needs at least one stage";
+  let rules = Env.rules env in
+  let diff = Mosfet.diffusion_layer polarity in
+  let obj = Lobj.create name in
+  (* Bottom contact row, then the gate stages climbing north, then the top
+     row; consecutive stages' diffusions overlap and merge into the series
+     column. *)
+  let row net = Contact_row.make env ~name:"row" ~layer:diff ~l:w ~net () in
+  Build.compact env ~into:obj (row net_a) Dir.South;
+  for _ = 1 to stages do
+    Build.compact env ~into:obj ~ignore_layers:[ diff ] ~align:`Center
+      (stage env ~diff ~w ~l ~net_g)
+      Dir.North
+  done;
+  Build.compact env ~into:obj ~ignore_layers:[ diff ] ~align:`Center (row net_b)
+    Dir.North;
+  (* Vertical poly bar on the east strapping all gates, with its contact
+     pad at the top. *)
+  let bbox = Lobj.bbox_exn obj in
+  let bar = Lobj.create "gatebar" in
+  let bw = Rules.width rules "poly" in
+  let _ =
+    Lobj.add_shape bar ~layer:"poly"
+      ~rect:(Rect.of_size ~x:0 ~y:0 ~w:bw ~h:(Rect.height bbox))
+      ~net:net_g ()
+  in
+  Build.compact env ~into:obj ~align:`Center bar Dir.West;
+  let polycon = Contact_row.make env ~name:"polycon" ~layer:"poly" ~net:net_g () in
+  Build.compact env ~into:obj ~ignore_layers:[ "poly" ] ~align:`Max polycon
+    Dir.South;
+  if polarity = Mosfet.Pmos && well then ignore (Prim.around env obj ~layer:"nwell" ());
+  Mosfet.port_on obj ~name:net_a ~net:net_a ();
+  Mosfet.port_on obj ~name:net_b ~net:net_b ();
+  Mosfet.port_on obj ~name:net_g ~net:net_g ();
+  obj

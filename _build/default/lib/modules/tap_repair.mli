@@ -1,0 +1,27 @@
+(** Automatic latch-up repair.
+
+    Inserts substrate taps near uncovered active area until the Fig. 1
+    cover check passes.  Candidate positions ring each residual rectangle
+    (any tap within the latch-up distance covers it); a candidate is taken
+    only when the tap introduces no spacing violation — legality is judged
+    by the same constraint classification the compactor uses. *)
+
+val placement_legal :
+  Amg_tech.Rules.t -> Amg_layout.Lobj.t -> Amg_layout.Lobj.t -> bool
+(** No pairwise spacing rule between the structure and the tap (at its
+    current position) is violated. *)
+
+val repair :
+  Amg_core.Env.t ->
+  ?net:string ->
+  ?max_taps:int ->
+  Amg_layout.Lobj.t ->
+  int
+(** [repair env obj] mutates [obj], adding taps (on [net], default [vss])
+    until the latch-up check passes, no legal position exists, or
+    [max_taps] (default 32) were added.  Returns the number of taps
+    added. *)
+
+val repair_is_clean :
+  Amg_core.Env.t -> ?net:string -> ?max_taps:int -> Amg_layout.Lobj.t -> bool
+(** Run {!repair} and report whether the check now passes. *)

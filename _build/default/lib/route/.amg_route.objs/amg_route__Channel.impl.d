@@ -1,0 +1,1 @@
+lib/route/channel.pp.ml: Amg_core Amg_geometry Amg_layout Amg_tech Hashtbl List Printf String Wire

@@ -1,0 +1,1 @@
+lib/route/channel.pp.mli: Amg_core Amg_layout

@@ -1,0 +1,1 @@
+lib/route/global.pp.ml: Amg_core Amg_geometry Amg_layout Amg_tech Hashtbl List Option Path Printf String Wire

@@ -1,0 +1,1 @@
+lib/route/global.pp.mli: Amg_core Amg_layout Stdlib

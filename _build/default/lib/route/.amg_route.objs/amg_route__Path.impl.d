@@ -1,0 +1,1 @@
+lib/route/path.pp.ml: Amg_geometry Amg_layout List

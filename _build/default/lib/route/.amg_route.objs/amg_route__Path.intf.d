@@ -1,0 +1,1 @@
+lib/route/path.pp.mli: Amg_geometry Amg_layout

@@ -1,0 +1,1 @@
+lib/route/symmetric.pp.ml: Amg_geometry Amg_layout List Path

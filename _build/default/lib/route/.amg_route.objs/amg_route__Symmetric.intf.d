@@ -1,0 +1,1 @@
+lib/route/symmetric.pp.mli: Amg_layout Path

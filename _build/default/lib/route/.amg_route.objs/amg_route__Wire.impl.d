@@ -1,0 +1,1 @@
+lib/route/wire.pp.ml: Amg_core Amg_geometry Amg_layout Amg_tech Option Path String

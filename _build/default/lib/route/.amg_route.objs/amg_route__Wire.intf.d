@@ -1,0 +1,1 @@
+lib/route/wire.pp.mli: Amg_core Amg_layout Amg_tech

@@ -1,0 +1,76 @@
+(** Detailed channel router: constrained left-edge (Hashimoto–Stevens).
+
+    Pins along the channel's top and bottom edges, one horizontal metal1
+    trunk per net packed onto shared tracks (disjoint intervals share a
+    track), vertical metal2 branches with vias.  Vertical constraints
+    (a column with both a top and a bottom pin forces the top net's trunk
+    above the bottom net's) are honoured; cyclic constraints would need
+    doglegs and raise {!Unroutable}. *)
+
+exception Unroutable of string
+
+type spec = {
+  top : (int * string) list;     (** pin x position (nm), net *)
+  bottom : (int * string) list;
+}
+
+type result = {
+  tracks : (string * int) list;  (** net → track index, 0 = topmost *)
+  track_count : int;
+  density : int;                 (** lower bound on any router's tracks *)
+  height : int;                  (** required channel height in nm *)
+}
+
+val nets_of : spec -> string list
+
+val density : spec -> int
+(** Maximum number of net intervals crossing one column. *)
+
+val vcg : spec -> (string * string) list
+(** Vertical constraint edges (top net must be above bottom net). *)
+
+val assign : spec -> (string * int) list * int
+(** Track assignment and track count.
+    @raise Unroutable on cyclic vertical constraints. *)
+
+val route :
+  Amg_core.Env.t ->
+  Amg_layout.Lobj.t ->
+  spec:spec ->
+  y_top:int ->
+  y_bottom:int ->
+  x0:int ->
+  result
+(** Add the channel's geometry between [y_bottom] and [y_top]: trunks,
+    branches from the two edges, vias.
+    @raise Unroutable when the channel is too short for the tracks. *)
+
+(** {2 Restricted doglegs (Deutsch)}
+
+    Multi-pin nets are split at their internal pin columns into segments
+    that may sit on different tracks, connected by the pin branch at the
+    junction column.  This breaks vertical-constraint cycles that pass
+    through distinct spans of a net, and lets long nets escape dense
+    regions. *)
+
+type seg = { s_net : string; s_idx : int; s_lo : int; s_hi : int }
+
+val segments : spec -> seg list
+val seg_name : seg -> string
+
+val seg_vcg : spec -> seg list -> (string * string) list
+
+val assign_dogleg : spec -> seg list * (string * int) list * int
+(** Segments, their track assignment (keyed by {!seg_name}) and the track
+    count.  @raise Unroutable when even the segment graph is cyclic. *)
+
+val route_dogleg :
+  Amg_core.Env.t ->
+  Amg_layout.Lobj.t ->
+  spec:spec ->
+  y_top:int ->
+  y_bottom:int ->
+  x0:int ->
+  result
+(** Like {!route} with dogleg splitting; [result.tracks] is keyed by
+    segment name. *)

@@ -1,0 +1,70 @@
+(* Orthogonal wire paths: a polyline of points rendered as overlapping
+   rectangles of a given width, with square corners — the generalisation of
+   the paper's angle adaptor to multi-bend wires. *)
+
+module Rect = Amg_geometry.Rect
+module Lobj = Amg_layout.Lobj
+module Shape = Amg_layout.Shape
+
+type point = int * int
+
+(* Rectangle covering the segment from [a] to [b] with the given width;
+   both end squares are included so consecutive segments overlap at the
+   corner.  @raise Invalid_argument on diagonal segments. *)
+let segment_rect ~width (ax, ay) (bx, by) =
+  let h = width / 2 in
+  if ax = bx then
+    Rect.make ~x0:(ax - h) ~y0:(min ay by - h) ~x1:(ax - h + width)
+      ~y1:(max ay by + (width - h))
+  else if ay = by then
+    Rect.make ~x0:(min ax bx - h) ~y0:(ay - h) ~x1:(max ax bx + (width - h))
+      ~y1:(ay - h + width)
+  else invalid_arg "Path.segment_rect: diagonal segment"
+
+let rects ~width = function
+  | [] | [ _ ] -> []
+  | points ->
+      let rec go acc = function
+        | a :: (b :: _ as rest) -> go (segment_rect ~width a b :: acc) rest
+        | [ _ ] | [] -> List.rev acc
+      in
+      go [] points
+
+let draw obj ~layer ~width ?net points =
+  List.map
+    (fun rect -> Lobj.add_shape obj ~layer ~rect ?net ())
+    (rects ~width points)
+
+(* Total wire length of the polyline (centre-line). *)
+let length points =
+  let rec go acc = function
+    | (ax, ay) :: ((bx, by) :: _ as rest) ->
+        go (acc + abs (bx - ax) + abs (by - ay)) rest
+    | [ _ ] | [] -> acc
+  in
+  go 0 points
+
+(* Number of times the open segments of [a] cross those of [b]
+   (perpendicular crossings of centre-lines).  Used to verify the "every
+   net has identical crossings" property of the module-E wiring. *)
+let crossings a b =
+  let segs points =
+    let rec go acc = function
+      | p :: (q :: _ as rest) -> go ((p, q) :: acc) rest
+      | [ _ ] | [] -> acc
+    in
+    go [] points
+  in
+  let crosses ((ax, ay), (bx, by)) ((cx, cy), (dx, dy)) =
+    let strictly_between lo hi v = min lo hi < v && v < max lo hi in
+    if ax = bx && cy = dy then
+      (* vertical x horizontal *)
+      strictly_between cx dx ax && strictly_between ay by cy
+    else if ay = by && cx = dx then
+      strictly_between ax bx cx && strictly_between cy dy ay
+    else false
+  in
+  List.fold_left
+    (fun acc sa ->
+      List.fold_left (fun acc sb -> if crosses sa sb then acc + 1 else acc) acc (segs b))
+    0 (segs a)

@@ -1,0 +1,28 @@
+(** Mirrored-pair routing for fully symmetric wiring (§3, Fig. 10).
+
+    A wiring plan is drawn once for the left net; the right net receives the
+    exact mirror image across a vertical symmetry axis, so "every net has
+    identical crossings" by construction. *)
+
+type plan = { layer : string; width : int; points : Path.point list }
+
+val plan : layer:string -> width:int -> Path.point list -> plan
+
+val mirror_point : axis_x:int -> Path.point -> Path.point
+
+val mirror_plan : axis_x:int -> plan -> plan
+
+val draw_pair :
+  Amg_layout.Lobj.t ->
+  axis_x:int ->
+  net_left:string ->
+  net_right:string ->
+  plan list ->
+  Amg_layout.Shape.t list
+(** Draw every plan for the left net and its mirror for the right net. *)
+
+val is_symmetric : axis_x:int -> left:plan list -> right:plan list -> bool
+(** True when [right] is exactly the mirror image of [left]. *)
+
+val crossing_count : plan list -> plan list -> int
+(** Total perpendicular crossings between two plan sets. *)

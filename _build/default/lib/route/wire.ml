@@ -1,0 +1,56 @@
+module Rect = Amg_geometry.Rect
+module Rules = Amg_tech.Rules
+module Lobj = Amg_layout.Lobj
+module Port = Amg_layout.Port
+module Env = Amg_core.Env
+
+(* Landing pad size for a cut on [layer]: cut plus enclosure both sides. *)
+let pad_size rules ~layer ~cut =
+  Rules.cut_size rules cut + (2 * Rules.enclosure_or_zero rules ~outer:layer ~inner:cut)
+
+(* Place a via stack at (x, y): the cut plus landing pads on both metals. *)
+let via env obj ~at:(x, y) ?net () =
+  let rules = Env.rules env in
+  let cut = Rules.cut_size rules "via" in
+  let centered size = Rect.of_center ~cx:x ~cy:y ~w:size ~h:size in
+  let m1 = Lobj.add_shape obj ~layer:"metal1" ~rect:(centered (pad_size rules ~layer:"metal1" ~cut:"via")) ?net () in
+  let m2 = Lobj.add_shape obj ~layer:"metal2" ~rect:(centered (pad_size rules ~layer:"metal2" ~cut:"via")) ?net () in
+  let v = Lobj.add_shape obj ~layer:"via" ~rect:(centered cut) ?net () in
+  (m1, m2, v)
+
+(* Substrate/diffusion contact at a point: cut, landing diffusion, metal1. *)
+let contact_at env obj ~at:(x, y) ~landing ?net () =
+  let rules = Env.rules env in
+  let cut = Rules.cut_size rules "contact" in
+  let centered size = Rect.of_center ~cx:x ~cy:y ~w:size ~h:size in
+  let land_ =
+    Lobj.add_shape obj ~layer:landing
+      ~rect:(centered (pad_size rules ~layer:landing ~cut:"contact"))
+      ?net ()
+  in
+  let m1 =
+    Lobj.add_shape obj ~layer:"metal1"
+      ~rect:(centered (pad_size rules ~layer:"metal1" ~cut:"contact"))
+      ?net ()
+  in
+  let c = Lobj.add_shape obj ~layer:"contact" ~rect:(centered cut) ?net () in
+  (land_, m1, c)
+
+let port_center (p : Port.t) =
+  (Rect.center_x p.Port.rect, Rect.center_y p.Port.rect)
+
+(* Connect two ports on the same routing layer with an L (or straight)
+   path; the bend runs horizontally from [a] first. *)
+let connect_ports env obj ?width ?net (a : Port.t) (b : Port.t) =
+  if not (String.equal a.Port.layer b.Port.layer) then
+    Env.reject "Wire.connect_ports: ports on different layers (%s vs %s)"
+      a.Port.layer b.Port.layer;
+  let rules = Env.rules env in
+  let w = Option.value ~default:(Rules.width rules a.Port.layer) width in
+  let net = match net with Some n -> Some n | None -> Some a.Port.net in
+  let ax, ay = port_center a and bx, by = port_center b in
+  let points =
+    if ax = bx || ay = by then [ (ax, ay); (bx, by) ]
+    else [ (ax, ay); (bx, ay); (bx, by) ]
+  in
+  Path.draw obj ~layer:a.Port.layer ~width:w ?net points

@@ -1,0 +1,42 @@
+(** Point-to-point wiring helpers: via stacks, point contacts, and simple
+    L-shaped port-to-port connections — the paper's "several routing
+    routines [that] support the internal wiring of the modules" (§1). *)
+
+val pad_size : Amg_tech.Rules.t -> layer:string -> cut:string -> int
+(** Landing-pad size for a cut on a layer: cut size plus both enclosure
+    margins. *)
+
+val via :
+  Amg_core.Env.t ->
+  Amg_layout.Lobj.t ->
+  at:int * int ->
+  ?net:string ->
+  unit ->
+  Amg_layout.Shape.t * Amg_layout.Shape.t * Amg_layout.Shape.t
+(** Metal1-metal2 via stack centred at a point: returns (metal1 pad,
+    metal2 pad, cut). *)
+
+val contact_at :
+  Amg_core.Env.t ->
+  Amg_layout.Lobj.t ->
+  at:int * int ->
+  landing:string ->
+  ?net:string ->
+  unit ->
+  Amg_layout.Shape.t * Amg_layout.Shape.t * Amg_layout.Shape.t
+(** Single contact at a point landing on the given layer: returns (landing
+    pad, metal1 pad, cut). *)
+
+val port_center : Amg_layout.Port.t -> int * int
+
+val connect_ports :
+  Amg_core.Env.t ->
+  Amg_layout.Lobj.t ->
+  ?width:int ->
+  ?net:string ->
+  Amg_layout.Port.t ->
+  Amg_layout.Port.t ->
+  Amg_layout.Shape.t list
+(** Connect two same-layer ports with a straight or single-bend path
+    (horizontal first).  Net defaults to the first port's net.
+    @raise Amg_core.Env.Rejected when the ports are on different layers. *)

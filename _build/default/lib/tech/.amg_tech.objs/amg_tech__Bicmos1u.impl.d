@@ -1,0 +1,1 @@
+lib/tech/bicmos1u.pp.ml: Lazy Tech_file

@@ -1,0 +1,1 @@
+lib/tech/cmos08.pp.ml: Lazy Tech_file

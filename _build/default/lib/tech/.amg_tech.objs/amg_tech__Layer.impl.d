@@ -1,0 +1,1 @@
+lib/tech/layer.pp.ml: Patterns Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/tech/layer.pp.mli: Patterns Ppx_deriving_runtime

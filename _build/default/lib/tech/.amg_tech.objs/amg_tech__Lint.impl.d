@@ -1,0 +1,1 @@
+lib/tech/lint.pp.ml: Fmt Format Hashtbl Layer List Printf Rules String Technology

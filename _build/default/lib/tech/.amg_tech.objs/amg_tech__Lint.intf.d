@@ -1,0 +1,1 @@
+lib/tech/lint.pp.mli: Format Technology

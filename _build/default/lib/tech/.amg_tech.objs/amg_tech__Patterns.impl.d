@@ -1,0 +1,1 @@
+lib/tech/patterns.pp.ml: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/tech/patterns.pp.mli: Ppx_deriving_runtime

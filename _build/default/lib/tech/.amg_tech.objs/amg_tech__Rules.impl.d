@@ -1,0 +1,1 @@
+lib/tech/rules.pp.ml: Fmt Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/tech/rules.pp.mli:

@@ -1,0 +1,1 @@
+lib/tech/tech_file.pp.ml: Amg_geometry Buffer Float Fmt Layer List Patterns Printf Rules String Technology

@@ -1,0 +1,1 @@
+lib/tech/tech_file.pp.mli: Technology

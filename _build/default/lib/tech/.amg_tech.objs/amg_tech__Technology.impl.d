@@ -1,0 +1,1 @@
+lib/tech/technology.pp.ml: Fmt Hashtbl Layer List Rules String

@@ -1,0 +1,1 @@
+lib/tech/technology.pp.mli: Layer Rules

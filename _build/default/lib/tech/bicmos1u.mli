@@ -1,0 +1,12 @@
+(** Built-in generic 1 um BiCMOS technology.
+
+    The synthetic substitute for the paper's proprietary 1 um Siemens BiCMOS
+    process (see DESIGN.md §2).  Layers: nwell, pbase, pdiff, ndiff, poly,
+    poly2, contact, metal1, via, metal2. *)
+
+val source : string
+(** The deck in {!Tech_file} concrete syntax (also usable as a template for
+    user technologies). *)
+
+val get : unit -> Technology.t
+(** The parsed deck (memoised). *)

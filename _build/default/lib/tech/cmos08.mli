@@ -1,0 +1,9 @@
+(** Second built-in deck: a generic 0.8 um single-poly CMOS process.
+
+    Used to demonstrate the paper's technology independence: the unchanged
+    module sources rebuild DRC-clean under this deck.  It has no poly2 and
+    no p-base, so poly2 capacitors and bipolars correctly reject. *)
+
+val source : string
+
+val get : unit -> Technology.t

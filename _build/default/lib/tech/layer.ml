@@ -1,0 +1,57 @@
+type kind =
+  | Well
+  | Diffusion
+  | Implant
+  | Poly
+  | Metal of int
+  | Cut
+  | Marker
+[@@deriving show { with_path = false }, eq, ord]
+
+type t = {
+  name : string;
+  kind : kind;
+  gds : int;
+  conducting : bool;
+  sheet_res : float;      (* ohm / square *)
+  area_cap : float;       (* aF / um^2 to substrate *)
+  fringe_cap : float;     (* aF / um of perimeter *)
+  fill : Patterns.t;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+let make ~name ~kind ~gds ?(conducting = true) ?(sheet_res = 0.) ?(area_cap = 0.)
+    ?(fringe_cap = 0.) ~fill () =
+  { name; kind; gds; conducting; sheet_res; area_cap; fringe_cap; fill }
+
+let is_cut l = match l.kind with Cut -> true | _ -> false
+
+(* Active ("locos") areas are the ones the latch-up rule must see covered by
+   the inflated substrate-contact rectangles. *)
+let is_active l = match l.kind with Diffusion -> true | _ -> false
+
+let is_metal l = match l.kind with Metal _ -> true | _ -> false
+
+let is_routing l =
+  match l.kind with Metal _ | Poly -> true | Diffusion -> true | _ -> false
+
+let kind_of_string = function
+  | "well" -> Some Well
+  | "diffusion" | "diff" -> Some Diffusion
+  | "implant" -> Some Implant
+  | "poly" -> Some Poly
+  | "metal1" -> Some (Metal 1)
+  | "metal2" -> Some (Metal 2)
+  | "metal3" -> Some (Metal 3)
+  | "cut" -> Some Cut
+  | "marker" -> Some Marker
+  | _ -> None
+
+let kind_to_string = function
+  | Well -> "well"
+  | Diffusion -> "diffusion"
+  | Implant -> "implant"
+  | Poly -> "poly"
+  | Metal n -> Printf.sprintf "metal%d" n
+  | Cut -> "cut"
+  | Marker -> "marker"

@@ -1,0 +1,53 @@
+(** Mask layer descriptors.
+
+    A technology declares a set of layers; every shape in the layout database
+    references one by name.  Electrical parameters (sheet resistance,
+    capacitances) feed the optimizer's rating function. *)
+
+type kind =
+  | Well        (** n-well / p-well *)
+  | Diffusion   (** active areas ("locos" in the paper) *)
+  | Implant     (** select/implant layers, p-base *)
+  | Poly        (** polysilicon levels *)
+  | Metal of int
+  | Cut         (** contacts and vias: fixed-size openings *)
+  | Marker      (** non-mask helper layers *)
+[@@deriving show, eq, ord]
+
+type t = {
+  name : string;
+  kind : kind;
+  gds : int;             (** GDS layer number for export *)
+  conducting : bool;
+  sheet_res : float;     (** ohm per square *)
+  area_cap : float;      (** aF per um^2, plate capacitance to substrate *)
+  fringe_cap : float;    (** aF per um of perimeter *)
+  fill : Patterns.t;     (** drawing style (Fig. 4) *)
+}
+[@@deriving show, eq, ord]
+
+val make :
+  name:string ->
+  kind:kind ->
+  gds:int ->
+  ?conducting:bool ->
+  ?sheet_res:float ->
+  ?area_cap:float ->
+  ?fringe_cap:float ->
+  fill:Patterns.t ->
+  unit ->
+  t
+
+val is_cut : t -> bool
+
+val is_active : t -> bool
+(** True for diffusion layers — the areas the latch-up cover check must see
+    enclosed by substrate-contact neighbourhoods. *)
+
+val is_metal : t -> bool
+
+val is_routing : t -> bool
+(** Layers wires may run on (metals, poly, diffusion). *)
+
+val kind_of_string : string -> kind option
+val kind_to_string : kind -> string

@@ -1,0 +1,34 @@
+(** Technology-deck lint.
+
+    Structural consistency checks on a loaded technology: rules that
+    reference undeclared layers, cuts without sizes or landing pads,
+    landing pads narrower than the landing layer's own width rule,
+    off-grid values, duplicate GDS numbers, a missing latch-up distance.
+    Run once after {!Tech_file.load} (the [amgen tech] command does) so
+    deck mistakes surface as direct messages instead of confusing
+    generator or DRC failures later. *)
+
+type severity = Error | Warning
+
+val pp_severity : Format.formatter -> severity -> unit
+val show_severity : severity -> string
+val equal_severity : severity -> severity -> bool
+val compare_severity : severity -> severity -> int
+
+type issue = { severity : severity; code : string; message : string }
+
+val show_issue : issue -> string
+val equal_issue : issue -> issue -> bool
+val compare_issue : issue -> issue -> int
+
+val check : Technology.t -> issue list
+(** All findings, errors and warnings, in pass order. *)
+
+val errors : issue list -> issue list
+val warnings : issue list -> issue list
+
+val is_clean : Technology.t -> bool
+(** No {e errors} (warnings allowed). *)
+
+val pp_issue : Format.formatter -> issue -> unit
+val pp : Format.formatter -> issue list -> unit

@@ -1,0 +1,29 @@
+type style =
+  | Solid
+  | Hatch        (* 45 degree lines, as in the paper's Fig. 4 *)
+  | Back_hatch   (* 135 degree lines *)
+  | Cross_hatch
+  | Dots
+  | Outline
+[@@deriving show { with_path = false }, eq, ord]
+
+type t = { style : style; color : string } [@@deriving show { with_path = false }, eq, ord]
+
+let make ?(style = Solid) color = { style; color }
+
+let style_of_string = function
+  | "solid" -> Some Solid
+  | "hatch" -> Some Hatch
+  | "backhatch" -> Some Back_hatch
+  | "cross" -> Some Cross_hatch
+  | "dots" -> Some Dots
+  | "outline" -> Some Outline
+  | _ -> None
+
+let style_to_string = function
+  | Solid -> "solid"
+  | Hatch -> "hatch"
+  | Back_hatch -> "backhatch"
+  | Cross_hatch -> "cross"
+  | Dots -> "dots"
+  | Outline -> "outline"

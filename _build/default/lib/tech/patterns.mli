@@ -1,0 +1,17 @@
+(** Layer fill patterns (the paper's Fig. 4).
+
+    Each mask layer carries a drawing style and colour used by the SVG
+    exporter so that generated layouts render like the figures in the
+    paper. *)
+
+type style = Solid | Hatch | Back_hatch | Cross_hatch | Dots | Outline
+[@@deriving show, eq, ord]
+
+type t = { style : style; color : string } [@@deriving show, eq, ord]
+
+val make : ?style:style -> string -> t
+(** [make ~style color] with [color] an SVG colour (e.g. ["#cc0000"]).
+    [style] defaults to [Solid]. *)
+
+val style_of_string : string -> style option
+val style_to_string : style -> string

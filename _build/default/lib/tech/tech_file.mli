@@ -1,0 +1,20 @@
+(** Reader/writer for the textual technology description file.
+
+    The paper keeps all design rules in a technology description file so that
+    module source code stays technology independent (§1, §2.1).  The format
+    here is line oriented with distances in micrometres; see the project
+    README for a full example.  {!to_string} and {!parse_string} round-trip. *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val parse_string : string -> Technology.t
+(** @raise Parse_error on malformed input. *)
+
+val load : string -> Technology.t
+(** Read a technology from a file. @raise Parse_error, [Sys_error]. *)
+
+val to_string : Technology.t -> string
+(** Canonical textual form (sorted rule sections). *)
+
+val save : Technology.t -> string -> unit

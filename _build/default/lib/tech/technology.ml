@@ -1,0 +1,47 @@
+type t = {
+  name : string;
+  layers : (string, Layer.t) Hashtbl.t;
+  order : string list ref;   (* drawing order, bottom first *)
+  rules : Rules.t;
+}
+
+let create ~name ~rules () =
+  { name; layers = Hashtbl.create 31; order = ref []; rules }
+
+let add_layer t layer =
+  if Hashtbl.mem t.layers layer.Layer.name then
+    Fmt.invalid_arg "Technology.add_layer: duplicate layer %s" layer.Layer.name;
+  Hashtbl.replace t.layers layer.Layer.name layer;
+  t.order := !(t.order) @ [ layer.Layer.name ]
+
+let name t = t.name
+let rules t = t.rules
+
+let layer t name = Hashtbl.find_opt t.layers name
+
+let layer_exn t lname =
+  match layer t lname with
+  | Some l -> l
+  | None -> Fmt.invalid_arg "Technology %s: unknown layer %s" t.name lname
+
+let mem_layer t lname = Hashtbl.mem t.layers lname
+
+let layers t = List.map (fun n -> Hashtbl.find t.layers n) !(t.order)
+
+let layer_names t = !(t.order)
+
+(* Index of a layer in drawing order; lower draws first (below). *)
+let draw_index t lname =
+  let rec go i = function
+    | [] -> max_int
+    | n :: tl -> if String.equal n lname then i else go (i + 1) tl
+  in
+  go 0 !(t.order)
+
+let active_layers t = List.filter Layer.is_active (layers t)
+
+let cut_layers t = List.filter Layer.is_cut (layers t)
+
+let check_layer t lname =
+  if not (mem_layer t lname) then
+    Fmt.failwith "unknown layer %S in technology %s" lname t.name

@@ -1,0 +1,34 @@
+(** A technology: a named set of layers plus its design-rule tables.
+
+    The paper stores these in a "technology description file"; {!Tech_file}
+    provides the concrete syntax, {!Bicmos1u} the built-in generic 1 um
+    BiCMOS deck used throughout the examples and benchmarks. *)
+
+type t
+
+val create : name:string -> rules:Rules.t -> unit -> t
+
+val add_layer : t -> Layer.t -> unit
+(** Layers are drawn in insertion order (first = bottom).
+    @raise Invalid_argument on duplicate layer names. *)
+
+val name : t -> string
+val rules : t -> Rules.t
+
+val layer : t -> string -> Layer.t option
+val layer_exn : t -> string -> Layer.t
+val mem_layer : t -> string -> bool
+
+val layers : t -> Layer.t list
+(** In drawing order, bottom first. *)
+
+val layer_names : t -> string list
+
+val draw_index : t -> string -> int
+(** Position in drawing order ([max_int] for unknown layers). *)
+
+val active_layers : t -> Layer.t list
+val cut_layers : t -> Layer.t list
+
+val check_layer : t -> string -> unit
+(** @raise Failure with a useful message when the layer is unknown. *)

@@ -1,0 +1,1 @@
+test/test_amplifier.ml: Alcotest Amg_amplifier Amg_circuit Amg_core Amg_drc Amg_extract Amg_layout Amg_route Lazy List

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Amg_amplifier Amg_circuit Amg_extract Amg_geometry List Printf

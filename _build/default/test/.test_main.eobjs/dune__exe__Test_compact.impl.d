@@ -1,0 +1,1 @@
+test/test_compact.ml: Alcotest Amg_compact Amg_core Amg_drc Amg_extract Amg_geometry Amg_layout Amg_modules Amg_tech Array List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Amg_core Amg_geometry Amg_layout List QCheck2 QCheck_alcotest

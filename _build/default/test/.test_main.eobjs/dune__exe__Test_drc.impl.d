@@ -1,0 +1,1 @@
+test/test_drc.ml: Alcotest Amg_core Amg_drc Amg_geometry Amg_layout Amg_modules Amg_tech List

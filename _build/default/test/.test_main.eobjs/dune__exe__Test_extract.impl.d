@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Amg_amplifier Amg_circuit Amg_core Amg_extract Amg_geometry Amg_layout Amg_modules Amg_route Float List String

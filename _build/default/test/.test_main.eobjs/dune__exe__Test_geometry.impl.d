@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Amg_geometry List QCheck2 QCheck_alcotest

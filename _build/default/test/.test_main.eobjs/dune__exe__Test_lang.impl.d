@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Amg_core Amg_drc Amg_geometry Amg_lang Amg_layout Amg_modules Char List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Amg_geometry Amg_layout Amg_tech Char List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_modules.ml: Alcotest Amg_circuit Amg_core Amg_drc Amg_extract Amg_geometry Amg_layout Amg_modules Array Float Hashtbl List Option Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Amg_core Amg_drc Amg_extract Amg_geometry Amg_layout Amg_route Hashtbl List Printf QCheck2 QCheck_alcotest String

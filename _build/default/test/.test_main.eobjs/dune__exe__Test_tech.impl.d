@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Amg_geometry Amg_tech List Printf QCheck2 QCheck_alcotest

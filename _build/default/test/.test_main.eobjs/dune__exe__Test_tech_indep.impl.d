@@ -1,0 +1,1 @@
+test/test_tech_indep.ml: Alcotest Amg_core Amg_drc Amg_extract Amg_geometry Amg_lang Amg_layout Amg_modules Amg_tech List

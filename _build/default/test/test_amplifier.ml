@@ -1,0 +1,195 @@
+(* End-to-end: the complete BiCMOS amplifier of §3. *)
+
+module Lobj = Amg_layout.Lobj
+module Env = Amg_core.Env
+module A = Amg_amplifier.Amplifier
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Building the amplifier takes ~0.5 s; share one instance. *)
+let report = lazy (A.build (Env.bicmos ()))
+
+let test_builds () =
+  let r = Lazy.force report in
+  check_bool "has shapes" true (Lobj.shape_count r.A.obj > 1000);
+  check "blocks" 9 (List.length r.A.block_areas);
+  List.iter
+    (fun (n, a) -> check_bool ("block " ^ n ^ " area positive") true (a > 0.))
+    r.A.block_areas
+
+let test_drc_clean () =
+  let r = Lazy.force report in
+  let vios = Amg_drc.Checker.run ~tech:(Env.tech (Env.bicmos ())) r.A.obj in
+  (match vios with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "%d violations, first: %s" (List.length vios) (Amg_drc.Violation.describe v));
+  check "clean incl latchup" 0 (List.length vios)
+
+let test_dimensions () =
+  let r = Lazy.force report in
+  (* Same order of magnitude as a real amplifier cell; the paper's exact
+     area depends on its larger devices. *)
+  check_bool "width sane" true (r.A.width_um > 100. && r.A.width_um < 1000.);
+  check_bool "height sane" true (r.A.height_um > 50. && r.A.height_um < 1000.);
+  check_bool "smaller than paper" true (r.A.area_um2 < A.paper_area_um2);
+  (* Block E (the common-centroid input pair) is the largest transistor
+     block, as in the paper's Fig. 9. *)
+  let area n = List.assoc n r.A.block_areas in
+  List.iter
+    (fun n -> check_bool ("E largest vs " ^ n) true (area "E" > area n))
+    [ "A"; "B"; "C"; "MT"; "D"; "F"; "RZ" ]
+
+let test_supply_structure () =
+  let r = Lazy.force report in
+  (* Both rails present on metal2 with hook-up vias. *)
+  let m2 =
+    List.filter
+      (fun (s : Amg_layout.Shape.t) -> Amg_layout.Shape.on_layer s "metal2")
+      (Lobj.shapes r.A.obj)
+  in
+  let on_net net =
+    List.exists (fun (s : Amg_layout.Shape.t) -> s.Amg_layout.Shape.net = Some net) m2
+  in
+  check_bool "vdd rail" true (on_net "vdd");
+  check_bool "vss rail" true (on_net "vss");
+  check_bool "vias exist" true (List.length (Lobj.shapes_on r.A.obj "via") > 5);
+  (* Substrate taps marked for the latch-up check: the three tap rows plus
+     the bipolar collector taps. *)
+  check_bool "tap rows" true (List.length (Lobj.shapes_on r.A.obj "subtap") >= 3)
+
+let test_routing_complete () =
+  let r = Lazy.force report in
+  (* Every internal net with two or more pins is routed; only the
+     single-pin bias input is skipped. *)
+  check_bool "only vb2 unrouted" true
+    (List.map fst r.A.routing.Amg_route.Global.unrouted = [ "vb2" ]);
+  check "seven nets routed" 7 (List.length r.A.routing.Amg_route.Global.routed)
+
+let test_physical_connectivity () =
+  let r = Lazy.force report in
+  let conn =
+    Amg_extract.Connectivity.build ~tech:(Env.tech (Env.bicmos ())) r.A.obj
+  in
+  (* Every supply and every routed net is physically one node. *)
+  List.iter
+    (fun net ->
+      Alcotest.(check int)
+        (net ^ " single node") 1
+        (Amg_extract.Connectivity.label_node_count conn net))
+    ([ "vdd"; "vss" ] @ r.A.routing.Amg_route.Global.routed);
+  check "no extracted shorts" 0 (List.length (Amg_extract.Connectivity.shorts conn))
+
+let test_lvs_physical () =
+  let r = Lazy.force report in
+  let ex = Amg_extract.Devices.extract ~tech:(Env.tech (Env.bicmos ())) r.A.obj in
+  let res = Amg_extract.Compare.run ~golden:(Amg_amplifier.Schematic.netlist ()) ex in
+  check_bool "lvs clean" true (Amg_extract.Compare.clean res)
+
+let test_fast_enough () =
+  let r = Lazy.force report in
+  (* The paper needed 5 s for module E alone on 1996 hardware; the whole
+     amplifier should build in a few seconds today. *)
+  check_bool "builds quickly" true (r.A.build_time_s < 30.)
+
+
+(* --- second application: the five-transistor OTA --- *)
+
+module Ota = Amg_amplifier.Ota
+
+let ota_report = lazy (Ota.build (Env.bicmos ()))
+
+let test_ota_partition () =
+  (* The knowledge-based partitioner finds exactly mirror + pair + single. *)
+  let clusters = Ota.clusters () in
+  check "three clusters" 3 (List.length clusters);
+  let styles =
+    List.map (fun (c : Amg_circuit.Partition.cluster) -> c.Amg_circuit.Partition.style) clusters
+  in
+  let has st = check_bool "style present" true (List.mem st styles) in
+  has Amg_circuit.Partition.Mirror_symmetric_style;
+  has Amg_circuit.Partition.Common_centroid_style;
+  check_bool "tail is single or interdigitated" true
+    (List.exists
+       (fun st ->
+         st = Amg_circuit.Partition.Single || st = Amg_circuit.Partition.Interdigitated)
+       styles)
+
+let test_ota_builds_clean () =
+  let r = Lazy.force ota_report in
+  check_bool "has shapes" true (Lobj.shape_count r.Ota.obj > 200);
+  let vios = Amg_drc.Checker.run ~tech:(Env.tech (Env.bicmos ())) r.Ota.obj in
+  (match vios with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "%d violations, first: %s" (List.length vios)
+        (Amg_drc.Violation.describe v));
+  check_bool "much smaller than the amplifier" true
+    (r.Ota.area_um2 < (Lazy.force report).A.area_um2)
+
+let test_ota_routing_and_lvs () =
+  let r = Lazy.force ota_report in
+  (* Both internal nets routed, nothing unrouted. *)
+  check_bool "tail routed" true (List.mem "tail" r.Ota.routing.Amg_route.Global.routed);
+  check_bool "n1 routed" true (List.mem "n1" r.Ota.routing.Amg_route.Global.routed);
+  check "nothing unrouted" 0 (List.length r.Ota.routing.Amg_route.Global.unrouted);
+  (* Extraction matches the schematic exactly. *)
+  let tech = Env.tech (Env.bicmos ()) in
+  let x = Amg_extract.Devices.extract ~tech r.Ota.obj in
+  let cmp = Amg_extract.Compare.run ~golden:(Ota.netlist ()) x in
+  check_bool "LVS clean" true (Amg_extract.Compare.clean cmp);
+  check "five devices" 5 cmp.Amg_extract.Compare.matched;
+  (* Every supply and routed net is one electrical node. *)
+  let conn = Amg_extract.Connectivity.build ~tech r.Ota.obj in
+  List.iter
+    (fun net ->
+      check ("one node: " ^ net) 1
+        (List.length (Amg_extract.Connectivity.label_components conn net)))
+    [ "vdd"; "vss"; "tail"; "n1" ]
+
+
+(* --- SPICE-to-layout synthesis --- *)
+
+let test_synth_from_spice () =
+  let src = {|* five transistor OTA
+.subckt ota5s inp inn out vbias vdd vss
+M1 n1 inp tail vss nmos1u w=20u l=1u
+M2 out inn tail vss nmos1u w=20u l=1u
+M3 n1 n1 vdd vdd pmos1u w=16u l=2u
+M4 out n1 vdd vdd pmos1u w=16u l=2u
+MT tail vbias vss vss nmos1u w=24u l=2u
+.ends
+|} in
+  let e = Env.bicmos () in
+  let nl = Amg_circuit.Spice_in.parse_string src in
+  let hints =
+    [ ("M1", Amg_circuit.Partition.High); ("M2", Amg_circuit.Partition.High);
+      ("M3", Amg_circuit.Partition.Moderate); ("M4", Amg_circuit.Partition.Moderate) ]
+  in
+  let r = Amg_amplifier.Synth.build e ~hints nl in
+  check "three clusters" 3 (List.length r.Amg_amplifier.Synth.clusters);
+  check "nothing unrouted" 0
+    (List.length r.Amg_amplifier.Synth.routing.Amg_route.Global.unrouted);
+  let tech = Env.tech (Env.bicmos ()) in
+  check "full DRC clean" 0
+    (List.length (Amg_drc.Checker.run ~tech r.Amg_amplifier.Synth.obj));
+  let x = Amg_extract.Devices.extract ~tech r.Amg_amplifier.Synth.obj in
+  let cmp = Amg_extract.Compare.run ~golden:nl x in
+  check_bool "LVS clean" true (Amg_extract.Compare.clean cmp);
+  check "five devices" 5 cmp.Amg_extract.Compare.matched
+
+let suite =
+  [
+    Alcotest.test_case "builds" `Quick test_builds;
+    Alcotest.test_case "full drc clean" `Quick test_drc_clean;
+    Alcotest.test_case "dimensions" `Quick test_dimensions;
+    Alcotest.test_case "supply structure" `Quick test_supply_structure;
+    Alcotest.test_case "routing complete" `Quick test_routing_complete;
+    Alcotest.test_case "physical connectivity" `Quick test_physical_connectivity;
+    Alcotest.test_case "LVS on routed layout" `Quick test_lvs_physical;
+    Alcotest.test_case "fast enough" `Quick test_fast_enough;
+    Alcotest.test_case "OTA: partition" `Quick test_ota_partition;
+    Alcotest.test_case "OTA: builds DRC clean" `Quick test_ota_builds_clean;
+    Alcotest.test_case "OTA: routing and LVS" `Quick test_ota_routing_and_lvs;
+    Alcotest.test_case "synth: SPICE text to clean layout" `Quick test_synth_from_spice;
+  ]

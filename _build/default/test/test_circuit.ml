@@ -1,0 +1,177 @@
+(* Netlist representation and the knowledge-based partitioner. *)
+
+module D = Amg_circuit.Device
+module Netlist = Amg_circuit.Netlist
+module Partition = Amg_circuit.Partition
+
+let um = Amg_geometry.Units.of_um
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_device_basics () =
+  let m = D.mos ~name:"M1" ~polarity:D.Nmos ~w:(um 10.) ~l:(um 1.) ~g:"g" ~d:"d" ~s:"s" ~b:"b" in
+  Alcotest.(check string) "name" "M1" (D.name m);
+  check_bool "nets" true (D.nets m = [ "g"; "d"; "s"; "b" ]);
+  check_bool "not diode" false (D.is_diode m);
+  let diode = D.mos ~name:"M2" ~polarity:D.Nmos ~w:1 ~l:1 ~g:"x" ~d:"x" ~s:"s" ~b:"b" in
+  check_bool "diode" true (D.is_diode diode);
+  let q = D.bjt ~name:"Q1" ~c:"c" ~b:"bb" ~e:"e" in
+  check_bool "bjt nets" true (D.nets q = [ "c"; "bb"; "e" ])
+
+let test_netlist () =
+  let m1 = D.mos ~name:"M1" ~polarity:D.Nmos ~w:1 ~l:1 ~g:"a" ~d:"b" ~s:"c" ~b:"c" in
+  let nl = Netlist.create ~name:"n" [ m1 ] in
+  check "count" 1 (Netlist.device_count nl);
+  check_bool "find" true (Netlist.find nl "M1" = Some m1);
+  check_bool "nets sorted unique" true (Netlist.nets nl = [ "a"; "b"; "c" ]);
+  check "on net" 1 (List.length (Netlist.devices_on_net nl "a"));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Netlist.create: duplicate device M1") (fun () ->
+      ignore (Netlist.create ~name:"x" [ m1; m1 ]))
+
+let test_partition_mirror () =
+  let nl =
+    Netlist.create ~name:"m"
+      [
+        D.mos ~name:"MD" ~polarity:D.Nmos ~w:(um 10.) ~l:(um 1.) ~g:"vg" ~d:"vg" ~s:"vss" ~b:"vss";
+        D.mos ~name:"MO" ~polarity:D.Nmos ~w:(um 10.) ~l:(um 1.) ~g:"vg" ~d:"out" ~s:"vss" ~b:"vss";
+      ]
+  in
+  match Partition.partition nl with
+  | [ c ] ->
+      check_bool "mirror" true (c.Partition.style = Partition.Mirror_simple_style);
+      check_bool "members" true (c.Partition.device_names = [ "MD"; "MO" ]);
+      (* Moderate hint upgrades to the symmetric style. *)
+      let hinted = Partition.partition ~hints:[ ("MD", Partition.Moderate) ] nl in
+      check_bool "symmetric" true
+        ((List.hd hinted).Partition.style = Partition.Mirror_symmetric_style)
+  | cs -> Alcotest.failf "expected one cluster, got %d" (List.length cs)
+
+let test_partition_diff_pair () =
+  let nl =
+    Netlist.create ~name:"p"
+      [
+        D.mos ~name:"M1" ~polarity:D.Pmos ~w:(um 20.) ~l:(um 1.) ~g:"inp" ~d:"o1" ~s:"tail" ~b:"vdd";
+        D.mos ~name:"M2" ~polarity:D.Pmos ~w:(um 20.) ~l:(um 1.) ~g:"inn" ~d:"o2" ~s:"tail" ~b:"vdd";
+      ]
+  in
+  (match Partition.partition nl with
+  | [ c ] -> check_bool "pair" true (c.Partition.style = Partition.Diff_pair_style)
+  | _ -> Alcotest.fail "one cluster");
+  (match Partition.partition ~hints:[ ("M1", Partition.High) ] nl with
+  | [ c ] ->
+      check_bool "high matching -> centroid" true
+        (c.Partition.style = Partition.Common_centroid_style)
+  | _ -> Alcotest.fail "one cluster")
+
+let test_partition_amp_schematic () =
+  let clusters = Amg_amplifier.Schematic.clusters () in
+  check "cluster count" 9 (List.length clusters);
+  let style_of name =
+    (List.find (fun c -> c.Partition.cluster_name = name) clusters).Partition.style
+  in
+  check_bool "B mirror symmetric" true (style_of "mirror_MB1" = Partition.Mirror_symmetric_style);
+  check_bool "E common centroid" true (style_of "pair_ME1" = Partition.Common_centroid_style);
+  check_bool "A cascode" true (style_of "cascode_MA1" = Partition.Cascode_style);
+  check_bool "C cross coupled" true (style_of "sources_MC1" = Partition.Cross_coupled_style);
+  check_bool "MT interdigitated" true (style_of "single_MT" = Partition.Interdigitated);
+  check_bool "F bjt pair" true (style_of "bjt_Q1" = Partition.Bjt_pair_style);
+  (* Every device lands in exactly one cluster. *)
+  let all_names = List.concat_map (fun c -> c.Partition.device_names) clusters in
+  check "each device once"
+    (Netlist.device_count (Amg_amplifier.Schematic.netlist ()))
+    (List.length (List.sort_uniq compare all_names));
+  check "no duplicates" (List.length all_names)
+    (List.length (List.sort_uniq compare all_names))
+
+let test_partition_empty_and_single () =
+  check "empty" 0 (List.length (Partition.partition (Netlist.create ~name:"e" [])));
+  let nl =
+    Netlist.create ~name:"s"
+      [ D.mos ~name:"M" ~polarity:D.Nmos ~w:(um 20.) ~l:(um 1.) ~g:"a" ~d:"b" ~s:"c" ~b:"c" ]
+  in
+  match Partition.partition nl with
+  | [ c ] -> check_bool "wide single interdigitated" true (c.Partition.style = Partition.Interdigitated)
+  | _ -> Alcotest.fail "one cluster"
+
+
+(* --- SPICE reader --- *)
+
+module Spice_in = Amg_circuit.Spice_in
+
+let test_spice_in_values () =
+  let v = Spice_in.value_of_string in
+  Alcotest.(check (float 1e-9)) "k" 2000. (v "2k");
+  Alcotest.(check (float 1e-9)) "plain" 470. (v "470");
+  Alcotest.(check (float 1e-20)) "f" 4e-13 (v "400f");
+  Alcotest.(check (float 1e-3)) "meg" 4.7e6 (v "4.7meg");
+  Alcotest.(check (float 1e-12)) "u" 1e-5 (v "10u");
+  Alcotest.check_raises "garbage" (Spice_in.Parse_error "bad numeric value \"zz\"")
+    (fun () -> ignore (v "zz"))
+
+let test_spice_in_cards () =
+  let src = {|* comment line
+.subckt amp in out vdd vss
+M1 out in vss vss nmos1u w=10u l=2u
+MP vdd in out
++ vdd pmos1u w=20u l=1u ; trailing comment
+Q1 vdd b out npn1u
+R1 a b 2k
+C1 t b 400f
+.ends
+|} in
+  let nl = Spice_in.parse_string src in
+  Alcotest.(check string) "name" "amp" (Netlist.name nl);
+  check "ports" 4 (List.length (Netlist.external_ports nl));
+  check "devices" 5 (Netlist.device_count nl);
+  (match Netlist.find nl "M1" with
+  | Some (D.Mos m) ->
+      check "w" (um 10.) m.D.w;
+      check "l" (um 2.) m.D.l;
+      check_bool "nmos" true (m.D.polarity = D.Nmos)
+  | _ -> Alcotest.fail "M1 missing");
+  (* The continuation line folded into MP. *)
+  (match Netlist.find nl "MP" with
+  | Some (D.Mos m) ->
+      check_bool "pmos" true (m.D.polarity = D.Pmos);
+      check "w" (um 20.) m.D.w
+  | _ -> Alcotest.fail "MP missing");
+  (match Netlist.find nl "R1" with
+  | Some (D.Res r) -> Alcotest.(check (float 1e-9)) "ohms" 2000. r.D.ohms
+  | _ -> Alcotest.fail "R1 missing");
+  (match Netlist.find nl "C1" with
+  | Some (D.Cap c) -> Alcotest.(check (float 1e-6)) "ff" 400. c.D.ff
+  | _ -> Alcotest.fail "C1 missing")
+
+let test_spice_roundtrip () =
+  (* Exporter output parses back to the same devices (names gain the SPICE
+     element-letter prefix; parameters and nets are identical). *)
+  let nl = Amg_amplifier.Schematic.netlist () in
+  let deck = Amg_extract.Spice.of_netlist nl in
+  let back = Spice_in.parse_string deck in
+  check "device count" (Netlist.device_count nl) (Netlist.device_count back);
+  let key d =
+    match d with
+    | D.Mos m -> Printf.sprintf "M %b %d %d %s %s %s %s" (m.D.polarity = D.Nmos) m.D.w m.D.l m.D.g m.D.d m.D.s m.D.b
+    | D.Bjt q -> Printf.sprintf "Q %s %s %s" q.D.c q.D.bb q.D.e
+    | D.Res r -> Printf.sprintf "R %s %s %.3f" r.D.ra r.D.rb r.D.ohms
+    | D.Cap c -> Printf.sprintf "C %s %s %.3f" c.D.ca c.D.cb c.D.ff
+  in
+  let keys l = List.sort compare (List.map key (Netlist.devices l)) in
+  check_bool "same devices" true (keys nl = keys back);
+  check_bool "same ports" true
+    (Netlist.external_ports nl = Netlist.external_ports back)
+
+let suite =
+  [
+    Alcotest.test_case "device basics" `Quick test_device_basics;
+    Alcotest.test_case "netlist" `Quick test_netlist;
+    Alcotest.test_case "partition mirror" `Quick test_partition_mirror;
+    Alcotest.test_case "partition diff pair" `Quick test_partition_diff_pair;
+    Alcotest.test_case "partition amplifier schematic" `Quick test_partition_amp_schematic;
+    Alcotest.test_case "partition edge cases" `Quick test_partition_empty_and_single;
+    Alcotest.test_case "spice in: values" `Quick test_spice_in_values;
+    Alcotest.test_case "spice in: cards" `Quick test_spice_in_cards;
+    Alcotest.test_case "spice exporter/reader roundtrip" `Quick test_spice_roundtrip;
+  ]

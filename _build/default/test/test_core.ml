@@ -1,0 +1,389 @@
+(* The generator environment: automatic margins, primitives, backtracking
+   variants, rating and compaction-order optimization. *)
+
+module Rect = Amg_geometry.Rect
+module Dir = Amg_geometry.Dir
+module Units = Amg_geometry.Units
+module Lobj = Amg_layout.Lobj
+module Shape = Amg_layout.Shape
+module Env = Amg_core.Env
+module Prim = Amg_core.Prim
+module Margins = Amg_core.Margins
+module Variants = Amg_core.Variants
+module Rating = Amg_core.Rating
+module Optimize = Amg_core.Optimize
+
+let um = Units.of_um
+let env () = Env.bicmos ()
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_margins () =
+  let rules = Env.rules (env ()) in
+  (* Explicit enclosure rule. *)
+  check "explicit" (um 0.5) (Margins.inside rules ~outer:"metal1" ~inner:"contact");
+  (* Derived through the shared contact: poly (0.5) and metal1 (0.5). *)
+  check "derived equal" 0 (Margins.inside rules ~outer:"poly" ~inner:"metal1");
+  (* pdiff encloses contact by 0.75, metal1 by 0.5: pdiff over metal1 is
+     0.25. *)
+  check "derived" (um 0.25) (Margins.inside rules ~outer:"pdiff" ~inner:"metal1");
+  (* Unrelated layers: zero. *)
+  check "unrelated" 0 (Margins.inside rules ~outer:"metal2" ~inner:"poly");
+  check_bool "cuts of poly" true
+    (Margins.cuts_enclosed_by rules "poly" = [ ("contact", um 0.5); ("poly2", um 1.) ])
+
+let test_inbox_first_defaults () =
+  let e = env () in
+  let o = Lobj.create "t" in
+  let s = Prim.inbox e o ~layer:"metal2" () in
+  (* First rectangle defaults to the minimum width in both directions. *)
+  check "w" (um 2.) (Rect.height s.Shape.rect);
+  check "l" (um 2.) (Rect.width s.Shape.rect)
+
+let test_inbox_rejects_small () =
+  let e = env () in
+  let o = Lobj.create "t" in
+  check_bool "rejected" true
+    (match Prim.inbox e o ~layer:"metal1" ~w:(um 1.) () with
+    | exception Env.Rejected _ -> true
+    | _ -> false)
+
+let test_inbox_expands () =
+  let e = env () in
+  let o = Lobj.create "t" in
+  let outer = Prim.inbox e o ~layer:"poly" ~w:(um 1.) ~l:(um 1.) () in
+  (* metal1's minimum width is 1.5: the poly outer must grow. *)
+  let _ = Prim.inbox e o ~layer:"metal1" () in
+  let outer' = Lobj.find_exn o outer.Shape.id in
+  check_bool "outer expanded" true (Rect.height outer'.Shape.rect >= um 1.5)
+
+let test_array_expands_for_one_cut () =
+  let e = env () in
+  let o = Lobj.create "t" in
+  let land_ = Prim.inbox e o ~layer:"pdiff" () in  (* 2 x 2 um *)
+  let _ = Prim.inbox e o ~layer:"metal1" () in
+  let _ = Prim.array e o ~layer:"contact" () in
+  (* One contact needs 2.5 um of pdiff: the landing expanded. *)
+  let land' = Lobj.find_exn o land_.Shape.id in
+  check "expanded landing" (um 2.5) (Rect.height land'.Shape.rect);
+  check "one cut" 1 (List.length (Lobj.shapes_on o "contact"))
+
+let test_array_needs_containers () =
+  let e = env () in
+  let o = Lobj.create "t" in
+  check_bool "rejected" true
+    (match Prim.array e o ~layer:"contact" () with
+    | exception Env.Rejected _ -> true
+    | _ -> false)
+
+let test_tworects () =
+  let e = env () in
+  let o = Lobj.create "t" in
+  let gate, diff = Prim.tworects e o ~layer_a:"poly" ~layer_b:"pdiff" ~w:(um 10.) ~l:(um 2.) () in
+  (* End-cap 1 um, S/D extension 1.5 um from the rules. *)
+  check "gate height" (um 12.) (Rect.height gate.Shape.rect);
+  check "gate width" (um 2.) (Rect.width gate.Shape.rect);
+  check "diff width" (um 5.) (Rect.width diff.Shape.rect);
+  check "diff height" (um 10.) (Rect.height diff.Shape.rect);
+  (* Horizontal variant swaps the roles. *)
+  let o2 = Lobj.create "t2" in
+  let gate2, _ = Prim.tworects e o2 ~layer_a:"poly" ~layer_b:"pdiff" ~w:(um 10.) ~l:(um 2.) ~orient:`Horizontal () in
+  check "horizontal gate width" (um 12.) (Rect.width gate2.Shape.rect)
+
+let test_around () =
+  let e = env () in
+  let o = Lobj.create "t" in
+  let _ = Prim.inbox e o ~layer:"pdiff" ~w:(um 4.) ~l:(um 4.) () in
+  let well = Prim.around e o ~layer:"nwell" () in
+  (* Default margin is the nwell-over-pdiff enclosure (2 um). *)
+  check "well size" (um 8.) (Rect.width well.Shape.rect);
+  check_bool "contains" true
+    (Rect.contains_rect well.Shape.rect (Rect.of_size ~x:0 ~y:0 ~w:(um 4.) ~h:(um 4.)))
+
+let test_ring () =
+  let e = env () in
+  let o = Lobj.create "t" in
+  let _ = Prim.inbox e o ~layer:"pdiff" ~w:(um 4.) ~l:(um 4.) () in
+  let legs = Prim.ring e o ~layer:"ndiff" ~width:(um 2.) () in
+  check "four legs" 4 (List.length legs);
+  (* The ring clears the structure by the pdiff/ndiff spacing (3 um). *)
+  let inner_edges =
+    List.map (fun (s : Shape.t) -> s.Shape.rect) legs |> Rect.hull_list
+  in
+  (match inner_edges with
+  | Some hull ->
+      check "hull" (um 14.) (Rect.width hull);
+      check_bool "around structure" true
+        (Rect.contains_rect hull (Rect.of_size ~x:0 ~y:0 ~w:(um 4.) ~h:(um 4.)))
+  | None -> Alcotest.fail "no hull");
+  (* Legs form a closed frame: each corner is covered. *)
+  let covered x y = List.exists (fun (s : Shape.t) -> Rect.contains_point s.Shape.rect ~x ~y) legs in
+  check_bool "corner nw" true (covered (- um 5.) (um 9.));
+  check_bool "corner se" true (covered (um 9.) (- um 5.))
+
+let test_angle () =
+  let e = env () in
+  let o = Lobj.create "t" in
+  let a, b =
+    Prim.angle e o ~layer:"metal1" ~width:(um 2.) ~corner:(0, 0)
+      ~leg1:(Dir.North, um 5.) ~leg2:(Dir.East, um 7.) ()
+  in
+  check_bool "legs overlap at corner" true (Rect.overlaps a.Shape.rect b.Shape.rect);
+  check "leg1 extent" (um 7.) (Rect.height a.Shape.rect);
+  check "leg2 extent" (um 9.) (Rect.width b.Shape.rect);
+  check_bool "parallel legs rejected" true
+    (match
+       Prim.angle e o ~layer:"metal1" ~width:(um 2.) ~corner:(0, 0)
+         ~leg1:(Dir.North, um 5.) ~leg2:(Dir.South, um 5.) ()
+     with
+    | exception Env.Rejected _ -> true
+    | _ -> false)
+
+(* --- variants --- *)
+
+let test_variants_enumeration () =
+  let v = Variants.alt [ Variants.return 1; Variants.return 2; Variants.return 3 ] in
+  check_bool "successes" true (Variants.successes v = [ 1; 2; 3 ]);
+  check_bool "first" true (Variants.first v = Some 1)
+
+let test_variants_backtracking () =
+  let tried = ref [] in
+  let attempt name ok =
+    Variants.delay (fun () ->
+        tried := name :: !tried;
+        if ok then name else Env.reject "variant %s impossible" name)
+  in
+  let v = Variants.alt [ attempt "a" false; attempt "b" true; attempt "c" true ] in
+  check_bool "first success" true (Variants.first v = Some "b");
+  check_bool "a was tried" true (List.mem "a" !tried);
+  check_bool "failures recorded" true
+    (Variants.failures v = [ "variant a impossible" ])
+
+let test_variants_bind () =
+  let open Variants in
+  let v =
+    let* x = of_list [ 1; 2 ] in
+    let* y = of_list [ 10; 20 ] in
+    if x = 2 && y = 10 then fail "skip" else return ((x * 100) + y)
+  in
+  check_bool "cartesian minus rejected" true
+    (successes v = [ 110; 120; 220 ])
+
+let test_variants_best () =
+  let v = Variants.of_list [ 5.; 1.; 3. ] in
+  (match Variants.best ~rate:(fun x -> x) v with
+  | Some (x, r) ->
+      check_bool "best value" true (x = 1.);
+      check_bool "best rating" true (r = 1.)
+  | None -> Alcotest.fail "expected a best");
+  check_bool "all rejected" true
+    (Variants.best ~rate:(fun _ -> 0.) (Variants.fail "no" : int Variants.t) = None)
+
+(* --- rating and optimization --- *)
+
+let test_rating () =
+  let e = env () in
+  let small = Lobj.create "small" in
+  let _ = Lobj.add_shape small ~layer:"metal1" ~rect:(Rect.of_size ~x:0 ~y:0 ~w:(um 2.) ~h:(um 2.)) () in
+  let big = Lobj.create "big" in
+  let _ = Lobj.add_shape big ~layer:"metal1" ~rect:(Rect.of_size ~x:0 ~y:0 ~w:(um 20.) ~h:(um 20.)) () in
+  check_bool "smaller rates better" true
+    (Rating.rate e Rating.area_only small < Rating.rate e Rating.area_only big);
+  (* Capacitance-aware rating penalises metal on a sensitive net. *)
+  let weights = Rating.with_sensitive_nets Rating.area_only [ "in" ] in
+  let noisy = Lobj.copy ~name:"noisy" small in
+  let _ =
+    Lobj.add_shape noisy ~layer:"metal1"
+      ~rect:(Rect.of_size ~x:(um 4.) ~y:0 ~w:(um 2.) ~h:(um 2.))
+      ~net:"in" ()
+  in
+  check_bool "cap cost counts" true
+    (Rating.rate e weights noisy > Rating.rate e weights small)
+
+let test_optimize_orders () =
+  let e = env () in
+  (* Three bars of decreasing width: packing order changes the bbox. *)
+  let mk name w h net =
+    let o = Lobj.create name in
+    let _ = Lobj.add_shape o ~layer:"metal1" ~rect:(Rect.of_size ~x:0 ~y:0 ~w ~h) ~net () in
+    o
+  in
+  let steps =
+    [
+      Optimize.step (mk "wide" (um 10.) (um 2.) "a") Dir.South;
+      Optimize.step (mk "tall" (um 2.) (um 6.) "b") Dir.West;
+      Optimize.step (mk "small" (um 4.) (um 2.) "c") Dir.South;
+    ]
+  in
+  let results = Optimize.evaluate_orders e ~name:"opt" steps in
+  check "3! orders" 6 (List.length results);
+  let ratings = List.map (fun (_, r, _) -> r) results in
+  let best = List.fold_left min infinity ratings in
+  let worst = List.fold_left max 0. ratings in
+  check_bool "order matters" true (worst > best);
+  let _, r, _ = Optimize.optimize e ~name:"opt" steps in
+  check_bool "optimize returns best" true (r = best)
+
+let test_optimize_bb_matches_exhaustive () =
+  let e = env () in
+  let mk name w h net =
+    let o = Lobj.create name in
+    let _ = Lobj.add_shape o ~layer:"metal1" ~rect:(Rect.of_size ~x:0 ~y:0 ~w ~h) ~net () in
+    o
+  in
+  let steps =
+    [
+      Optimize.step (mk "a" (um 10.) (um 2.) "a") Dir.South;
+      Optimize.step (mk "b" (um 2.) (um 6.) "b") Dir.West;
+      Optimize.step (mk "c" (um 4.) (um 2.) "c") Dir.South;
+      Optimize.step (mk "d" (um 2.) (um 2.) "d") Dir.West;
+      Optimize.step (mk "e" (um 6.) (um 2.) "e") Dir.South;
+    ]
+  in
+  let _, exhaustive_best, _ = Optimize.optimize e ~name:"x" steps in
+  let _, bb_best, order, nodes = Optimize.optimize_bb e ~name:"x" steps in
+  Alcotest.(check (float 1e-6)) "same optimum" exhaustive_best bb_best;
+  check "full order returned" 5 (List.length order);
+  (* The full tree has sum_{k=1..5} 5!/k! = 206 internal+leaf nodes plus the
+     root; pruning must beat it. *)
+  check_bool "pruned" true (nodes < 326)
+
+let test_permutations () =
+  check "3!" 6 (List.length (List.of_seq (Optimize.permutations [ 1; 2; 3 ])));
+  check "0!" 1 (List.length (List.of_seq (Optimize.permutations ([] : int list))))
+
+
+let test_optimize_local () =
+  let e = env () in
+  let mk name w h net =
+    let o = Lobj.create name in
+    let _ = Lobj.add_shape o ~layer:"metal1" ~rect:(Rect.of_size ~x:0 ~y:0 ~w ~h) ~net () in
+    o
+  in
+  let steps =
+    [
+      Optimize.step (mk "a" (um 10.) (um 2.) "a") Dir.South;
+      Optimize.step (mk "b" (um 2.) (um 6.) "b") Dir.West;
+      Optimize.step (mk "c" (um 4.) (um 2.) "c") Dir.South;
+      Optimize.step (mk "d" (um 2.) (um 2.) "d") Dir.West;
+      Optimize.step (mk "e" (um 6.) (um 2.) "e") Dir.South;
+    ]
+  in
+  let _, exhaustive_best, _ = Optimize.optimize e ~name:"x" steps in
+  let _, local_best, order, evals = Optimize.optimize_local e ~name:"x" steps in
+  (* Never better than the true optimum, never worse than the start. *)
+  check_bool "sound" true (local_best >= exhaustive_best -. 1e-9);
+  let start = Optimize.apply e ~name:"x" steps in
+  let start_rating = Amg_core.Rating.rate e Amg_core.Rating.default start in
+  check_bool "no worse than given order" true (local_best <= start_rating +. 1e-9);
+  check "full order returned" 5 (List.length order);
+  check_bool "fewer evals than 5!" true (evals < 120);
+  (* Deterministic under a fixed seed. *)
+  let _, again, _, _ = Optimize.optimize_local e ~name:"x" ~seed:1 steps in
+  Alcotest.(check (float 1e-9)) "reproducible" local_best again;
+  (* On this small instance the swap neighbourhood reaches the optimum. *)
+  Alcotest.(check (float 1e-6)) "finds optimum here" exhaustive_best local_best
+
+
+(* --- slicing floorplanner --- *)
+
+module F = Amg_core.Floorplan
+
+let test_floorplan_basics () =
+  let r =
+    F.optimize
+      [ F.block ~name:"a" ~w:(um 2.) ~h:(um 1.);
+        F.block ~name:"b" ~w:(um 2.) ~h:(um 1.) ]
+  in
+  check "two blocks area" (um 2. * um 2.) r.F.area;
+  (* Four blocks that tile perfectly: the DP finds the zero-waste packing. *)
+  let blocks =
+    [ F.block ~name:"big" ~w:(um 10.) ~h:(um 10.);
+      F.block ~name:"wide" ~w:(um 10.) ~h:(um 5.);
+      F.block ~name:"s1" ~w:(um 5.) ~h:(um 5.);
+      F.block ~name:"s2" ~w:(um 5.) ~h:(um 5.) ]
+  in
+  let r = F.optimize blocks in
+  let sum =
+    List.fold_left (fun a b -> a + (b.F.fp_w * b.F.fp_h)) 0 blocks
+  in
+  check "zero waste" sum r.F.area;
+  (* Placements: every block present, pairwise disjoint, inside the box. *)
+  check "all placed" 4 (List.length r.F.positions);
+  let rects = List.map snd r.F.positions in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j then check_bool "disjoint" false (Rect.overlaps a b))
+        rects)
+    rects;
+  let bbox = Rect.make ~x0:0 ~y0:0 ~x1:r.F.width ~y1:r.F.height in
+  List.iter (fun rc -> check_bool "inside" true (Rect.contains_rect bbox rc)) rects;
+  (* The aspect target steers the choice between transposed optima. *)
+  let flat = F.optimize ~aspect:3.0 blocks in
+  check_bool "flat wider than tall" true (flat.F.width > flat.F.height);
+  (* Spacing at cuts. *)
+  let sp =
+    F.optimize ~spacing:(um 1.)
+      [ F.block ~name:"a" ~w:(um 2.) ~h:(um 2.);
+        F.block ~name:"b" ~w:(um 2.) ~h:(um 2.) ]
+  in
+  check "spacing added" (um 2. * um 5.) sp.F.area;
+  Alcotest.check_raises "empty" (Amg_core.Env.Rejected "Floorplan: no blocks")
+    (fun () -> ignore (F.optimize []))
+
+(* Optimal slicing never loses to the row-stack baseline, placements are
+   always disjoint, and the area is at least the blocks' total. *)
+let prop_floorplan_optimal =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 6) (tup2 (int_range 1 12) (int_range 1 12)))
+  in
+  QCheck2.Test.make ~name:"floorplan beats row baseline" ~count:200 gen
+    (fun dims ->
+      let blocks =
+        List.mapi
+          (fun i (w, h) ->
+            F.block ~name:(string_of_int i) ~w:(um (float_of_int w))
+              ~h:(um (float_of_int h)))
+          dims
+      in
+      let r = F.optimize blocks in
+      let sum = List.fold_left (fun a b -> a + (b.F.fp_w * b.F.fp_h)) 0 blocks in
+      let rows = F.rows_area [ blocks ] in
+      let rects = List.map snd r.F.positions in
+      let disjoint =
+        List.for_all
+          (fun a ->
+            List.for_all (fun b -> a == b || not (Rect.overlaps a b)) rects)
+          rects
+      in
+      r.F.area >= sum && r.F.area <= rows && disjoint
+      && List.length r.F.positions = List.length blocks)
+
+let suite =
+  [
+    Alcotest.test_case "automatic margins" `Quick test_margins;
+    Alcotest.test_case "inbox first defaults" `Quick test_inbox_first_defaults;
+    Alcotest.test_case "inbox rejects sub-minimum" `Quick test_inbox_rejects_small;
+    Alcotest.test_case "inbox expands outers" `Quick test_inbox_expands;
+    Alcotest.test_case "array expands for one cut" `Quick test_array_expands_for_one_cut;
+    Alcotest.test_case "array needs containers" `Quick test_array_needs_containers;
+    Alcotest.test_case "tworects transistor" `Quick test_tworects;
+    Alcotest.test_case "around" `Quick test_around;
+    Alcotest.test_case "ring" `Quick test_ring;
+    Alcotest.test_case "angle adaptor" `Quick test_angle;
+    Alcotest.test_case "variants enumeration" `Quick test_variants_enumeration;
+    Alcotest.test_case "variants backtracking" `Quick test_variants_backtracking;
+    Alcotest.test_case "variants bind" `Quick test_variants_bind;
+    Alcotest.test_case "variants best" `Quick test_variants_best;
+    Alcotest.test_case "rating" `Quick test_rating;
+    Alcotest.test_case "optimize orders" `Quick test_optimize_orders;
+    Alcotest.test_case "branch and bound matches exhaustive" `Quick test_optimize_bb_matches_exhaustive;
+    Alcotest.test_case "permutations" `Quick test_permutations;
+    Alcotest.test_case "local search optimizer" `Quick test_optimize_local;
+    Alcotest.test_case "slicing floorplanner" `Quick test_floorplan_basics;
+    QCheck_alcotest.to_alcotest prop_floorplan_optimal;
+  ]

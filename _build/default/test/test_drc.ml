@@ -1,0 +1,244 @@
+(* The design-rule checker: every violation class triggered deliberately,
+   plus the latch-up cover check of Fig. 1. *)
+
+module Rect = Amg_geometry.Rect
+module Units = Amg_geometry.Units
+module Lobj = Amg_layout.Lobj
+module Checker = Amg_drc.Checker
+module Violation = Amg_drc.Violation
+module Latchup = Amg_drc.Latchup
+
+let um = Units.of_um
+let tech () = Amg_tech.Bicmos1u.get ()
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let add o ~layer ?net ~x ~y ~w ~h () =
+  ignore (Lobj.add_shape o ~layer ~rect:(Rect.of_size ~x ~y ~w ~h) ?net ())
+
+let kind_name (v : Violation.t) =
+  match v.Violation.kind with
+  | Violation.Width _ -> "width"
+  | Violation.Spacing _ -> "spacing"
+  | Violation.Short _ -> "short"
+  | Violation.Enclosure _ -> "enclosure"
+  | Violation.Extension _ -> "extension"
+  | Violation.Cut_size _ -> "cut_size"
+  | Violation.Min_area _ -> "min_area"
+  | Violation.Latchup _ -> "latchup"
+
+let kinds vios = List.sort_uniq compare (List.map kind_name vios)
+
+let test_clean_object () =
+  let o = Lobj.create "clean" in
+  add o ~layer:"metal1" ~x:0 ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  add o ~layer:"metal1" ~x:(um 4.) ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  check "no violations" 0
+    (List.length (Checker.run ~checks:[ Widths; Spacings; Enclosures; Extensions ] ~tech:(tech ()) o))
+
+let test_width () =
+  let o = Lobj.create "w" in
+  add o ~layer:"metal1" ~x:0 ~y:0 ~w:(um 1.) ~h:(um 10.) ();
+  let vios = Checker.check_widths ~tech:(tech ()) o in
+  check_bool "width violation" true (kinds vios = [ "width" ])
+
+let test_cut_size () =
+  let o = Lobj.create "c" in
+  add o ~layer:"contact" ~x:0 ~y:0 ~w:(um 2.) ~h:(um 1.) ();
+  let vios = Checker.check_widths ~tech:(tech ()) o in
+  check_bool "cut size violation" true (kinds vios = [ "cut_size" ])
+
+let test_spacing () =
+  let o = Lobj.create "s" in
+  add o ~layer:"metal1" ~net:"a" ~x:0 ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  add o ~layer:"metal1" ~net:"b" ~x:(um 3.) ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  let vios = Checker.check_spacings ~tech:(tech ()) o in
+  check_bool "spacing violation" true (kinds vios = [ "spacing" ]);
+  (* L-inf: a large diagonal offset clears it. *)
+  let o2 = Lobj.create "s2" in
+  add o2 ~layer:"metal1" ~net:"a" ~x:0 ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  add o2 ~layer:"metal1" ~net:"b" ~x:(um 3.) ~y:(um 4.) ~w:(um 2.) ~h:(um 2.) ();
+  check "diagonal ok" 0 (List.length (Checker.check_spacings ~tech:(tech ()) o2))
+
+let test_short () =
+  let o = Lobj.create "sh" in
+  add o ~layer:"metal1" ~net:"a" ~x:0 ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  add o ~layer:"metal1" ~net:"b" ~x:(um 2.) ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  let vios = Checker.check_spacings ~tech:(tech ()) o in
+  check_bool "short" true (kinds vios = [ "short" ])
+
+let test_connected_component_merging () =
+  (* Two same-net far-apart bars joined by a third: no spacing violation
+     inside one connected region. *)
+  let o = Lobj.create "comp" in
+  add o ~layer:"metal1" ~net:"a" ~x:0 ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  add o ~layer:"metal1" ~net:"a" ~x:(um 2.5) ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  (* 0.5 < 1.5 apart but both net a: mergeable relation, no violation. *)
+  check "same net close" 0 (List.length (Checker.check_spacings ~tech:(tech ()) o));
+  (* The same geometry with unknown nets joined by a bridge. *)
+  let o2 = Lobj.create "comp2" in
+  add o2 ~layer:"metal1" ~x:0 ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  add o2 ~layer:"metal1" ~x:(um 2.5) ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  check "unknown nets close" 1 (List.length (Checker.check_spacings ~tech:(tech ()) o2));
+  add o2 ~layer:"metal1" ~x:(um 1.) ~y:(um 1.) ~w:(um 2.) ~h:(um 2.) ();
+  check "bridged" 0 (List.length (Checker.check_spacings ~tech:(tech ()) o2))
+
+let test_enclosure () =
+  let o = Lobj.create "e" in
+  (* Contact landing on poly but with no metal1 over it. *)
+  add o ~layer:"poly" ~x:0 ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  add o ~layer:"contact" ~x:(um 0.5) ~y:(um 0.5) ~w:(um 1.) ~h:(um 1.) ();
+  let vios = Checker.check_enclosures ~tech:(tech ()) o in
+  check "missing metal" 1 (List.length vios);
+  (* Adding the metal fixes it. *)
+  add o ~layer:"metal1" ~x:0 ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  check "fixed" 0 (List.length (Checker.check_enclosures ~tech:(tech ()) o));
+  (* A contact with metal but no landing layer. *)
+  let o2 = Lobj.create "e2" in
+  add o2 ~layer:"metal1" ~x:0 ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  add o2 ~layer:"contact" ~x:(um 0.5) ~y:(um 0.5) ~w:(um 1.) ~h:(um 1.) ();
+  check "missing landing" 1 (List.length (Checker.check_enclosures ~tech:(tech ()) o2));
+  (* A via needs both metals. *)
+  let o3 = Lobj.create "e3" in
+  add o3 ~layer:"metal1" ~x:0 ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  add o3 ~layer:"via" ~x:(um 0.5) ~y:(um 0.5) ~w:(um 1.) ~h:(um 1.) ();
+  check "via missing metal2" 1 (List.length (Checker.check_enclosures ~tech:(tech ()) o3))
+
+let test_extension () =
+  let o = Lobj.create "x" in
+  (* Proper vertical gate: poly 1 um wide crossing a 10 um diffusion. *)
+  add o ~layer:"poly" ~x:(um 3.) ~y:(- um 1.) ~w:(um 2.) ~h:(um 12.) ();
+  add o ~layer:"pdiff" ~x:0 ~y:0 ~w:(um 8.) ~h:(um 10.) ();
+  check "good gate" 0 (List.length (Checker.check_extensions ~tech:(tech ()) o));
+  (* End-cap too short. *)
+  let o2 = Lobj.create "x2" in
+  add o2 ~layer:"poly" ~x:(um 3.) ~y:(- um 0.5) ~w:(um 2.) ~h:(um 11.) ();
+  add o2 ~layer:"pdiff" ~x:0 ~y:0 ~w:(um 8.) ~h:(um 10.) ();
+  check_bool "short endcap" true
+    (kinds (Checker.check_extensions ~tech:(tech ()) o2) = [ "extension" ]);
+  (* Poly overlapping diffusion without crossing: malformed gate. *)
+  let o3 = Lobj.create "x3" in
+  add o3 ~layer:"poly" ~x:(um 3.) ~y:(um 2.) ~w:(um 2.) ~h:(um 4.) ();
+  add o3 ~layer:"pdiff" ~x:0 ~y:0 ~w:(um 8.) ~h:(um 10.) ();
+  check_bool "partial gate flagged" true
+    (kinds (Checker.check_extensions ~tech:(tech ()) o3) = [ "extension" ])
+
+let test_latchup () =
+  let t = tech () in
+  let o = Lobj.create "l" in
+  (* Active area with a tap close by: covered. *)
+  add o ~layer:"pdiff" ~net:"x" ~x:0 ~y:0 ~w:(um 10.) ~h:(um 10.) ();
+  add o ~layer:"subtap" ~x:(um 20.) ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  check "covered" 0 (List.length (Latchup.check ~tech:t o));
+  (* Far-away active area: uncovered. *)
+  add o ~layer:"ndiff" ~net:"y" ~x:(um 100.) ~y:0 ~w:(um 10.) ~h:(um 10.) ();
+  let vios = Latchup.check ~tech:t o in
+  check "uncovered" 1 (List.length vios);
+  (match vios with
+  | [ { Violation.kind = Violation.Latchup { uncovered }; _ } ] ->
+      (* Only the part beyond the 50 um radius remains. *)
+      check_bool "residue beyond reach" true
+        (List.for_all (fun r -> r.Rect.x0 >= um 72.) uncovered)
+  | _ -> Alcotest.fail "expected a latchup violation");
+  (* A second tap repairs it. *)
+  add o ~layer:"subtap" ~x:(um 95.) ~y:0 ~w:(um 2.) ~h:(um 2.) ();
+  check "repaired" 0 (List.length (Latchup.check ~tech:t o))
+
+let test_latchup_multi_tap_cover () =
+  (* The paper's successive-subtraction semantics: one big active region
+     covered only by the union of several taps. *)
+  let t = tech () in
+  let o = Lobj.create "multi" in
+  add o ~layer:"ndiff" ~net:"x" ~x:0 ~y:0 ~w:(um 200.) ~h:(um 4.) ();
+  add o ~layer:"subtap" ~x:(um 30.) ~y:(um 6.) ~w:(um 2.) ~h:(um 2.) ();
+  check "one tap insufficient" 1 (List.length (Latchup.check ~tech:t o));
+  add o ~layer:"subtap" ~x:(um 110.) ~y:(um 6.) ~w:(um 2.) ~h:(um 2.) ();
+  add o ~layer:"subtap" ~x:(um 170.) ~y:(um 6.) ~w:(um 2.) ~h:(um 2.) ();
+  check "union covers" 0 (List.length (Latchup.check ~tech:t o))
+
+let test_resistor_body_not_short () =
+  let env = Amg_core.Env.bicmos () in
+  let res, _ = Amg_modules.Resistor.make env ~squares:40. () in
+  let shorts =
+    List.filter
+      (fun v -> kind_name v = "short")
+      (Checker.check_spacings ~tech:(tech ()) res)
+  in
+  check "no short through film" 0 (List.length shorts)
+
+let test_describe () =
+  let v =
+    Violation.make
+      (Violation.Spacing { layer_a = "m1"; layer_b = "m2"; required = um 1.5; actual = um 1. })
+      (Rect.of_size ~x:0 ~y:0 ~w:1 ~h:1)
+  in
+  Alcotest.(check string) "describe" "spacing m1/m2: 1.00um < 1.50um"
+    (Violation.describe v)
+
+
+let test_min_area () =
+  let tech = tech () in
+  (* An isolated 1.5 x 1.5 um metal1 island: width-clean, but 2.25 um2 <
+     the 4 um2 minimum-area rule. *)
+  let o = Lobj.create "tiny" in
+  add o ~layer:"metal1" ~x:0 ~y:0 ~w:(um 1.5) ~h:(um 1.5) ();
+  let vios = Amg_drc.Checker.run ~checks:[ Amg_drc.Checker.Widths ] ~tech o in
+  check_bool "flagged" true (List.mem "min_area" (kinds vios));
+  check_bool "only min_area" true (kinds vios = [ "min_area" ]);
+  (* Growing the island with a touching rectangle fixes it: the rule reads
+     the connected region's union area, not per-rectangle areas. *)
+  add o ~layer:"metal1" ~x:(um 1.5) ~y:0 ~w:(um 1.5) ~h:(um 2.) ();
+  let vios2 = Amg_drc.Checker.run ~checks:[ Amg_drc.Checker.Widths ] ~tech o in
+  check "union passes" 0 (List.length vios2);
+  (* Overlapping rectangles are not double-counted: 2.25 + 2.25 um2 drawn,
+     but the union is only 1.5 x 1.9 = 2.85 um2 < 4. *)
+  let o3 = Lobj.create "overlap" in
+  add o3 ~layer:"metal1" ~x:0 ~y:0 ~w:(um 1.5) ~h:(um 1.5) ();
+  add o3 ~layer:"metal1" ~x:(um 0.4) ~y:0 ~w:(um 1.5) ~h:(um 1.5) ();
+  let vios3 = Amg_drc.Checker.run ~checks:[ Amg_drc.Checker.Widths ] ~tech o3 in
+  check_bool "no double count" true (List.mem "min_area" (kinds vios3))
+
+
+let test_well_taps () =
+  let tech = tech () in
+  (* A floating nwell (PMOS body, no tap): flagged. *)
+  let o = Lobj.create "floating" in
+  add o ~layer:"nwell" ~x:0 ~y:0 ~w:(um 20.) ~h:(um 10.) ();
+  add o ~layer:"pdiff" ~x:(um 4.) ~y:(um 4.) ~w:(um 6.) ~h:(um 2.) ();
+  check "flagged" 1 (List.length (Amg_drc.Latchup.untapped_wells ~tech o));
+  (* A tap inside the well fixes it. *)
+  add o ~layer:"subtap" ~x:(um 14.) ~y:(um 4.) ~w:(um 2.) ~h:(um 2.) ();
+  check "tapped ok" 0 (List.length (Amg_drc.Latchup.untapped_wells ~tech o));
+  (* Touching well rectangles are one region: a tap in either half covers
+     both. *)
+  let o2 = Lobj.create "merged" in
+  add o2 ~layer:"nwell" ~x:0 ~y:0 ~w:(um 10.) ~h:(um 10.) ();
+  add o2 ~layer:"nwell" ~x:(um 10.) ~y:0 ~w:(um 10.) ~h:(um 10.) ();
+  add o2 ~layer:"subtap" ~x:(um 2.) ~y:(um 2.) ~w:(um 2.) ~h:(um 2.) ();
+  check "merged region ok" 0 (List.length (Amg_drc.Latchup.untapped_wells ~tech o2));
+  (* A bipolar collector well (base implant inside) is a device terminal,
+     not a floating body: exempt. *)
+  let o3 = Lobj.create "npn" in
+  add o3 ~layer:"nwell" ~x:0 ~y:0 ~w:(um 12.) ~h:(um 12.) ();
+  add o3 ~layer:"pbase" ~x:(um 3.) ~y:(um 3.) ~w:(um 6.) ~h:(um 6.) ();
+  check "collector well exempt" 0
+    (List.length (Amg_drc.Latchup.untapped_wells ~tech o3))
+
+let suite =
+  [
+    Alcotest.test_case "clean object" `Quick test_clean_object;
+    Alcotest.test_case "width" `Quick test_width;
+    Alcotest.test_case "cut size" `Quick test_cut_size;
+    Alcotest.test_case "spacing (L-inf)" `Quick test_spacing;
+    Alcotest.test_case "short" `Quick test_short;
+    Alcotest.test_case "connected components" `Quick test_connected_component_merging;
+    Alcotest.test_case "enclosure" `Quick test_enclosure;
+    Alcotest.test_case "gate extension" `Quick test_extension;
+    Alcotest.test_case "latch-up cover" `Quick test_latchup;
+    Alcotest.test_case "latch-up multi-tap union" `Quick test_latchup_multi_tap_cover;
+    Alcotest.test_case "resistor body exempt from shorts" `Quick test_resistor_body_not_short;
+    Alcotest.test_case "min area (union semantics)" `Quick test_min_area;
+    Alcotest.test_case "well-tap rule" `Quick test_well_taps;
+    Alcotest.test_case "violation describe" `Quick test_describe;
+  ]

@@ -1,0 +1,321 @@
+(* Layout extraction and layout-versus-schematic comparison. *)
+
+module Rect = Amg_geometry.Rect
+module Units = Amg_geometry.Units
+module Lobj = Amg_layout.Lobj
+module Env = Amg_core.Env
+module M = Amg_modules
+module X = Amg_extract
+module D = Amg_circuit.Device
+module Netlist = Amg_circuit.Netlist
+
+let um = Units.of_um
+let env () = Env.bicmos ()
+let tech () = Env.tech (env ())
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let extract obj = X.Devices.extract ~tech:(tech ()) obj
+
+let test_connectivity_basics () =
+  let o = Lobj.create "c" in
+  let _ = Lobj.add_shape o ~layer:"metal1" ~rect:(Rect.of_size ~x:0 ~y:0 ~w:(um 4.) ~h:(um 2.)) ~net:"a" () in
+  let _ = Lobj.add_shape o ~layer:"metal1" ~rect:(Rect.of_size ~x:(um 4.) ~y:0 ~w:(um 4.) ~h:(um 2.)) ~net:"b" () in
+  let conn = X.Connectivity.build ~tech:(tech ()) o in
+  (* Touching same-layer shapes merge; conflicting labels are a short. *)
+  check "one node" 1 (X.Connectivity.node_count conn);
+  check "one short" 1 (List.length (X.Connectivity.shorts conn));
+  (* Disjoint shapes stay apart. *)
+  let o2 = Lobj.create "c2" in
+  let _ = Lobj.add_shape o2 ~layer:"metal1" ~rect:(Rect.of_size ~x:0 ~y:0 ~w:(um 2.) ~h:(um 2.)) ~net:"a" () in
+  let _ = Lobj.add_shape o2 ~layer:"metal1" ~rect:(Rect.of_size ~x:(um 4.) ~y:0 ~w:(um 2.) ~h:(um 2.)) ~net:"b" () in
+  let conn2 = X.Connectivity.build ~tech:(tech ()) o2 in
+  check "two nodes" 2 (X.Connectivity.node_count conn2);
+  check "no short" 0 (List.length (X.Connectivity.shorts conn2))
+
+let test_cut_connects_layers () =
+  let e = env () in
+  let o = Lobj.create "v" in
+  let _ = Amg_route.Wire.via e o ~at:(0, 0) ~net:"n" () in
+  let conn = X.Connectivity.build ~tech:(tech ()) o in
+  check "via merges metals" 1 (X.Connectivity.node_count conn);
+  (* Without the cut the metals are separate. *)
+  let o2 = Lobj.create "v2" in
+  let _ = Lobj.add_shape o2 ~layer:"metal1" ~rect:(Rect.of_size ~x:0 ~y:0 ~w:(um 2.) ~h:(um 2.)) () in
+  let _ = Lobj.add_shape o2 ~layer:"metal2" ~rect:(Rect.of_size ~x:0 ~y:0 ~w:(um 2.) ~h:(um 2.)) () in
+  let conn2 = X.Connectivity.build ~tech:(tech ()) o2 in
+  check "stacked metals isolated" 2 (X.Connectivity.node_count conn2)
+
+let test_channel_splits_diffusion () =
+  let o = Lobj.create "g" in
+  (* A diffusion crossed by a gate: the two sides must be distinct nodes. *)
+  let _ = Lobj.add_shape o ~layer:"pdiff" ~rect:(Rect.of_size ~x:0 ~y:0 ~w:(um 10.) ~h:(um 4.)) () in
+  let _ = Lobj.add_shape o ~layer:"poly" ~rect:(Rect.of_size ~x:(um 4.) ~y:(- um 1.) ~w:(um 2.) ~h:(um 6.)) ~net:"g" () in
+  let conn = X.Connectivity.build ~tech:(tech ()) o in
+  let left = X.Connectivity.node_at conn ~layer:"pdiff" ~x:(um 1.) ~y:(um 2.) in
+  let right = X.Connectivity.node_at conn ~layer:"pdiff" ~x:(um 9.) ~y:(um 2.) in
+  check_bool "both found" true (left <> None && right <> None);
+  check_bool "separate" true (left <> right)
+
+let test_well_does_not_conduct () =
+  let e = env () in
+  (* A PMOS with its well: gate, source, drain stay separate. *)
+  let t = M.Mosfet.make e ~polarity:M.Mosfet.Pmos ~w:(um 10.) ~l:(um 2.) () in
+  let ex = extract t in
+  check "one device" 1 (List.length ex.X.Devices.mosfets);
+  check "no shorts" 0 (List.length ex.X.Devices.short_nets);
+  let m = List.hd ex.X.Devices.mosfets in
+  check_bool "nets" true
+    (m.X.Devices.x_g = "g"
+    && List.sort compare [ m.X.Devices.x_s; m.X.Devices.x_d ] = [ "d"; "s" ]);
+  check "width" (um 10.) m.X.Devices.x_w;
+  check "length" (um 2.) m.X.Devices.x_l
+
+let test_extract_diff_pair () =
+  let e = env () in
+  let dp = M.Diff_pair.make e ~polarity:M.Mosfet.Pmos ~w:(um 10.) ~l:(um 5.) () in
+  let ex = extract dp in
+  check "two devices" 2 (List.length ex.X.Devices.mosfets);
+  List.iter
+    (fun (m : X.Devices.mos) ->
+      check_bool "shares s" true
+        (m.X.Devices.x_s = "s" || m.X.Devices.x_d = "s"))
+    ex.X.Devices.mosfets
+
+let test_extract_mirror_diode () =
+  let e = env () in
+  let mir = M.Current_mirror.symmetric e ~polarity:M.Mosfet.Nmos ~w:(um 8.) ~l:(um 2.) () in
+  let ex = extract mir in
+  check "two merged devices" 2 (List.length ex.X.Devices.mosfets);
+  let diode =
+    List.find
+      (fun (m : X.Devices.mos) ->
+        m.X.Devices.x_g = m.X.Devices.x_d || m.X.Devices.x_g = m.X.Devices.x_s)
+      ex.X.Devices.mosfets
+  in
+  (* Diode-connected but not a dummy. *)
+  check_bool "not dummy" false (X.Devices.is_dummy diode);
+  check "diode width merged" (um 16.) diode.X.Devices.x_w
+
+let test_extract_module_e () =
+  let e = env () in
+  let cc = M.Common_centroid.make e ~polarity:M.Mosfet.Pmos ~w:(um 10.) ~l:(um 2.) () in
+  let ex = extract cc in
+  let live = List.filter (fun m -> not (X.Devices.is_dummy m)) ex.X.Devices.mosfets in
+  let dummies = List.filter X.Devices.is_dummy ex.X.Devices.mosfets in
+  check "two live devices" 2 (List.length live);
+  check "one merged dummy bank" 1 (List.length dummies);
+  List.iter
+    (fun (m : X.Devices.mos) ->
+      check "live width 4 fingers" (um 40.) m.X.Devices.x_w;
+      check_bool "tail source" true (m.X.Devices.x_s = "tail" || m.X.Devices.x_d = "tail"))
+    live;
+  (* 16 dummy fingers of 10 um. *)
+  check "dummy bank width" (um 160.) (List.hd dummies).X.Devices.x_w;
+  check "no shorts" 0 (List.length ex.X.Devices.short_nets)
+
+let test_extract_bjt () =
+  let e = env () in
+  let q = M.Bipolar.make e ~we:(um 2.) ~le:(um 8.) () in
+  let ex = extract q in
+  check "one npn" 1 (List.length ex.X.Devices.bjts);
+  check_bool "terminals" true (ex.X.Devices.bjts = [ ("c", "b", "e") ])
+
+let test_extract_resistor_cap () =
+  let e = env () in
+  let r, ohms = M.Resistor.make e ~squares:80. () in
+  let ex = extract r in
+  (match ex.X.Devices.resistors with
+  | [ (a, b, v) ] ->
+      check_bool "terminals" true (List.sort compare [ a; b ] = [ "a"; "b" ]);
+      check_bool "value close to generator" true
+        (Float.abs (v -. ohms) /. ohms < 0.15)
+  | _ -> Alcotest.fail "one resistor");
+  check "film not shorted" 0 (List.length ex.X.Devices.short_nets);
+  let c, ff = M.Capacitor.make e ~cap_ff:300. () in
+  let exc = extract c in
+  (match exc.X.Devices.capacitors with
+  | [ (t, b, v) ] ->
+      check_bool "plates" true (t = "top" && b = "bot");
+      check_bool "value" true (Float.abs (v -. ff) < 1.)
+  | _ -> Alcotest.fail "one capacitor");
+  (* Regression: the top-plate contacts must not short the plates. *)
+  check "plates isolated" 0 (List.length exc.X.Devices.short_nets)
+
+let test_short_detection () =
+  let o = Lobj.create "s" in
+  let _ = Lobj.add_shape o ~layer:"metal1" ~rect:(Rect.of_size ~x:0 ~y:0 ~w:(um 4.) ~h:(um 2.)) ~net:"x" () in
+  let _ = Lobj.add_shape o ~layer:"metal1" ~rect:(Rect.of_size ~x:(um 2.) ~y:0 ~w:(um 4.) ~h:(um 2.)) ~net:"y" () in
+  let ex = extract o in
+  check_bool "short reported" true (ex.X.Devices.short_nets = [ [ "x"; "y" ] ])
+
+let test_lvs_amplifier () =
+  let e = env () in
+  let r = Amg_amplifier.Amplifier.build e in
+  let ex = extract r.Amg_amplifier.Amplifier.obj in
+  let result = X.Compare.run ~golden:(Amg_amplifier.Schematic.netlist ()) ex in
+  if not (X.Compare.clean result) then
+    Alcotest.failf "%a" X.Compare.pp_result result;
+  check "all devices matched" 14 result.X.Compare.matched
+
+let test_lvs_detects_wrong_netlist () =
+  let e = env () in
+  let dp = M.Diff_pair.make e ~polarity:M.Mosfet.Pmos ~w:(um 10.) ~l:(um 5.) () in
+  let ex = extract dp in
+  (* Golden netlist with a wrong width and a missing device. *)
+  let golden =
+    Netlist.create ~name:"bad"
+      [
+        D.mos ~name:"M1" ~polarity:D.Pmos ~w:(um 20.) ~l:(um 5.) ~g:"g1" ~d:"d1" ~s:"s" ~b:"w";
+        D.mos ~name:"M2" ~polarity:D.Pmos ~w:(um 10.) ~l:(um 5.) ~g:"g2" ~d:"d2" ~s:"s" ~b:"w";
+        D.mos ~name:"M3" ~polarity:D.Pmos ~w:(um 10.) ~l:(um 5.) ~g:"g3" ~d:"d3" ~s:"s" ~b:"w";
+      ]
+  in
+  let result = X.Compare.run ~golden ex in
+  check_bool "not clean" false (X.Compare.clean result);
+  check_bool "reports size mismatch" true
+    (List.exists
+       (function X.Compare.Size_mismatch _ -> true | _ -> false)
+       result.X.Compare.mismatches);
+  check_bool "reports missing" true
+    (List.exists
+       (function X.Compare.Missing_device _ -> true | _ -> false)
+       result.X.Compare.mismatches)
+
+
+let test_reduce_resistors () =
+  let internal n = String.length n > 1 && n.[0] = 'n' in
+  (* Chain a -n1- n1 -n2- b collapses to one summed resistor. *)
+  let reduced =
+    X.Devices.reduce_resistors ~internal
+      [ ("a", "n1", 100.); ("n1", "n2", 50.); ("n2", "b", 25.) ]
+  in
+  Alcotest.(check (list (triple string string (float 1e-6))))
+    "series chain" [ ("a", "b", 175.) ] reduced;
+  (* A labeled middle node blocks the merge. *)
+  let kept =
+    X.Devices.reduce_resistors ~internal [ ("a", "mid", 100.); ("mid", "b", 50.) ]
+  in
+  check "labeled node kept" 2 (List.length kept);
+  (* A node touched by three resistors is a real junction. *)
+  let star =
+    X.Devices.reduce_resistors ~internal
+      [ ("a", "n1", 1.); ("b", "n1", 1.); ("c", "n1", 1.) ]
+  in
+  check "star kept" 3 (List.length star);
+  (* Parallel resistors combine reciprocally. *)
+  (match X.Devices.reduce_resistors ~internal [ ("a", "b", 100.); ("b", "a", 100.) ] with
+  | [ (_, _, v) ] -> Alcotest.(check (float 1e-6)) "parallel" 50. v
+  | _ -> Alcotest.fail "one resistor expected");
+  (* Series then parallel: two equal chains between a and b. *)
+  (match
+     X.Devices.reduce_resistors ~internal
+       [ ("a", "n1", 60.); ("n1", "b", 40.); ("a", "n2", 30.); ("n2", "b", 70.) ]
+   with
+  | [ (_, _, v) ] -> Alcotest.(check (float 1e-6)) "bridge" 50. v
+  | _ -> Alcotest.fail "one resistor expected")
+
+(* --- SPICE export --- *)
+
+let check_str = Alcotest.(check string)
+
+let has_sub sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_spice_values () =
+  check_str "ohms k" "2k" (X.Spice.si_value 2000.);
+  check_str "ohms plain" "470" (X.Spice.si_value 470.);
+  check_str "farads f" "400f" (X.Spice.si_value 4e-13);
+  check_str "farads p" "1.5p" (X.Spice.si_value 1.5e-12);
+  check_str "metres u" "10u" (X.Spice.si_value 1e-5);
+  check_str "meg" "4.7meg" (X.Spice.si_value 4.7e6);
+  check_str "zero" "0" (X.Spice.si_value 0.);
+  check_str "node ground" "0" (X.Spice.node "");
+  check_str "node hier" "pair_out" (X.Spice.node "pair/out")
+
+let test_spice_cards () =
+  check_str "mos card"
+    "MM1 out in vss vss nmos1u w=10u l=2u"
+    (X.Spice.device_card
+       (D.mos ~name:"M1" ~polarity:D.Nmos ~w:(um 10.) ~l:(um 2.) ~g:"in"
+          ~d:"out" ~s:"vss" ~b:"vss"));
+  check_str "bjt card" "QQ1 vdd b out npn1u"
+    (X.Spice.device_card (D.bjt ~name:"Q1" ~c:"vdd" ~b:"b" ~e:"out"));
+  check_str "res card" "RR1 a b 2k"
+    (X.Spice.device_card (D.res ~name:"R1" ~a:"a" ~b:"b" ~ohms:2000.));
+  check_str "cap card" "CC1 t b 400f"
+    (X.Spice.device_card (D.cap ~name:"C1" ~a:"t" ~b:"b" ~ff:400.))
+
+let test_spice_subckt () =
+  let nl =
+    Netlist.create ~name:"amp" ~external_ports:[ "in"; "out"; "vdd"; "vss" ]
+      [
+        D.mos ~name:"M1" ~polarity:D.Nmos ~w:(um 10.) ~l:(um 2.) ~g:"in"
+          ~d:"out" ~s:"vss" ~b:"vss";
+        D.res ~name:"R1" ~a:"vdd" ~b:"out" ~ohms:10_000.;
+      ]
+  in
+  let lines = X.Spice.subckt_of_netlist nl in
+  check_str "header" ".subckt amp in out vdd vss" (List.hd lines);
+  check_str "footer" ".ends" (List.nth lines (List.length lines - 1));
+  check "card count" 4 (List.length lines);
+  (* A netlist without ports is emitted flat. *)
+  let flat = Netlist.create ~name:"flat" [ D.res ~name:"R" ~a:"a" ~b:"b" ~ohms:1. ] in
+  check_bool "flat has no .ends" false
+    (List.mem ".ends" (X.Spice.subckt_of_netlist flat))
+
+let test_spice_of_extracted () =
+  let e = env () in
+  let dp = M.Diff_pair.make e ~polarity:M.Mosfet.Pmos ~w:(um 10.) ~l:(um 5.) () in
+  let deck = X.Spice.of_extracted (extract dp) in
+  let lines = String.split_on_char '\n' deck in
+  let mos = List.filter (fun l -> String.length l > 0 && l.[0] = 'M') lines in
+  check "two mos cards" 2 (List.length mos);
+  List.iter
+    (fun l -> begin
+       check_bool "pmos model" true
+         (has_sub "pmos1u" l);
+       check_bool "width" true (has_sub "w=10u" l);
+       check_bool "length" true (has_sub "l=5u" l)
+     end)
+    mos;
+  check_bool "ends with .end" true (has_sub ".end" deck)
+
+let test_spice_amplifier_deck () =
+  (* The extracted amplifier deck names every schematic net and carries the
+     exact R and C values. *)
+  let e = env () in
+  let r = Amg_amplifier.Amplifier.build e in
+  let x = extract r.Amg_amplifier.Amplifier.obj in
+  let deck = X.Spice.of_extracted x in
+  let contains sub = has_sub sub deck in
+  List.iter
+    (fun net -> check_bool ("mentions " ^ net) true (contains net))
+    [ "inp"; "inn"; "out"; "vdd"; "vss"; "tail"; "npn1u" ];
+  check_bool "no shorts recorded" true (x.X.Devices.short_nets = []);
+  check_bool "no SHORT comments" false (contains "SHORT")
+
+let suite =
+  [
+    Alcotest.test_case "connectivity basics" `Quick test_connectivity_basics;
+    Alcotest.test_case "cuts connect layers" `Quick test_cut_connects_layers;
+    Alcotest.test_case "channel splits diffusion" `Quick test_channel_splits_diffusion;
+    Alcotest.test_case "well does not conduct" `Quick test_well_does_not_conduct;
+    Alcotest.test_case "extract diff pair" `Quick test_extract_diff_pair;
+    Alcotest.test_case "extract mirror diode" `Quick test_extract_mirror_diode;
+    Alcotest.test_case "extract module E" `Quick test_extract_module_e;
+    Alcotest.test_case "extract bipolar" `Quick test_extract_bjt;
+    Alcotest.test_case "extract R and C" `Quick test_extract_resistor_cap;
+    Alcotest.test_case "short detection" `Quick test_short_detection;
+    Alcotest.test_case "LVS: full amplifier clean" `Quick test_lvs_amplifier;
+    Alcotest.test_case "LVS: detects wrong netlist" `Quick test_lvs_detects_wrong_netlist;
+    Alcotest.test_case "resistor series/parallel reduction" `Quick test_reduce_resistors;
+    Alcotest.test_case "SPICE: SI values and nodes" `Quick test_spice_values;
+    Alcotest.test_case "SPICE: device cards" `Quick test_spice_cards;
+    Alcotest.test_case "SPICE: subckt wrapper" `Quick test_spice_subckt;
+    Alcotest.test_case "SPICE: extracted diff pair" `Quick test_spice_of_extracted;
+    Alcotest.test_case "SPICE: amplifier deck" `Quick test_spice_amplifier_deck;
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "amg"
+    [
+      ("geometry", Test_geometry.suite);
+      ("tech", Test_tech.suite);
+      ("layout", Test_layout.suite);
+      ("compact", Test_compact.suite);
+      ("drc", Test_drc.suite);
+      ("core", Test_core.suite);
+      ("lang", Test_lang.suite);
+      ("route", Test_route.suite);
+      ("modules", Test_modules.suite);
+      ("circuit", Test_circuit.suite);
+      ("amplifier", Test_amplifier.suite);
+      ("extract", Test_extract.suite);
+      ("tech-indep", Test_tech_indep.suite);
+    ]

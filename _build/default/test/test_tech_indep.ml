@@ -1,0 +1,89 @@
+(* Technology independence (§4): the unchanged module sources — OCaml eDSL
+   and layout-language alike — rebuild DRC-clean under a second, quite
+   different rule deck (0.8 um single-poly CMOS). *)
+
+module Lobj = Amg_layout.Lobj
+module Env = Amg_core.Env
+module M = Amg_modules
+module X = Amg_extract
+
+let um = Amg_geometry.Units.of_um
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let cmos_env () = Env.create (Amg_tech.Cmos08.get ())
+
+let drc env obj =
+  List.length
+    (Amg_drc.Checker.run
+       ~checks:[ Amg_drc.Checker.Widths; Spacings; Enclosures; Extensions ]
+       ~tech:(Env.tech env) obj)
+
+let module_zoo env =
+  [
+    ("contact_row", M.Contact_row.make env ~layer:"poly" ~l:(um 8.) ());
+    ("substrate_tap", M.Contact_row.substrate_tap env ~l:(um 20.) ());
+    ("mosfet", M.Mosfet.make env ~polarity:M.Mosfet.Pmos ~w:(um 8.) ~l:(um 1.6) ());
+    ("diff_pair", M.Diff_pair.make env ~polarity:M.Mosfet.Pmos ~w:(um 8.) ~l:(um 4.) ());
+    ("interdigitated",
+     M.Interdigitated.make env ~polarity:M.Mosfet.Nmos ~w:(um 8.) ~l:(um 1.6) ~fingers:4 ());
+    ("mirror_simple", M.Current_mirror.simple env ~polarity:M.Mosfet.Nmos ~w:(um 6.4) ~l:(um 1.6) ());
+    ("mirror_symmetric",
+     M.Current_mirror.symmetric env ~polarity:M.Mosfet.Nmos ~w:(um 6.4) ~l:(um 1.6) ());
+    ("cross_coupled",
+     M.Cross_coupled.common_gate env ~polarity:M.Mosfet.Nmos ~w:(um 6.4) ~l:(um 1.6) ());
+    ("module_e", M.Common_centroid.make env ~polarity:M.Mosfet.Pmos ~w:(um 8.) ~l:(um 1.6) ());
+    ("resistor", fst (M.Resistor.make env ~squares:60. ()));
+  ]
+
+let test_zoo_clean_in_cmos08 () =
+  let env = cmos_env () in
+  List.iter
+    (fun (name, obj) -> check (name ^ " clean") 0 (drc env obj))
+    (module_zoo env)
+
+let test_language_source_in_cmos08 () =
+  let env = cmos_env () in
+  let dp =
+    Amg_lang.Interp.parse_and_build env Amg_lang.Stdlib.all "DiffPair"
+      [ ("W", Amg_lang.Value.Num 8.); ("L", Amg_lang.Value.Num 4.) ]
+  in
+  check "lang diff pair clean" 0 (drc env dp);
+  check "ports" 5 (List.length (Lobj.ports dp))
+
+let test_areas_scale_down () =
+  (* The 0.8 um module is smaller than the 1 um one for identical source
+     parameters. *)
+  let e1 = Env.bicmos () and e2 = cmos_env () in
+  let a env = Lobj.bbox_area (M.Diff_pair.make env ~polarity:M.Mosfet.Pmos ~w:(um 8.) ~l:(um 4.) ()) in
+  check_bool "scales down" true (a e2 < a e1)
+
+let test_extraction_in_cmos08 () =
+  let env = cmos_env () in
+  let cc = M.Common_centroid.make env ~polarity:M.Mosfet.Pmos ~w:(um 8.) ~l:(um 1.6) () in
+  let ex = X.Devices.extract ~tech:(Env.tech env) cc in
+  let live = List.filter (fun m -> not (X.Devices.is_dummy m)) ex.X.Devices.mosfets in
+  check "two devices" 2 (List.length live);
+  List.iter
+    (fun (m : X.Devices.mos) -> check "width" (um 32.) m.X.Devices.x_w)
+    live;
+  check "no shorts" 0 (List.length ex.X.Devices.short_nets)
+
+let test_missing_layer_rejects () =
+  (* Poly2 capacitors cannot exist in the single-poly process and must be
+     rejected, not silently mis-built. *)
+  let env = cmos_env () in
+  check_bool "capacitor rejects" true
+    (match M.Capacitor.make env ~cap_ff:100. () with
+    | exception _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "module zoo clean in cmos08" `Quick test_zoo_clean_in_cmos08;
+    Alcotest.test_case "language source in cmos08" `Quick test_language_source_in_cmos08;
+    Alcotest.test_case "areas scale down" `Quick test_areas_scale_down;
+    Alcotest.test_case "extraction in cmos08" `Quick test_extraction_in_cmos08;
+    Alcotest.test_case "missing layer rejects" `Quick test_missing_layer_rejects;
+  ]
