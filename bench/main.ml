@@ -684,6 +684,84 @@ let route_ablation () =
   Fmt.pr " channel router packs disjoint intervals onto shared tracks)@."
 
 (* ------------------------------------------------------------------ *)
+(* COMPACT-SCALING: compaction and order optimization vs object count, *)
+(* the workload the indexed shape store is sized for.  Medians go to    *)
+(* BENCH_compact.json so runs are diffable.                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic workload: n contact rows of cycling widths, alternating
+   compaction directions, so the main structure grows on both axes. *)
+let compact_steps env n =
+  List.init n (fun i ->
+      let w = um (float_of_int (20 + (i mod 4) * 12)) in
+      let row =
+        M.Contact_row.make env ~layer:"metal1"
+          ~net:(Printf.sprintf "n%d" i) ~w ()
+      in
+      Optimize.step row (if i mod 2 = 0 then Dir.South else Dir.West))
+
+let compact_scaling env =
+  section "COMPACT-SCALING  apply / optimize_bb / optimize_local vs n";
+  (* Settle the heap left behind by the preceding sections so the medians
+     compare across runs (and against a standalone build of this section). *)
+  Gc.compact ();
+  Fmt.pr "%4s %10s %12s %8s %8s %14s@." "n" "apply/ms" "local/ms" "rating"
+    "evals" "bb";
+  let rows =
+    List.map
+      (fun n ->
+        let steps = compact_steps env n in
+        let t_apply =
+          median_time ~repeats:5 (fun () ->
+              ignore (Optimize.apply env ~name:"pack" steps))
+        in
+        let t_local =
+          median_time ~repeats:3 (fun () ->
+              ignore (Optimize.optimize_local env ~name:"pack" steps))
+        in
+        let _, r_local, _, evals =
+          Optimize.optimize_local env ~name:"pack" steps
+        in
+        let bb =
+          if n <= 6 then begin
+            let (_, r, _, nodes), t =
+              wall (fun () -> Optimize.optimize_bb env ~name:"pack" steps)
+            in
+            Some (t, r, nodes)
+          end
+          else None
+        in
+        let bb_str =
+          match bb with
+          | Some (t, r, nodes) ->
+              Printf.sprintf "%.1f ms (%.0f, %d nodes)" (t *. 1000.) r nodes
+          | None -> "skipped"
+        in
+        Fmt.pr "%4d %10.2f %12.2f %8.1f %8d %14s@." n (t_apply *. 1000.)
+          (t_local *. 1000.) r_local evals bb_str;
+        (n, t_apply, t_local, r_local, evals, bb))
+      [ 4; 6; 8; 12 ]
+  in
+  let oc = open_out "BENCH_compact.json" in
+  let bb_json = function
+    | Some (t, r, nodes) ->
+        Printf.sprintf
+          ",\"bb_s\":%.6f,\"bb_rating\":%.4f,\"bb_nodes\":%d" t r nodes
+    | None -> ""
+  in
+  Printf.fprintf oc
+    "{\n  \"workload\": \"contact rows, w=20+(i mod 4)*12 um, S/W alternating\",\n  \"times\": \"median wall seconds\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (n, ta, tl, r, evals, bb) ->
+            Printf.sprintf
+              "    {\"n\":%d,\"apply_s\":%.6f,\"local_s\":%.6f,\"local_rating\":%.4f,\"local_evals\":%d%s}"
+              n ta tl r evals (bb_json bb))
+          rows));
+  close_out oc;
+  Fmt.pr "(medians written to BENCH_compact.json)@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core kernels.                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -747,5 +825,6 @@ let () =
   tech_indep ();
   floorplan_ablation env;
   route_ablation ();
+  compact_scaling env;
   micro env;
   Fmt.pr "@.done.@."

@@ -12,19 +12,30 @@ type relation =
   | Separation of int      (* minimum L-inf distance *)
 [@@deriving show { with_path = false }, eq]
 
-(* Classify a pair.  [ignore_layers] is the compaction call's "layers which
-   are not relevant during this compaction step" (§2.5): their same-layer
-   spacing is waived because the geometries will be merged/connected.
-   Cross-layer rules always hold (they are what stops the mover). *)
-let relation rules ?(ignore_layers = []) (a : Shape.t) (b : Shape.t) =
-  let ignored = List.mem a.Shape.layer ignore_layers in
-  let same_layer = String.equal a.layer b.layer in
-  if same_layer then
-    if Shape.same_net a b || ignored then Mergeable
+(* The layer-level part of a pair's classification.  Computing it involves
+   rule-table lookups (allocating tuple keys and hashing string pairs), so
+   the compactor's scans hoist it out of their inner loops: one [classify]
+   per (mover shape, candidate layer), reused across every candidate on
+   that layer. *)
+type pair_class = { same_layer : bool; ignored : bool; space : int option }
+
+let classify rules ?(ignore_layers = []) la lb =
+  {
+    same_layer = String.equal la lb;
+    ignored = List.mem la ignore_layers;
+    space = Rules.space rules la lb;
+  }
+
+(* Classify a pair given its layers' [pair_class].  [ignore_layers] (folded
+   into [cls.ignored]) is the compaction call's "layers which are not
+   relevant during this compaction step" (§2.5): their same-layer spacing
+   is waived because the geometries will be merged/connected.  Cross-layer
+   rules always hold (they are what stops the mover). *)
+let relation_cls cls (a : Shape.t) (b : Shape.t) =
+  if cls.same_layer then
+    if Shape.same_net a b || cls.ignored then Mergeable
     else
-      match Rules.space rules a.layer b.layer with
-      | Some d -> Separation d
-      | None -> Separation 0
+      match cls.space with Some d -> Separation d | None -> Separation 0
   else if
     (* One rectangle fully inside the other on a different layer is an
        intended enclosure (a cut inside its landing shape), not a spacing
@@ -34,7 +45,7 @@ let relation rules ?(ignore_layers = []) (a : Shape.t) (b : Shape.t) =
   else
     (* Cross-layer spacing rules hold regardless of potential: a gate poly
        stripe must not touch even its own net's diffusion row. *)
-    match Rules.space rules a.layer b.layer with
+    match cls.space with
     | Some d -> Separation d
     | None ->
         (* No spacing rule: different layers may overlap (e.g. metal over
@@ -46,6 +57,9 @@ let relation rules ?(ignore_layers = []) (a : Shape.t) (b : Shape.t) =
           Separation 0
         else Unconstrained
 
+let relation rules ?ignore_layers (a : Shape.t) (b : Shape.t) =
+  relation_cls (classify rules ?ignore_layers a.Shape.layer b.Shape.layer) a b
+
 (* Does the pair constrain movement along [axis]?  With the L-inf distance
    model, a separation [sep] matters only when the cross-axis projections,
    each inflated by [sep], overlap. *)
@@ -55,32 +69,50 @@ let shadows ~axis ~sep (ra : Rect.t) (rb : Rect.t) =
   Interval.overlaps (Interval.inflate ia sep) ib
 
 (* Minimal translation [delta] (signed, along [Dir.axis d]) that the moving
-   rectangle [a] must respect against stationary [b], or [None] when the
-   pair does not constrain this movement.  The mover travels in direction
-   [d]; the constraint keeps it from travelling too far. *)
-let pair_limit rules ?ignore_layers d (a : Shape.t) (b : Shape.t) =
+   rectangle [a] must respect against stationary [b], paired with the
+   relation that produced it, or [None] when the pair does not constrain
+   this movement.  The mover travels in direction [d]; the constraint keeps
+   it from travelling too far. *)
+let pair_limit_cls cls d (a : Shape.t) (b : Shape.t) =
   let axis = Dir.axis d in
   let sign = Dir.sign d in
-  match relation rules ?ignore_layers a b with
+  match relation_cls cls a b with
   | Unconstrained -> None
-  | Mergeable ->
+  | Mergeable as rel ->
       (* May merge: the mover's trailing edge must not pass b's trailing
          edge, so full overlap is reachable but not pass-through. *)
       if shadows ~axis ~sep:0 a.rect b.rect then
         (* Moving by delta: the mover's trailing edge must not pass b's
            trailing edge; the bound is the same expression for both signs. *)
         let trailing r = Rect.side r (Dir.opposite d) in
-        Some (trailing b.rect - trailing a.rect)
+        Some (trailing b.rect - trailing a.rect, rel)
       else None
-  | Separation sep ->
+  | Separation sep as rel ->
       if shadows ~axis ~sep a.rect b.rect then
         (* For sign = -1 (moving South/West): a.lo + delta >= b.hi + sep.
            For sign = +1 (moving North/East): a.hi + delta <= b.lo - sep. *)
         let ia = Rect.span axis a.rect and ib = Rect.span axis b.rect in
         Some
-          (if sign < 0 then ib.Interval.hi + sep - ia.Interval.lo
-           else ib.Interval.lo - sep - ia.Interval.hi)
+          ( (if sign < 0 then ib.Interval.hi + sep - ia.Interval.lo
+             else ib.Interval.lo - sep - ia.Interval.hi),
+            rel )
       else None
+
+let pair_limit_rel rules ?ignore_layers d (a : Shape.t) b =
+  pair_limit_cls (classify rules ?ignore_layers a.Shape.layer b.Shape.layer) d a b
+
+let pair_limit rules ?ignore_layers d a b =
+  Option.map fst (pair_limit_rel rules ?ignore_layers d a b)
+
+(* Candidate margin for spatial-index queries on a layer pair: [relation]
+   only ever produces [Separation (space a b)], [Separation 0] (keep-clear)
+   or [Mergeable] (acts at distance 0), so every pair either of the
+   compactor's scans can constrain lies within the pair's spacing rule —
+   shapes farther than this on both axes are provably Unconstrained or out
+   of shadow and need not be examined. *)
+let query_margin rules layer_a layer_b = Rules.space_or_zero rules layer_a layer_b
+
+let margin_cls cls = match cls.space with Some d -> d | None -> 0
 
 (* Combine limits: the mover wants delta as far in direction [d] as
    possible; each limit bounds delta from the [d] side. *)

@@ -28,6 +28,26 @@ val relation :
     while cross-layer rules always hold.  A rectangle fully containing the
     other on a different layer (cut-in-landing) is unconstrained. *)
 
+type pair_class = { same_layer : bool; ignored : bool; space : int option }
+(** The layer-level part of a pair's classification — everything that
+    depends only on the two layers and the ignore list, not on the shapes.
+    Scans hoist it out of their inner loops so the rule table is consulted
+    once per (mover, layer) instead of once per candidate pair. *)
+
+val classify :
+  Amg_tech.Rules.t -> ?ignore_layers:string list -> string -> string -> pair_class
+(** [classify rules la lb] for a mover on layer [la] against candidates on
+    layer [lb].  Order matters for [ignored] ([ignore_layers] is tested
+    against the mover's layer, matching {!relation}). *)
+
+val relation_cls :
+  pair_class -> Amg_layout.Shape.t -> Amg_layout.Shape.t -> relation
+(** {!relation} with the layer-level work precomputed:
+    [relation rules a b = relation_cls (classify rules a.layer b.layer) a b]. *)
+
+val margin_cls : pair_class -> int
+(** {!query_margin} of an already classified layer pair. *)
+
 val shadows :
   axis:Amg_geometry.Dir.axis ->
   sep:int ->
@@ -45,6 +65,30 @@ val pair_limit :
 (** Signed translation bound that stationary shape [b] imposes on shape [a]
     moving in the given direction, or [None] when the pair does not
     constrain the move. *)
+
+val pair_limit_rel :
+  Amg_tech.Rules.t ->
+  ?ignore_layers:string list ->
+  Amg_geometry.Dir.t ->
+  Amg_layout.Shape.t ->
+  Amg_layout.Shape.t ->
+  (int * relation) option
+(** Like {!pair_limit}, also returning the relation that produced the
+    bound, so callers recording both classify the pair only once. *)
+
+val pair_limit_cls :
+  pair_class ->
+  Amg_geometry.Dir.t ->
+  Amg_layout.Shape.t ->
+  Amg_layout.Shape.t ->
+  (int * relation) option
+(** {!pair_limit_rel} with the layer-level classification precomputed. *)
+
+val query_margin : Amg_tech.Rules.t -> string -> string -> int
+(** Margin for {!Amg_layout.Lobj.near} candidate queries on a layer pair:
+    any pair of shapes farther apart than this on both axes is guaranteed
+    not to constrain compaction (its {!relation} is [Unconstrained], or a
+    separation it already satisfies out of shadow). *)
 
 val tightest : Amg_geometry.Dir.t -> int list -> int option
 (** Tightest of several bounds for a mover travelling in the direction:

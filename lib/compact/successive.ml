@@ -37,20 +37,60 @@ let apply_align ~align ~(d : Dir.t) ~main obj =
       | Dir.Horizontal -> Lobj.translate obj ~dx:shift ~dy:0
       | Dir.Vertical -> Lobj.translate obj ~dx:0 ~dy:shift)
 
+(* A movement-axis slab: the mover's rectangle stretched along the axis to
+   cover the main structure's whole extent.  Along the movement axis any
+   distance still constrains the travel, so only the cross-axis shadow can
+   cull; the slab makes the index query unbounded (within main) on the
+   axis and tight on the cross axis. *)
+let slab ~axis (a : Shape.t) (mb : Rect.t) =
+  let sa = Rect.span axis a.Shape.rect and sm = Rect.span axis mb in
+  let h = Interval.hull sa sm in
+  match axis with
+  | Dir.Horizontal ->
+      Rect.make ~x0:h.Interval.lo ~x1:h.Interval.hi ~y0:a.rect.Rect.y0
+        ~y1:a.rect.Rect.y1
+  | Dir.Vertical ->
+      Rect.make ~x0:a.rect.Rect.x0 ~x1:a.rect.Rect.x1 ~y0:h.Interval.lo
+        ~y1:h.Interval.hi
+
 let collect_limits rules ?ignore_layers d ~main obj =
-  List.concat_map
-    (fun (a : Shape.t) ->
-      List.filter_map
-        (fun (b : Shape.t) ->
-          match Constraints.pair_limit rules ?ignore_layers d a b with
-          | Some bound ->
-              Some { bound; mover = a; target = b; rel = Constraints.relation rules ?ignore_layers a b }
-          | None -> None)
-        (Lobj.shapes main))
-    (Lobj.shapes obj)
+  match Lobj.bbox main with
+  | None -> []
+  | Some mb ->
+      let axis = Dir.axis d in
+      let layers = Lobj.layers main in
+      List.concat_map
+        (fun (a : Shape.t) ->
+          let window = slab ~axis a mb in
+          List.concat_map
+            (fun layer ->
+              (* One rule-table consultation per (mover, layer); the inner
+                 loop then runs without spacing lookups. *)
+              let cls = Constraints.classify rules ?ignore_layers a.Shape.layer layer in
+              let margin = Constraints.margin_cls cls in
+              List.filter_map
+                (fun (b : Shape.t) ->
+                  match Constraints.pair_limit_cls cls d a b with
+                  | Some (bound, rel) -> Some { bound; mover = a; target = b; rel }
+                  | None -> None)
+                (Lobj.near main ~layer window ~margin))
+            layers)
+        (Lobj.shapes obj)
+      (* Candidates arrive grouped by layer; restore the (mover, target)
+         insertion order the all-pairs scan produced, so tie-breaking in
+         the variable-edge relaxation is unchanged. *)
+      |> List.sort (fun l1 l2 ->
+             let c = Int.compare l1.mover.Shape.id l2.mover.Shape.id in
+             if c <> 0 then c else Int.compare l1.target.Shape.id l2.target.Shape.id)
 
 let tightest_limit d limits =
-  Constraints.tightest d (List.map (fun l -> l.bound) limits)
+  let sign = Dir.sign d in
+  List.fold_left
+    (fun acc l ->
+      match acc with
+      | None -> Some l.bound
+      | Some best -> Some (if sign < 0 then max best l.bound else min best l.bound))
+    None limits
 
 (* Minimum extent a shape may be shrunk to along [axis]: its layer's minimum
    width, raised to the one-cut minimum when it is a container of a
@@ -89,15 +129,17 @@ let shrink_edge rules owner (s : Shape.t) facing amount =
 (* One round of the variable-edge optimization of §2.3: while the binding
    constraint pair has a variable facing edge, move that edge inward until
    the pair "is no longer relevant", i.e. until another (eventually fixed)
-   constraint defines the minimum distance. *)
+   constraint defines the minimum distance.  Returns the limits collected
+   in the final round — the geometry has not changed since (the round made
+   no progress), so the caller can reuse them instead of re-collecting. *)
 let relax_variable_edges rules ?ignore_layers d ~main obj =
   let max_rounds = 64 in
   let rec loop round =
-    if round >= max_rounds then ()
+    let limits = collect_limits rules ?ignore_layers d ~main obj in
+    if round >= max_rounds then limits
     else
-      let limits = collect_limits rules ?ignore_layers d ~main obj in
       match tightest_limit d limits with
-      | None -> ()
+      | None -> limits
       | Some best ->
           let binding =
             List.filter
@@ -135,7 +177,7 @@ let relax_variable_edges rules ?ignore_layers d ~main obj =
                 if try_side Target || try_side Mover then progressed := true
               end)
             binding;
-          if !progressed then loop (round + 1)
+          if !progressed then loop (round + 1) else limits
   in
   loop 0
 
@@ -155,19 +197,29 @@ let translate_along d obj delta =
   | Dir.Vertical -> Lobj.translate obj ~dx:0 ~dy:delta
 
 (* Would growing shape [s] of [owner] to [r'] violate a separation against
-   any other shape of [main] or [obj]? *)
+   any other shape of [main] or [obj]?  Shapes beyond the pair's spacing
+   rule on either axis cannot be violated, so only index candidates around
+   [r'] are examined. *)
 let extension_safe rules ?ignore_layers ~main ~obj (s : Shape.t) r' =
-  let ok (other : Shape.t) =
+  let ok cls (other : Shape.t) =
     other == s
     ||
-    match Constraints.relation rules ?ignore_layers s other with
+    match Constraints.relation_cls cls s other with
     | Constraints.Unconstrained | Constraints.Mergeable -> true
     | Constraints.Separation sep ->
         let dx = Rect.gap Dir.Horizontal r' other.Shape.rect in
         let dy = Rect.gap Dir.Vertical r' other.Shape.rect in
         max dx dy >= sep
   in
-  List.for_all ok (Lobj.shapes main) && List.for_all ok (Lobj.shapes obj)
+  let clear owner =
+    List.for_all
+      (fun layer ->
+        let cls = Constraints.classify rules ?ignore_layers s.Shape.layer layer in
+        let margin = Constraints.margin_cls cls in
+        List.for_all (ok cls) (Lobj.near owner ~layer r' ~margin))
+      (Lobj.layers owner)
+  in
+  clear main && clear obj
 
 (* Auto-connection (§2.3, Fig. 5a): after placement, same-layer same-net
    shape pairs whose cross-axis spans overlap but which still have a gap
@@ -176,16 +228,25 @@ let extension_safe rules ?ignore_layers ~main ~obj (s : Shape.t) r' =
 let auto_connect rules ?ignore_layers d ~main obj =
   let axis = Dir.axis d in
   let cross = Dir.cross_axis d in
-  (* Cut layers (fixed-size openings) must never be stretched. *)
+  (* Cut layers (fixed-size openings) must never be stretched.  The main
+     bbox is fetched once: extensions only ever grow a target toward the
+     mover along the movement axis, which keeps it inside the slab built
+     from the pre-extension hull. *)
+  let mb0 = Lobj.bbox main in
   let stretchable (s : Shape.t) = Rules.cut_size_opt rules s.Shape.layer = None in
   List.iter
     (fun (a : Shape.t) ->
+      (* Same-layer same-net partners anywhere along the movement axis:
+         query the mover's slab on its own layer (margin 0 — connection
+         candidates must overlap in the cross axis). *)
+      let candidates =
+        match mb0 with
+        | None -> []
+        | Some mb -> Lobj.near main ~layer:a.Shape.layer (slab ~axis a mb) ~margin:0
+      in
       List.iter
         (fun (b : Shape.t) ->
-          if
-            String.equal a.Shape.layer b.Shape.layer
-            && Shape.same_net a b && stretchable b
-          then begin
+          if Shape.same_net a b && stretchable b then begin
             let ia = Rect.span cross a.rect and ib = Rect.span cross b.rect in
             if Interval.overlaps ia ib then begin
               let sa = Rect.span axis a.rect and sb = Rect.span axis b.rect in
@@ -207,7 +268,7 @@ let auto_connect rules ?ignore_layers d ~main obj =
               end
             end
           end)
-        (Lobj.shapes main))
+        candidates)
     (Lobj.shapes obj)
 
 let delta rules ?ignore_layers d ~main obj =
@@ -244,8 +305,17 @@ let compact ~rules ~into:main ?ignore_layers ?(align = (`Keep : align))
   | Some _ ->
       apply_align ~align ~d ~main obj;
       stage_outside ~grid:(Rules.grid rules) d ~main obj;
-      if variable_edges then relax_variable_edges rules ?ignore_layers d ~main obj;
-      let dl = delta rules ?ignore_layers d ~main obj in
+      (* The relaxation hands back the limits of its final (quiescent)
+         round, so the placement delta needs no second scan. *)
+      let limits =
+        if variable_edges then relax_variable_edges rules ?ignore_layers d ~main obj
+        else collect_limits rules ?ignore_layers d ~main obj
+      in
+      let dl =
+        match tightest_limit d limits with
+        | Some bound -> bound
+        | None -> bbox_abut_delta d ~main obj
+      in
       Log.debug (fun m ->
           m "compact %s into %s %s: delta=%d" (Lobj.name obj) (Lobj.name main)
             (Dir.to_string d) dl);

@@ -19,6 +19,27 @@ type align = [ `Keep | `Center | `Min | `Max ]
 (** Cross-axis pre-alignment of the mover relative to the target bounding
     box: keep as generated, centre, align low edges, or align high edges. *)
 
+type limit = {
+  bound : int;
+  mover : Amg_layout.Shape.t;
+  target : Amg_layout.Shape.t;
+  rel : Constraints.relation;
+}
+(** One pairwise constraint on the mover's travel. *)
+
+val collect_limits :
+  Amg_tech.Rules.t ->
+  ?ignore_layers:string list ->
+  Amg_geometry.Dir.t ->
+  main:Amg_layout.Lobj.t ->
+  Amg_layout.Lobj.t ->
+  limit list
+(** Every pair limit the main structure imposes on the moving object, in
+    (mover, target) insertion order.  Implemented with the per-layer
+    spatial index: only candidates within rule range of each mover shape's
+    movement slab are examined, but the result is identical to the
+    all-pairs scan.  Exposed for the equivalence tests. *)
+
 val delta :
   Amg_tech.Rules.t ->
   ?ignore_layers:string list ->

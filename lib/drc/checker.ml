@@ -60,10 +60,18 @@ let gate_pair ~tech (a : Shape.t) (b : Shape.t) =
 (* Union-find over the shape indices of one layer, shapes linked when they
    touch: same-layer spacing applies only between different connected
    components (touching rectangles merge into one region), and a component
-   carrying two known different nets is a short. *)
-let components shapes idxs =
+   carrying two known different nets is a short.  Touch partners are found
+   with a margin-0 index query instead of an all-pairs scan; shapes outside
+   [idxs] (e.g. channel rectangles excluded from conduction) simply miss
+   the index-to-member table and are skipped. *)
+let components obj shapes idxs =
   let parent = Hashtbl.create 16 in
-  List.iter (fun i -> Hashtbl.replace parent i i) idxs;
+  let member = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      Hashtbl.replace parent i i;
+      Hashtbl.replace member shapes.(i).Shape.id i)
+    idxs;
   let rec find i =
     let p = Hashtbl.find parent i in
     if p = i then i
@@ -79,13 +87,14 @@ let components shapes idxs =
   in
   List.iter
     (fun i ->
+      let s = shapes.(i) in
       List.iter
-        (fun j ->
-          if
-            i < j
-            && Rect.touches shapes.(i).Shape.rect shapes.(j).Shape.rect
-          then union i j)
-        idxs)
+        (fun (b : Shape.t) ->
+          match Hashtbl.find_opt member b.Shape.id with
+          | Some j when i < j && Rect.touches s.Shape.rect b.Shape.rect ->
+              union i j
+          | _ -> ())
+        (Lobj.near obj ~layer:s.Shape.layer s.Shape.rect ~margin:0))
     idxs;
   find
 
@@ -108,7 +117,7 @@ let check_min_areas ~tech obj =
   Hashtbl.iter
     (fun layer idxs ->
       let required = Option.get (Rules.min_area rules layer) in
-      let find = components shapes idxs in
+      let find = components obj shapes idxs in
       let groups = Hashtbl.create 8 in
       List.iter
         (fun i ->
@@ -139,6 +148,9 @@ let check_spacings ~tech obj =
   let shapes = Array.of_list (Lobj.shapes obj) in
   let out = ref [] in
   let n = Array.length shapes in
+  let layers = Lobj.layers obj in
+  let idx_of_id = Hashtbl.create n in
+  Array.iteri (fun i (s : Shape.t) -> Hashtbl.replace idx_of_id s.Shape.id i) shapes;
   (* Connected components per layer, for same-layer merge semantics. *)
   let by_layer = Hashtbl.create 16 in
   Array.iteri
@@ -148,7 +160,8 @@ let check_spacings ~tech obj =
     shapes;
   let find_by_layer = Hashtbl.create 16 in
   Hashtbl.iter
-    (fun layer idxs -> Hashtbl.replace find_by_layer layer (components shapes idxs))
+    (fun layer idxs ->
+      Hashtbl.replace find_by_layer layer (components obj shapes idxs))
     by_layer;
   let same_component layer i j =
     let find = Hashtbl.find find_by_layer layer in
@@ -156,20 +169,33 @@ let check_spacings ~tech obj =
   in
   (* A diffusion rectangle crossed by a gate is electrically interrupted by
      the channel, and a shape under the [resmark] marker is a resistor
-     body: neither conducts for short detection. *)
+     body: neither conducts for short detection.  Both tests only involve
+     shapes meeting [s], so a margin-0 query bounds them. *)
+  let poly_layers =
+    List.filter
+      (fun l ->
+        match Technology.layer tech l with
+        | Some tl -> tl.Layer.kind = Layer.Poly
+        | None -> false)
+      layers
+  in
   let is_channel i =
     let s = shapes.(i) in
     (match Technology.layer tech s.Shape.layer with
     | Some l -> Layer.is_active l
     | None -> false)
-    && Array.exists (fun p -> p != s && gate_pair ~tech p s) shapes
+    && List.exists
+         (fun pl ->
+           List.exists
+             (fun (p : Shape.t) -> p != s && gate_pair ~tech p s)
+             (Lobj.near obj ~layer:pl s.Shape.rect ~margin:0))
+         poly_layers
   in
   let is_resistive i =
     let s = shapes.(i) in
-    Array.exists
-      (fun (m : Shape.t) ->
-        Shape.on_layer m "resmark" && Rect.contains_rect m.Shape.rect s.Shape.rect)
-      shapes
+    List.exists
+      (fun (m : Shape.t) -> Rect.contains_rect m.Shape.rect s.Shape.rect)
+      (Lobj.near obj ~layer:"resmark" s.Shape.rect ~margin:0)
   in
   let is_channel i = is_channel i || is_resistive i in
   (* Shorts: a same-layer component carrying two known different nets.
@@ -177,7 +203,7 @@ let check_spacings ~tech obj =
   Hashtbl.iter
     (fun layer idxs ->
       let conducting = List.filter (fun i -> not (is_channel i)) idxs in
-      let find = components shapes conducting in
+      let find = components obj shapes conducting in
       let net_of_root = Hashtbl.create 8 in
       List.iter
         (fun i ->
@@ -196,43 +222,66 @@ let check_spacings ~tech obj =
               | Some _ -> ()))
         conducting)
     by_layer;
+  (* Pairwise spacing: for each shape, examine only index candidates within
+     the layer pair's rule distance — any violating pair has both gaps
+     below its separation, so it lies inside the inflated window.  Partners
+     are deduplicated by id (each unordered pair is reported once, from its
+     lower-id member) and sorted, which reproduces the all-pairs scan's
+     (i, j) emission order because ascending id is insertion order. *)
   for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let a = shapes.(i) and b = shapes.(j) in
-      if gate_pair ~tech a b then ()
-      else
-        match Constraints.relation rules a b with
-        | Constraints.Unconstrained | Constraints.Mergeable -> ()
-        | Constraints.Separation sep ->
-            let same_layer = String.equal a.Shape.layer b.Shape.layer in
-            if same_layer && same_component a.layer i j then ()
-            else if Rect.touches a.rect b.rect then begin
-              (* Different layers with a separation: abutment/overlap is a
-                 violation when a positive distance is required; a
-                 keep-clear (sep = 0) pair only objects to interior
-                 overlap.  Same-layer touching pairs are same-component and
-                 were skipped above. *)
-              if sep > 0 || Rect.overlaps a.rect b.rect then
-                out :=
-                  Violation.make
-                    (Violation.Spacing
-                       { layer_a = a.layer; layer_b = b.layer; required = sep; actual = 0 })
-                    (Rect.hull a.rect b.rect)
-                  :: !out
-            end
-            else begin
-              let dx = Rect.gap Dir.Horizontal a.rect b.rect in
-              let dy = Rect.gap Dir.Vertical a.rect b.rect in
-              let actual = max dx dy in
-              if actual < sep then
-                out :=
-                  Violation.make
-                    (Violation.Spacing
-                       { layer_a = a.layer; layer_b = b.layer; required = sep; actual })
-                    (Rect.hull a.rect b.rect)
-                  :: !out
-            end
-    done
+    let a = shapes.(i) in
+    let partners =
+      List.concat_map
+        (fun layer ->
+          let cls = Constraints.classify rules a.Shape.layer layer in
+          let margin = Constraints.margin_cls cls in
+          List.filter_map
+            (fun (b : Shape.t) ->
+              if b.Shape.id > a.Shape.id then
+                match Constraints.relation_cls cls a b with
+                | Constraints.Unconstrained | Constraints.Mergeable -> None
+                | Constraints.Separation sep -> Some (b, sep)
+              else None)
+            (Lobj.near obj ~layer a.Shape.rect ~margin))
+        layers
+      |> List.sort (fun ((b1 : Shape.t), _) (b2, _) ->
+             Int.compare b1.Shape.id b2.Shape.id)
+    in
+    List.iter
+      (fun ((b : Shape.t), sep) ->
+        if gate_pair ~tech a b then ()
+        else begin
+          let j = Hashtbl.find idx_of_id b.Shape.id in
+          let same_layer = String.equal a.Shape.layer b.Shape.layer in
+          if same_layer && same_component a.layer i j then ()
+          else if Rect.touches a.rect b.rect then begin
+            (* Different layers with a separation: abutment/overlap is a
+               violation when a positive distance is required; a
+               keep-clear (sep = 0) pair only objects to interior
+               overlap.  Same-layer touching pairs are same-component and
+               were skipped above. *)
+            if sep > 0 || Rect.overlaps a.rect b.rect then
+              out :=
+                Violation.make
+                  (Violation.Spacing
+                     { layer_a = a.layer; layer_b = b.layer; required = sep; actual = 0 })
+                  (Rect.hull a.rect b.rect)
+                :: !out
+          end
+          else begin
+            let dx = Rect.gap Dir.Horizontal a.rect b.rect in
+            let dy = Rect.gap Dir.Vertical a.rect b.rect in
+            let actual = max dx dy in
+            if actual < sep then
+              out :=
+                Violation.make
+                  (Violation.Spacing
+                     { layer_a = a.layer; layer_b = b.layer; required = sep; actual })
+                  (Rect.hull a.rect b.rect)
+                :: !out
+          end
+        end)
+      partners
   done;
   List.rev !out
 
@@ -242,10 +291,12 @@ let check_spacings ~tech obj =
 let check_enclosures ~tech obj =
   let rules = Technology.rules tech in
   let enclosed_by (c : Shape.t) outer margin =
+    (* A containing shape necessarily meets the needed rectangle, so the
+       margin-0 candidates around it are the only ones to test. *)
     let needed = Rect.inflate c.rect margin in
     List.exists
       (fun (s : Shape.t) -> Rect.contains_rect s.rect needed)
-      (Lobj.shapes_on obj outer)
+      (Lobj.near obj ~layer:outer needed ~margin:0)
   in
   List.concat_map
     (fun (c : Shape.t) ->
@@ -292,13 +343,22 @@ let check_extensions ~tech obj =
         | None -> false)
       (Lobj.shapes obj)
   in
-  let diffs =
+  let active_layers =
     List.filter
-      (fun (s : Shape.t) ->
-        match Technology.layer tech s.Shape.layer with
-        | Some l -> Layer.is_active l
+      (fun l ->
+        match Technology.layer tech l with
+        | Some tl -> Layer.is_active tl
         | None -> false)
-      (Lobj.shapes obj)
+      (Lobj.layers obj)
+  in
+  (* Only crossings matter, so each poly is paired with the active shapes
+     meeting it (margin-0 candidates), in id order like the full scan. *)
+  let diffs_near (p : Shape.t) =
+    List.concat_map
+      (fun l -> Lobj.near obj ~layer:l p.Shape.rect ~margin:0)
+      active_layers
+    |> List.sort (fun (a : Shape.t) (b : Shape.t) ->
+           Int.compare a.Shape.id b.Shape.id)
   in
   let check_pair (p : Shape.t) (d : Shape.t) =
     if not (Rect.overlaps p.rect d.rect) then []
@@ -352,7 +412,7 @@ let check_extensions ~tech obj =
         | None -> []
     end
   in
-  List.concat_map (fun p -> List.concat_map (check_pair p) diffs) polys
+  List.concat_map (fun p -> List.concat_map (check_pair p) (diffs_near p)) polys
 
 let run ?(checks = all_checks) ~tech obj =
   List.concat_map

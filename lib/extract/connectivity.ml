@@ -9,6 +9,7 @@
    pieces — more than one distinct label on a node is an extracted short. *)
 
 module Rect = Amg_geometry.Rect
+module Sindex = Amg_geometry.Sindex
 module Technology = Amg_tech.Technology
 module Layer = Amg_tech.Layer
 module Lobj = Amg_layout.Lobj
@@ -42,22 +43,21 @@ let union t i j =
   let ri = find t i and rj = find t j in
   if ri <> rj then t.parent.(ri) <- rj
 
-let kind_of tech (s : Shape.t) =
-  match Technology.layer tech s.Shape.layer with
-  | Some l -> Some l.Layer.kind
-  | None -> None
-
-let is_kind tech s k = kind_of tech s = Some k
-
-(* Split the diffusion shapes by every overlapping poly rectangle. *)
-let split_diffusion tech shapes (s : Shape.t) =
+(* Split the diffusion shapes by every overlapping poly rectangle.  Only
+   polys meeting the diffusion can split it, so its margin-0 candidates
+   are the only ones examined; they are applied in id (= insertion) order
+   like the full scan, so the resulting decomposition is identical. *)
+let split_diffusion poly_layers obj (s : Shape.t) =
   let gates =
-    List.filter_map
-      (fun (p : Shape.t) ->
-        if is_kind tech p Layer.Poly && Rect.overlaps p.Shape.rect s.Shape.rect then
-          Some p.Shape.rect
-        else None)
-      shapes
+    List.concat_map
+      (fun l ->
+        List.filter
+          (fun (p : Shape.t) -> Rect.overlaps p.Shape.rect s.Shape.rect)
+          (Lobj.near obj ~layer:l s.Shape.rect ~margin:0))
+      poly_layers
+    |> List.sort (fun (a : Shape.t) (b : Shape.t) ->
+           Int.compare a.Shape.id b.Shape.id)
+    |> List.map (fun (p : Shape.t) -> p.Shape.rect)
   in
   List.fold_left
     (fun acc g -> List.concat_map (fun r -> Rect.subtract r g) acc)
@@ -65,8 +65,19 @@ let split_diffusion tech shapes (s : Shape.t) =
 
 let build ~tech obj =
   let shapes = Lobj.shapes obj in
-  let resmarks = Lobj.rects_on obj "resmark" in
-  let in_resmark r = List.exists (fun m -> Rect.contains_rect m r) resmarks in
+  let poly_layers =
+    List.filter
+      (fun l ->
+        match Technology.layer tech l with
+        | Some tl -> tl.Layer.kind = Layer.Poly
+        | None -> false)
+      (Lobj.layers obj)
+  in
+  let in_resmark r =
+    List.exists
+      (fun (m : Shape.t) -> Rect.contains_rect m.Shape.rect r)
+      (Lobj.near obj ~layer:"resmark" r ~margin:0)
+  in
   let pieces = ref [] in
   let add (s : Shape.t) rect =
     pieces :=
@@ -81,7 +92,7 @@ let build ~tech obj =
          junction-isolated and never short the circuit. *)
       | Some l when l.Layer.conducting && Layer.is_routing l ->
           if Layer.is_active l then
-            List.iter (add s) (split_diffusion tech shapes s)
+            List.iter (add s) (split_diffusion poly_layers obj s)
           else add s s.Shape.rect
       | _ -> ())
     shapes;
@@ -91,16 +102,37 @@ let build ~tech obj =
       labels = Hashtbl.create 32 }
   in
   let n = Array.length pieces in
-  (* Same-layer touching pieces conduct into one node. *)
+  (* Per-layer spatial index over piece indices: piece merging is all
+     touch/overlap tests, so each piece only ever interacts with its
+     margin-0 candidates. *)
+  let ix_by_layer = Hashtbl.create 8 in
+  let ix_of layer =
+    match Hashtbl.find_opt ix_by_layer layer with
+    | Some ix -> ix
+    | None ->
+        let ix = Sindex.create () in
+        Hashtbl.replace ix_by_layer layer ix;
+        ix
+  in
+  Array.iteri (fun i p -> Sindex.insert (ix_of p.p_layer) i p.p_rect) pieces;
+  let near_pieces layer rect =
+    match Hashtbl.find_opt ix_by_layer layer with
+    | None -> []
+    | Some ix -> Sindex.query ix rect ~margin:0
+  in
+  (* Same-layer touching pieces conduct into one node.  Candidates arrive
+     in ascending index order, so the union sequence — and with it every
+     root index and synthetic node name — matches the all-pairs scan. *)
   for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let a = pieces.(i) and b = pieces.(j) in
-      if
-        a.p_conducting && b.p_conducting
-        && String.equal a.p_layer b.p_layer
-        && Rect.touches a.p_rect b.p_rect
-      then union t i j
-    done
+    let a = pieces.(i) in
+    if a.p_conducting then
+      List.iter
+        (fun j ->
+          if j > i then begin
+            let b = pieces.(j) in
+            if b.p_conducting && Rect.touches a.p_rect b.p_rect then union t i j
+          end)
+        (near_pieces a.p_layer a.p_rect)
   done;
   (* Cuts merge across layers, but only between the layers the rules say
      the cut lands on (its enclosure rules) — a contact inside a big well
@@ -113,15 +145,22 @@ let build ~tech obj =
           let landing =
             List.map fst (Amg_tech.Rules.enclosing_layers rules ~inner:c.Shape.layer)
           in
-          let hits = ref [] in
-          Array.iteri
-            (fun i p ->
-              if
-                p.p_conducting
-                && List.mem p.p_layer landing
-                && Rect.overlaps p.p_rect c.Shape.rect
-              then hits := i :: !hits)
-            pieces;
+          (* Sorted descending so the list reads exactly like the seed
+             scan's accumulator (built by consing ascending indices);
+             the union order below — and the resulting roots — depend
+             on it. *)
+          let hits =
+            ref
+              (List.concat_map
+                 (fun l ->
+                   List.filter
+                     (fun i ->
+                       let p = pieces.(i) in
+                       p.p_conducting && Rect.overlaps p.p_rect c.Shape.rect)
+                     (near_pieces l c.Shape.rect))
+                 landing
+              |> List.sort (fun i j -> Int.compare j i))
+          in
           (* A cut reaches the metal(s) above and only the TOPMOST of the
              overlapped non-metal landing layers: a contact on a poly2 top
              plate does not also reach the poly bottom plate under it. *)

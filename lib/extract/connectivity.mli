@@ -43,8 +43,11 @@ val label_node_count : t -> string -> int
 val node_count : t -> int
 
 val split_diffusion :
-  Amg_tech.Technology.t ->
-  Amg_layout.Shape.t list ->
+  string list ->
+  Amg_layout.Lobj.t ->
   Amg_layout.Shape.t ->
   Amg_geometry.Rect.t list
-(** Exposed for tests: a diffusion shape minus all overlapping poly. *)
+(** Exposed for tests: a diffusion shape minus every overlapping poly
+    rectangle of the object, [poly_layers] naming the object's layers of
+    kind {!Amg_tech.Layer.Poly}.  Overlaps are found with margin-0 index
+    queries. *)

@@ -1,0 +1,168 @@
+(* Interval-binned spatial index.  Rectangles are stored in local
+   coordinates (world minus a running offset, so translating the whole
+   index is an O(1) offset bump) and entered into the bins covered by
+   their x-span and by their y-span.  A query gathers candidates from the
+   cheaper axis and filters them against the window precisely.
+
+   Bins hold immutable (key, rect) lists: the rectangle rides along so the
+   query's precise filter runs without a table lookup per candidate, and
+   [copy] shares the lists (they are replaced, never mutated), which keeps
+   the object-copy in the optimizer's inner loop cheap. *)
+
+type bins = (int, (int * Rect.t) list) Hashtbl.t
+
+type t = {
+  cell : int;
+  mutable ox : int; (* world x = local x + ox *)
+  mutable oy : int;
+  rects : (int, Rect.t) Hashtbl.t; (* key -> local rect *)
+  xbins : bins;
+  ybins : bins;
+  mutable xwide : (int * Rect.t) list; (* entries spanning > max_bins x-bins *)
+  mutable ywide : (int * Rect.t) list;
+}
+
+(* A rectangle covering more bins than this on an axis goes to the axis's
+   overflow list: entering a chip-wide rail into thousands of bins would
+   cost more than testing it on every query. *)
+let max_bins = 32
+
+let create ?(cell = 4000) () =
+  {
+    cell = max 1 cell;
+    ox = 0;
+    oy = 0;
+    rects = Hashtbl.create 32;
+    xbins = Hashtbl.create 32;
+    ybins = Hashtbl.create 32;
+    xwide = [];
+    ywide = [];
+  }
+
+let copy t =
+  {
+    t with
+    rects = Hashtbl.copy t.rects;
+    xbins = Hashtbl.copy t.xbins;
+    ybins = Hashtbl.copy t.ybins;
+  }
+
+let cardinal t = Hashtbl.length t.rects
+let mem t key = Hashtbl.mem t.rects key
+
+let find t key =
+  Option.map
+    (fun r -> Rect.translate r ~dx:t.ox ~dy:t.oy)
+    (Hashtbl.find_opt t.rects key)
+
+(* Floor division, correct for negative coordinates. *)
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let bin_range t lo hi = (fdiv lo t.cell, fdiv hi t.cell)
+
+let bin_add bins b entry =
+  let cur = match Hashtbl.find_opt bins b with Some l -> l | None -> [] in
+  Hashtbl.replace bins b (entry :: cur)
+
+let bin_remove bins b key =
+  match Hashtbl.find_opt bins b with
+  | None -> ()
+  | Some l -> (
+      match List.filter (fun (k, _) -> k <> key) l with
+      | [] -> Hashtbl.remove bins b
+      | l' -> Hashtbl.replace bins b l')
+
+let remove_wide wide key = List.filter (fun (k, _) -> k <> key) wide
+
+let enter_x t entry (r : Rect.t) =
+  let b0, b1 = bin_range t r.Rect.x0 r.Rect.x1 in
+  if b1 - b0 >= max_bins then t.xwide <- entry :: t.xwide
+  else
+    for b = b0 to b1 do
+      bin_add t.xbins b entry
+    done
+
+let enter_y t entry (r : Rect.t) =
+  let b0, b1 = bin_range t r.Rect.y0 r.Rect.y1 in
+  if b1 - b0 >= max_bins then t.ywide <- entry :: t.ywide
+  else
+    for b = b0 to b1 do
+      bin_add t.ybins b entry
+    done
+
+let remove t key =
+  match Hashtbl.find_opt t.rects key with
+  | None -> ()
+  | Some r ->
+      Hashtbl.remove t.rects key;
+      let xb0, xb1 = bin_range t r.Rect.x0 r.Rect.x1 in
+      if xb1 - xb0 >= max_bins then t.xwide <- remove_wide t.xwide key
+      else
+        for b = xb0 to xb1 do
+          bin_remove t.xbins b key
+        done;
+      let yb0, yb1 = bin_range t r.Rect.y0 r.Rect.y1 in
+      if yb1 - yb0 >= max_bins then t.ywide <- remove_wide t.ywide key
+      else
+        for b = yb0 to yb1 do
+          bin_remove t.ybins b key
+        done
+
+let insert t key rect =
+  if Hashtbl.mem t.rects key then remove t key;
+  let r = Rect.translate rect ~dx:(-t.ox) ~dy:(-t.oy) in
+  Hashtbl.replace t.rects key r;
+  let entry = (key, r) in
+  enter_x t entry r;
+  enter_y t entry r
+
+let translate_all t ~dx ~dy =
+  t.ox <- t.ox + dx;
+  t.oy <- t.oy + dy
+
+let query t rect ~margin =
+  if Hashtbl.length t.rects = 0 then []
+  else begin
+    (* Window in local coordinates, inflated once up front. *)
+    let wx0 = rect.Rect.x0 - t.ox - margin
+    and wx1 = rect.Rect.x1 - t.ox + margin
+    and wy0 = rect.Rect.y0 - t.oy - margin
+    and wy1 = rect.Rect.y1 - t.oy + margin in
+    let hits (key, (r : Rect.t)) acc =
+      if
+        r.Rect.x0 <= wx1 && wx0 <= r.Rect.x1 && r.Rect.y0 <= wy1
+        && wy0 <= r.Rect.y1
+      then key :: acc
+      else acc
+    in
+    let xb0, xb1 = bin_range t wx0 wx1 in
+    let yb0, yb1 = bin_range t wy0 wy1 in
+    let scan bins wide b0 b1 =
+      let acc = ref (List.fold_right hits wide []) in
+      for b = b0 to b1 do
+        match Hashtbl.find_opt bins b with
+        | Some entries -> acc := List.fold_right hits entries !acc
+        | None -> ()
+      done;
+      (* A rectangle appears once per covered bin of the scanned axis:
+         sort (ascending keys, which downstream wants anyway) and drop
+         duplicates. *)
+      List.sort_uniq Int.compare !acc
+    in
+    (* Scan the axis covering fewer bins; a window much wider than the
+       layout on one axis (the compactor's slab queries) then costs only
+       the bounded axis's bins. *)
+    if xb1 - xb0 <= yb1 - yb0 then scan t.xbins t.xwide xb0 xb1
+    else scan t.ybins t.ywide yb0 yb1
+  end
+
+let iter t f =
+  Hashtbl.iter (fun key r -> f key (Rect.translate r ~dx:t.ox ~dy:t.oy)) t.rects
+
+let bbox t =
+  let acc = ref None in
+  Hashtbl.iter
+    (fun _ r ->
+      acc := Some (match !acc with None -> r | Some h -> Rect.hull h r))
+    t.rects;
+  Option.map (fun r -> Rect.translate r ~dx:t.ox ~dy:t.oy) !acc

@@ -1,6 +1,7 @@
 module Rect = Amg_geometry.Rect
 module Region = Amg_geometry.Region
 module Transform = Amg_geometry.Transform
+module Sindex = Amg_geometry.Sindex
 module Rules = Amg_tech.Rules
 
 type array_spec = {
@@ -9,15 +10,48 @@ type array_spec = {
   array_net : string option;
 }
 
+(* Indexed shape store.  Shapes live in [slots] in insertion order ([None]
+   marks a removed shape); [id2slot] gives O(1) find/replace/remove, and
+   [by_layer] keeps one spatial index per layer for the candidate queries
+   of the compactor, the DRC and the extractor.  Because ids are handed
+   out monotonically (and [absorb] bumps absorbed ids past every existing
+   one), ascending id order IS insertion order — layer queries sort by id
+   to restore it.
+
+   Bounding boxes are cached: [bb] is the whole-object hull, [layer_bb]
+   the per-layer hulls.  A cache entry is either valid or absent (dirty);
+   growth (add, pure-growth replace, absorb) extends valid entries in
+   place, removal and shrinking invalidate, translation shifts. *)
 type t = {
   mutable name : string;
-  mutable shapes : Shape.t list; (* kept in insertion order *)
+  mutable slots : Shape.t option array;
+  mutable n_slots : int; (* used prefix of [slots] *)
+  mutable live : int;    (* slots holding a shape *)
+  mutable id2slot : (int, int) Hashtbl.t;
+  mutable by_layer : (string, Sindex.t) Hashtbl.t;
+  mutable layer_order : string list; (* first-use order, never reordered *)
+  mutable bb : Rect.t option option; (* None = dirty *)
+  mutable layer_bb : (string, Rect.t option) Hashtbl.t; (* absent = dirty *)
   mutable ports : Port.t list;
   mutable arrays : (int * array_spec) list;
   mutable next_id : int;
 }
 
-let create name = { name; shapes = []; ports = []; arrays = []; next_id = 0 }
+let create name =
+  {
+    name;
+    slots = Array.make 8 None;
+    n_slots = 0;
+    live = 0;
+    id2slot = Hashtbl.create 16;
+    by_layer = Hashtbl.create 8;
+    layer_order = [];
+    bb = Some None;
+    layer_bb = Hashtbl.create 8;
+    ports = [];
+    arrays = [];
+    next_id = 0;
+  }
 
 let name t = t.name
 let set_name t n = t.name <- n
@@ -27,16 +61,84 @@ let fresh_id t =
   t.next_id <- id + 1;
   id
 
+(* --- cache maintenance --- *)
+
+let dirty_layer t layer =
+  Hashtbl.remove t.layer_bb layer;
+  t.bb <- None
+
+let extend_caches t layer rect =
+  (match Hashtbl.find_opt t.layer_bb layer with
+  | Some (Some b) -> Hashtbl.replace t.layer_bb layer (Some (Rect.hull b rect))
+  | Some None -> Hashtbl.replace t.layer_bb layer (Some rect)
+  | None -> ());
+  match t.bb with
+  | Some (Some b) -> t.bb <- Some (Some (Rect.hull b rect))
+  | Some None -> t.bb <- Some (Some rect)
+  | None -> ()
+
+let sindex_of t layer =
+  match Hashtbl.find_opt t.by_layer layer with
+  | Some ix -> ix
+  | None ->
+      let ix = Sindex.create () in
+      Hashtbl.replace t.by_layer layer ix;
+      t.layer_order <- t.layer_order @ [ layer ];
+      ix
+
+(* --- store primitives --- *)
+
+let ensure_capacity t =
+  if t.n_slots = Array.length t.slots then begin
+    let ns = Array.make (max 8 (2 * Array.length t.slots)) None in
+    Array.blit t.slots 0 ns 0 t.n_slots;
+    t.slots <- ns
+  end
+
+let enter t (s : Shape.t) =
+  ensure_capacity t;
+  t.slots.(t.n_slots) <- Some s;
+  Hashtbl.replace t.id2slot s.id t.n_slots;
+  t.n_slots <- t.n_slots + 1;
+  t.live <- t.live + 1;
+  Sindex.insert (sindex_of t s.layer) s.id s.rect;
+  extend_caches t s.layer s.rect
+
+(* Squeeze out removed slots once more than half the prefix is dead, so
+   iteration stays proportional to the live count. *)
+let maybe_squeeze t =
+  if t.n_slots > 16 && 2 * t.live < t.n_slots then begin
+    let w = ref 0 in
+    for r = 0 to t.n_slots - 1 do
+      match t.slots.(r) with
+      | Some s ->
+          t.slots.(!w) <- Some s;
+          Hashtbl.replace t.id2slot s.id !w;
+          incr w
+      | None -> ()
+    done;
+    Array.fill t.slots !w (t.n_slots - !w) None;
+    t.n_slots <- !w
+  end
+
 let add_shape t ~layer ~rect ?net ?sides ?keep_clear ?origin () =
   let s = Shape.make ~id:(fresh_id t) ~layer ~rect ?net ?sides ?keep_clear ?origin () in
-  t.shapes <- t.shapes @ [ s ];
+  enter t s;
   s
 
-let shapes t = t.shapes
+let shapes t =
+  let out = ref [] in
+  for i = t.n_slots - 1 downto 0 do
+    match t.slots.(i) with Some s -> out := s :: !out | None -> ()
+  done;
+  !out
 
-let shape_count t = List.length t.shapes
+let shape_count t = t.live
 
-let find t id = List.find_opt (fun (s : Shape.t) -> s.id = id) t.shapes
+let find t id =
+  match Hashtbl.find_opt t.id2slot id with
+  | None -> None
+  | Some slot -> t.slots.(slot)
 
 let find_exn t id =
   match find t id with
@@ -44,48 +146,108 @@ let find_exn t id =
   | None -> Fmt.invalid_arg "Lobj.find_exn: no shape %d in %s" id t.name
 
 let replace t (s : Shape.t) =
-  let found = ref false in
-  t.shapes <-
-    List.map
-      (fun (old : Shape.t) ->
-        if old.id = s.id then (
-          found := true;
-          s)
-        else old)
-      t.shapes;
-  if not !found then Fmt.invalid_arg "Lobj.replace: no shape %d in %s" s.Shape.id t.name
+  match Hashtbl.find_opt t.id2slot s.Shape.id with
+  | None -> Fmt.invalid_arg "Lobj.replace: no shape %d in %s" s.Shape.id t.name
+  | Some slot ->
+      let old = Option.get t.slots.(slot) in
+      t.slots.(slot) <- Some s;
+      if not (String.equal old.Shape.layer s.layer) then begin
+        Sindex.remove (sindex_of t old.layer) old.id;
+        Sindex.insert (sindex_of t s.layer) s.id s.rect;
+        dirty_layer t old.layer;
+        dirty_layer t s.layer;
+        extend_caches t s.layer s.rect
+      end
+      else if not (Rect.equal old.Shape.rect s.rect) then begin
+        Sindex.insert (sindex_of t s.layer) s.id s.rect;
+        if Rect.contains_rect s.rect old.Shape.rect then
+          (* Pure growth keeps every cached hull valid — just extend. *)
+          extend_caches t s.layer s.rect
+        else dirty_layer t s.layer
+      end
 
 let remove t id =
-  t.shapes <- List.filter (fun (s : Shape.t) -> s.id <> id) t.shapes
+  match Hashtbl.find_opt t.id2slot id with
+  | None -> ()
+  | Some slot ->
+      (match t.slots.(slot) with
+      | Some s ->
+          Sindex.remove (sindex_of t s.layer) s.id;
+          dirty_layer t s.layer
+      | None -> ());
+      t.slots.(slot) <- None;
+      Hashtbl.remove t.id2slot id;
+      t.live <- t.live - 1;
+      maybe_squeeze t
 
-let shapes_on t layer = List.filter (fun s -> Shape.on_layer s layer) t.shapes
+let shapes_on t layer =
+  match Hashtbl.find_opt t.by_layer layer with
+  | None -> []
+  | Some ix ->
+      let ids = ref [] in
+      Sindex.iter ix (fun id _ -> ids := id :: !ids);
+      List.sort compare !ids |> List.map (find_exn t)
+
+let near t ~layer rect ~margin =
+  match Hashtbl.find_opt t.by_layer layer with
+  | None -> []
+  | Some ix ->
+      (* Query ids arrive ascending, which is insertion order. *)
+      List.map (find_exn t) (Sindex.query ix rect ~margin)
 
 let shapes_on_net t net =
-  List.filter (fun (s : Shape.t) -> s.net = Some net) t.shapes
+  List.filter (fun (s : Shape.t) -> s.net = Some net) (shapes t)
 
-let rects t = List.map (fun (s : Shape.t) -> s.rect) t.shapes
+let rects t = List.map (fun (s : Shape.t) -> s.rect) (shapes t)
 
 let rects_on t layer = List.map (fun (s : Shape.t) -> s.rect) (shapes_on t layer)
 
-let bbox t = Rect.hull_list (rects t)
+let bbox_on t layer =
+  match Hashtbl.find_opt t.layer_bb layer with
+  | Some b -> b
+  | None ->
+      let b =
+        match Hashtbl.find_opt t.by_layer layer with
+        | None -> None
+        | Some ix -> Sindex.bbox ix
+      in
+      Hashtbl.replace t.layer_bb layer b;
+      b
+
+let bbox t =
+  match t.bb with
+  | Some b -> b
+  | None ->
+      let b =
+        Hashtbl.fold
+          (fun layer ix acc ->
+            if Sindex.cardinal ix = 0 then acc
+            else
+              match (bbox_on t layer, acc) with
+              | None, acc -> acc
+              | Some r, None -> Some r
+              | Some r, Some h -> Some (Rect.hull h r))
+          t.by_layer None
+      in
+      t.bb <- Some b;
+      b
 
 let bbox_exn t =
   match bbox t with
   | Some r -> r
   | None -> Fmt.invalid_arg "Lobj.bbox_exn: %s is empty" t.name
 
-let bbox_on t layer = Rect.hull_list (rects_on t layer)
-
 let bbox_area t = match bbox t with None -> 0 | Some r -> Rect.area r
 
 let union_area t = Region.area (rects t)
 
 let layers t =
-  List.fold_left
-    (fun acc (s : Shape.t) ->
-      if List.mem s.layer acc then acc else s.layer :: acc)
-    [] t.shapes
-  |> List.rev
+  List.filter
+    (fun layer ->
+      match Hashtbl.find_opt t.by_layer layer with
+      | Some ix -> Sindex.cardinal ix > 0
+      | None -> false)
+    t.layer_order
 
 let nets t =
   List.fold_left
@@ -93,23 +255,55 @@ let nets t =
       match s.net with
       | Some n when not (List.mem n acc) -> n :: acc
       | _ -> acc)
-    [] t.shapes
+    [] (shapes t)
   |> List.rev
 
+let map_shapes_in_place t f =
+  for i = 0 to t.n_slots - 1 do
+    match t.slots.(i) with
+    | Some s -> t.slots.(i) <- Some (f s)
+    | None -> ()
+  done
+
 let translate t ~dx ~dy =
-  t.shapes <- List.map (fun s -> Shape.translate s ~dx ~dy) t.shapes;
-  t.ports <- List.map (fun p -> Port.translate p ~dx ~dy) t.ports
+  map_shapes_in_place t (fun s -> Shape.translate s ~dx ~dy);
+  t.ports <- List.map (fun p -> Port.translate p ~dx ~dy) t.ports;
+  Hashtbl.iter (fun _ ix -> Sindex.translate_all ix ~dx ~dy) t.by_layer;
+  t.bb <- Option.map (Option.map (fun r -> Rect.translate r ~dx ~dy)) t.bb;
+  Hashtbl.filter_map_inplace
+    (fun _ b -> Some (Option.map (fun r -> Rect.translate r ~dx ~dy) b))
+    t.layer_bb
 
+(* Arbitrary orientations invalidate the binning wholesale: rebuild. *)
 let transform t tr =
-  t.shapes <- List.map (fun s -> Shape.transform s tr) t.shapes;
-  t.ports <- List.map (fun p -> Port.transform p tr) t.ports
+  map_shapes_in_place t (fun s -> Shape.transform s tr);
+  t.ports <- List.map (fun p -> Port.transform p tr) t.ports;
+  Hashtbl.reset t.by_layer;
+  Hashtbl.reset t.layer_bb;
+  t.bb <- None;
+  for i = 0 to t.n_slots - 1 do
+    match t.slots.(i) with
+    | Some s -> Sindex.insert (sindex_of t s.Shape.layer) s.id s.rect
+    | None -> ()
+  done
 
-(* Deep copy; shape ids are per-object so they are kept ("trans2 = trans1
-   copies the data structure", §2.5). *)
+(* Structural copy — the paper's "trans2 = trans1" (§2.5).  Shape, port and
+   array values are immutable and may be shared, but every mutable piece of
+   the store (slot array, id table, spatial indexes, caches) is duplicated,
+   so no mutation of either object can ever reach the other. *)
 let copy ?name t =
+  let by_layer = Hashtbl.create (Hashtbl.length t.by_layer) in
+  Hashtbl.iter (fun l ix -> Hashtbl.replace by_layer l (Sindex.copy ix)) t.by_layer;
   {
     name = Option.value ~default:t.name name;
-    shapes = t.shapes;
+    slots = Array.copy t.slots;
+    n_slots = t.n_slots;
+    live = t.live;
+    id2slot = Hashtbl.copy t.id2slot;
+    by_layer;
+    layer_order = t.layer_order;
+    bb = t.bb;
+    layer_bb = Hashtbl.copy t.layer_bb;
     ports = t.ports;
     arrays = t.arrays;
     next_id = t.next_id;
@@ -133,11 +327,8 @@ let remove_port t pname =
   t.ports <- List.filter (fun (p : Port.t) -> not (String.equal p.name pname)) t.ports
 
 let rename_net t ~from_ ~to_ =
-  t.shapes <-
-    List.map
-      (fun (s : Shape.t) ->
-        if s.net = Some from_ then Shape.with_net s (Some to_) else s)
-      t.shapes;
+  map_shapes_in_place t (fun (s : Shape.t) ->
+      if s.net = Some from_ then Shape.with_net s (Some to_) else s);
   t.ports <-
     List.map
       (fun (p : Port.t) ->
@@ -153,10 +344,7 @@ let rename_net t ~from_ ~to_ =
 (* Prefix every net of the object, giving instance-local net names. *)
 let qualify_nets t prefix =
   let q n = prefix ^ "." ^ n in
-  t.shapes <-
-    List.map
-      (fun (s : Shape.t) -> Shape.with_net s (Option.map q s.net))
-      t.shapes;
+  map_shapes_in_place t (fun (s : Shape.t) -> Shape.with_net s (Option.map q s.net));
   t.ports <- List.map (fun (p : Port.t) -> { p with net = q p.net }) t.ports;
   t.arrays <-
     List.map
@@ -178,8 +366,13 @@ let arrays_of_container t id =
     t.arrays
 
 let array_member_count t array_id =
-  List.length
-    (List.filter (fun (s : Shape.t) -> s.origin = Shape.Array_member array_id) t.shapes)
+  let n = ref 0 in
+  for i = 0 to t.n_slots - 1 do
+    match t.slots.(i) with
+    | Some s when s.Shape.origin = Shape.Array_member array_id -> incr n
+    | _ -> ()
+  done;
+  !n
 
 (* Is this shape a container of some registered array?  If so the compactor
    must not shrink it below the one-cut minimum. *)
@@ -192,10 +385,14 @@ let array_cut_layers_of_container t id =
 let rederive t rules =
   List.iter
     (fun (array_id, spec) ->
-      t.shapes <-
-        List.filter
-          (fun (s : Shape.t) -> s.origin <> Shape.Array_member array_id)
-          t.shapes;
+      let members = ref [] in
+      for i = 0 to t.n_slots - 1 do
+        match t.slots.(i) with
+        | Some s when s.Shape.origin = Shape.Array_member array_id ->
+            members := s.Shape.id :: !members
+        | _ -> ()
+      done;
+      List.iter (remove t) !members;
       let containers =
         List.map
           (fun id ->
@@ -223,7 +420,11 @@ let absorb t src =
     in
     { s with id = s.id + offset; origin }
   in
-  t.shapes <- t.shapes @ List.map bump src.shapes;
+  for i = 0 to src.n_slots - 1 do
+    match src.slots.(i) with
+    | Some s -> enter t (bump s)
+    | None -> ()
+  done;
   t.ports <- t.ports @ src.ports;
   t.arrays <-
     t.arrays
@@ -236,14 +437,14 @@ let absorb t src =
   offset
 
 let pp ppf t =
-  Fmt.pf ppf "@[<v>object %s (%d shapes, %d ports)@," t.name
-    (List.length t.shapes) (List.length t.ports);
+  Fmt.pf ppf "@[<v>object %s (%d shapes, %d ports)@," t.name t.live
+    (List.length t.ports);
   List.iter
     (fun (s : Shape.t) ->
       Fmt.pf ppf "  %3d %-8s %a %a@," s.id s.layer Rect.pp_um s.rect
         Fmt.(option string)
         s.net)
-    t.shapes;
+    (shapes t);
   List.iter
     (fun (p : Port.t) ->
       Fmt.pf ppf "  port %s net=%s %s %a@," p.name p.net p.layer Rect.pp_um p.rect)

@@ -1,9 +1,16 @@
 (** Layout objects — the paper's "objects".
 
     A layout object is the mutable data structure a module generator builds:
-    a list of shapes, named ports, and registered cut arrays whose members
-    are derived from container shapes.  Complex modules are constructed by
-    compacting objects one at a time into a growing main object (§2.3). *)
+    shapes, named ports, and registered cut arrays whose members are derived
+    from container shapes.  Complex modules are constructed by compacting
+    objects one at a time into a growing main object (§2.3).
+
+    Shapes are held in an indexed store: an id table gives O(1)
+    {!find}/{!replace}/{!remove}, a per-layer spatial index backs the
+    {!near} candidate query, and the bounding boxes of {!bbox}/{!bbox_on}
+    are cached incrementally (extended on growth, invalidated on removal or
+    shrinking, shifted on translation) instead of being re-hulled per call.
+    Iteration order everywhere remains insertion order. *)
 
 type t
 
@@ -38,6 +45,16 @@ val replace : t -> Shape.t -> unit
 val remove : t -> int -> unit
 
 val shapes_on : t -> string -> Shape.t list
+
+val near : t -> layer:string -> Amg_geometry.Rect.t -> margin:int -> Shape.t list
+(** Candidate query: every shape on [layer] whose closed rectangle
+    intersects the window inflated by [margin] on all sides, in insertion
+    order.  Served by the per-layer spatial index, so the cost is
+    proportional to the candidates, not to the object.  Callers derive
+    [margin] from the technology's spacing rule for the layer pair at hand
+    (see {!Amg_tech.Rules.space_or_zero}); the result is a superset of the
+    shapes any rule of that range can relate to the window. *)
+
 val shapes_on_net : t -> string -> Shape.t list
 val rects : t -> Amg_geometry.Rect.t list
 val rects_on : t -> string -> Amg_geometry.Rect.t list
@@ -61,7 +78,11 @@ val translate : t -> dx:int -> dy:int -> unit
 val transform : t -> Amg_geometry.Transform.t -> unit
 
 val copy : ?name:string -> t -> t
-(** Deep copy — the paper's ["trans2 = trans1"] object copy (§2.5). *)
+(** Structural copy — the paper's ["trans2 = trans1"] object copy (§2.5).
+    Immutable shape/port/array values are shared, but every mutable part of
+    the store (slots, id table, spatial indexes, caches) is duplicated, so
+    mutating either object never affects the other.  Not a deep copy of the
+    shape values themselves — they never mutate. *)
 
 val add_port :
   t -> name:string -> net:string -> layer:string -> rect:Amg_geometry.Rect.t -> Port.t

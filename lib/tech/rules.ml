@@ -45,6 +45,12 @@ let width_opt t layer = Hashtbl.find_opt t.widths layer
 
 let space t a b = Hashtbl.find_opt t.spaces (norm_pair a b)
 
+let space_or_zero t a b =
+  match space t a b with Some d -> d | None -> 0
+
+let max_space t =
+  Hashtbl.fold (fun _ d acc -> max d acc) t.spaces 0
+
 let space_exn t a b =
   match space t a b with
   | Some d -> d

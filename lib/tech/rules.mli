@@ -45,6 +45,16 @@ val space : t -> string -> string -> int option
 
 val space_exn : t -> string -> string -> int
 
+val space_or_zero : t -> string -> string -> int
+(** The spacing rule, or 0 for unconstrained pairs.  This is the exact
+    candidate margin for spatial-index queries: every relation the
+    compactor or checker can derive for the pair (spacing, mergeable
+    contact, keep-clear) acts within this distance. *)
+
+val max_space : t -> int
+(** Largest spacing rule of the deck — a conservative layer-independent
+    query margin. *)
+
 val enclosure : t -> outer:string -> inner:string -> int option
 val enclosure_or_zero : t -> outer:string -> inner:string -> int
 

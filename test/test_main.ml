@@ -4,6 +4,7 @@ let () =
       ("geometry", Test_geometry.suite);
       ("tech", Test_tech.suite);
       ("layout", Test_layout.suite);
+      ("sindex", Test_sindex.suite);
       ("compact", Test_compact.suite);
       ("drc", Test_drc.suite);
       ("core", Test_core.suite);
