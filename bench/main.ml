@@ -700,6 +700,8 @@ let compact_steps env n =
       in
       Optimize.step row (if i mod 2 = 0 then Dir.South else Dir.West))
 
+(* Returns its result rows; [write_bench_json] merges them with the
+   parallel-scaling rows into one BENCH_compact.json. *)
 let compact_scaling env =
   section "COMPACT-SCALING  apply / optimize_bb / optimize_local vs n";
   (* Settle the heap left behind by the preceding sections so the medians
@@ -742,6 +744,55 @@ let compact_scaling env =
         (n, t_apply, t_local, r_local, evals, bb))
       [ 4; 6; 8; 12 ]
   in
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* PARALLEL-SCALING: optimize_local with a domain pool, sequential vs  *)
+(* 2 and 4 domains.  The determinism contract makes every row directly *)
+(* comparable: identical rating, order and evaluation count for every  *)
+(* domain count — only the wall time may differ.                       *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_scaling env =
+  section "PARALLEL-SCALING  optimize_local, sequential vs N domains";
+  Gc.compact ();
+  Fmt.pr "(host offers %d recommended domain(s); speedups need real cores)@."
+    (Amg_parallel.Pool.recommended ());
+  Fmt.pr "%4s %8s %12s %10s %8s %8s %10s@." "n" "domains" "local/ms"
+    "speedup" "rating" "evals" "same-seq";
+  List.concat_map
+    (fun n ->
+      let steps = compact_steps env n in
+      let _, r_seq, o_seq, evals_seq =
+        Optimize.optimize_local env ~name:"pack" ~domains:1 steps
+      in
+      let names o = List.map (fun s -> Lobj.name s.Optimize.obj) o in
+      let t_seq =
+        median_time ~repeats:3 (fun () ->
+            ignore (Optimize.optimize_local env ~name:"pack" ~domains:1 steps))
+      in
+      List.map
+        (fun d ->
+          let t =
+            if d = 1 then t_seq
+            else
+              median_time ~repeats:3 (fun () ->
+                  ignore
+                    (Optimize.optimize_local env ~name:"pack" ~domains:d steps))
+          in
+          let _, r, o, evals =
+            Optimize.optimize_local env ~name:"pack" ~domains:d steps
+          in
+          let same =
+            Float.equal r r_seq && names o = names o_seq && evals = evals_seq
+          in
+          Fmt.pr "%4d %8d %12.2f %10.2f %8.1f %8d %10b@." n d (t *. 1000.)
+            (t_seq /. t) r evals same;
+          (n, d, t, t_seq /. t, r, evals, same))
+        [ 1; 2; 4 ])
+    [ 8; 12 ]
+
+let write_bench_json compact_rows parallel_rows =
   let oc = open_out "BENCH_compact.json" in
   let bb_json = function
     | Some (t, r, nodes) ->
@@ -750,14 +801,22 @@ let compact_scaling env =
     | None -> ""
   in
   Printf.fprintf oc
-    "{\n  \"workload\": \"contact rows, w=20+(i mod 4)*12 um, S/W alternating\",\n  \"times\": \"median wall seconds\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    "{\n  \"workload\": \"contact rows, w=20+(i mod 4)*12 um, S/W alternating\",\n  \"times\": \"median wall seconds\",\n  \"host_recommended_domains\": %d,\n  \"rows\": [\n%s\n  ],\n  \"parallel_scaling\": [\n%s\n  ]\n}\n"
+    (Amg_parallel.Pool.recommended ())
     (String.concat ",\n"
        (List.map
           (fun (n, ta, tl, r, evals, bb) ->
             Printf.sprintf
               "    {\"n\":%d,\"apply_s\":%.6f,\"local_s\":%.6f,\"local_rating\":%.4f,\"local_evals\":%d%s}"
               n ta tl r evals (bb_json bb))
-          rows));
+          compact_rows))
+    (String.concat ",\n"
+       (List.map
+          (fun (n, d, t, speedup, r, evals, same) ->
+            Printf.sprintf
+              "    {\"n\":%d,\"domains\":%d,\"local_s\":%.6f,\"speedup\":%.3f,\"local_rating\":%.4f,\"local_evals\":%d,\"same_as_seq\":%b}"
+              n d t speedup r evals same)
+          parallel_rows));
   close_out oc;
   Fmt.pr "(medians written to BENCH_compact.json)@."
 
@@ -825,6 +884,8 @@ let () =
   tech_indep ();
   floorplan_ablation env;
   route_ablation ();
-  compact_scaling env;
+  let compact_rows = compact_scaling env in
+  let parallel_rows = parallel_scaling env in
+  write_bench_json compact_rows parallel_rows;
   micro env;
   Fmt.pr "@.done.@."

@@ -15,6 +15,17 @@ let tech_arg =
   let doc = "Technology description file (default: built-in generic 1um BiCMOS)." in
   Arg.(value & opt (some file) None & info [ "t"; "tech" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of OCaml domains the optimization-mode searches (order \
+     permutations, branch-and-bound, local search, topology variants) may \
+     use.  Defaults to the machine's recommended domain count; results are \
+     identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let set_jobs jobs = Option.iter Amg_parallel.Pool.set_default_domains jobs
+
 let env_of_tech = function
   | None -> Env.bicmos ()
   | Some path -> Env.create (Amg_tech.Tech_file.load path)
@@ -90,14 +101,15 @@ let emit env obj svg cif gds ascii =
     gds
 
 let build_cmd =
-  let run tech_file file entity params svg cif gds ascii =
+  let run tech_file jobs file entity params svg cif gds ascii =
+    set_jobs jobs;
     let env, obj = build_obj tech_file file entity params in
     emit env obj svg cif gds ascii
   in
   Cmd.v
     (Cmd.info "build" ~doc:"Build an entity from a module source file.")
-    Term.(const run $ tech_arg $ file_arg $ entity_arg $ params_arg $ svg_arg
-          $ cif_arg $ gds_arg $ ascii_arg)
+    Term.(const run $ tech_arg $ jobs_arg $ file_arg $ entity_arg $ params_arg
+          $ svg_arg $ cif_arg $ gds_arg $ ascii_arg)
 
 let check_cmd =
   let latchup_arg =
@@ -106,7 +118,8 @@ let check_cmd =
              ~doc:"Also run the latch-up cover check (needs substrate taps; \
                    meaningful for complete cells, not bare modules).")
   in
-  let run tech_file file entity params latchup =
+  let run tech_file jobs file entity params latchup =
+    set_jobs jobs;
     let env, obj = build_obj tech_file file entity params in
     let checks =
       let open Amg_drc.Checker in
@@ -119,7 +132,8 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Build an entity and run the design-rule checker.")
-    Term.(const run $ tech_arg $ file_arg $ entity_arg $ params_arg $ latchup_arg)
+    Term.(const run $ tech_arg $ jobs_arg $ file_arg $ entity_arg $ params_arg
+          $ latchup_arg)
 
 let tech_cmd =
   let out =
@@ -183,7 +197,8 @@ let synth_cmd =
                | [ d; "high" ] -> (d, Amg_circuit.Partition.High)
                | _ -> failwith ("bad hint " ^ kv ^ " (expected dev:low|moderate|high)"))
   in
-  let run tech_file path hints svg cif gds ascii =
+  let run tech_file jobs path hints svg cif gds ascii =
+    set_jobs jobs;
     let env = env_of_tech tech_file in
     let netlist = Amg_circuit.Spice_in.load path in
     let r = Amg_amplifier.Synth.build env ~hints:(parse_hints hints) netlist in
@@ -212,8 +227,8 @@ let synth_cmd =
     (Cmd.info "synth"
        ~doc:"Synthesise a layout from a SPICE netlist: partition, generate \
              modules, floorplan, route, check.")
-    Term.(const run $ tech_arg $ sp_file $ hints_arg $ svg_arg $ cif_arg
-          $ gds_arg $ ascii_arg)
+    Term.(const run $ tech_arg $ jobs_arg $ sp_file $ hints_arg $ svg_arg
+          $ cif_arg $ gds_arg $ ascii_arg)
 
 let fmt_cmd =
   let out =
@@ -312,7 +327,8 @@ let amp_cmd =
          & info [ "spice" ] ~docv:"FILE"
              ~doc:"Extract the finished layout and write a SPICE deck.")
   in
-  let run tech_file svg cif gds ascii spice =
+  let run tech_file jobs svg cif gds ascii spice =
+    set_jobs jobs;
     let env = env_of_tech tech_file in
     let r = Amg_amplifier.Amplifier.build env in
     Fmt.pr "BiCMOS amplifier: %.1f x %.1f um (%.0f um2), %d shapes, %.2f s@."
@@ -336,8 +352,8 @@ let amp_cmd =
   in
   Cmd.v
     (Cmd.info "amp" ~doc:"Generate the BiCMOS broad-band amplifier (paper §3).")
-    Term.(const run $ tech_arg $ svg_arg $ cif_arg $ gds_arg $ ascii_arg
-          $ spice_arg)
+    Term.(const run $ tech_arg $ jobs_arg $ svg_arg $ cif_arg $ gds_arg
+          $ ascii_arg $ spice_arg)
 
 let () =
   let doc = "analog module generator environment (DATE'96 reproduction)" in

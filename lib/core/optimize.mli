@@ -2,7 +2,20 @@
 
     The successive compactor's result depends on the order in which objects
     are compacted; optimization mode re-runs the sequence over permutations
-    of the order and keeps the result the {!Rating} function likes best. *)
+    of the order and keeps the result the {!Rating} function likes best.
+
+    Candidate evaluations are independent full-layout rebuilds, so every
+    search here fans them out over a {!Amg_parallel.Pool} of OCaml domains.
+    [?domains] picks the participant count and defaults to
+    {!Amg_parallel.Pool.default_domains} (the machine's recommended domain
+    count unless overridden, e.g. by [amgen --jobs]).
+
+    Determinism contract: for a given [Env], steps and seed, every entry
+    point returns the identical rating, the identical chosen order and a
+    byte-identical layout for {e every} domain count — candidates are
+    collected in canonical order and reduced with strict comparisons, so
+    scheduling can never change the winner.  Node and evaluation counts are
+    equally domain-count-independent. *)
 
 type step = {
   obj : Amg_layout.Lobj.t;
@@ -27,38 +40,47 @@ val apply : Env.t -> name:string -> step list -> Amg_layout.Lobj.t
     replayed in any order. *)
 
 val permutations : 'a list -> 'a list Seq.t
-(** All permutations, lazily. *)
+(** All permutations, lazily: forcing the head never materializes the
+    tail, so taking a few orders of a long list stays cheap. *)
 
 val evaluate_orders :
   Env.t ->
   name:string ->
   ?rating:Rating.t ->
   ?max_orders:int ->
+  ?domains:int ->
   step list ->
   (Amg_layout.Lobj.t * float * step list) list
 (** Build and rate every order (up to [max_orders], default 720 = 6!);
-    rejected orders are skipped. *)
+    rejected orders are skipped.  The result list is in exploration
+    (canonical permutation) order for any [?domains]. *)
 
 val optimize :
   Env.t ->
   name:string ->
   ?rating:Rating.t ->
   ?max_orders:int ->
+  ?domains:int ->
   step list ->
   Amg_layout.Lobj.t * float * step list
-(** The best order's result, its rating, and the order itself.
+(** The best order's result, its rating, and the order itself; rating ties
+    go to the earliest order in exploration order.
     @raise Env.Rejected when every order is rejected. *)
 
 val optimize_bb :
   Env.t ->
   name:string ->
   ?rating:Rating.t ->
+  ?domains:int ->
   step list ->
   Amg_layout.Lobj.t * float * step list * int
 (** Branch-and-bound over orders: same optimum as the exhaustive search
     (placing an object never shrinks the bounding box, so the partial area
-    is a sound lower bound), usually visiting far fewer nodes.  The last
-    component is the number of search nodes explored.
+    is a sound lower bound), usually visiting far fewer nodes.  The search
+    decomposes into one sub-search per first step, each seeded with the
+    canonical order's rating as initial incumbent, and merges the
+    sub-search winners in canonical order — the chosen order, rating and
+    node count (the last component) are identical for every [?domains].
     @raise Env.Rejected when every order is rejected. *)
 
 val optimize_local :
@@ -67,12 +89,16 @@ val optimize_local :
   ?rating:Rating.t ->
   ?restarts:int ->
   ?seed:int ->
+  ?domains:int ->
   step list ->
   Amg_layout.Lobj.t * float * step list * int
 (** Heuristic order search for step counts beyond exhaustive reach:
-    first-improvement hill climbing over pairwise swaps, with
+    steepest-descent hill climbing over pairwise swaps — each round
+    evaluates the full swap neighbourhood (in parallel) and accepts the
+    best improving candidate, ties to the lowest swap index — with
     [restarts] deterministically shuffled starting orders ([seed] makes
     runs reproducible).  Never worse than the best starting order; not
-    guaranteed optimal.  The last component is the number of full
-    rebuild-and-rate evaluations performed.
+    guaranteed optimal.  The last component is the number of
+    rebuild-and-rate evaluations performed, which is also independent of
+    [?domains].
     @raise Env.Rejected when every order is rejected. *)

@@ -9,6 +9,8 @@
    [Env.Rejected] is abandoned and the next alternative is tried.  The
    rating function of §2.4 selects among the surviving results. *)
 
+module Pool = Amg_parallel.Pool
+
 type 'a t =
   | Return : 'a -> 'a t
   | Delay : (unit -> 'a) -> 'a t
@@ -33,21 +35,44 @@ let ( let* ) = bind
 let ( let+ ) m f = map f m
 
 (* Depth-first enumeration; every [Env.Rejected] turns into an [Error]. *)
-let rec run : type a. a t -> (a, string) result list = function
+let rec run_seq : type a. a t -> (a, string) result list = function
   | Return x -> [ Ok x ]
   | Delay f -> ( try [ Ok (f ()) ] with Env.Rejected m -> [ Error m ])
-  | Alt ts -> List.concat_map run ts
+  | Alt ts -> List.concat_map run_seq ts
   | Bind (m, f) ->
-      run m
+      run_seq m
       |> List.concat_map (function
            | Error m -> [ Error m ]
-           | Ok v -> ( try run (f v) with Env.Rejected m -> [ Error m ]))
+           | Ok v -> ( try run_seq (f v) with Env.Rejected m -> [ Error m ]))
 
-let successes m =
-  List.filter_map (function Ok x -> Some x | Error _ -> None) (run m)
+(* With a pool, sibling alternatives reachable from the caller's domain are
+   evaluated concurrently (each branch sequentially within itself — a
+   branch body must not touch the pool again).  Branch results are
+   concatenated in branch order, so the enumeration is the same list
+   [run_seq] produces.  Branches build independent layouts; the generator
+   code inside them must follow the per-worker copy rule (own [Lobj]s
+   only). *)
+let rec run_par : type a. Pool.t -> a t -> (a, string) result list =
+ fun pool -> function
+  | Alt ts -> List.concat (Pool.map_list pool run_seq ts)
+  | Bind (m, f) ->
+      run_par pool m
+      |> List.concat_map (function
+           | Error m -> [ Error m ]
+           | Ok v -> (
+               try run_par pool (f v) with Env.Rejected m -> [ Error m ]))
+  | t -> run_seq t
 
-let failures m =
-  List.filter_map (function Error e -> Some e | Ok _ -> None) (run m)
+let run ?pool m =
+  match pool with
+  | Some pool when Pool.size pool > 1 -> run_par pool m
+  | _ -> run_seq m
+
+let successes ?pool m =
+  List.filter_map (function Ok x -> Some x | Error _ -> None) (run ?pool m)
+
+let failures ?pool m =
+  List.filter_map (function Error e -> Some e | Ok _ -> None) (run ?pool m)
 
 (* First success, depth first — plain backtracking. *)
 let first m =
@@ -69,7 +94,7 @@ let first m =
               | None -> try_solutions rest)
           | Error _ :: rest -> try_solutions rest
         in
-        try_solutions (run m))
+        try_solutions (run_seq m))
   in
   go m
 
@@ -80,9 +105,10 @@ let first_exn m =
 
 (* Rate every surviving variant and keep the best (lowest rating) —
    "the rating function is also applied to select the best variant"
-   (§2.4). *)
-let best ~rate m =
-  let rated = List.map (fun x -> (x, rate x)) (successes m) in
+   (§2.4).  The fold runs over the enumeration order with a strict
+   comparison, so the pick is the same with and without a pool. *)
+let best ?pool ~rate m =
+  let rated = List.map (fun x -> (x, rate x)) (successes ?pool m) in
   List.fold_left
     (fun acc (x, r) ->
       match acc with
@@ -90,7 +116,7 @@ let best ~rate m =
       | _ -> Some (x, r))
     None rated
 
-let best_exn ~rate m =
-  match best ~rate m with
+let best_exn ?pool ~rate m =
+  match best ?pool ~rate m with
   | Some xr -> xr
   | None -> Env.reject "Variants.best_exn: all alternatives rejected"

@@ -26,12 +26,17 @@ val map : ('a -> 'b) -> 'a t -> 'b t
 val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
 val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
 
-val run : 'a t -> ('a, string) result list
+val run : ?pool:Amg_parallel.Pool.t -> 'a t -> ('a, string) result list
 (** Depth-first enumeration of every alternative; rejections appear as
-    [Error] with the rejection message. *)
+    [Error] with the rejection message.  With [?pool], sibling
+    alternatives of each [alt] reachable from the calling domain are
+    evaluated concurrently (each branch sequentially within itself; branch
+    code must only mutate layout objects it created).  The result list is
+    identical to the sequential enumeration — branch results are
+    concatenated in branch order. *)
 
-val successes : 'a t -> 'a list
-val failures : 'a t -> string list
+val successes : ?pool:Amg_parallel.Pool.t -> 'a t -> 'a list
+val failures : ?pool:Amg_parallel.Pool.t -> 'a t -> string list
 
 val first : 'a t -> 'a option
 (** Plain backtracking: the first alternative that survives. *)
@@ -39,9 +44,12 @@ val first : 'a t -> 'a option
 val first_exn : 'a t -> 'a
 (** @raise Env.Rejected when every alternative is rejected. *)
 
-val best : rate:('a -> float) -> 'a t -> ('a * float) option
+val best :
+  ?pool:Amg_parallel.Pool.t -> rate:('a -> float) -> 'a t -> ('a * float) option
 (** Evaluate all surviving variants and keep the one with the lowest
-    rating — §2.4's variant selection. *)
+    rating — §2.4's variant selection.  Ties go to the earliest variant
+    in enumeration order, with or without a pool. *)
 
-val best_exn : rate:('a -> float) -> 'a t -> 'a * float
+val best_exn :
+  ?pool:Amg_parallel.Pool.t -> rate:('a -> float) -> 'a t -> 'a * float
 (** @raise Env.Rejected when every alternative is rejected. *)

@@ -1,0 +1,176 @@
+(* Work-stealing domain pool.
+
+   A job is an index range [0, total) split into one contiguous chunk per
+   participant.  Each participant drains its own chunk with an atomic
+   fetch-and-add, then steals from the other chunks in round-robin order;
+   overshooting a chunk's bound is harmless, the claimed index is simply
+   out of range and the scan moves on.  Tasks write their results into
+   per-index slots, so the caller sees them in input order and every
+   reduction over them is scheduling-independent.
+
+   Workers idle on a condition variable between jobs; an epoch counter
+   tells a worker returning from a job not to re-enter it. *)
+
+type job = {
+  chunks : (int Atomic.t * int) array; (* per-participant (next, stop) *)
+  run : int -> unit;                   (* never raises; records errors *)
+  total : int;
+  completed : int Atomic.t;
+}
+
+type t = {
+  n : int;
+  lock : Mutex.t;
+  has_work : Condition.t;
+  job_done : Condition.t;
+  mutable job : job option;
+  mutable epoch : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.n
+
+let recommended () = Domain.recommended_domain_count ()
+
+(* Process-wide default, settable from the command line (amgen --jobs). *)
+let configured : int option Atomic.t = Atomic.make None
+
+let default_domains () =
+  match Atomic.get configured with Some n -> n | None -> recommended ()
+
+let set_default_domains n = Atomic.set configured (Some (max 1 n))
+
+(* Drain the job: own chunk first, then steal. [me] is the participant
+   index (0 = caller). *)
+let exec_job t job me =
+  for k = 0 to Array.length job.chunks - 1 do
+    let next, stop = job.chunks.((me + k) mod t.n) in
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= stop then continue := false
+      else begin
+        job.run i;
+        ignore (Atomic.fetch_and_add job.completed 1)
+      end
+    done
+  done
+
+let rec worker_loop t me my_epoch =
+  Mutex.lock t.lock;
+  while (not t.stopping) && (t.job = None || t.epoch = my_epoch) do
+    Condition.wait t.has_work t.lock
+  done;
+  if t.stopping then Mutex.unlock t.lock
+  else begin
+    let job = Option.get t.job in
+    let epoch = t.epoch in
+    Mutex.unlock t.lock;
+    exec_job t job me;
+    Mutex.lock t.lock;
+    if Atomic.get job.completed = job.total then Condition.broadcast t.job_done;
+    Mutex.unlock t.lock;
+    worker_loop t me epoch
+  end
+
+let create ?domains () =
+  let n =
+    max 1 (match domains with Some d -> d | None -> default_domains ())
+  in
+  let t =
+    {
+      n;
+      lock = Mutex.create ();
+      has_work = Condition.create ();
+      job_done = Condition.create ();
+      job = None;
+      epoch = 0;
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (n - 1) (fun k -> Domain.spawn (fun () -> worker_loop t (k + 1) 0));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Split [0, total) into [n] contiguous chunks, the first [total mod n]
+   one element longer. *)
+let chunks_of n total =
+  let base = total / n and rem = total mod n in
+  Array.init n (fun k ->
+      let lo = (k * base) + min k rem in
+      let len = base + if k < rem then 1 else 0 in
+      (Atomic.make lo, lo + len))
+
+let run_tasks t total run =
+  if total > 0 then begin
+    if t.n = 1 || total = 1 then
+      (* No workers (or nothing to share): run in the caller, same code
+         path as far as results are concerned. *)
+      for i = 0 to total - 1 do run i done
+    else begin
+      let job =
+        { chunks = chunks_of t.n total; run; total; completed = Atomic.make 0 }
+      in
+      Mutex.lock t.lock;
+      if t.job <> None then begin
+        Mutex.unlock t.lock;
+        invalid_arg "Pool.map_array: pool is already running a job (re-entry)"
+      end;
+      t.job <- Some job;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.has_work;
+      Mutex.unlock t.lock;
+      exec_job t job 0;
+      Mutex.lock t.lock;
+      while Atomic.get job.completed < job.total do
+        Condition.wait t.job_done t.lock
+      done;
+      t.job <- None;
+      Mutex.unlock t.lock
+    end
+  end
+
+let map_array t f arr =
+  let total = Array.length arr in
+  if total = 0 then [||]
+  else begin
+    let results = Array.make total None in
+    (* Wrapped in an option so we need no placeholder 'b; each slot is
+       written by exactly one task. *)
+    let error_lock = Mutex.create () in
+    let first_error = ref None in
+    let run i =
+      match f arr.(i) with
+      | v -> results.(i) <- Some v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock error_lock;
+          (match !first_error with
+          | Some (j, _, _) when j <= i -> ()
+          | _ -> first_error := Some (i, e, bt));
+          Mutex.unlock error_lock
+    in
+    run_tasks t total run;
+    (match !first_error with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map
+      (function Some v -> v | None -> assert false (* every task ran *))
+      results
+  end
+
+let map_list t f l = Array.to_list (map_array t f (Array.of_list l))

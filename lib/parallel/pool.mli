@@ -1,0 +1,54 @@
+(** A work-stealing pool of OCaml 5 domains for the optimization mode.
+
+    The optimization layer evaluates many independent full-layout
+    candidates (order permutations, swap neighbourhoods, topology
+    variants); a pool fans those evaluations out over domains while
+    keeping results in input order, so reductions over them are
+    deterministic regardless of scheduling.
+
+    Concurrency contract: a task must only mutate state it owns.  Layout
+    objects are mutable, so a task must work on its own {!Amg_layout.Lobj.copy}
+    (and anything shared — step objects, cached prefixes, the technology
+    deck — must only be read).  Tasks must not submit work to the pool
+    they run on: {!map_array} is not re-entrant. *)
+
+type t
+(** A pool of [size t] participants: [size t - 1] worker domains plus the
+    calling domain, which joins in whenever work is submitted. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains
+    ([domains] defaults to {!default_domains}; values < 1 are clamped
+    to 1, so [create ~domains:1 ()] is a purely sequential pool that
+    spawns nothing). *)
+
+val size : t -> int
+(** Number of participants, including the calling domain. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards,
+    also on exception. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array t f arr] applies [f] to every element, distributing the
+    index range over the participants (each starts on its own contiguous
+    chunk and steals from the others' chunks when its own runs dry).
+    Results are returned in input order, so folding over them is
+    deterministic no matter how the work was scheduled.  If any [f]
+    raises, the exception of the lowest input index is re-raised in the
+    caller after all tasks have run. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val default_domains : unit -> int
+(** The process-wide default participant count used when [?domains] is
+    omitted: the last value given to {!set_default_domains}, or
+    {!recommended} if never set.  [amgen --jobs N] sets it. *)
+
+val set_default_domains : int -> unit

@@ -1,0 +1,228 @@
+(* The latch-up cover algorithm (paper Fig. 1): successive subtraction of
+   temporary rectangles until no part of any active-area rectangle
+   remains.  The paper enumerates 16 overlap cases of a cover against a
+   solid (4 positional classes per axis); here every case — plus
+   adversarial sets the 16-case figure does not show — is checked against
+   an independent slab-grid oracle. *)
+
+module Rect = Amg_geometry.Rect
+module Region = Amg_geometry.Region
+module Units = Amg_geometry.Units
+module Lobj = Amg_layout.Lobj
+module Env = Amg_core.Env
+module Latchup = Amg_drc.Latchup
+
+let um = Units.of_um
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- oracle ---------------------------------------------------------- *)
+
+(* Slab-grid oracle: cut the plane at every rectangle edge; a grid cell is
+   uncovered-solid iff its centre lies in some solid and in no cover.  The
+   residue of the subtraction algorithm must have exactly the oracle's
+   area, and must contain exactly the uncovered cell centres.  (This is a
+   genuinely different computation from [Region.residue]'s successive
+   subtraction, so agreement is meaningful.) *)
+let oracle_area ~solids ~covers =
+  let xs =
+    List.concat_map (fun (r : Rect.t) -> [ r.Rect.x0; r.Rect.x1 ]) (solids @ covers)
+    |> List.sort_uniq compare
+  and ys =
+    List.concat_map (fun (r : Rect.t) -> [ r.Rect.y0; r.Rect.y1 ]) (solids @ covers)
+    |> List.sort_uniq compare
+  in
+  let inside (r : Rect.t) x y =
+    x > r.Rect.x0 && x < r.Rect.x1 && y > r.Rect.y0 && y < r.Rect.y1
+  in
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  let area = ref 0 in
+  List.iter
+    (fun (x0, x1) ->
+      List.iter
+        (fun (y0, y1) ->
+          let cx = x0 + x1 and cy = y0 + y1 in
+          (* centre in doubled coordinates to stay integral *)
+          let hit l = List.exists (fun r -> inside (Rect.make
+            ~x0:(2 * r.Rect.x0) ~y0:(2 * r.Rect.y0)
+            ~x1:(2 * r.Rect.x1) ~y1:(2 * r.Rect.y1)) cx cy) l
+          in
+          if hit solids && not (hit covers) then
+            area := !area + ((x1 - x0) * (y1 - y0)))
+        (pairs ys))
+    (pairs xs);
+  !area
+
+let check_against_oracle what ~solids ~covers =
+  let residue = Region.residue ~solids ~covers in
+  let expected = oracle_area ~solids ~covers in
+  check (what ^ ": residue area matches oracle") expected (Region.area residue);
+  check_bool
+    (what ^ ": covered agrees with oracle")
+    (expected = 0)
+    (Region.covered ~solids ~covers);
+  (* The residue rectangles must stay inside the solids and outside the
+     covers — successive subtraction can never spill. *)
+  List.iter
+    (fun (r : Rect.t) ->
+      check_bool (what ^ ": residue inside some solid") true
+        (List.exists
+           (fun s -> match Rect.inter s r with
+             | Some i -> Rect.area i = Rect.area r
+             | None -> false)
+           solids);
+      check_bool (what ^ ": residue misses every cover") true
+        (not (List.exists (fun c -> Rect.overlaps c r) covers)))
+    residue
+
+(* --- the 16 overlap cases -------------------------------------------- *)
+
+(* One solid; covers from 4 span classes per axis: past-both-edges,
+   past-low-edge, past-high-edge, strictly-inside — 16 combinations, the
+   paper's Fig. 1 case table. *)
+let test_sixteen_cases () =
+  let solid = Rect.of_size ~x:0 ~y:0 ~w:(um 100.) ~h:(um 100.) in
+  let spans = [ (-20., 120.); (-20., 60.); (40., 120.); (30., 70.) ] in
+  let cases = ref 0 in
+  List.iter
+    (fun (x0, x1) ->
+      List.iter
+        (fun (y0, y1) ->
+          incr cases;
+          let cover =
+            Rect.make ~x0:(um x0) ~y0:(um y0) ~x1:(um x1) ~y1:(um y1)
+          in
+          check_against_oracle
+            (Printf.sprintf "case %d" !cases)
+            ~solids:[ solid ] ~covers:[ cover ])
+        spans)
+    spans;
+  check "16 cases exercised" 16 !cases
+
+(* --- adversarial sets ------------------------------------------------- *)
+
+let test_corner_only_overlap () =
+  let solid = Rect.of_size ~x:0 ~y:0 ~w:(um 10.) ~h:(um 10.) in
+  (* Each cover clips one corner only. *)
+  let corners =
+    [
+      Rect.make ~x0:(- um 5.) ~y0:(- um 5.) ~x1:(um 2.) ~y1:(um 2.);
+      Rect.make ~x0:(um 8.) ~y0:(- um 5.) ~x1:(um 15.) ~y1:(um 2.);
+      Rect.make ~x0:(- um 5.) ~y0:(um 8.) ~x1:(um 2.) ~y1:(um 15.);
+      Rect.make ~x0:(um 8.) ~y0:(um 8.) ~x1:(um 15.) ~y1:(um 15.);
+    ]
+  in
+  List.iteri
+    (fun i c ->
+      check_against_oracle
+        (Printf.sprintf "corner %d alone" i)
+        ~solids:[ solid ] ~covers:[ c ])
+    corners;
+  check_against_oracle "all four corners" ~solids:[ solid ] ~covers:corners;
+  (* Four corner bites leave a cross-shaped residue, never full cover. *)
+  check_bool "cross remains" false
+    (Region.covered ~solids:[ solid ] ~covers:corners)
+
+let test_exact_abutment () =
+  let solid = Rect.of_size ~x:0 ~y:0 ~w:(um 10.) ~h:(um 10.) in
+  (* Covers that share an edge or a corner with the solid but overlap
+     nothing: the residue must be the untouched solid. *)
+  let abutting =
+    [
+      Rect.make ~x0:(- um 10.) ~y0:0 ~x1:0 ~y1:(um 10.);   (* west edge *)
+      Rect.make ~x0:(um 10.) ~y0:0 ~x1:(um 20.) ~y1:(um 10.); (* east edge *)
+      Rect.make ~x0:0 ~y0:(um 10.) ~x1:(um 10.) ~y1:(um 20.); (* north *)
+      Rect.make ~x0:(- um 4.) ~y0:(- um 4.) ~x1:0 ~y1:0;    (* corner point *)
+    ]
+  in
+  check_against_oracle "abutment" ~solids:[ solid ] ~covers:abutting;
+  check "abutment removes nothing" (Rect.area solid)
+    (Region.area (Region.residue ~solids:[ solid ] ~covers:abutting));
+  (* Exactly coincident cover: removes everything. *)
+  check_against_oracle "identical cover" ~solids:[ solid ] ~covers:[ solid ];
+  check_bool "identical cover covers" true
+    (Region.covered ~solids:[ solid ] ~covers:[ solid ])
+
+let test_two_partial_covers () =
+  let solid = Rect.of_size ~x:0 ~y:0 ~w:(um 20.) ~h:(um 4.) in
+  (* Each half-cover alone leaves residue; together they cover exactly,
+     meeting mid-solid — the union test successive subtraction must get
+     right. *)
+  let left = Rect.make ~x0:(- um 1.) ~y0:(- um 1.) ~x1:(um 11.) ~y1:(um 5.) in
+  let right = Rect.make ~x0:(um 9.) ~y0:(- um 1.) ~x1:(um 21.) ~y1:(um 5.) in
+  check_bool "left alone insufficient" false
+    (Region.covered ~solids:[ solid ] ~covers:[ left ]);
+  check_bool "right alone insufficient" false
+    (Region.covered ~solids:[ solid ] ~covers:[ right ]);
+  check_against_oracle "two overlapping partials" ~solids:[ solid ]
+    ~covers:[ left; right ];
+  check_bool "union covers" true
+    (Region.covered ~solids:[ solid ] ~covers:[ left; right ]);
+  (* Abutting (non-overlapping) halves must also cover. *)
+  let lh = Rect.make ~x0:(- um 1.) ~y0:(- um 1.) ~x1:(um 10.) ~y1:(um 5.) in
+  let rh = Rect.make ~x0:(um 10.) ~y0:(- um 1.) ~x1:(um 21.) ~y1:(um 5.) in
+  check_against_oracle "two abutting partials" ~solids:[ solid ]
+    ~covers:[ lh; rh ];
+  check_bool "abutting halves cover" true
+    (Region.covered ~solids:[ solid ] ~covers:[ lh; rh ])
+
+let test_one_solid_many_slivers () =
+  (* A comb of narrow covers over one solid, with and without a gap — the
+     deep-recursion shape of the successive subtraction. *)
+  let solid = Rect.of_size ~x:0 ~y:0 ~w:(um 64.) ~h:(um 8.) in
+  let comb gap =
+    List.init 8 (fun i ->
+        if gap && i = 5 then
+          (* tooth 5 shrunk: leaves a 2 um sliver uncovered *)
+          Rect.make ~x0:(um (float_of_int (i * 8))) ~y0:(- um 1.)
+            ~x1:(um (float_of_int ((i * 8) + 6))) ~y1:(um 9.)
+        else
+          Rect.make ~x0:(um (float_of_int (i * 8))) ~y0:(- um 1.)
+            ~x1:(um (float_of_int ((i + 1) * 8))) ~y1:(um 9.))
+  in
+  check_against_oracle "full comb" ~solids:[ solid ] ~covers:(comb false);
+  check_bool "full comb covers" true
+    (Region.covered ~solids:[ solid ] ~covers:(comb false));
+  check_against_oracle "comb with sliver" ~solids:[ solid ] ~covers:(comb true);
+  check "sliver area" (um 2. * um 8.)
+    (Region.area (Region.residue ~solids:[ solid ] ~covers:(comb true)))
+
+(* --- through the latch-up checker itself ------------------------------ *)
+
+let test_latchup_two_taps () =
+  let env = Env.bicmos () in
+  let tech = Env.tech env in
+  (* A strip that no single tap's inflated cover reaches end to end, but
+     two taps together do. *)
+  let dist =
+    Amg_tech.Rules.latchup_dist (Env.rules env)
+  in
+  let strip_w = (2 * dist) + um 2. in
+  let o = Lobj.create "two_taps" in
+  ignore
+    (Lobj.add_shape o ~layer:"ndiff"
+       ~rect:(Rect.of_size ~x:0 ~y:0 ~w:strip_w ~h:(um 2.)) ());
+  let tap x =
+    ignore
+      (Lobj.add_shape o ~layer:Latchup.tap_layer
+         ~rect:(Rect.of_size ~x ~y:(um 4.) ~w:(um 2.) ~h:(um 2.)) ())
+  in
+  tap 0;
+  check_bool "one tap insufficient" false (Latchup.uncovered ~tech o = []);
+  tap (strip_w - um 2.);
+  check_bool "two taps cover" true (Latchup.uncovered ~tech o = [])
+
+let suite =
+  [
+    Alcotest.test_case "16 overlap cases vs oracle" `Quick test_sixteen_cases;
+    Alcotest.test_case "corner-only overlap" `Quick test_corner_only_overlap;
+    Alcotest.test_case "exact abutment" `Quick test_exact_abutment;
+    Alcotest.test_case "two partial covers" `Quick test_two_partial_covers;
+    Alcotest.test_case "cover comb and sliver" `Quick
+      test_one_solid_many_slivers;
+    Alcotest.test_case "latch-up: two taps cover a strip" `Quick
+      test_latchup_two_taps;
+  ]

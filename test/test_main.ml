@@ -7,7 +7,9 @@ let () =
       ("sindex", Test_sindex.suite);
       ("compact", Test_compact.suite);
       ("drc", Test_drc.suite);
+      ("latchup", Test_latchup.suite);
       ("core", Test_core.suite);
+      ("parallel", Test_parallel.suite);
       ("lang", Test_lang.suite);
       ("route", Test_route.suite);
       ("modules", Test_modules.suite);

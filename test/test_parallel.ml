@@ -1,0 +1,316 @@
+(* The domain pool and the determinism contract of the parallel
+   optimization mode: for any domain count (1 = sequential, the pool spawns
+   nothing), every search returns the identical rating, the identical
+   chosen order and a byte-identical layout. *)
+
+module Rect = Amg_geometry.Rect
+module Dir = Amg_geometry.Dir
+module Units = Amg_geometry.Units
+module Lobj = Amg_layout.Lobj
+module Svg = Amg_layout.Svg
+module Env = Amg_core.Env
+module Optimize = Amg_core.Optimize
+module Variants = Amg_core.Variants
+module Rating = Amg_core.Rating
+module Pool = Amg_parallel.Pool
+module M = Amg_modules
+
+let um = Units.of_um
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let env () = Env.bicmos ()
+
+let domain_counts = [ 1; 2; 4 ]
+
+(* --- the pool itself --- *)
+
+let test_pool_map () =
+  List.iter
+    (fun d ->
+      Pool.with_pool ~domains:d (fun p ->
+          check "size" (max 1 d) (Pool.size p);
+          let arr = Array.init 100 Fun.id in
+          let out = Pool.map_array p (fun i -> i * i) arr in
+          Array.iteri (fun i v -> check "square in order" (i * i) v) out;
+          (* Uneven task sizes exercise stealing: early indices are the
+             heavy ones, so the owner of chunk 0 lags and the others
+             steal. *)
+          let heavy i =
+            let n = if i < 10 then 200_000 else 10 in
+            let acc = ref 0 in
+            for k = 1 to n do
+              acc := !acc + (k mod 7)
+            done;
+            (i, !acc)
+          in
+          let out = Pool.map_array p heavy (Array.init 64 Fun.id) in
+          Array.iteri (fun i (j, _) -> check "input order kept" i j) out;
+          Alcotest.(check (list int))
+            "map_list" [ 2; 4; 6 ]
+            (Pool.map_list p (fun x -> 2 * x) [ 1; 2; 3 ])))
+    domain_counts
+
+let test_pool_empty_and_single () =
+  Pool.with_pool ~domains:4 (fun p ->
+      check "empty" 0 (Array.length (Pool.map_array p Fun.id [||]));
+      Alcotest.(check (array int)) "single" [| 7 |] (Pool.map_array p Fun.id [| 7 |]))
+
+exception Boom of int
+
+let test_pool_error_lowest_index () =
+  List.iter
+    (fun d ->
+      Pool.with_pool ~domains:d (fun p ->
+          let got =
+            try
+              ignore
+                (Pool.map_array p
+                   (fun i -> if i mod 3 = 1 then raise (Boom i) else i)
+                   (Array.init 30 Fun.id));
+              None
+            with Boom i -> Some i
+          in
+          (* Every failing index may run on any domain, but the caller
+             must always see the lowest one. *)
+          Alcotest.(check (option int)) "lowest failing index" (Some 1) got;
+          (* The pool survives a failed job. *)
+          Alcotest.(check (array int)) "pool still works" [| 0; 2; 4 |]
+            (Pool.map_array p (fun i -> 2 * i) [| 0; 1; 2 |])))
+    domain_counts
+
+let test_pool_clamps () =
+  Pool.with_pool ~domains:0 (fun p -> check "clamped to 1" 1 (Pool.size p));
+  check_bool "recommended >= 1" true (Pool.recommended () >= 1)
+
+(* --- workloads --- *)
+
+(* The paper's diff-pair: transistor, poly contact row, diffusion contact
+   row (the test_sindex regression workload). *)
+let diffpair_steps e =
+  let trans =
+    M.Mosfet.make e ~polarity:M.Mosfet.Pmos ~w:(um 10.) ~l:(um 5.)
+      ~sd_contacts:`None ~well:false ()
+  in
+  Lobj.set_name trans "trans";
+  let polycon = M.Contact_row.make e ~layer:"poly" ~l:(um 5.) ~net:"g" () in
+  Lobj.set_name polycon "polycon";
+  let diffcon =
+    M.Contact_row.make e ~layer:"pdiff" ~w:(um 10.) ~net:"sd" ()
+  in
+  Lobj.set_name diffcon "diffcon";
+  [
+    Optimize.step trans Dir.South;
+    Optimize.step polycon ~ignore_layers:[ "poly" ] Dir.South;
+    Optimize.step diffcon ~ignore_layers:[ "pdiff" ] Dir.South;
+  ]
+
+(* The bench workload: n contact rows of cycling widths, alternating
+   compaction directions. *)
+let contact_row_steps e n =
+  List.init n (fun i ->
+      let w = um (float_of_int (20 + (i mod 4) * 12)) in
+      let row =
+        M.Contact_row.make e ~layer:"metal1"
+          ~net:(Printf.sprintf "n%d" i) ~w ()
+      in
+      Lobj.set_name row (Printf.sprintf "row%d" i);
+      Optimize.step row (if i mod 2 = 0 then Dir.South else Dir.West))
+
+let order_names order = List.map (fun s -> Lobj.name s.Optimize.obj) order
+
+(* Identical ratings means bit-identical floats — the parallel path must
+   pick the very same layout, not one that rates equal to a tolerance. *)
+let check_float_identical what a b =
+  check_bool (what ^ " bit-identical") true (Float.equal a b)
+
+let check_svg_identical e what a b =
+  let svg o = Svg.of_lobj ~tech:(Env.tech e) o in
+  check_bool (what ^ ": byte-identical SVG") true (String.equal (svg a) (svg b))
+
+(* --- optimize_local: domains 1/2/4 identical --- *)
+
+let local_determinism e steps =
+  let runs =
+    List.map
+      (fun d -> (d, Optimize.optimize_local e ~name:"det" ~domains:d steps))
+      domain_counts
+  in
+  match runs with
+  | [] -> assert false
+  | (_, (m1, r1, o1, evals1)) :: rest ->
+      List.iter
+        (fun (d, (m, r, o, evals)) ->
+          let tag = Printf.sprintf "local domains=%d" d in
+          check_float_identical (tag ^ " rating") r1 r;
+          Alcotest.(check (list string))
+            (tag ^ " chosen order") (order_names o1) (order_names o);
+          check (tag ^ " evals") evals1 evals;
+          check_svg_identical e tag m1 m)
+        rest
+
+let test_local_determinism_diffpair () =
+  let e = env () in
+  local_determinism e (diffpair_steps e)
+
+let test_local_determinism_contact8 () =
+  let e = env () in
+  local_determinism e (contact_row_steps e 8)
+
+(* --- branch-and-bound: domains 1/2/4 identical --- *)
+
+let bb_determinism e steps =
+  let runs =
+    List.map
+      (fun d -> (d, Optimize.optimize_bb e ~name:"det" ~domains:d steps))
+      domain_counts
+  in
+  match runs with
+  | [] -> assert false
+  | (_, (m1, r1, o1, nodes1)) :: rest ->
+      List.iter
+        (fun (d, (m, r, o, nodes)) ->
+          let tag = Printf.sprintf "bb domains=%d" d in
+          check_float_identical (tag ^ " rating") r1 r;
+          Alcotest.(check (list string))
+            (tag ^ " chosen order") (order_names o1) (order_names o);
+          check (tag ^ " nodes") nodes1 nodes;
+          check_svg_identical e tag m1 m)
+        rest
+
+let test_bb_determinism_diffpair () =
+  let e = env () in
+  bb_determinism e (diffpair_steps e)
+
+(* n = 6 is the exhaustive-reach cap the bench uses for branch-and-bound
+   (n = 8 explores ~70k nodes, tens of seconds per run). *)
+let test_bb_determinism_contact6 () =
+  let e = env () in
+  bb_determinism e (contact_row_steps e 6)
+
+(* --- exhaustive order evaluation: identical result lists --- *)
+
+let test_evaluate_orders_determinism () =
+  let e = env () in
+  let steps = contact_row_steps e 5 in
+  let runs =
+    List.map
+      (fun d ->
+        Optimize.evaluate_orders e ~name:"det" ~domains:d steps
+        |> List.map (fun (_, r, o) -> (r, order_names o)))
+      domain_counts
+  in
+  match runs with
+  | [] -> assert false
+  | first :: rest ->
+      check "5! orders" 120 (List.length first);
+      List.iter
+        (fun run ->
+          check_bool "identical rated order list" true (run = first))
+        rest;
+      (* And the winner ties back to the same order for every count. *)
+      let winners =
+        List.map
+          (fun d ->
+            let _, r, o = Optimize.optimize e ~name:"det" ~domains:d steps in
+            (r, order_names o))
+          domain_counts
+      in
+      List.iter
+        (fun w -> check_bool "identical winner" true (w = List.hd winners))
+        winners
+
+(* --- Variants with a pool --- *)
+
+let test_variants_pool () =
+  let e = env () in
+  let variant fingers () =
+    M.Interdigitated.make e
+      ~name:(Printf.sprintf "fingers%d" fingers)
+      ~polarity:M.Mosfet.Nmos
+      ~w:(um (64. /. float_of_int fingers))
+      ~l:(um 2.) ~fingers ~well:false ()
+  in
+  let v =
+    Variants.alt
+      [
+        Variants.delay (variant 2);
+        Variants.delay (variant 4);
+        Variants.fail "synthetic rejection";
+        Variants.delay (variant 8);
+      ]
+  in
+  let seq_names =
+    List.map Lobj.name (Variants.successes v)
+  in
+  let seq_failures = Variants.failures v in
+  let rate = Rating.rate e (Rating.with_aspect Rating.area_only 1.0) in
+  let seq_best =
+    match Variants.best ~rate v with Some (o, _) -> Lobj.name o | None -> "none"
+  in
+  List.iter
+    (fun d ->
+      Pool.with_pool ~domains:d (fun pool ->
+          Alcotest.(check (list string))
+            "successes in branch order" seq_names
+            (List.map Lobj.name (Variants.successes ~pool v));
+          Alcotest.(check (list string))
+            "failures kept" seq_failures
+            (Variants.failures ~pool v);
+          let best =
+            match Variants.best ~pool ~rate v with
+            | Some (o, _) -> Lobj.name o
+            | None -> "none"
+          in
+          Alcotest.(check string) "same best variant" seq_best best))
+    [ 2; 4 ]
+
+(* --- Optimize.permutations: qcheck properties + laziness --- *)
+
+let rec fact n = if n <= 1 then 1 else n * fact (n - 1)
+
+let prop_permutations =
+  QCheck2.Test.make ~count:60 ~name:"permutations: n! distinct permutations"
+    QCheck2.Gen.(int_range 0 6)
+    (fun n ->
+      let l = List.init n Fun.id in
+      let perms = List.of_seq (Optimize.permutations l) in
+      let sorted_l = List.sort compare l in
+      List.length perms = fact n
+      && List.length (List.sort_uniq compare perms) = fact n
+      && List.for_all (fun p -> List.sort compare p = sorted_l) perms)
+
+let test_permutations_lazy () =
+  (* 20! ~ 2.4e18: forcing the head must not materialize the tail.  If the
+     sequence were strict this would never return. *)
+  let l = List.init 20 Fun.id in
+  (match (Optimize.permutations l) () with
+  | Seq.Cons (first, _) -> Alcotest.(check (list int)) "head is identity" l first
+  | Seq.Nil -> Alcotest.fail "no permutations");
+  (* Taking a few of 10! = 3.6M orders is instant, and they are distinct. *)
+  let some =
+    List.of_seq (Seq.take 5 (Optimize.permutations (List.init 10 Fun.id)))
+  in
+  check "took 5" 5 (List.length some);
+  check "distinct" 5 (List.length (List.sort_uniq compare some))
+
+let suite =
+  [
+    Alcotest.test_case "pool map" `Quick test_pool_map;
+    Alcotest.test_case "pool empty/single" `Quick test_pool_empty_and_single;
+    Alcotest.test_case "pool error lowest index" `Quick
+      test_pool_error_lowest_index;
+    Alcotest.test_case "pool clamps" `Quick test_pool_clamps;
+    Alcotest.test_case "local determinism (diff pair)" `Quick
+      test_local_determinism_diffpair;
+    Alcotest.test_case "local determinism (8 contact rows)" `Quick
+      test_local_determinism_contact8;
+    Alcotest.test_case "bb determinism (diff pair)" `Quick
+      test_bb_determinism_diffpair;
+    Alcotest.test_case "bb determinism (6 contact rows)" `Quick
+      test_bb_determinism_contact6;
+    Alcotest.test_case "evaluate_orders determinism" `Quick
+      test_evaluate_orders_determinism;
+    Alcotest.test_case "variants with a pool" `Quick test_variants_pool;
+    QCheck_alcotest.to_alcotest prop_permutations;
+    Alcotest.test_case "permutations lazy" `Quick test_permutations_lazy;
+  ]

@@ -259,7 +259,9 @@ let test_diffpair_bb_regression () =
     [ "diffcon"; "trans"; "polycon" ]
     (List.map (fun s -> Lobj.name s.Optimize.obj) order);
   Alcotest.(check int) "bbox area" 196_000_000 (Lobj.bbox_area main);
-  Alcotest.(check int) "nodes" 11 nodes
+  (* Root + 3 sub-searches seeded with the canonical order's rating; the
+     count is deterministic and domain-count-independent. *)
+  Alcotest.(check int) "nodes" 13 nodes
 
 let suite =
   [
