@@ -741,7 +741,32 @@ let compact_scaling env =
         in
         Fmt.pr "%4d %10.2f %12.2f %8.1f %8d %14s@." n (t_apply *. 1000.)
           (t_local *. 1000.) r_local evals bb_str;
-        (n, t_apply, t_local, r_local, evals, bb))
+        (* One instrumented (untimed) build per n: the work counters are
+           deterministic, so they diff cleanly across runs — unlike wall
+           times.  Captured after the timing loops so the probes' cost
+           never lands in the medians. *)
+        let counters =
+          Amg_obs.Obs.enable ();
+          ignore (Optimize.apply env ~name:"pack" steps);
+          Amg_obs.Obs.disable ();
+          let c = Amg_obs.Obs.counter in
+          let r =
+            [
+              ("pairs_considered", c "compact.pairs_considered");
+              ("limits", c "compact.limits");
+              ("merge_limits", c "compact.merge_limits");
+              ("placements", c "compact.placements");
+              ("same_potential_merges", c "compact.same_potential_merges");
+              ("var_edge_shrinks", c "compact.var_edge_shrinks");
+              ("sindex_queries", c "sindex.queries");
+              ("sindex_scanned", c "sindex.scanned");
+              ("sindex_hits", c "sindex.hits");
+            ]
+          in
+          Amg_obs.Obs.reset ();
+          r
+        in
+        (n, t_apply, t_local, r_local, evals, bb, counters))
       [ 4; 6; 8; 12 ]
   in
   rows
@@ -792,29 +817,38 @@ let parallel_scaling env =
         [ 1; 2; 4 ])
     [ 8; 12 ]
 
+(* The JSON schema is fixed: every row carries the same keys in the same
+   order (the bb_* keys are null when the search was skipped), and
+   timings are rounded to 0.1 ms, so diffs between runs touch only the
+   digits that actually moved.  The per-row "counters" object holds the
+   deterministic work counters from one instrumented build. *)
 let write_bench_json compact_rows parallel_rows =
   let oc = open_out "BENCH_compact.json" in
   let bb_json = function
     | Some (t, r, nodes) ->
-        Printf.sprintf
-          ",\"bb_s\":%.6f,\"bb_rating\":%.4f,\"bb_nodes\":%d" t r nodes
-    | None -> ""
+        Printf.sprintf "\"bb_s\":%.4f,\"bb_rating\":%.4f,\"bb_nodes\":%d" t r
+          nodes
+    | None -> "\"bb_s\":null,\"bb_rating\":null,\"bb_nodes\":null"
+  in
+  let counters_json cs =
+    String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v) cs)
   in
   Printf.fprintf oc
-    "{\n  \"workload\": \"contact rows, w=20+(i mod 4)*12 um, S/W alternating\",\n  \"times\": \"median wall seconds\",\n  \"host_recommended_domains\": %d,\n  \"rows\": [\n%s\n  ],\n  \"parallel_scaling\": [\n%s\n  ]\n}\n"
+    "{\n  \"workload\": \"contact rows, w=20+(i mod 4)*12 um, S/W alternating\",\n  \"times\": \"median wall seconds, rounded to 0.1 ms\",\n  \"host_recommended_domains\": %d,\n  \"rows\": [\n%s\n  ],\n  \"parallel_scaling\": [\n%s\n  ]\n}\n"
     (Amg_parallel.Pool.recommended ())
     (String.concat ",\n"
        (List.map
-          (fun (n, ta, tl, r, evals, bb) ->
+          (fun (n, ta, tl, r, evals, bb, counters) ->
             Printf.sprintf
-              "    {\"n\":%d,\"apply_s\":%.6f,\"local_s\":%.6f,\"local_rating\":%.4f,\"local_evals\":%d%s}"
-              n ta tl r evals (bb_json bb))
+              "    {\"n\":%d,\"apply_s\":%.4f,\"local_s\":%.4f,\"local_rating\":%.4f,\"local_evals\":%d,%s,\"counters\":{%s}}"
+              n ta tl r evals (bb_json bb) (counters_json counters))
           compact_rows))
     (String.concat ",\n"
        (List.map
           (fun (n, d, t, speedup, r, evals, same) ->
             Printf.sprintf
-              "    {\"n\":%d,\"domains\":%d,\"local_s\":%.6f,\"speedup\":%.3f,\"local_rating\":%.4f,\"local_evals\":%d,\"same_as_seq\":%b}"
+              "    {\"n\":%d,\"domains\":%d,\"local_s\":%.4f,\"speedup\":%.3f,\"local_rating\":%.4f,\"local_evals\":%d,\"same_as_seq\":%b}"
               n d t speedup r evals same)
           parallel_rows));
   close_out oc;

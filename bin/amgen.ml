@@ -4,10 +4,16 @@
      amgen check  FILE.amg ENTITY [-p k=v]...      run the DRC
      amgen tech   [--out FILE]                     dump the built-in deck
      amgen amp    [--svg out.svg]                  build the BiCMOS amplifier
+     amgen trace-lint FILE.json                    validate a --trace file
+
+   Every pipeline subcommand takes --stats (instrumentation summary) and
+   --trace FILE (Chrome trace-event JSON); `build` additionally takes
+   --explain (per-placement binding-constraint audit).
 *)
 
 module Env = Amg_core.Env
 module Lobj = Amg_layout.Lobj
+module Obs = Amg_obs.Obs
 
 open Cmdliner
 
@@ -25,6 +31,44 @@ let jobs_arg =
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let set_jobs jobs = Option.iter Amg_parallel.Pool.set_default_domains jobs
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print the instrumentation summary (span timings, counters, \
+                 histograms) after the run.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record the run as a Chrome trace-event JSON file (load in \
+                 about://tracing or Perfetto; validate with trace-lint).")
+
+(* Run [f] with instrumentation enabled when any sink asked for it, and
+   flush the sinks before returning — in particular before a caller's
+   [exit 1] on DRC violations.  Recorded data stays readable after
+   [disable] (the `--explain` table is printed by the caller). *)
+let with_obs ?(explain = false) ~stats ~trace f =
+  let on = stats || explain || trace <> None in
+  if on then Obs.enable ();
+  let finish () =
+    if on then begin
+      Obs.disable ();
+      Option.iter
+        (fun path ->
+          Amg_obs.Trace.write path;
+          Fmt.pr "wrote %s@." path)
+        trace;
+      if stats then Fmt.pr "%a" Obs.pp_stats ()
+    end
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
 
 let env_of_tech = function
   | None -> Env.bicmos ()
@@ -101,15 +145,25 @@ let emit env obj svg cif gds ascii =
     gds
 
 let build_cmd =
-  let run tech_file jobs file entity params svg cif gds ascii =
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"After building, print for every compacted object the \
+                   binding layer/rule/edge pair that set its final position.")
+  in
+  let run tech_file jobs file entity params svg cif gds ascii stats trace
+      explain =
     set_jobs jobs;
-    let env, obj = build_obj tech_file file entity params in
-    emit env obj svg cif gds ascii
+    with_obs ~explain ~stats ~trace (fun () ->
+        let env, obj = build_obj tech_file file entity params in
+        emit env obj svg cif gds ascii);
+    if explain then Fmt.pr "%a" Amg_compact.Successive.pp_explain ()
   in
   Cmd.v
     (Cmd.info "build" ~doc:"Build an entity from a module source file.")
     Term.(const run $ tech_arg $ jobs_arg $ file_arg $ entity_arg $ params_arg
-          $ svg_arg $ cif_arg $ gds_arg $ ascii_arg)
+          $ svg_arg $ cif_arg $ gds_arg $ ascii_arg $ stats_arg $ trace_arg
+          $ explain_arg)
 
 let check_cmd =
   let latchup_arg =
@@ -118,22 +172,26 @@ let check_cmd =
              ~doc:"Also run the latch-up cover check (needs substrate taps; \
                    meaningful for complete cells, not bare modules).")
   in
-  let run tech_file jobs file entity params latchup =
+  let run tech_file jobs file entity params latchup stats trace =
     set_jobs jobs;
-    let env, obj = build_obj tech_file file entity params in
-    let checks =
-      let open Amg_drc.Checker in
-      [ Widths; Spacings; Enclosures; Extensions ]
-      @ (if latchup then [ Latch_up ] else [])
+    let vios =
+      with_obs ~stats ~trace (fun () ->
+          let env, obj = build_obj tech_file file entity params in
+          let checks =
+            let open Amg_drc.Checker in
+            [ Widths; Spacings; Enclosures; Extensions ]
+            @ (if latchup then [ Latch_up ] else [])
+          in
+          let vios = Amg_drc.Checker.run ~checks ~tech:(Env.tech env) obj in
+          Fmt.pr "%a" Amg_drc.Violation.pp_report vios;
+          vios)
     in
-    let vios = Amg_drc.Checker.run ~checks ~tech:(Env.tech env) obj in
-    Fmt.pr "%a" Amg_drc.Violation.pp_report vios;
     if vios <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Build an entity and run the design-rule checker.")
     Term.(const run $ tech_arg $ jobs_arg $ file_arg $ entity_arg $ params_arg
-          $ latchup_arg)
+          $ latchup_arg $ stats_arg $ trace_arg)
 
 let tech_cmd =
   let out =
@@ -197,8 +255,9 @@ let synth_cmd =
                | [ d; "high" ] -> (d, Amg_circuit.Partition.High)
                | _ -> failwith ("bad hint " ^ kv ^ " (expected dev:low|moderate|high)"))
   in
-  let run tech_file jobs path hints svg cif gds ascii =
+  let run tech_file jobs path hints svg cif gds ascii stats trace =
     set_jobs jobs;
+    with_obs ~stats ~trace @@ fun () ->
     let env = env_of_tech tech_file in
     let netlist = Amg_circuit.Spice_in.load path in
     let r = Amg_amplifier.Synth.build env ~hints:(parse_hints hints) netlist in
@@ -228,7 +287,7 @@ let synth_cmd =
        ~doc:"Synthesise a layout from a SPICE netlist: partition, generate \
              modules, floorplan, route, check.")
     Term.(const run $ tech_arg $ jobs_arg $ sp_file $ hints_arg $ svg_arg
-          $ cif_arg $ gds_arg $ ascii_arg)
+          $ cif_arg $ gds_arg $ ascii_arg $ stats_arg $ trace_arg)
 
 let fmt_cmd =
   let out =
@@ -273,37 +332,44 @@ let gds_cmd =
   let latchup_arg =
     Arg.(value & flag & info [ "latchup" ] ~doc:"Also run the latch-up cover check.")
   in
-  let run tech_file path latchup ascii =
-    let env = env_of_tech tech_file in
-    let tech = Env.tech env in
-    let obj, dropped = Amg_layout.Gds.import_file ~tech path in
-    Fmt.pr "%a@." Amg_layout.Stats.pp (Amg_layout.Stats.of_lobj obj);
-    List.iter
-      (fun g -> Fmt.pr "warning: GDS layer %d not in deck %s, boundaries dropped@."
-          g (Amg_tech.Technology.name tech))
-      dropped;
-    if ascii then print_string (Amg_layout.Ascii.render ~tech obj);
-    let checks =
-      let open Amg_drc.Checker in
-      [ Widths; Spacings; Enclosures; Extensions ]
-      @ (if latchup then [ Latch_up ] else [])
+  let run tech_file path latchup ascii stats trace =
+    let vios =
+      with_obs ~stats ~trace (fun () ->
+          let env = env_of_tech tech_file in
+          let tech = Env.tech env in
+          let obj, dropped = Amg_layout.Gds.import_file ~tech path in
+          Fmt.pr "%a@." Amg_layout.Stats.pp (Amg_layout.Stats.of_lobj obj);
+          List.iter
+            (fun g ->
+              Fmt.pr "warning: GDS layer %d not in deck %s, boundaries dropped@."
+                g (Amg_tech.Technology.name tech))
+            dropped;
+          if ascii then print_string (Amg_layout.Ascii.render ~tech obj);
+          let checks =
+            let open Amg_drc.Checker in
+            [ Widths; Spacings; Enclosures; Extensions ]
+            @ (if latchup then [ Latch_up ] else [])
+          in
+          let vios = Amg_drc.Checker.run ~checks ~tech obj in
+          Fmt.pr "%a" Amg_drc.Violation.pp_report vios;
+          vios)
     in
-    let vios = Amg_drc.Checker.run ~checks ~tech obj in
-    Fmt.pr "%a" Amg_drc.Violation.pp_report vios;
     if vios <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "gds"
        ~doc:"Import a GDSII file against the deck and run the design-rule \
              checker on it.")
-    Term.(const run $ tech_arg $ gds_file $ latchup_arg $ ascii_arg)
+    Term.(const run $ tech_arg $ gds_file $ latchup_arg $ ascii_arg
+          $ stats_arg $ trace_arg)
 
 let netlist_cmd =
   let out =
     Arg.(value & opt (some string) None
          & info [ "out" ] ~docv:"FILE" ~doc:"Write the SPICE deck to FILE.")
   in
-  let run tech_file file entity params out =
+  let run tech_file file entity params out stats trace =
+    with_obs ~stats ~trace @@ fun () ->
     let env, obj = build_obj tech_file file entity params in
     let x = Amg_extract.Devices.extract ~tech:(Env.tech env) obj in
     let deck =
@@ -319,7 +385,8 @@ let netlist_cmd =
   Cmd.v
     (Cmd.info "netlist"
        ~doc:"Build an entity, extract its devices and print a SPICE deck.")
-    Term.(const run $ tech_arg $ file_arg $ entity_arg $ params_arg $ out)
+    Term.(const run $ tech_arg $ file_arg $ entity_arg $ params_arg $ out
+          $ stats_arg $ trace_arg)
 
 let amp_cmd =
   let spice_arg =
@@ -327,8 +394,9 @@ let amp_cmd =
          & info [ "spice" ] ~docv:"FILE"
              ~doc:"Extract the finished layout and write a SPICE deck.")
   in
-  let run tech_file jobs svg cif gds ascii spice =
+  let run tech_file jobs svg cif gds ascii spice stats trace =
     set_jobs jobs;
+    with_obs ~stats ~trace @@ fun () ->
     let env = env_of_tech tech_file in
     let r = Amg_amplifier.Amplifier.build env in
     Fmt.pr "BiCMOS amplifier: %.1f x %.1f um (%.0f um2), %d shapes, %.2f s@."
@@ -353,7 +421,29 @@ let amp_cmd =
   Cmd.v
     (Cmd.info "amp" ~doc:"Generate the BiCMOS broad-band amplifier (paper §3).")
     Term.(const run $ tech_arg $ jobs_arg $ svg_arg $ cif_arg $ gds_arg
-          $ ascii_arg $ spice_arg)
+          $ ascii_arg $ spice_arg $ stats_arg $ trace_arg)
+
+let trace_lint_cmd =
+  let trace_file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE.json"
+             ~doc:"Chrome trace-event JSON file to validate.")
+  in
+  let run path =
+    match Amg_obs.Trace.validate_file path with
+    | Ok s ->
+        let open Amg_obs.Trace in
+        Fmt.pr "%s: valid trace (%d events, %d threads, %d spans, %d marks)@."
+          path s.v_events s.v_threads s.v_spans s.v_marks
+    | Error msg ->
+        Fmt.epr "%s: invalid trace: %s@." path msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-lint"
+       ~doc:"Validate a Chrome trace-event JSON file (as written by --trace): \
+             well-formed, monotonic timestamps per thread, matched B/E pairs.")
+    Term.(const run $ trace_file)
 
 let () =
   let doc = "analog module generator environment (DATE'96 reproduction)" in
@@ -362,4 +452,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ build_cmd; check_cmd; tech_cmd; netlist_cmd; gds_cmd; fmt_cmd;
-            synth_cmd; amp_cmd ]))
+            synth_cmd; amp_cmd; trace_lint_cmd ]))

@@ -10,6 +10,7 @@ module Derive = Amg_layout.Derive
 let src = Logs.Src.create "amg.compact" ~doc:"successive compactor"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Obs = Amg_obs.Obs
 
 type side = Mover | Target
 
@@ -68,12 +69,23 @@ let collect_limits rules ?ignore_layers d ~main obj =
                  loop then runs without spacing lookups. *)
               let cls = Constraints.classify rules ?ignore_layers a.Shape.layer layer in
               let margin = Constraints.margin_cls cls in
+              let candidates = Lobj.near main ~layer window ~margin in
+              if Obs.enabled () then
+                Obs.count "compact.pairs_considered" (List.length candidates);
               List.filter_map
                 (fun (b : Shape.t) ->
                   match Constraints.pair_limit_cls cls d a b with
-                  | Some (bound, rel) -> Some { bound; mover = a; target = b; rel }
+                  | Some (bound, rel) ->
+                      if Obs.enabled () then begin
+                        Obs.count "compact.limits" 1;
+                        match rel with
+                        | Constraints.Mergeable ->
+                            Obs.count "compact.merge_limits" 1
+                        | _ -> ()
+                      end;
+                      Some { bound; mover = a; target = b; rel }
                   | None -> None)
-                (Lobj.near main ~layer window ~margin))
+                candidates)
             layers)
         (Lobj.shapes obj)
       (* Candidates arrive grouped by layer; restore the (mover, target)
@@ -123,7 +135,10 @@ let shrink_edge rules owner (s : Shape.t) facing amount =
       Lobj.rederive owner rules;
       0
     end
-    else step
+    else begin
+      Obs.count "compact.var_edge_shrinks" 1;
+      step
+    end
   end
 
 (* One round of the variable-edge optimization of §2.3: while the binding
@@ -134,7 +149,9 @@ let shrink_edge rules owner (s : Shape.t) facing amount =
    no progress), so the caller can reuse them instead of re-collecting. *)
 let relax_variable_edges rules ?ignore_layers d ~main obj =
   let max_rounds = 64 in
+  let rounds = ref 0 in
   let rec loop round =
+    rounds := round;
     let limits = collect_limits rules ?ignore_layers d ~main obj in
     if round >= max_rounds then limits
     else
@@ -179,7 +196,9 @@ let relax_variable_edges rules ?ignore_layers d ~main obj =
             binding;
           if !progressed then loop (round + 1) else limits
   in
-  loop 0
+  let limits = loop 0 in
+  if Obs.enabled () then Obs.sample "compact.var_edge_rounds" (float_of_int !rounds);
+  limits
 
 (* Fallback when no pair constrains the move: abut bounding boxes. *)
 let bbox_abut_delta d ~main obj =
@@ -262,8 +281,10 @@ let auto_connect rules ?ignore_layers d ~main obj =
                 match Lobj.find main b.Shape.id with
                 | Some cur ->
                     let r' = Rect.grow_side cur.Shape.rect facing gap in
-                    if extension_safe rules ?ignore_layers ~main ~obj cur r' then
+                    if extension_safe rules ?ignore_layers ~main ~obj cur r' then begin
+                      Obs.count "compact.same_potential_merges" 1;
                       Lobj.replace main (Shape.with_rect cur r')
+                    end
                 | None -> ()
               end
             end
@@ -295,13 +316,68 @@ let stage_outside ~grid d ~main obj =
       if shift <> 0 then translate_along d obj shift
   | _ -> ()
 
+(* The per-placement audit record behind `amgen build --explain`: which
+   limit pair actually set the final position.  [binding] is the tied
+   tightest subset of the final limits in (mover id, target id) order. *)
+let place_mark ~main ~obj ~d ~dl ~(binding : limit list) =
+  let base bound_by =
+    [
+      ("obj", Lobj.name obj);
+      ("into", Lobj.name main);
+      ("dir", Dir.to_string d);
+      ("delta", string_of_int dl);
+      ("bound_by", bound_by);
+    ]
+  in
+  match binding with
+  | [] -> base "bbox-abut"
+  | l :: _ ->
+      let rule =
+        match l.rel with
+        | Constraints.Separation sep -> Printf.sprintf "separation %d" sep
+        | Constraints.Mergeable -> "merge"
+        | Constraints.Unconstrained -> "unconstrained"
+      in
+      (* The mover's leading edge meets the target's facing edge; a
+         mergeable pair binds trailing edge against trailing edge. *)
+      let mover_edge, target_edge =
+        match l.rel with
+        | Constraints.Mergeable -> (Dir.opposite d, Dir.opposite d)
+        | _ -> (d, Dir.opposite d)
+      in
+      let side owner (s : Shape.t) facing =
+        let var =
+          match Lobj.find owner s.Shape.id with
+          | Some cur -> Edge.is_variable cur.Shape.sides facing
+          | None -> Edge.is_variable s.Shape.sides facing
+        in
+        Printf.sprintf "%s#%d %s%s" s.Shape.layer s.Shape.id
+          (Dir.to_string facing)
+          (if var then " (variable)" else "")
+      in
+      base "pair"
+      @ [
+          ("rule", rule);
+          ("mover", side obj l.mover mover_edge);
+          ("target", side main l.target target_edge);
+        ]
+
 (* The paper's compact(obj, DIR, layers): place [obj] against [main] moving
    in direction [d], then absorb it into [main].  [main] empty means the
    first compaction command simply copies the object in (§2.5). *)
 let compact ~rules ~into:main ?ignore_layers ?(align = (`Keep : align))
     ?(variable_edges = true) obj d =
+  Obs.span "compact" @@ fun () ->
   (match Lobj.bbox main with
-  | None -> ()
+  | None ->
+      Obs.markf "compact.place" (fun () ->
+          [
+            ("obj", Lobj.name obj);
+            ("into", Lobj.name main);
+            ("dir", Dir.to_string d);
+            ("delta", "0");
+            ("bound_by", "first-object");
+          ])
   | Some _ ->
       apply_align ~align ~d ~main obj;
       stage_outside ~grid:(Rules.grid rules) d ~main obj;
@@ -316,9 +392,43 @@ let compact ~rules ~into:main ?ignore_layers ?(align = (`Keep : align))
         | Some bound -> bound
         | None -> bbox_abut_delta d ~main obj
       in
+      if Obs.enabled () then begin
+        let binding = List.filter (fun l -> l.bound = dl) limits in
+        Obs.count "compact.placements" 1;
+        Obs.count "compact.binding_limits" (List.length binding);
+        Obs.mark "compact.place" (place_mark ~main ~obj ~d ~dl ~binding)
+      end;
       Log.debug (fun m ->
           m "compact %s into %s %s: delta=%d" (Lobj.name obj) (Lobj.name main)
             (Dir.to_string d) dl);
       translate_along d obj dl;
       auto_connect rules ?ignore_layers d ~main obj);
   ignore (Lobj.absorb main obj)
+
+(* Render every recorded [compact.place] mark as the "successive
+   abutment" audit table of `amgen build --explain`. *)
+let pp_explain ppf () =
+  let places =
+    List.filter (fun (n, _) -> String.equal n "compact.place") (Obs.marks ())
+  in
+  if places = [] then
+    Fmt.pf ppf "no placements recorded (was instrumentation enabled?)@."
+  else begin
+    let get k args = Option.value ~default:"" (List.assoc_opt k args) in
+    Fmt.pf ppf "@.placements (binding constraint per compacted object)@.";
+    Fmt.pf ppf "  %3s %-22s %-5s %8s  %s@." "#" "obj -> into" "dir" "delta"
+      "bound by";
+    List.iteri
+      (fun i (_, args) ->
+        let bound =
+          match get "bound_by" args with
+          | "pair" ->
+              Printf.sprintf "%s: mover %s vs target %s" (get "rule" args)
+                (get "mover" args) (get "target" args)
+          | other -> other
+        in
+        Fmt.pf ppf "  %3d %-22s %-5s %8s  %s@." i
+          (get "obj" args ^ " -> " ^ get "into" args)
+          (get "dir" args) (get "delta" args) bound)
+      places
+  end

@@ -77,3 +77,10 @@ val compact :
     Fig. 5a vs 5b), translate the object to its minimum-distance position,
     auto-connect, and absorb it into [main].  When [main] is empty the
     object is copied in unchanged. *)
+
+val pp_explain : Format.formatter -> unit -> unit
+(** Render the [compact.place] marks recorded by the observability layer
+    (see {!Amg_obs.Obs}) as a per-placement audit table: for every
+    compacted object, the binding layer/rule/edge pair — or bbox abutment
+    — that set its final position.  Requires instrumentation to have been
+    enabled around the build. *)

@@ -10,6 +10,7 @@
    rating function of §2.4 selects among the surviving results. *)
 
 module Pool = Amg_parallel.Pool
+module Obs = Amg_obs.Obs
 
 type 'a t =
   | Return : 'a -> 'a t
@@ -64,9 +65,20 @@ let rec run_par : type a. Pool.t -> a t -> (a, string) result list =
   | t -> run_seq t
 
 let run ?pool m =
-  match pool with
-  | Some pool when Pool.size pool > 1 -> run_par pool m
-  | _ -> run_seq m
+  Obs.span "variants.run" @@ fun () ->
+  let results =
+    match pool with
+    | Some pool when Pool.size pool > 1 -> run_par pool m
+    | _ -> run_seq m
+  in
+  if Obs.enabled () then begin
+    let ok =
+      List.length (List.filter (function Ok _ -> true | Error _ -> false) results)
+    in
+    Obs.count "variants.successes" ok;
+    Obs.count "variants.failures" (List.length results - ok)
+  end;
+  results
 
 let successes ?pool m =
   List.filter_map (function Ok x -> Some x | Error _ -> None) (run ?pool m)
@@ -76,6 +88,7 @@ let failures ?pool m =
 
 (* First success, depth first — plain backtracking. *)
 let first m =
+  Obs.span "variants.first" @@ fun () ->
   let rec go : type a. a t -> a option = function
     | Return x -> Some x
     | Delay f -> ( try Some (f ()) with Env.Rejected _ -> None)
@@ -96,7 +109,11 @@ let first m =
         in
         try_solutions (run_seq m))
   in
-  go m
+  let r = go m in
+  (match r with
+  | Some _ -> Obs.count "variants.successes" 1
+  | None -> Obs.count "variants.failures" 1);
+  r
 
 let first_exn m =
   match first m with

@@ -6,6 +6,7 @@ module Layer = Amg_tech.Layer
 module Lobj = Amg_layout.Lobj
 module Shape = Amg_layout.Shape
 module Constraints = Amg_compact.Constraints
+module Obs = Amg_obs.Obs
 
 type check = Widths | Spacings | Enclosures | Extensions | Latch_up
 [@@deriving show { with_path = false }, eq]
@@ -414,12 +415,26 @@ let check_extensions ~tech obj =
   in
   List.concat_map (fun p -> List.concat_map (check_pair p) (diffs_near p)) polys
 
+let span_name = function
+  | Widths -> "drc.widths"
+  | Spacings -> "drc.spacings"
+  | Enclosures -> "drc.enclosures"
+  | Extensions -> "drc.extensions"
+  | Latch_up -> "drc.latchup"
+
 let run ?(checks = all_checks) ~tech obj =
+  Obs.span "drc.run" @@ fun () ->
   List.concat_map
-    (function
-      | Widths -> check_widths ~tech obj @ check_min_areas ~tech obj
-      | Spacings -> check_spacings ~tech obj
-      | Enclosures -> check_enclosures ~tech obj
-      | Extensions -> check_extensions ~tech obj
-      | Latch_up -> Latchup.check ~tech obj @ Latchup.check_well_taps ~tech obj)
+    (fun c ->
+      Obs.span (span_name c) @@ fun () ->
+      let vs =
+        match c with
+        | Widths -> check_widths ~tech obj @ check_min_areas ~tech obj
+        | Spacings -> check_spacings ~tech obj
+        | Enclosures -> check_enclosures ~tech obj
+        | Extensions -> check_extensions ~tech obj
+        | Latch_up -> Latchup.check ~tech obj @ Latchup.check_well_taps ~tech obj
+      in
+      if Obs.enabled () then Obs.count "drc.violations" (List.length vs);
+      vs)
     checks

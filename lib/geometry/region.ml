@@ -11,10 +11,15 @@ let is_empty = function [] -> true | _ :: _ -> false
    Each cover splits every remaining solid into at most four pieces; the rule
    is fulfilled when nothing remains. *)
 let residue ~solids ~covers =
+  let subtractions = ref 0 in
   let remove_cover remaining cover =
+    subtractions := !subtractions + List.length remaining;
     List.concat_map (fun solid -> Rect.subtract solid cover) remaining
   in
-  List.fold_left remove_cover (of_rects solids) covers
+  let r = List.fold_left remove_cover (of_rects solids) covers in
+  if Amg_obs.Obs.enabled () then
+    Amg_obs.Obs.count "region.cover_subtractions" !subtractions;
+  r
 
 let covered ~solids ~covers = is_empty (residue ~solids ~covers)
 

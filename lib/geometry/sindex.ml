@@ -128,7 +128,9 @@ let query t rect ~margin =
     and wx1 = rect.Rect.x1 - t.ox + margin
     and wy0 = rect.Rect.y0 - t.oy - margin
     and wy1 = rect.Rect.y1 - t.oy + margin in
+    let scanned = ref 0 in
     let hits (key, (r : Rect.t)) acc =
+      incr scanned;
       if
         r.Rect.x0 <= wx1 && wx0 <= r.Rect.x1 && r.Rect.y0 <= wy1
         && wy0 <= r.Rect.y1
@@ -152,8 +154,16 @@ let query t rect ~margin =
     (* Scan the axis covering fewer bins; a window much wider than the
        layout on one axis (the compactor's slab queries) then costs only
        the bounded axis's bins. *)
-    if xb1 - xb0 <= yb1 - yb0 then scan t.xbins t.xwide xb0 xb1
-    else scan t.ybins t.ywide yb0 yb1
+    let result =
+      if xb1 - xb0 <= yb1 - yb0 then scan t.xbins t.xwide xb0 xb1
+      else scan t.ybins t.ywide yb0 yb1
+    in
+    if Amg_obs.Obs.enabled () then begin
+      Amg_obs.Obs.count "sindex.queries" 1;
+      Amg_obs.Obs.count "sindex.scanned" !scanned;
+      Amg_obs.Obs.count "sindex.hits" (List.length result)
+    end;
+    result
   end
 
 let iter t f =

@@ -1,0 +1,83 @@
+(* Structured tracing, counters and histograms for the generator
+   pipeline, with a no-op default so instrumented hot paths cost nothing
+   when disabled (one atomic load and a branch per probe).
+
+   Concurrency contract: recording is strand-local and lock-free.  The
+   calling domain's current strand lives in domain-local storage; the
+   domain pool gives every task slot its own strand ([fork]/[enter]) and
+   merges the slots back into the submitting strand in slot order
+   ([join]).  The merged stream — event names, kinds, tids, counter and
+   sample totals — is therefore identical for every domain count; only
+   timestamps vary between runs. *)
+
+type event =
+  | Begin of { name : string; tid : int; ts : float }
+      (** Span opened; [ts] is seconds since {!enable}, non-decreasing
+          within a tid. *)
+  | End of { name : string; tid : int; ts : float }
+  | Mark of { name : string; tid : int; ts : float; args : (string * string) list }
+      (** Instant event with structured arguments (e.g. the compactor's
+          per-placement binding-constraint record). *)
+
+(** {1 Lifecycle} *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+(** Reset all recorded data and start recording on a fresh root strand
+    (tid 0) owned by the calling domain. *)
+
+val disable : unit -> unit
+(** Stop recording; the data stays readable until {!reset}/{!enable}. *)
+
+val reset : unit -> unit
+
+(** {1 Probes} — no-ops while disabled. *)
+
+val count : string -> int -> unit
+val sample : string -> float -> unit
+val span : string -> (unit -> 'a) -> 'a
+(** Exception-safe: the [End] event is emitted on raise too. *)
+
+val mark : string -> (string * string) list -> unit
+val markf : string -> (unit -> (string * string) list) -> unit
+(** Like {!mark} but the argument list is only built when enabled. *)
+
+(** {1 Pool integration} *)
+
+type strands
+
+val fork : int -> strands
+(** Allocate one strand per task slot with deterministic fresh tids
+    (a cheap token when disabled).  Must be called from the submitting
+    strand, never from inside a task. *)
+
+val enter : strands -> int -> (unit -> 'a) -> 'a
+(** Route the calling domain's probes to slot [i]'s strand for the
+    duration of [f]. *)
+
+val join : strands -> unit
+(** Append every slot strand's events into the calling strand in slot
+    order and fold the counter/sample tables in.  Call once, after all
+    tasks completed. *)
+
+(** {1 Reporting} — read the root strand; call after every [join]. *)
+
+type sample_stat = { s_count : int; s_min : float; s_max : float; s_sum : float }
+type span_stat = { calls : int; total_s : float }
+
+val events : unit -> event list
+(** Merged event stream in deterministic order. *)
+
+val counters : unit -> (string * int) list
+(** Sorted by name. *)
+
+val counter : string -> int
+(** 0 when absent. *)
+
+val samples : unit -> (string * sample_stat) list
+val spans : unit -> (string * span_stat) list
+val marks : unit -> (string * (string * string) list) list
+(** Mark events in recorded order. *)
+
+val pp_stats : Format.formatter -> unit -> unit
+(** The [--stats] summary table: spans, counters, histograms. *)

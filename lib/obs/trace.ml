@@ -1,0 +1,368 @@
+(* Chrome trace-event export and validation.
+
+   [write] serialises the recorded event stream into the JSON object
+   format of the Trace Event specification — loadable in about://tracing
+   and Perfetto.  Spans become duration pairs ("ph":"B"/"E"), marks
+   become instant events ("ph":"i"), and counter totals are appended as
+   one "C" event each so they show up as counter tracks.
+
+   [validate] is the schema check the CI job (and `amgen trace-lint`)
+   runs over an emitted file: well-formed JSON, the required keys on
+   every event, per-(pid, tid) monotonic timestamps, and strictly
+   matched, properly nested B/E pairs.  It uses its own minimal JSON
+   reader so the library stays dependency-free. *)
+
+(* --- minimal JSON --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : (json, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt = Fmt.kstr (fun m -> raise (Bad m)) fmt in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail "expected %C at offset %d, got %C" c !pos c'
+    | None -> fail "expected %C at offset %d, got end of input" c !pos
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string at offset %d" !pos
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | None -> fail "dangling escape at offset %d" !pos
+          | Some c ->
+              advance ();
+              (match c with
+              | '"' -> Buffer.add_char b '"'
+              | '\\' -> Buffer.add_char b '\\'
+              | '/' -> Buffer.add_char b '/'
+              | 'b' -> Buffer.add_char b '\b'
+              | 'f' -> Buffer.add_char b '\012'
+              | 'n' -> Buffer.add_char b '\n'
+              | 'r' -> Buffer.add_char b '\r'
+              | 't' -> Buffer.add_char b '\t'
+              | 'u' ->
+                  if !pos + 4 > n then fail "truncated \\u escape";
+                  let hex = String.sub s !pos 4 in
+                  let code =
+                    try int_of_string ("0x" ^ hex)
+                    with _ -> fail "bad \\u escape %S" hex
+                  in
+                  pos := !pos + 4;
+                  (* Non-ASCII escapes are preserved approximately; the
+                     validator only needs ASCII names. *)
+                  if code < 0x80 then Buffer.add_char b (Char.chr code)
+                  else Buffer.add_char b '?'
+              | c -> fail "bad escape \\%C" c);
+              go ())
+      | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    match float_of_string_opt lit with
+    | Some f -> Num f
+    | None -> fail "bad number %S at offset %d" lit start
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (
+          advance ();
+          Obj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}' at offset %d" !pos
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (
+          advance ();
+          Arr [])
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']' at offset %d" !pos
+          in
+          Arr (elements [])
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+    else Ok v
+  with Bad m -> Error m
+
+(* --- writer --- *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let us ts = ts *. 1.0e6
+
+let to_string () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b "\n  "
+  in
+  let common ~name ~ph ~tid ~ts =
+    Buffer.add_string b "{\"name\":\"";
+    escape b name;
+    Buffer.add_string b (Printf.sprintf "\",\"cat\":\"amg\",\"ph\":\"%s\"" ph);
+    Buffer.add_string b (Printf.sprintf ",\"ts\":%.3f,\"pid\":0,\"tid\":%d" (us ts) tid)
+  in
+  let last_ts = ref 0. in
+  List.iter
+    (fun ev ->
+      sep ();
+      (match ev with
+      | Obs.Begin { name; tid; ts } ->
+          last_ts := Float.max !last_ts ts;
+          common ~name ~ph:"B" ~tid ~ts;
+          Buffer.add_char b '}'
+      | Obs.End { name; tid; ts } ->
+          last_ts := Float.max !last_ts ts;
+          common ~name ~ph:"E" ~tid ~ts;
+          Buffer.add_char b '}'
+      | Obs.Mark { name; tid; ts; args } ->
+          last_ts := Float.max !last_ts ts;
+          common ~name ~ph:"i" ~tid ~ts;
+          Buffer.add_string b ",\"s\":\"t\",\"args\":{";
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char b ',';
+              Buffer.add_char b '"';
+              escape b k;
+              Buffer.add_string b "\":\"";
+              escape b v;
+              Buffer.add_char b '"')
+            args;
+          Buffer.add_string b "}}"))
+    (Obs.events ());
+  (* Counter totals as one "C" sample each, on the root thread at the
+     final timestamp, so Perfetto shows them as counter tracks. *)
+  List.iter
+    (fun (name, v) ->
+      sep ();
+      common ~name ~ph:"C" ~tid:0 ~ts:!last_ts;
+      Buffer.add_string b (Printf.sprintf ",\"args\":{\"value\":%d}}" v))
+    (Obs.counters ());
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let write path =
+  let oc = open_out path in
+  output_string oc (to_string ());
+  close_out oc
+
+(* --- validator --- *)
+
+type summary = { v_events : int; v_threads : int; v_spans : int; v_marks : int }
+
+let field name = function
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let validate (j : json) : (summary, string) result =
+  let events =
+    match j with
+    | Obj _ -> (
+        match field "traceEvents" j with
+        | Some (Arr evs) -> Ok evs
+        | Some _ -> Error "\"traceEvents\" is not an array"
+        | None -> Error "missing \"traceEvents\" key")
+    | Arr evs -> Ok evs (* the spec's bare array format *)
+    | _ -> Error "top level is neither an object nor an array"
+  in
+  match events with
+  | Error _ as e -> e
+  | Ok evs -> (
+      (* Per-(pid, tid) state: last ts and the open B stack. *)
+      let threads : (int * int, float ref * string list ref) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let spans = ref 0 and marks = ref 0 in
+      let check i ev =
+        let str k =
+          match field k ev with
+          | Some (Str s) -> Ok s
+          | _ -> Error (Printf.sprintf "event %d: missing string %S" i k)
+        in
+        let num k =
+          match field k ev with
+          | Some (Num f) -> Ok f
+          | _ -> Error (Printf.sprintf "event %d: missing number %S" i k)
+        in
+        let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+        let* name = str "name" in
+        let* ph = str "ph" in
+        let* ts = num "ts" in
+        let* pid = num "pid" in
+        let* tid = num "tid" in
+        let key = (int_of_float pid, int_of_float tid) in
+        let last, stack =
+          match Hashtbl.find_opt threads key with
+          | Some st -> st
+          | None ->
+              let st = (ref neg_infinity, ref []) in
+              Hashtbl.replace threads key st;
+              st
+        in
+        if ts < !last then
+          Error
+            (Printf.sprintf
+               "event %d (%s): ts %.3f goes backwards on pid %d tid %d (last %.3f)"
+               i name ts (fst key) (snd key) !last)
+        else begin
+          last := ts;
+          match ph with
+          | "B" ->
+              stack := name :: !stack;
+              Ok ()
+          | "E" -> (
+              match !stack with
+              | [] ->
+                  Error
+                    (Printf.sprintf "event %d: E %S without matching B on tid %d"
+                       i name (snd key))
+              | top :: rest ->
+                  if String.equal top name then begin
+                    stack := rest;
+                    incr spans;
+                    Ok ()
+                  end
+                  else
+                    Error
+                      (Printf.sprintf
+                         "event %d: E %S does not match open B %S on tid %d" i
+                         name top (snd key)))
+          | "i" | "I" ->
+              incr marks;
+              Ok ()
+          | "C" | "M" | "X" -> Ok ()
+          | ph -> Error (Printf.sprintf "event %d: unknown phase %S" i ph)
+        end
+      in
+      let rec go i = function
+        | [] -> Ok ()
+        | ev :: rest -> (
+            match check i ev with Ok () -> go (i + 1) rest | Error _ as e -> e)
+      in
+      match go 0 evs with
+      | Error _ as e -> e
+      | Ok () ->
+          let unmatched =
+            Hashtbl.fold
+              (fun (_, tid) (_, stack) acc ->
+                match !stack with
+                | [] -> acc
+                | name :: _ -> Printf.sprintf "tid %d: B %S left open" tid name :: acc)
+              threads []
+          in
+          if unmatched <> [] then Error (String.concat "; " (List.sort compare unmatched))
+          else
+            Ok
+              {
+                v_events = List.length evs;
+                v_threads = Hashtbl.length threads;
+                v_spans = !spans;
+                v_marks = !marks;
+              })
+
+let validate_string s =
+  match parse s with Error e -> Error ("not valid JSON: " ^ e) | Ok j -> validate j
+
+let validate_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  validate_string s

@@ -1,0 +1,21 @@
+(* Chrome trace-event export of the recorded {!Obs} stream, and the
+   schema validator behind `amgen trace-lint` and the CI trace job. *)
+
+val to_string : unit -> string
+(** The current {!Obs} recording as a Trace Event JSON object
+    ([{"traceEvents": [...]}]), loadable in about://tracing / Perfetto.
+    Spans are B/E pairs, marks are instant events, counter totals are
+    appended as "C" counter samples. *)
+
+val write : string -> unit
+(** [write path] saves {!to_string} to [path]. *)
+
+type summary = { v_events : int; v_threads : int; v_spans : int; v_marks : int }
+
+val validate_string : string -> (summary, string) result
+(** Check a trace: well-formed JSON, [traceEvents] array (or the spec's
+    bare-array form), required keys ([name]/[ph]/[ts]/[pid]/[tid]) on
+    every event, non-decreasing [ts] per (pid, tid), and matched,
+    properly nested B/E pairs. *)
+
+val validate_file : string -> (summary, string) result

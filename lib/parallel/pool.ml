@@ -9,7 +9,16 @@
    reduction over them is scheduling-independent.
 
    Workers idle on a condition variable between jobs; an epoch counter
-   tells a worker returning from a job not to re-enter it. *)
+   tells a worker returning from a job not to re-enter it.
+
+   Observability: when [Obs] is recording, every job forks one probe
+   strand per task slot, wraps each task in a [pool.task] span routed to
+   its slot strand, and merges the strands back in slot order after the
+   job — so the recorded event stream is identical for every domain
+   count (only timestamps vary), matching the optimizer's determinism
+   contract. *)
+
+module Obs = Amg_obs.Obs
 
 type job = {
   chunks : (int Atomic.t * int) array; (* per-participant (next, stop) *)
@@ -117,6 +126,16 @@ let chunks_of n total =
 
 let run_tasks t total run =
   if total > 0 then begin
+    (* One probe strand per task slot; [fork] is a cheap token when the
+       instrumentation is disabled.  Slot tids are assigned here, on the
+       submitting strand, so they are deterministic — the same task gets
+       the same tid whatever the domain count. *)
+    let strands = Obs.fork total in
+    let run i =
+      Obs.enter strands i (fun () -> Obs.span "pool.task" (fun () -> run i))
+    in
+    Obs.count "pool.jobs" 1;
+    Obs.count "pool.tasks" total;
     if t.n = 1 || total = 1 then
       (* No workers (or nothing to share): run in the caller, same code
          path as far as results are concerned. *)
@@ -141,7 +160,9 @@ let run_tasks t total run =
       done;
       t.job <- None;
       Mutex.unlock t.lock
-    end
+    end;
+    (* Every task has completed; merge the slot strands in input order. *)
+    Obs.join strands
   end
 
 let map_array t f arr =

@@ -10,6 +10,7 @@ let () =
       ("latchup", Test_latchup.suite);
       ("core", Test_core.suite);
       ("parallel", Test_parallel.suite);
+      ("obs", Test_obs.suite);
       ("lang", Test_lang.suite);
       ("route", Test_route.suite);
       ("modules", Test_modules.suite);
