@@ -670,12 +670,12 @@ let route_ablation () =
       let plain =
         match Amg_route.Channel.assign spec with
         | _, n -> string_of_int n
-        | exception Amg_route.Channel.Unroutable _ -> "cyclic"
+        | exception Amg_robust.Diag.Fail _ -> "cyclic"
       in
       let dogleg =
         match Amg_route.Channel.assign_dogleg spec with
         | _, _, n -> string_of_int n
-        | exception Amg_route.Channel.Unroutable _ -> "cyclic"
+        | exception Amg_robust.Diag.Fail _ -> "cyclic"
       in
       Fmt.pr "%8d %8d %10d %10d %10s %10s@." (2 * npins) per_net
         (Amg_route.Channel.density spec) per_net plain dogleg)

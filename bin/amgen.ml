@@ -8,14 +8,103 @@
 
    Every pipeline subcommand takes --stats (instrumentation summary) and
    --trace FILE (Chrome trace-event JSON); `build` additionally takes
-   --explain (per-placement binding-constraint audit).
-*)
+   --explain (per-placement binding-constraint audit), --optimize
+   (compaction-order search) and the --max-time/--max-evals budgets.
+
+   Exit codes: 0 success, 1 diagnostics (errors reported), 2 usage,
+   3 budget exhausted — a valid best-so-far layout was emitted. *)
 
 module Env = Amg_core.Env
 module Lobj = Amg_layout.Lobj
 module Obs = Amg_obs.Obs
+module Diag = Amg_robust.Diag
+module Policy = Amg_robust.Policy
+module Inject = Amg_robust.Inject
+module Budget = Amg_robust.Budget
+module Optimize = Amg_core.Optimize
 
 open Cmdliner
+
+let exit_ok = 0
+let exit_diag = 1
+let exit_usage = 2
+let exit_degraded = 3
+
+(* --- the diagnostics boundary --- *)
+
+(* Map every escaping exception to a structured diagnostic; asynchronous
+   exceptions (Out_of_memory, Sys.Break) stay fatal in Diag.guard. *)
+let convert_exn = function
+  | Env.Rejected msg ->
+      Some
+        (Diag.v Diag.Layout ~code:"layout.rejected"
+           ~hint:"every topology alternative failed a design-rule check; \
+                  relax the parameters or add a fallback variant"
+           msg)
+  | Inject.Fault (site, hit) -> Some (Inject.to_diag site hit)
+  | Sys_error msg -> Some (Diag.v Diag.Cli ~code:"cli.io-error" msg)
+  | Failure msg -> Some (Diag.v Diag.Cli ~code:"cli.error" msg)
+  | e ->
+      Some
+        (Diag.v Diag.Internal ~code:"internal.uncaught"
+           ~hint:"this is a bug in amgen; please report it"
+           (Printexc.to_string e))
+
+(* Run a command body under the failure policy and the fault-injection
+   harness; collect reported and escaping diagnostics, print them to
+   stderr, optionally write the JSON report, and compute the exit code. *)
+let run_guarded ?(mode = Policy.Strict) ?inject ?diag_json f =
+  Policy.reset ();
+  Policy.set_mode mode;
+  let armed =
+    match inject with
+    | None ->
+        Inject.disarm ();
+        Ok ()
+    | Some spec -> (
+        match Inject.parse_spec spec with
+        | Ok sched ->
+            Inject.arm sched;
+            Ok ()
+        | Error msg -> Error msg)
+  in
+  match armed with
+  | Error msg ->
+      Fmt.epr "amgen: bad --inject spec: %s@." msg;
+      exit_usage
+  | Ok () ->
+      let result = Diag.guard ~convert:convert_exn f in
+      Inject.disarm ();
+      let reported = Policy.drain () in
+      Policy.reset ();
+      let diags, code =
+        match result with
+        | Ok code -> (reported, code)
+        | Error d -> (reported @ [ d ], exit_diag)
+      in
+      (* A permissive run that skipped placements emitted a valid but
+         incomplete layout: error diagnostics force a non-zero exit even
+         when the body itself succeeded. *)
+      let code =
+        if
+          code = exit_ok
+          && List.exists (fun d -> d.Diag.severity = Diag.Error) diags
+        then exit_diag
+        else code
+      in
+      List.iter (fun d -> Fmt.epr "%a@." Diag.pp d) diags;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc
+            (Diag.list_to_json ~degraded:(code = exit_degraded) diags);
+          output_char oc '\n';
+          close_out oc;
+          Fmt.pr "wrote %s@." path)
+        diag_json;
+      code
+
+(* --- common arguments --- *)
 
 let tech_arg =
   let doc = "Technology description file (default: built-in generic 1um BiCMOS)." in
@@ -44,9 +133,57 @@ let trace_arg =
            ~doc:"Record the run as a Chrome trace-event JSON file (load in \
                  about://tracing or Perfetto; validate with trace-lint).")
 
+let mode_arg =
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Fail on the first placement error (the default).")
+  in
+  let permissive =
+    Arg.(value & flag
+         & info [ "permissive" ]
+             ~doc:"Degrade instead of failing: a placement error retries the \
+                   opposite direction, then skips the object and reports a \
+                   diagnostic.")
+  in
+  let combine strict permissive =
+    if strict && permissive then
+      `Error (true, "--strict and --permissive are mutually exclusive")
+    else `Ok (if permissive then Policy.Permissive else Policy.Strict)
+  in
+  Term.(ret (const combine $ strict $ permissive))
+
+let inject_arg =
+  Arg.(value & opt (some string) None
+       & info [ "inject" ] ~docv:"SPEC"
+           ~doc:"Deterministic fault injection: $(b,seed:N) (optionally \
+                 $(b,seed:N:FAULTS)) or a comma list of SITE@HIT pairs like \
+                 $(b,rule-lookup@3,pool-task@1).  Sites: rule-lookup, \
+                 contact-rebuild, sindex-query, pool-task, drc-check.")
+
+let diag_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "diag-json" ] ~docv:"FILE"
+           ~doc:"Write all diagnostics of the run as a JSON report \
+                 ($(b,version)/$(b,degraded)/$(b,diagnostics)).")
+
+let max_time_arg =
+  Arg.(value & opt (some float) None
+       & info [ "max-time" ] ~docv:"SEC"
+           ~doc:"Wall-clock budget for the optimization search; on overrun \
+                 the best layout found so far is emitted and amgen exits 3.  \
+                 Implies --optimize orders unless --optimize is given.")
+
+let max_evals_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-evals" ] ~docv:"N"
+           ~doc:"Evaluation budget (candidate layout rebuilds) for the \
+                 optimization search; deterministic for every --jobs value.  \
+                 Implies --optimize orders unless --optimize is given.")
+
 (* Run [f] with instrumentation enabled when any sink asked for it, and
    flush the sinks before returning — in particular before a caller's
-   [exit 1] on DRC violations.  Recorded data stays readable after
+   non-zero exit on DRC violations.  Recorded data stays readable after
    [disable] (the `--explain` table is printed by the caller). *)
 let with_obs ?(explain = false) ~stats ~trace f =
   let on = stats || explain || trace <> None in
@@ -82,7 +219,10 @@ let parse_params params =
   List.map
     (fun kv ->
       match String.index_opt kv '=' with
-      | None -> failwith ("bad parameter " ^ kv ^ " (expected k=v)")
+      | None ->
+          Diag.failf Diag.Cli ~code:"cli.bad-param"
+            ~hint:"parameters are written -p key=value, e.g. -p W=10"
+            "bad parameter %s (expected k=v)" kv
       | Some i ->
           let k = String.sub kv 0 i
           and v = String.sub kv (i + 1) (String.length kv - i - 1) in
@@ -112,12 +252,18 @@ let file_arg =
 let entity_arg =
   Arg.(required & pos 1 (some string) None & info [] ~docv:"ENTITY" ~doc:"Entity to build.")
 
-let build_obj tech_file file entity params =
-  let env = env_of_tech tech_file in
+let read_file file =
   let ic = open_in file in
   let src = really_input_string ic (in_channel_length ic) in
   close_in ic;
-  let obj = Amg_lang.Interp.parse_and_build env src entity (parse_params params) in
+  src
+
+let build_obj tech_file file entity params =
+  let env = env_of_tech tech_file in
+  let obj =
+    Amg_lang.Interp.parse_and_build ~file env (read_file file) entity
+      (parse_params params)
+  in
   (env, obj)
 
 let emit env obj svg cif gds ascii =
@@ -144,6 +290,114 @@ let emit env obj svg cif gds ascii =
       Fmt.pr "wrote %s@." path)
     gds
 
+(* --- build (with optional compaction-order optimization) --- *)
+
+(* The optimizer replays compacts only; ports are re-derived on the winning
+   layout the same way PORT() derives them — as the hull of the port's
+   net/layer shapes. *)
+let transplant_ports ~from obj =
+  List.iter
+    (fun (p : Amg_layout.Port.t) ->
+      let shapes =
+        List.filter
+          (fun (s : Amg_layout.Shape.t) -> Amg_layout.Shape.on_layer s p.layer)
+          (Lobj.shapes_on_net obj p.net)
+      in
+      match
+        Amg_geometry.Rect.hull_list
+          (List.map (fun (s : Amg_layout.Shape.t) -> s.rect) shapes)
+      with
+      | Some rect ->
+          ignore (Lobj.add_port obj ~name:p.name ~net:p.net ~layer:p.layer ~rect)
+      | None ->
+          Policy.report
+            (Diag.v ~severity:Diag.Warning Diag.Optimize
+               ~code:"optimize.port-dropped"
+               (Fmt.str
+                  "port %s: no shapes of net %s on layer %s in the optimized \
+                   layout" p.name p.net p.layer)))
+    (Lobj.ports from)
+
+let opt_mode_name = function
+  | `Orders -> "orders"
+  | `Bb -> "bb"
+  | `Local -> "local"
+
+let optimize_arg =
+  let modes = [ ("orders", `Orders); ("bb", `Bb); ("local", `Local) ] in
+  Arg.(value & opt (some (enum modes)) None
+       & info [ "optimize" ] ~docv:"MODE"
+           ~doc:"Search over compaction orders of the entity's top-level \
+                 compacts and emit the best-rated layout: $(b,orders) \
+                 (exhaustive), $(b,bb) (branch-and-bound), $(b,local) \
+                 (hill climbing).")
+
+(* Replay the recorded steps under the requested search; returns the layout
+   to emit and the exit code.  The canonical build is the fallback at every
+   turn: not-replayable entities and canonical winners emit the original
+   object byte-for-byte. *)
+let optimized_build env ~file ~entity ~src ~params ~opt ~max_time ~max_evals =
+  let obj, record =
+    Amg_lang.Interp.parse_and_build_recorded ~file env src entity params
+  in
+  match record with
+  | Error why ->
+      Policy.report
+        (Diag.v ~severity:Diag.Warning Diag.Optimize
+           ~code:"optimize.not-replayable"
+           ~hint:"the entity must perform at least two top-level compacts \
+                  and draw no shapes between or after them"
+           (Fmt.str "%s: cannot reorder compacts (%s); emitting the \
+                     canonical build" entity why));
+      (obj, exit_ok)
+  | Ok { Amg_lang.Interp.base; steps } ->
+      let budget =
+        match (max_time, max_evals) with
+        | None, None -> None
+        | deadline, max_evals -> Some (Budget.create ?deadline ?max_evals ())
+      in
+      let best, rating, order =
+        match opt with
+        | `Orders -> Optimize.optimize env ~name:entity ~base ?budget steps
+        | `Bb ->
+            let o, r, ord, _nodes =
+              Optimize.optimize_bb env ~name:entity ~base ?budget steps
+            in
+            (o, r, ord)
+        | `Local ->
+            let o, r, ord, _evals =
+              Optimize.optimize_local env ~name:entity ~base ?budget steps
+            in
+            (o, r, ord)
+      in
+      let degraded =
+        match budget with Some b -> Budget.degraded b | None -> false
+      in
+      let canonical_won =
+        List.length order = List.length steps && List.for_all2 ( == ) order steps
+      in
+      Fmt.pr "optimized %s (%s): rating %g over %d compacts%s%s@." entity
+        (opt_mode_name opt) rating (List.length steps)
+        (if canonical_won then ", canonical order kept" else "")
+        (if degraded then ", budget exhausted (best-so-far)" else "");
+      if degraded then
+        Policy.report
+          (Diag.v ~severity:Diag.Warning Diag.Optimize ~code:"optimize.degraded"
+             ~hint:"raise --max-time/--max-evals to search further; the \
+                    emitted layout is valid but possibly not the optimum"
+             (Fmt.str "%s: search stopped by the budget after %s" entity
+                (match budget with
+                | Some b -> Fmt.str "%d evaluations" (Budget.spent b)
+                | None -> "?")));
+      let final =
+        if canonical_won then obj
+        else begin
+          transplant_ports ~from:obj best;
+          best
+        end
+      in
+      (final, if degraded then exit_degraded else exit_ok)
+
 let build_cmd =
   let explain_arg =
     Arg.(value & flag
@@ -152,18 +406,46 @@ let build_cmd =
                    binding layer/rule/edge pair that set its final position.")
   in
   let run tech_file jobs file entity params svg cif gds ascii stats trace
-      explain =
+      explain optimize max_time max_evals mode inject diag_json =
     set_jobs jobs;
-    with_obs ~explain ~stats ~trace (fun () ->
-        let env, obj = build_obj tech_file file entity params in
-        emit env obj svg cif gds ascii);
-    if explain then Fmt.pr "%a" Amg_compact.Successive.pp_explain ()
+    run_guarded ~mode ?inject ?diag_json @@ fun () ->
+    let code =
+      with_obs ~explain ~stats ~trace (fun () ->
+          let env = env_of_tech tech_file in
+          let src = read_file file in
+          let params = parse_params params in
+          let opt =
+            match optimize with
+            | Some m -> Some m
+            | None ->
+                if max_time <> None || max_evals <> None then Some `Orders
+                else None
+          in
+          match opt with
+          | None ->
+              let obj = Amg_lang.Interp.parse_and_build ~file env src entity params in
+              emit env obj svg cif gds ascii;
+              exit_ok
+          | Some opt ->
+              let obj, code =
+                optimized_build env ~file ~entity ~src ~params ~opt ~max_time
+                  ~max_evals
+              in
+              emit env obj svg cif gds ascii;
+              code)
+    in
+    if explain then Fmt.pr "%a" Amg_compact.Successive.pp_explain ();
+    code
   in
   Cmd.v
     (Cmd.info "build" ~doc:"Build an entity from a module source file.")
     Term.(const run $ tech_arg $ jobs_arg $ file_arg $ entity_arg $ params_arg
           $ svg_arg $ cif_arg $ gds_arg $ ascii_arg $ stats_arg $ trace_arg
-          $ explain_arg)
+          $ explain_arg $ optimize_arg $ max_time_arg $ max_evals_arg
+          $ mode_arg $ inject_arg $ diag_json_arg)
+
+let diag_of_violation v =
+  Diag.v Diag.Drc ~code:"drc.violation" (Amg_drc.Violation.describe v)
 
 let check_cmd =
   let latchup_arg =
@@ -172,8 +454,10 @@ let check_cmd =
              ~doc:"Also run the latch-up cover check (needs substrate taps; \
                    meaningful for complete cells, not bare modules).")
   in
-  let run tech_file jobs file entity params latchup stats trace =
+  let run tech_file jobs file entity params latchup stats trace mode inject
+      diag_json =
     set_jobs jobs;
+    run_guarded ~mode ?inject ?diag_json @@ fun () ->
     let vios =
       with_obs ~stats ~trace (fun () ->
           let env, obj = build_obj tech_file file entity params in
@@ -186,12 +470,14 @@ let check_cmd =
           Fmt.pr "%a" Amg_drc.Violation.pp_report vios;
           vios)
     in
-    if vios <> [] then exit 1
+    List.iter (fun v -> Policy.report (diag_of_violation v)) vios;
+    if vios <> [] then exit_diag else exit_ok
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Build an entity and run the design-rule checker.")
     Term.(const run $ tech_arg $ jobs_arg $ file_arg $ entity_arg $ params_arg
-          $ latchup_arg $ stats_arg $ trace_arg)
+          $ latchup_arg $ stats_arg $ trace_arg $ mode_arg $ inject_arg
+          $ diag_json_arg)
 
 let tech_cmd =
   let out =
@@ -203,7 +489,8 @@ let tech_cmd =
              ~doc:"Run the deck consistency lint (on --tech FILE or the \
                    built-in deck) and exit non-zero on errors.")
   in
-  let run tech_file out lint_flag =
+  let run tech_file out lint_flag diag_json =
+    run_guarded ?diag_json @@ fun () ->
     if lint_flag then begin
       let tech =
         match tech_file with
@@ -211,26 +498,32 @@ let tech_cmd =
         | Some path -> Amg_tech.Tech_file.load path
       in
       let issues = Amg_tech.Lint.check tech in
-      if issues = [] then
-        Fmt.pr "%s: deck is clean@." (Amg_tech.Technology.name tech)
+      if issues = [] then begin
+        Fmt.pr "%s: deck is clean@." (Amg_tech.Technology.name tech);
+        exit_ok
+      end
       else begin
         List.iter (fun i -> Fmt.pr "%a@." Amg_tech.Lint.pp_issue i) issues;
-        if Amg_tech.Lint.errors issues <> [] then exit 1
+        List.iter (fun d -> Policy.report d)
+          (Amg_tech.Lint.to_diags ?file:tech_file issues);
+        if Amg_tech.Lint.errors issues <> [] then exit_diag else exit_ok
       end
     end
-    else
-      match out with
+    else begin
+      (match out with
       | None -> print_string Amg_tech.Bicmos1u.source
       | Some path ->
           let oc = open_out path in
           output_string oc Amg_tech.Bicmos1u.source;
           close_out oc;
-          Fmt.pr "wrote %s@." path
+          Fmt.pr "wrote %s@." path);
+      exit_ok
+    end
   in
   Cmd.v
     (Cmd.info "tech"
        ~doc:"Print the built-in technology description file, or lint a deck.")
-    Term.(const run $ tech_arg $ out $ lint)
+    Term.(const run $ tech_arg $ out $ lint $ diag_json_arg)
 
 let synth_cmd =
   let sp_file =
@@ -255,8 +548,10 @@ let synth_cmd =
                | [ d; "high" ] -> (d, Amg_circuit.Partition.High)
                | _ -> failwith ("bad hint " ^ kv ^ " (expected dev:low|moderate|high)"))
   in
-  let run tech_file jobs path hints svg cif gds ascii stats trace =
+  let run tech_file jobs path hints svg cif gds ascii stats trace mode
+      diag_json =
     set_jobs jobs;
+    run_guarded ~mode ?diag_json @@ fun () ->
     with_obs ~stats ~trace @@ fun () ->
     let env = env_of_tech tech_file in
     let netlist = Amg_circuit.Spice_in.load path in
@@ -280,14 +575,16 @@ let synth_cmd =
     let x = Amg_extract.Devices.extract ~tech:(Env.tech env) r.Amg_amplifier.Synth.obj in
     let lvs = Amg_extract.Compare.run ~golden:netlist x in
     Fmt.pr "%a" Amg_extract.Compare.pp_result lvs;
-    emit env r.Amg_amplifier.Synth.obj svg cif gds ascii
+    emit env r.Amg_amplifier.Synth.obj svg cif gds ascii;
+    exit_ok
   in
   Cmd.v
     (Cmd.info "synth"
        ~doc:"Synthesise a layout from a SPICE netlist: partition, generate \
              modules, floorplan, route, check.")
     Term.(const run $ tech_arg $ jobs_arg $ sp_file $ hints_arg $ svg_arg
-          $ cif_arg $ gds_arg $ ascii_arg $ stats_arg $ trace_arg)
+          $ cif_arg $ gds_arg $ ascii_arg $ stats_arg $ trace_arg $ mode_arg
+          $ diag_json_arg)
 
 let fmt_cmd =
   let out =
@@ -299,13 +596,12 @@ let fmt_cmd =
     Arg.(value & flag & info [ "i"; "in-place" ] ~doc:"Rewrite the input file.")
   in
   let run file out in_place =
-    let ic = open_in file in
-    let src = really_input_string ic (in_channel_length ic) in
-    close_in ic;
+    run_guarded @@ fun () ->
+    let src = read_file file in
     let formatted =
-      Amg_lang.Printer.program_str (Amg_lang.Parser.parse_program src)
+      Amg_lang.Printer.program_str (Amg_lang.Parser.parse_program ~file src)
     in
-    match (in_place, out) with
+    (match (in_place, out) with
     | true, _ ->
         let oc = open_out file in
         output_string oc formatted;
@@ -316,7 +612,8 @@ let fmt_cmd =
         output_string oc formatted;
         close_out oc;
         Fmt.pr "wrote %s@." path
-    | false, None -> print_string formatted
+    | false, None -> print_string formatted);
+    exit_ok
   in
   Cmd.v
     (Cmd.info "fmt"
@@ -332,7 +629,8 @@ let gds_cmd =
   let latchup_arg =
     Arg.(value & flag & info [ "latchup" ] ~doc:"Also run the latch-up cover check.")
   in
-  let run tech_file path latchup ascii stats trace =
+  let run tech_file path latchup ascii stats trace diag_json =
+    run_guarded ?diag_json @@ fun () ->
     let vios =
       with_obs ~stats ~trace (fun () ->
           let env = env_of_tech tech_file in
@@ -354,14 +652,15 @@ let gds_cmd =
           Fmt.pr "%a" Amg_drc.Violation.pp_report vios;
           vios)
     in
-    if vios <> [] then exit 1
+    List.iter (fun v -> Policy.report (diag_of_violation v)) vios;
+    if vios <> [] then exit_diag else exit_ok
   in
   Cmd.v
     (Cmd.info "gds"
        ~doc:"Import a GDSII file against the deck and run the design-rule \
              checker on it.")
     Term.(const run $ tech_arg $ gds_file $ latchup_arg $ ascii_arg
-          $ stats_arg $ trace_arg)
+          $ stats_arg $ trace_arg $ diag_json_arg)
 
 let netlist_cmd =
   let out =
@@ -369,6 +668,7 @@ let netlist_cmd =
          & info [ "out" ] ~docv:"FILE" ~doc:"Write the SPICE deck to FILE.")
   in
   let run tech_file file entity params out stats trace =
+    run_guarded @@ fun () ->
     with_obs ~stats ~trace @@ fun () ->
     let env, obj = build_obj tech_file file entity params in
     let x = Amg_extract.Devices.extract ~tech:(Env.tech env) obj in
@@ -376,11 +676,12 @@ let netlist_cmd =
       Amg_extract.Spice.of_extracted
         ~title:(Printf.sprintf "extracted from %s (%s)" entity file) x
     in
-    match out with
+    (match out with
     | None -> print_string deck
     | Some path ->
         Amg_extract.Spice.write_file path deck;
-        Fmt.pr "wrote %s@." path
+        Fmt.pr "wrote %s@." path);
+    exit_ok
   in
   Cmd.v
     (Cmd.info "netlist"
@@ -394,8 +695,9 @@ let amp_cmd =
          & info [ "spice" ] ~docv:"FILE"
              ~doc:"Extract the finished layout and write a SPICE deck.")
   in
-  let run tech_file jobs svg cif gds ascii spice stats trace =
+  let run tech_file jobs svg cif gds ascii spice stats trace mode diag_json =
     set_jobs jobs;
+    run_guarded ~mode ?diag_json @@ fun () ->
     with_obs ~stats ~trace @@ fun () ->
     let env = env_of_tech tech_file in
     let r = Amg_amplifier.Amplifier.build env in
@@ -416,12 +718,14 @@ let amp_cmd =
           (Amg_extract.Spice.of_extracted ~title:"extracted BiCMOS amplifier" x);
         Fmt.pr "wrote %s@." path)
       spice;
-    emit env r.Amg_amplifier.Amplifier.obj svg cif gds ascii
+    emit env r.Amg_amplifier.Amplifier.obj svg cif gds ascii;
+    exit_ok
   in
   Cmd.v
     (Cmd.info "amp" ~doc:"Generate the BiCMOS broad-band amplifier (paper §3).")
     Term.(const run $ tech_arg $ jobs_arg $ svg_arg $ cif_arg $ gds_arg
-          $ ascii_arg $ spice_arg $ stats_arg $ trace_arg)
+          $ ascii_arg $ spice_arg $ stats_arg $ trace_arg $ mode_arg
+          $ diag_json_arg)
 
 let trace_lint_cmd =
   let trace_file =
@@ -430,14 +734,16 @@ let trace_lint_cmd =
              ~doc:"Chrome trace-event JSON file to validate.")
   in
   let run path =
+    run_guarded @@ fun () ->
     match Amg_obs.Trace.validate_file path with
     | Ok s ->
         let open Amg_obs.Trace in
         Fmt.pr "%s: valid trace (%d events, %d threads, %d spans, %d marks)@."
-          path s.v_events s.v_threads s.v_spans s.v_marks
+          path s.v_events s.v_threads s.v_spans s.v_marks;
+        exit_ok
     | Error msg ->
         Fmt.epr "%s: invalid trace: %s@." path msg;
-        exit 1
+        exit_diag
   in
   Cmd.v
     (Cmd.info "trace-lint"
@@ -447,9 +753,21 @@ let trace_lint_cmd =
 
 let () =
   let doc = "analog module generator environment (DATE'96 reproduction)" in
-  let info = Cmd.info "amgen" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ build_cmd; check_cmd; tech_cmd; netlist_cmd; gds_cmd; fmt_cmd;
-            synth_cmd; amp_cmd; trace_lint_cmd ]))
+  let exits =
+    [
+      Cmd.Exit.info exit_ok ~doc:"on success.";
+      Cmd.Exit.info exit_diag ~doc:"on reported diagnostics (errors).";
+      Cmd.Exit.info exit_usage ~doc:"on command-line usage errors.";
+      Cmd.Exit.info exit_degraded
+        ~doc:"when an optimization budget was exhausted and a valid \
+              best-so-far layout was emitted.";
+    ]
+  in
+  let info = Cmd.info "amgen" ~version:"1.0.0" ~doc ~exits in
+  let code =
+    Cmd.eval'
+      (Cmd.group info
+         [ build_cmd; check_cmd; tech_cmd; netlist_cmd; gds_cmd; fmt_cmd;
+           synth_cmd; amp_cmd; trace_lint_cmd ])
+  in
+  exit (if code = Cmd.Exit.cli_error then exit_usage else code)

@@ -75,7 +75,8 @@ let () =
     }
   in
   (match Channel.assign spec with
-  | exception Channel.Unroutable why -> Fmt.pr "  without doglegs: %s@." why
+  | exception Amg_robust.Diag.Fail d ->
+      Fmt.pr "  without doglegs: %s@." d.Amg_robust.Diag.message
   | _ -> ());
   let obj = Lobj.create "channel" in
   let res = Channel.route_dogleg env obj ~spec ~y_top:(um 40.) ~y_bottom:0 ~x0:0 in

@@ -48,7 +48,11 @@ let classify netlist (c : Partition.cluster) =
 let build env ?(name = "synth") ?(hints = []) netlist =
   let t0 = Sys.time () in
   let clusters = Partition.partition ~hints netlist in
-  if clusters = [] then Env.reject "Synth: netlist has no devices";
+  if clusters = [] then
+    Amg_robust.Diag.failf Amg_robust.Diag.Synth ~code:"synth.empty-netlist"
+      ~hint:"the netlist must declare at least one MOS, resistor or \
+             capacitor device"
+      "Synth: netlist has no devices";
   let blocks =
     List.map (fun c -> (c, Blocks.generate env netlist c)) clusters
   in

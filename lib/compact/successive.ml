@@ -365,10 +365,60 @@ let place_mark ~main ~obj ~d ~dl ~(binding : limit list) =
 (* The paper's compact(obj, DIR, layers): place [obj] against [main] moving
    in direction [d], then absorb it into [main].  [main] empty means the
    first compaction command simply copies the object in (§2.5). *)
+let place rules ~main ?ignore_layers ~align ~variable_edges obj d =
+  apply_align ~align ~d ~main obj;
+  stage_outside ~grid:(Rules.grid rules) d ~main obj;
+  (* The relaxation hands back the limits of its final (quiescent)
+     round, so the placement delta needs no second scan. *)
+  let limits =
+    if variable_edges then relax_variable_edges rules ?ignore_layers d ~main obj
+    else collect_limits rules ?ignore_layers d ~main obj
+  in
+  let dl =
+    match tightest_limit d limits with
+    | Some bound -> bound
+    | None -> bbox_abut_delta d ~main obj
+  in
+  if Obs.enabled () then begin
+    let binding = List.filter (fun l -> l.bound = dl) limits in
+    Obs.count "compact.placements" 1;
+    Obs.count "compact.binding_limits" (List.length binding);
+    Obs.mark "compact.place" (place_mark ~main ~obj ~d ~dl ~binding)
+  end;
+  Log.debug (fun m ->
+      m "compact %s into %s %s: delta=%d" (Lobj.name obj) (Lobj.name main)
+        (Dir.to_string d) dl);
+  translate_along d obj dl;
+  auto_connect rules ?ignore_layers d ~main obj
+
+(* Exceptions the permissive fallback may absorb; resource exhaustion and
+   assertion failures always escape. *)
+let recoverable = function
+  | Stack_overflow | Out_of_memory | Assert_failure _ -> false
+  | _ -> true
+
+let skip_diag ~obj ~main ~d exn =
+  Amg_robust.Diag.v Amg_robust.Diag.Compact ~code:"compact.placement-skipped"
+    ~payload:
+      [
+        ("obj", Lobj.name obj);
+        ("into", Lobj.name main);
+        ("dir", Dir.to_string d);
+        ("error", Printexc.to_string exn);
+      ]
+    ~hint:
+      "placement failed in both directions under --permissive; the object \
+       was left out of the layout — check connectivity and rerun with \
+       --strict to see the original failure"
+    (Fmt.str "skipped placement of %s into %s (%s, then %s): %s"
+       (Lobj.name obj) (Lobj.name main) (Dir.to_string d)
+       (Dir.to_string (Dir.opposite d))
+       (Printexc.to_string exn))
+
 let compact ~rules ~into:main ?ignore_layers ?(align = (`Keep : align))
     ?(variable_edges = true) obj d =
   Obs.span "compact" @@ fun () ->
-  (match Lobj.bbox main with
+  match Lobj.bbox main with
   | None ->
       Obs.markf "compact.place" (fun () ->
           [
@@ -377,33 +427,47 @@ let compact ~rules ~into:main ?ignore_layers ?(align = (`Keep : align))
             ("dir", Dir.to_string d);
             ("delta", "0");
             ("bound_by", "first-object");
-          ])
+          ]);
+      ignore (Lobj.absorb main obj)
   | Some _ ->
-      apply_align ~align ~d ~main obj;
-      stage_outside ~grid:(Rules.grid rules) d ~main obj;
-      (* The relaxation hands back the limits of its final (quiescent)
-         round, so the placement delta needs no second scan. *)
-      let limits =
-        if variable_edges then relax_variable_edges rules ?ignore_layers d ~main obj
-        else collect_limits rules ?ignore_layers d ~main obj
-      in
-      let dl =
-        match tightest_limit d limits with
-        | Some bound -> bound
-        | None -> bbox_abut_delta d ~main obj
-      in
-      if Obs.enabled () then begin
-        let binding = List.filter (fun l -> l.bound = dl) limits in
-        Obs.count "compact.placements" 1;
-        Obs.count "compact.binding_limits" (List.length binding);
-        Obs.mark "compact.place" (place_mark ~main ~obj ~d ~dl ~binding)
-      end;
-      Log.debug (fun m ->
-          m "compact %s into %s %s: delta=%d" (Lobj.name obj) (Lobj.name main)
-            (Dir.to_string d) dl);
-      translate_along d obj dl;
-      auto_connect rules ?ignore_layers d ~main obj);
-  ignore (Lobj.absorb main obj)
+      if not (Amg_robust.Policy.permissive ()) then begin
+        place rules ~main ?ignore_layers ~align ~variable_edges obj d;
+        ignore (Lobj.absorb main obj)
+      end
+      else begin
+        (* Per-placement degradation: retry the opposite direction on a
+           fresh copy (the first attempt may have moved [obj]), then skip
+           the object and report, so one bad placement cannot sink the whole
+           run.  The pristine copy is taken up front — only in permissive
+           mode, so the strict path stays allocation-identical. *)
+        let pristine = Lobj.copy obj in
+        match place rules ~main ?ignore_layers ~align ~variable_edges obj d with
+        | () -> ignore (Lobj.absorb main obj)
+        | exception e when recoverable e -> (
+            let retry = Lobj.copy pristine in
+            let d' = Dir.opposite d in
+            match
+              place rules ~main ?ignore_layers ~align ~variable_edges retry d'
+            with
+            | () ->
+                Amg_robust.Policy.report
+                  (Amg_robust.Diag.v ~severity:Amg_robust.Diag.Warning
+                     Amg_robust.Diag.Compact ~code:"compact.direction-fallback"
+                     ~payload:
+                       [
+                         ("obj", Lobj.name retry);
+                         ("into", Lobj.name main);
+                         ("dir", Dir.to_string d);
+                         ("fallback_dir", Dir.to_string d');
+                         ("error", Printexc.to_string e);
+                       ]
+                     (Fmt.str "placed %s into %s along %s after %s failed"
+                        (Lobj.name retry) (Lobj.name main) (Dir.to_string d')
+                        (Dir.to_string d)));
+                ignore (Lobj.absorb main retry)
+            | exception e2 when recoverable e2 ->
+                Amg_robust.Policy.report (skip_diag ~obj:retry ~main ~d e2))
+      end
 
 (* Render every recorded [compact.place] mark as the "successive
    abutment" audit table of `amgen build --explain`. *)

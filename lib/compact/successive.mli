@@ -76,7 +76,15 @@ val compact :
     relaxation (disable with [~variable_edges:false] to reproduce
     Fig. 5a vs 5b), translate the object to its minimum-distance position,
     auto-connect, and absorb it into [main].  When [main] is empty the
-    object is copied in unchanged. *)
+    object is copied in unchanged.
+
+    Failure policy: under {!Amg_robust.Policy.Strict} (the default) a
+    placement failure escapes as an exception.  Under [Permissive] the
+    placement is retried along the opposite direction on a pristine copy,
+    and if that also fails the object is skipped (not absorbed) and a
+    [compact.placement-skipped] diagnostic is
+    {{!Amg_robust.Policy.report} reported} — the layout stays valid, the
+    degradation is visible. *)
 
 val pp_explain : Format.formatter -> unit -> unit
 (** Render the [compact.place] marks recorded by the observability layer

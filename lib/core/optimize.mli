@@ -34,10 +34,13 @@ val step :
   step
 (** One [compact(obj, dir, …)] call of a module description. *)
 
-val apply : Env.t -> name:string -> step list -> Amg_layout.Lobj.t
+val apply :
+  ?base:Amg_layout.Lobj.t -> Env.t -> name:string -> step list -> Amg_layout.Lobj.t
 (** Run the steps in the given order against a fresh main object; every
     step compacts a fresh copy of its object, so the same steps can be
-    replayed in any order. *)
+    replayed in any order.  [?base] starts from a copy of an existing
+    object instead of an empty one — used to replay orders recorded from a
+    language build whose entity placed shapes before its first compact. *)
 
 val permutations : 'a list -> 'a list Seq.t
 (** All permutations, lazily: forcing the head never materializes the
@@ -46,32 +49,51 @@ val permutations : 'a list -> 'a list Seq.t
 val evaluate_orders :
   Env.t ->
   name:string ->
+  ?base:Amg_layout.Lobj.t ->
   ?rating:Rating.t ->
   ?max_orders:int ->
   ?domains:int ->
+  ?budget:Amg_robust.Budget.t ->
   step list ->
   (Amg_layout.Lobj.t * float * step list) list
 (** Build and rate every order (up to [max_orders], default 720 = 6!);
     rejected orders are skipped.  The result list is in exploration
-    (canonical permutation) order for any [?domains]. *)
+    (canonical permutation) order for any [?domains].
+
+    [?budget] bounds the evaluation: orders are evaluated in fixed-size
+    batches walking the canonical permutation order, the budget is consulted
+    at batch boundaries, and the canonical order itself always runs first —
+    so a budgeted call always returns at least one candidate (unless every
+    order is rejected) and marks the budget
+    {{!Amg_robust.Budget.degraded} degraded} when it stopped early.  With an
+    injected clock or an eval cap the returned prefix is a pure function of
+    the budget parameters (identical for every domain count); a real
+    wall-clock deadline may additionally cut a batch short, still yielding a
+    canonical-order prefix of results. *)
 
 val optimize :
   Env.t ->
   name:string ->
+  ?base:Amg_layout.Lobj.t ->
   ?rating:Rating.t ->
   ?max_orders:int ->
   ?domains:int ->
+  ?budget:Amg_robust.Budget.t ->
   step list ->
   Amg_layout.Lobj.t * float * step list
 (** The best order's result, its rating, and the order itself; rating ties
-    go to the earliest order in exploration order.
+    go to the earliest order in exploration order.  With [?budget], the best
+    of the evaluated prefix (see {!evaluate_orders}) — best-so-far when the
+    budget marks degraded.
     @raise Env.Rejected when every order is rejected. *)
 
 val optimize_bb :
   Env.t ->
   name:string ->
+  ?base:Amg_layout.Lobj.t ->
   ?rating:Rating.t ->
   ?domains:int ->
+  ?budget:Amg_robust.Budget.t ->
   step list ->
   Amg_layout.Lobj.t * float * step list * int
 (** Branch-and-bound over orders: same optimum as the exhaustive search
@@ -81,15 +103,25 @@ val optimize_bb :
     canonical order's rating as initial incumbent, and merges the
     sub-search winners in canonical order — the chosen order, rating and
     node count (the last component) are identical for every [?domains].
+
+    With [?budget], an eval cap is turned into a per-sub-search node quota
+    (a pure function of the cap and the step count): each sub-search
+    explores a deterministic DFS prefix and returns its best within it, so
+    the degraded result is identical for every domain count; the canonical
+    order is always rated and is the guaranteed best-so-far fallback.  A
+    real wall-clock deadline additionally stops sub-searches mid-DFS
+    (best-effort).
     @raise Env.Rejected when every order is rejected. *)
 
 val optimize_local :
   Env.t ->
   name:string ->
+  ?base:Amg_layout.Lobj.t ->
   ?rating:Rating.t ->
   ?restarts:int ->
   ?seed:int ->
   ?domains:int ->
+  ?budget:Amg_robust.Budget.t ->
   step list ->
   Amg_layout.Lobj.t * float * step list * int
 (** Heuristic order search for step counts beyond exhaustive reach:
@@ -101,4 +133,11 @@ val optimize_local :
     guaranteed optimal.  The last component is the number of
     rebuild-and-rate evaluations performed, which is also independent of
     [?domains].
+
+    With [?budget], whole rounds (and whole restarts) are refused once the
+    budget is out: an eval cap never splits a round, so the climbing
+    trajectory — and the degraded best-so-far — is a pure function of the
+    budget parameters for every domain count.  The first start is always
+    rated, so a best-so-far exists even under a zero budget.  A real
+    wall-clock deadline may additionally cut a round short (best-effort).
     @raise Env.Rejected when every order is rejected. *)

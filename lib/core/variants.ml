@@ -11,6 +11,23 @@
 
 module Pool = Amg_parallel.Pool
 module Obs = Amg_obs.Obs
+module Budget = Amg_robust.Budget
+
+let budget_exhausted = "variants: budget exhausted before this alternative"
+
+(* Refuse the next leaf when the budget is out; refusing marks the run
+   degraded (there was work left to do). *)
+let exhausted = function
+  | None -> false
+  | Some b ->
+      if Budget.stopped b || Budget.would_exceed b 1 then begin
+        Budget.stop b;
+        Budget.mark_degraded b;
+        true
+      end
+      else false
+
+let spend = function None -> () | Some b -> Budget.spend b 1
 
 type 'a t =
   | Return : 'a -> 'a t
@@ -35,16 +52,32 @@ let map f m = Bind (m, fun x -> Return (f x))
 let ( let* ) = bind
 let ( let+ ) m f = map f m
 
-(* Depth-first enumeration; every [Env.Rejected] turns into an [Error]. *)
-let rec run_seq : type a. a t -> (a, string) result list = function
+(* Depth-first enumeration; every [Env.Rejected] turns into an [Error].
+   [b] is an optional budget: once it stops, remaining alternatives are not
+   evaluated and appear as [Error budget_exhausted] entries, so the result
+   list always has one entry per leaf and positional consumers stay
+   aligned.  The budget is consulted at alternative boundaries only. *)
+let rec run_seq : type a. Budget.t option -> a t -> (a, string) result list =
+ fun b -> function
   | Return x -> [ Ok x ]
-  | Delay f -> ( try [ Ok (f ()) ] with Env.Rejected m -> [ Error m ])
-  | Alt ts -> List.concat_map run_seq ts
+  | Delay f ->
+      if exhausted b then [ Error budget_exhausted ]
+      else begin
+        spend b;
+        try [ Ok (f ()) ] with Env.Rejected m -> [ Error m ]
+      end
+  | Alt ts ->
+      List.concat_map
+        (fun t ->
+          (match b with Some bu -> Budget.poll bu | None -> ());
+          run_seq b t)
+        ts
   | Bind (m, f) ->
-      run_seq m
+      run_seq b m
       |> List.concat_map (function
            | Error m -> [ Error m ]
-           | Ok v -> ( try run_seq (f v) with Env.Rejected m -> [ Error m ]))
+           | Ok v -> (
+               try run_seq b (f v) with Env.Rejected m -> [ Error m ]))
 
 (* With a pool, sibling alternatives reachable from the caller's domain are
    evaluated concurrently (each branch sequentially within itself — a
@@ -53,23 +86,38 @@ let rec run_seq : type a. a t -> (a, string) result list = function
    [run_seq] produces.  Branches build independent layouts; the generator
    code inside them must follow the per-worker copy rule (own [Lobj]s
    only). *)
-let rec run_par : type a. Pool.t -> a t -> (a, string) result list =
- fun pool -> function
-  | Alt ts -> List.concat (Pool.map_list pool run_seq ts)
+let rec run_par : type a. Budget.t option -> Pool.t -> a t -> (a, string) result list =
+ fun b pool -> function
+  | Alt ts -> (
+      match b with
+      | None -> List.concat (Pool.map_list pool (run_seq None) ts)
+      | Some bu ->
+          (* Branches the cancellation flag skipped appear as single
+             [Error budget_exhausted] entries in branch order. *)
+          let branches =
+            Pool.map_array_cancel pool ~cancel:(Budget.task_cancel bu)
+              (run_seq b) (Array.of_list ts)
+          in
+          Array.to_list branches
+          |> List.concat_map (function
+               | Some rs -> rs
+               | None ->
+                   Budget.mark_degraded bu;
+                   [ Error budget_exhausted ]))
   | Bind (m, f) ->
-      run_par pool m
+      run_par b pool m
       |> List.concat_map (function
            | Error m -> [ Error m ]
            | Ok v -> (
-               try run_par pool (f v) with Env.Rejected m -> [ Error m ]))
-  | t -> run_seq t
+               try run_par b pool (f v) with Env.Rejected m -> [ Error m ]))
+  | t -> run_seq b t
 
-let run ?pool m =
+let run ?pool ?budget m =
   Obs.span "variants.run" @@ fun () ->
   let results =
     match pool with
-    | Some pool when Pool.size pool > 1 -> run_par pool m
-    | _ -> run_seq m
+    | Some pool when Pool.size pool > 1 -> run_par budget pool m
+    | _ -> run_seq budget m
   in
   if Obs.enabled () then begin
     let ok =
@@ -80,11 +128,11 @@ let run ?pool m =
   end;
   results
 
-let successes ?pool m =
-  List.filter_map (function Ok x -> Some x | Error _ -> None) (run ?pool m)
+let successes ?pool ?budget m =
+  List.filter_map (function Ok x -> Some x | Error _ -> None) (run ?pool ?budget m)
 
-let failures ?pool m =
-  List.filter_map (function Error e -> Some e | Ok _ -> None) (run ?pool m)
+let failures ?pool ?budget m =
+  List.filter_map (function Error e -> Some e | Ok _ -> None) (run ?pool ?budget m)
 
 (* First success, depth first — plain backtracking. *)
 let first m =
@@ -107,7 +155,7 @@ let first m =
               | None -> try_solutions rest)
           | Error _ :: rest -> try_solutions rest
         in
-        try_solutions (run_seq m))
+        try_solutions (run_seq None m))
   in
   let r = go m in
   (match r with
@@ -124,8 +172,8 @@ let first_exn m =
    "the rating function is also applied to select the best variant"
    (§2.4).  The fold runs over the enumeration order with a strict
    comparison, so the pick is the same with and without a pool. *)
-let best ?pool ~rate m =
-  let rated = List.map (fun x -> (x, rate x)) (successes ?pool m) in
+let best ?pool ?budget ~rate m =
+  let rated = List.map (fun x -> (x, rate x)) (successes ?pool ?budget m) in
   List.fold_left
     (fun acc (x, r) ->
       match acc with
@@ -133,7 +181,7 @@ let best ?pool ~rate m =
       | _ -> Some (x, r))
     None rated
 
-let best_exn ?pool ~rate m =
-  match best ?pool ~rate m with
+let best_exn ?pool ?budget ~rate m =
+  match best ?pool ?budget ~rate m with
   | Some xr -> xr
   | None -> Env.reject "Variants.best_exn: all alternatives rejected"

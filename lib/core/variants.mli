@@ -26,17 +26,31 @@ val map : ('a -> 'b) -> 'a t -> 'b t
 val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
 val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
 
-val run : ?pool:Amg_parallel.Pool.t -> 'a t -> ('a, string) result list
+val run :
+  ?pool:Amg_parallel.Pool.t ->
+  ?budget:Amg_robust.Budget.t ->
+  'a t ->
+  ('a, string) result list
 (** Depth-first enumeration of every alternative; rejections appear as
     [Error] with the rejection message.  With [?pool], sibling
     alternatives of each [alt] reachable from the calling domain are
     evaluated concurrently (each branch sequentially within itself; branch
     code must only mutate layout objects it created).  The result list is
     identical to the sequential enumeration — branch results are
-    concatenated in branch order. *)
+    concatenated in branch order.
 
-val successes : ?pool:Amg_parallel.Pool.t -> 'a t -> 'a list
-val failures : ?pool:Amg_parallel.Pool.t -> 'a t -> string list
+    With [?budget], alternatives beyond the budget are not evaluated and
+    appear as [Error] entries ("budget exhausted"), in enumeration order;
+    the budget is marked {{!Amg_robust.Budget.degraded} degraded}.  The
+    budget is consulted at alternative boundaries (and at the pool's task
+    claims under a real wall-clock deadline), so already-running branches
+    always finish. *)
+
+val successes :
+  ?pool:Amg_parallel.Pool.t -> ?budget:Amg_robust.Budget.t -> 'a t -> 'a list
+
+val failures :
+  ?pool:Amg_parallel.Pool.t -> ?budget:Amg_robust.Budget.t -> 'a t -> string list
 
 val first : 'a t -> 'a option
 (** Plain backtracking: the first alternative that survives. *)
@@ -45,11 +59,21 @@ val first_exn : 'a t -> 'a
 (** @raise Env.Rejected when every alternative is rejected. *)
 
 val best :
-  ?pool:Amg_parallel.Pool.t -> rate:('a -> float) -> 'a t -> ('a * float) option
+  ?pool:Amg_parallel.Pool.t ->
+  ?budget:Amg_robust.Budget.t ->
+  rate:('a -> float) ->
+  'a t ->
+  ('a * float) option
 (** Evaluate all surviving variants and keep the one with the lowest
     rating — §2.4's variant selection.  Ties go to the earliest variant
-    in enumeration order, with or without a pool. *)
+    in enumeration order, with or without a pool.  With [?budget], the best
+    of the evaluated prefix (see {!run}). *)
 
 val best_exn :
-  ?pool:Amg_parallel.Pool.t -> rate:('a -> float) -> 'a t -> 'a * float
-(** @raise Env.Rejected when every alternative is rejected. *)
+  ?pool:Amg_parallel.Pool.t ->
+  ?budget:Amg_robust.Budget.t ->
+  rate:('a -> float) ->
+  'a t ->
+  'a * float
+(** @raise Env.Rejected when every alternative is rejected (or the budget
+    refused every alternative). *)

@@ -427,6 +427,7 @@ let run ?(checks = all_checks) ~tech obj =
   List.concat_map
     (fun c ->
       Obs.span (span_name c) @@ fun () ->
+      Amg_robust.Inject.(probe Drc_check);
       let vs =
         match c with
         | Widths -> check_widths ~tech obj @ check_min_areas ~tech obj

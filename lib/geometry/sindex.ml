@@ -121,6 +121,7 @@ let translate_all t ~dx ~dy =
   t.oy <- t.oy + dy
 
 let query t rect ~margin =
+  Amg_robust.Inject.(probe Sindex_query);
   if Hashtbl.length t.rects = 0 then []
   else begin
     (* Window in local coordinates, inflated once up front. *)

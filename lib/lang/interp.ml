@@ -10,10 +10,23 @@ module Dir = Amg_geometry.Dir
 module Units = Amg_geometry.Units
 module Env = Amg_core.Env
 module Prim = Amg_core.Prim
+module Optimize = Amg_core.Optimize
+module Diag = Amg_robust.Diag
 
-exception Runtime_error of string
+(* Runtime failures carry a structured diagnostic (no source span: the AST
+   keeps no positions; the code pinpoints the failing construct instead). *)
+let error_code ?hint code fmt = Diag.failf ?hint Diag.Lang ~code fmt
 
-let error fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
+let error fmt = error_code "lang.run.error" fmt
+
+type recorded = { base : Lobj.t; steps : Optimize.step list }
+
+type recorder = {
+  mutable rec_base : Lobj.t option;  (* depth-1 object before the first compact *)
+  mutable rec_steps : Optimize.step list;  (* reversed *)
+  mutable rec_shapes : int;  (* shape count after the last recorded compact *)
+  mutable rec_invalid : string option;
+}
 
 type frame = {
   ctx : ctx;
@@ -26,12 +39,13 @@ and ctx = {
   program : Ast.program;
   out : Buffer.t;
   mutable depth : int;  (* entity call depth, to catch runaway recursion *)
+  mutable recorder : recorder option;
 }
 
 let max_depth = 200
 
 let create_ctx env program =
-  { env; program; out = Buffer.create 256; depth = 0 }
+  { env; program; out = Buffer.create 256; depth = 0; recorder = None }
 
 let output ctx = Buffer.contents ctx.out
 
@@ -45,7 +59,10 @@ let new_frame ctx name =
 let lookup frame name =
   match Hashtbl.find_opt frame.vars name with
   | Some v -> v
-  | None -> error "unbound identifier %s" name
+  | None ->
+      error_code "lang.run.unbound-identifier"
+        ~hint:"assign the variable before use, or check its spelling"
+        "unbound identifier %s" name
 
 (* --- argument plumbing for builtins and entities --- *)
 
@@ -74,21 +91,29 @@ let arg args i name =
 let as_num what = function
   | Some (Value.Num f) -> Some f
   | Some Value.Unit | None -> None
-  | Some v -> error "%s: expected a number, got %s" what (Value.type_name v)
+  | Some v ->
+      error_code "lang.run.type-error" "%s: expected a number, got %s" what
+        (Value.type_name v)
 
 let as_str what = function
   | Some (Value.Str s) -> Some s
   | Some Value.Unit | None -> None
-  | Some v -> error "%s: expected a string, got %s" what (Value.type_name v)
+  | Some v ->
+      error_code "lang.run.type-error" "%s: expected a string, got %s" what
+        (Value.type_name v)
 
 let as_obj what = function
   | Some (Value.Obj o) -> Some o
   | Some Value.Unit | None -> None
-  | Some v -> error "%s: expected an object, got %s" what (Value.type_name v)
+  | Some v ->
+      error_code "lang.run.type-error" "%s: expected an object, got %s" what
+        (Value.type_name v)
 
 let req what = function
   | Some v -> v
-  | None -> error "%s: missing required argument" what
+  | None ->
+      error_code "lang.run.missing-argument" "%s: missing required argument"
+        what
 
 let nm f = Units.of_um f
 
@@ -146,6 +171,46 @@ let parse_dir what s =
   | Some d -> d
   | None -> error "%s: bad direction %S" what s
 
+(* --- compact-order recording (for amgen --optimize) ---
+
+   When a recorder is armed, every compact executed at entity call depth 1
+   (the entity amgen instantiates) is captured as an {!Optimize.step} so the
+   same sequence can be replayed in permuted orders.  A replay is only
+   faithful when the depth-1 geometry comes exclusively from compacts, so
+   shapes drawn between or after compacts invalidate the recording (with a
+   reason) instead of risking a divergent layout; a backtracking CHOOSE
+   rolls the recorder back together with the frame. *)
+
+let invalidate r why = if r.rec_invalid = None then r.rec_invalid <- Some why
+
+let active_recorder frame =
+  match frame.ctx.recorder with
+  | Some r when frame.ctx.depth = 1 && r.rec_invalid = None -> Some r
+  | _ -> None
+
+let record_compact frame ~obj ~dir ~ignore_layers ~align ~variable_edges =
+  match active_recorder frame with
+  | None -> ()
+  | Some r ->
+      let count = Lobj.shape_count frame.obj in
+      (match r.rec_base with
+      | None ->
+          r.rec_base <- Some (Lobj.copy frame.obj);
+          r.rec_shapes <- count
+      | Some _ ->
+          if count <> r.rec_shapes then
+            invalidate r "shapes were drawn between compact calls");
+      if r.rec_invalid = None then
+        r.rec_steps <-
+          Optimize.step ~ignore_layers ~align ~variable_edges (Lobj.copy obj)
+            dir
+          :: r.rec_steps
+
+let record_compact_done frame =
+  match active_recorder frame with
+  | None -> ()
+  | Some r -> r.rec_shapes <- Lobj.shape_count frame.obj
+
 let builtin_compact frame args =
   let obj = req "compact object" (as_obj "compact object" (pos args 0)) in
   let dir =
@@ -173,8 +238,10 @@ let builtin_compact frame args =
     | Some v -> error "compact: varedges must be TRUE or FALSE, got %s" (Value.type_name v)
     | None -> true
   in
+  record_compact frame ~obj ~dir ~ignore_layers ~align ~variable_edges;
   Amg_compact.Successive.compact ~rules:(Env.rules frame.ctx.env) ~into:frame.obj
     ~ignore_layers ~align ~variable_edges obj dir;
+  record_compact_done frame;
   Value.Unit
 
 let builtin_port frame args =
@@ -376,7 +443,8 @@ and eval_binop frame op a b =
       | Ast.Sub, Value.Num x, Value.Num y -> Value.Num (x -. y)
       | Ast.Mul, Value.Num x, Value.Num y -> Value.Num (x *. y)
       | Ast.Div, Value.Num x, Value.Num y ->
-          if y = 0. then error "division by zero" else Value.Num (x /. y)
+          if y = 0. then error_code "lang.run.division-by-zero" "division by zero"
+          else Value.Num (x /. y)
       | Ast.Add, Value.Str x, Value.Str y -> Value.Str (x ^ y)
       (* String + number builds derived net names ("seg" + i) in loops. *)
       | Ast.Add, Value.Str x, Value.Num y ->
@@ -427,13 +495,17 @@ and eval_call frame name raw_args =
   | _ -> (
       match Ast.find_entity frame.ctx.program name with
       | Some entity -> call_entity frame.ctx name entity raw_args frame
-      | None -> error "unknown function or entity %s" name)
+      | None ->
+          error_code "lang.run.unknown-name"
+            ~hint:"builtins are upper-case (INBOX, WIRE, …); entities must \
+                   be declared with ENT before use"
+            "unknown function or entity %s" name)
 
 and call_entity ctx name (entity : Ast.entity) raw_args caller =
   let args = split_args caller raw_args eval_expr in
   if ctx.depth >= max_depth then
-    error "entity call depth exceeds %d (runaway recursion via %s?)" max_depth
-      name;
+    error_code "lang.run.recursion-limit"
+      "entity call depth exceeds %d (runaway recursion via %s?)" max_depth name;
   ctx.depth <- ctx.depth + 1;
   Fun.protect ~finally:(fun () -> ctx.depth <- ctx.depth - 1) @@ fun () ->
   let callee = new_frame ctx name in
@@ -450,7 +522,9 @@ and call_entity ctx name (entity : Ast.entity) raw_args caller =
       | Some v -> Hashtbl.replace callee.vars p.Ast.pname v
       | None ->
           if p.Ast.optional then Hashtbl.replace callee.vars p.Ast.pname Value.Unit
-          else error "entity %s: missing required parameter %s" name p.Ast.pname)
+          else
+            error_code "lang.run.missing-argument"
+              "entity %s: missing required parameter %s" name p.Ast.pname)
     entity.Ast.params;
   exec_block callee entity.Ast.body;
   Value.Obj callee.obj
@@ -481,16 +555,36 @@ and exec_stmt frame (s : Ast.stmt) =
       | _ -> error "FOR: bounds must be numbers")
   | Ast.Choose branches ->
       (* Backtracking (§2.1): try each branch; on a design-rule rejection
-         roll the frame back and try the next one. *)
+         roll the frame back and try the next one.  An armed recorder is
+         rolled back with the frame: recorded step objects are frozen
+         copies, so restoring the lists restores the recording exactly. *)
       let snapshot_obj = Lobj.copy frame.obj in
       let snapshot_vars = Hashtbl.copy frame.vars in
+      let rec_snapshot =
+        match frame.ctx.recorder with
+        | Some r when frame.ctx.depth = 1 ->
+            Some (r, r.rec_base, r.rec_steps, r.rec_shapes, r.rec_invalid)
+        | _ -> None
+      in
       let restore () =
         frame.obj <- Lobj.copy snapshot_obj;
         Hashtbl.reset frame.vars;
-        Hashtbl.iter (fun k v -> Hashtbl.replace frame.vars k v) snapshot_vars
+        Hashtbl.iter (fun k v -> Hashtbl.replace frame.vars k v) snapshot_vars;
+        match rec_snapshot with
+        | Some (r, base, steps, shapes, invalid) ->
+            r.rec_base <- base;
+            r.rec_steps <- steps;
+            r.rec_shapes <- shapes;
+            r.rec_invalid <- invalid
+        | None -> ()
       in
       let rec try_branches = function
-        | [] -> error "CHOOSE: every alternative was rejected"
+        | [] ->
+            error_code "lang.run.choose-exhausted"
+              ~hint:"every ORELSE alternative ended in REJECT or a \
+                     design-rule rejection; relax the constraints or add a \
+                     fallback branch"
+              "CHOOSE: every alternative was rejected"
         | b :: rest -> (
             try exec_block frame b
             with Env.Rejected _ ->
@@ -507,10 +601,12 @@ let run env program =
   exec_block top program.Ast.top;
   (ctx, top.vars)
 
-let build env program entity_name raw_args =
-  let ctx = create_ctx env program in
-  match Ast.find_entity program entity_name with
-  | None -> error "unknown entity %s" entity_name
+let build_ctx ctx entity_name raw_args =
+  match Ast.find_entity ctx.program entity_name with
+  | None ->
+      error_code "lang.run.unknown-name"
+        ~hint:"entity names are case-sensitive; list them with 'amgen list'"
+        "unknown entity %s" entity_name
   | Some entity -> (
       let caller = new_frame ctx "caller" in
       let args =
@@ -530,5 +626,36 @@ let build env program entity_name raw_args =
       | Value.Obj o -> o
       | _ -> assert false)
 
-let parse_and_build env src entity_name args =
-  build env (Parser.parse_program src) entity_name args
+let build env program entity_name raw_args =
+  build_ctx (create_ctx env program) entity_name raw_args
+
+let finish_recording ctx o =
+  match ctx.recorder with
+  | None -> Error "recorder was not armed"
+  | Some r -> (
+      match r.rec_invalid with
+      | Some why -> Error why
+      | None -> (
+          match r.rec_base with
+          | None -> Error "entity performed no compacts"
+          | Some base ->
+              if Lobj.shape_count o <> r.rec_shapes then
+                Error "shapes were drawn after the last compact"
+              else (
+                match List.rev r.rec_steps with
+                | [] | [ _ ] ->
+                    Error "fewer than two compacts, nothing to reorder"
+                | steps -> Ok { base; steps })))
+
+let build_recorded env program entity_name raw_args =
+  let ctx = create_ctx env program in
+  ctx.recorder <-
+    Some { rec_base = None; rec_steps = []; rec_shapes = 0; rec_invalid = None };
+  let o = build_ctx ctx entity_name raw_args in
+  (o, finish_recording ctx o)
+
+let parse_and_build ?file env src entity_name args =
+  build env (Parser.parse_program ?file src) entity_name args
+
+let parse_and_build_recorded ?file env src entity_name args =
+  build_recorded env (Parser.parse_program ?file src) entity_name args

@@ -14,9 +14,7 @@ type token =
 
 type t = { tok : token; line : int; col : int }
 
-exception Error of int * string
-
-let fail line fmt = Fmt.kstr (fun m -> raise (Error (line, m))) fmt
+module Diag = Amg_robust.Diag
 
 let keyword = function
   | "ENT" -> Some KW_ENT
@@ -37,12 +35,18 @@ let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 
 let is_digit c = c >= '0' && c <= '9'
 
-let tokenize src =
+let tokenize ?file src =
   let n = String.length src in
   let toks = ref [] in
   let line = ref 1 in
   let line_start = ref 0 in
   let tok_start = ref 0 in
+  (* 1-based column of the current token, for diagnostics; token records
+     keep their historical 0-based [col]. *)
+  let fail ~code ?hint fmt =
+    let span = Diag.span ?file ~col:(!tok_start - !line_start + 1) !line in
+    Diag.failf ~span ?hint Diag.Lang ~code fmt
+  in
   let emit tok =
     toks := { tok; line = !line; col = !tok_start - !line_start } :: !toks
   in
@@ -68,11 +72,17 @@ let tokenize src =
       let j = ref (!i + 1) in
       let b = Buffer.create 16 in
       while !j < n && src.[!j] <> '"' do
-        if src.[!j] = '\n' then fail !line "unterminated string";
+        if src.[!j] = '\n' then
+          fail ~code:"lang.lex.unterminated-string"
+            ~hint:"close the string with '\"' before the end of the line"
+            "unterminated string";
         Buffer.add_char b src.[!j];
         incr j
       done;
-      if !j >= n then fail !line "unterminated string";
+      if !j >= n then
+        fail ~code:"lang.lex.unterminated-string"
+          ~hint:"close the string with '\"' before the end of the line"
+          "unterminated string";
       emit (STRING (Buffer.contents b));
       i := !j + 1
     end
@@ -82,7 +92,10 @@ let tokenize src =
       let s = String.sub src !i (!j - !i) in
       (match float_of_string_opt s with
       | Some f -> emit (NUMBER f)
-      | None -> fail !line "bad number %S" s);
+      | None ->
+          fail ~code:"lang.lex.bad-number"
+            ~hint:"numbers look like 12, 3.5 or .5 with a single decimal point"
+            "bad number %S" s);
       i := !j
     end
     else if is_ident_start c then begin
@@ -109,7 +122,11 @@ let tokenize src =
           | '+' | '-' | '*' | '/' | '<' | '>' | '!' ->
               emit (OP (String.make 1 c));
               incr i
-          | _ -> fail !line "unexpected character %C" c)
+          | _ ->
+              fail ~code:"lang.lex.unexpected-char"
+                ~hint:"only identifiers, numbers, strings, operators and \
+                       parentheses are valid outside comments"
+                "unexpected character %C" c)
     end
   done;
   tok_start := n;

@@ -2,15 +2,23 @@
    newline-terminated; entity bodies run until the matching END-less next
    ENT or end of file, block bodies (IF/FOR/CHOOSE) until their END. *)
 
-exception Error of int * string
+module Diag = Amg_robust.Diag
 
-let fail line fmt = Fmt.kstr (fun m -> raise (Error (line, m))) fmt
-
-type state = { toks : Lexer.t array; mutable pos : int }
+type state = { toks : Lexer.t array; mutable pos : int; file : string option }
 
 let peek st = st.toks.(st.pos)
 
 let line st = (peek st).Lexer.line
+
+(* Diagnostics carry the 1-based file:line:col of the offending token
+   (token records keep their historical 0-based [col]). *)
+let fail_tok st (t : Lexer.t) ~code fmt =
+  Diag.failf
+    ~span:(Diag.span ?file:st.file ~col:(t.Lexer.col + 1) t.Lexer.line)
+    ~hint:"see the language reference in README.md for the statement grammar"
+    Diag.Lang ~code fmt
+
+let fail st ~code fmt = fail_tok st (peek st) ~code fmt
 
 let advance st = st.pos <- st.pos + 1
 
@@ -22,7 +30,8 @@ let next st =
 let expect st tok what =
   let t = next st in
   if not (Lexer.equal_token t.Lexer.tok tok) then
-    fail t.Lexer.line "expected %s, got %s" what (Lexer.show_token t.Lexer.tok)
+    fail_tok st t ~code:"lang.parse.expected-token" "expected %s, got %s" what
+      (Lexer.show_token t.Lexer.tok)
 
 let skip_newlines st =
   while (peek st).Lexer.tok = Lexer.NEWLINE do advance st done
@@ -31,7 +40,9 @@ let end_of_stmt st =
   match (peek st).Lexer.tok with
   | Lexer.NEWLINE -> advance st
   | Lexer.EOF -> ()
-  | t -> fail (line st) "expected end of line, got %s" (Lexer.show_token t)
+  | t ->
+      fail st ~code:"lang.parse.expected-token" "expected end of line, got %s"
+        (Lexer.show_token t)
 
 (* --- expressions (precedence climbing) --- *)
 
@@ -96,7 +107,9 @@ and parse_primary st =
           let args = parse_args st in
           Ast.Call (name, args)
       | _ -> Ast.Ident name)
-  | tok -> fail t.Lexer.line "unexpected %s in expression" (Lexer.show_token tok)
+  | tok ->
+      fail_tok st t ~code:"lang.parse.unexpected-token"
+        "unexpected %s in expression" (Lexer.show_token tok)
 
 and parse_args st =
   if (peek st).Lexer.tok = Lexer.RPAREN then begin
@@ -117,7 +130,9 @@ and parse_args st =
       match (next st).Lexer.tok with
       | Lexer.COMMA -> loop (arg :: acc)
       | Lexer.RPAREN -> List.rev (arg :: acc)
-      | tok -> fail (line st) "expected , or ) in arguments, got %s" (Lexer.show_token tok)
+      | tok ->
+          fail st ~code:"lang.parse.expected-token"
+            "expected , or ) in arguments, got %s" (Lexer.show_token tok)
     in
     loop []
   end
@@ -166,10 +181,11 @@ and parse_stmt st =
         | Stop_else ->
             end_of_stmt st;
             let b, stop2 = parse_stmts st in
-            if stop2 <> Stop_end then fail (line st) "IF: expected END";
+            if stop2 <> Stop_end then
+              fail st ~code:"lang.parse.expected-token" "IF: expected END";
             b
         | Stop_end -> []
-        | _ -> fail (line st) "IF: expected ELSE or END"
+        | _ -> fail st ~code:"lang.parse.expected-token" "IF: expected ELSE or END"
       in
       end_of_stmt st;
       Ast.If (cond, then_branch, else_branch)
@@ -178,7 +194,9 @@ and parse_stmt st =
       let var =
         match (next st).Lexer.tok with
         | Lexer.IDENT v -> v
-        | tok -> fail (line st) "FOR: expected variable, got %s" (Lexer.show_token tok)
+        | tok ->
+            fail st ~code:"lang.parse.expected-token"
+              "FOR: expected variable, got %s" (Lexer.show_token tok)
       in
       expect st Lexer.ASSIGN "=";
       let lo = parse_expr st in
@@ -186,7 +204,8 @@ and parse_stmt st =
       let hi = parse_expr st in
       end_of_stmt st;
       let body, stop = parse_stmts st in
-      if stop <> Stop_end then fail (line st) "FOR: expected END";
+      if stop <> Stop_end then
+        fail st ~code:"lang.parse.expected-token" "FOR: expected END";
       end_of_stmt st;
       Ast.For (var, lo, hi, body)
   | Lexer.KW_CHOOSE ->
@@ -199,7 +218,7 @@ and parse_stmt st =
             end_of_stmt st;
             branches (body :: acc)
         | Stop_end -> List.rev (body :: acc)
-        | _ -> fail (line st) "CHOOSE: expected ORELSE or END"
+        | _ -> fail st ~code:"lang.parse.expected-token" "CHOOSE: expected ORELSE or END"
       in
       let bs = branches [] in
       end_of_stmt st;
@@ -233,21 +252,30 @@ let parse_params st =
             | Lexer.IDENT p -> (
                 match (next st).Lexer.tok with
                 | Lexer.OP ">" -> { Ast.pname = p; optional = true }
-                | tok -> fail (line st) "expected > after optional parameter, got %s" (Lexer.show_token tok))
-            | tok -> fail (line st) "expected parameter name, got %s" (Lexer.show_token tok))
-        | tok -> fail (line st) "expected parameter, got %s" (Lexer.show_token tok)
+                | tok ->
+                    fail st ~code:"lang.parse.expected-token"
+                      "expected > after optional parameter, got %s"
+                      (Lexer.show_token tok))
+            | tok ->
+                fail st ~code:"lang.parse.expected-token"
+                  "expected parameter name, got %s" (Lexer.show_token tok))
+        | tok ->
+            fail st ~code:"lang.parse.expected-token"
+              "expected parameter, got %s" (Lexer.show_token tok)
       in
       match (next st).Lexer.tok with
       | Lexer.COMMA -> loop (param :: acc)
       | Lexer.RPAREN -> List.rev (param :: acc)
-      | tok -> fail (line st) "expected , or ) in parameters, got %s" (Lexer.show_token tok)
+      | tok ->
+          fail st ~code:"lang.parse.expected-token"
+            "expected , or ) in parameters, got %s" (Lexer.show_token tok)
     in
     loop []
   end
 
-let parse_program src =
-  let toks = Array.of_list (Lexer.tokenize src) in
-  let st = { toks; pos = 0 } in
+let parse_program ?file src =
+  let toks = Array.of_list (Lexer.tokenize ?file src) in
+  let st = { toks; pos = 0; file } in
   let entities = ref [] in
   let top = ref [] in
   let rec loop () =
@@ -259,7 +287,9 @@ let parse_program src =
         let name =
           match (next st).Lexer.tok with
           | Lexer.IDENT n -> n
-          | tok -> fail (line st) "ENT: expected name, got %s" (Lexer.show_token tok)
+          | tok ->
+              fail st ~code:"lang.parse.expected-token"
+                "ENT: expected name, got %s" (Lexer.show_token tok)
         in
         let params = parse_params st in
         end_of_stmt st;
@@ -267,7 +297,9 @@ let parse_program src =
         (match stop with
         | Stop_ent | Stop_eof | Stop_margin -> ()
         | Stop_end -> end_of_stmt st
-        | _ -> fail (line st) "unexpected ELSE/ORELSE in entity body");
+        | _ ->
+            fail st ~code:"lang.parse.unexpected-token"
+              "unexpected ELSE/ORELSE in entity body");
         entities := { Ast.ent_name = name; params; body } :: !entities;
         loop ()
     | _ ->

@@ -383,6 +383,7 @@ let array_cut_layers_of_container t id =
     t.arrays
 
 let rederive t rules =
+  Amg_robust.Inject.(probe Contact_rebuild);
   Amg_obs.Obs.count "lobj.contact_array_rebuilds" (List.length t.arrays);
   List.iter
     (fun (array_id, spec) ->

@@ -19,6 +19,7 @@
    contract. *)
 
 module Obs = Amg_obs.Obs
+module Inject = Amg_robust.Inject
 
 type job = {
   chunks : (int Atomic.t * int) array; (* per-participant (next, stop) *)
@@ -165,33 +166,49 @@ let run_tasks t total run =
     Obs.join strands
   end
 
-let map_array t f arr =
+(* Shared skeleton of the map variants: option result slots, lowest-index
+   error re-raised in the caller after all tasks have run.  The fault probe
+   sits inside the error-recording wrapper so an injected [Inject.Fault]
+   surfaces like any task failure instead of killing a worker domain.
+   [cancel] is polled once per task claim: a pending task whose poll returns
+   [true] is skipped and its slot stays [None]. *)
+let map_array_opt t ?cancel f arr =
   let total = Array.length arr in
   if total = 0 then [||]
   else begin
     let results = Array.make total None in
-    (* Wrapped in an option so we need no placeholder 'b; each slot is
-       written by exactly one task. *)
     let error_lock = Mutex.create () in
     let first_error = ref None in
+    let skip =
+      match cancel with None -> fun () -> false | Some c -> c
+    in
     let run i =
-      match f arr.(i) with
-      | v -> results.(i) <- Some v
-      | exception e ->
-          let bt = Printexc.get_raw_backtrace () in
-          Mutex.lock error_lock;
-          (match !first_error with
-          | Some (j, _, _) when j <= i -> ()
-          | _ -> first_error := Some (i, e, bt));
-          Mutex.unlock error_lock
+      if not (skip ()) then
+        match
+          Inject.probe Inject.Pool_task;
+          f arr.(i)
+        with
+        | v -> results.(i) <- Some v
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock error_lock;
+            (match !first_error with
+            | Some (j, _, _) when j <= i -> ()
+            | _ -> first_error := Some (i, e, bt));
+            Mutex.unlock error_lock
     in
     run_tasks t total run;
     (match !first_error with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
-    Array.map
-      (function Some v -> v | None -> assert false (* every task ran *))
-      results
+    results
   end
+
+let map_array t f arr =
+  map_array_opt t f arr
+  |> Array.map
+       (function Some v -> v | None -> assert false (* every task ran *))
+
+let map_array_cancel t ~cancel f arr = map_array_opt t ~cancel f arr
 
 let map_list t f l = Array.to_list (map_array t f (Array.of_list l))

@@ -41,6 +41,15 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
     raises, the exception of the lowest input index is re-raised in the
     caller after all tasks have run. *)
 
+val map_array_cancel :
+  t -> cancel:(unit -> bool) -> ('a -> 'b) -> 'a array -> 'b option array
+(** Like {!map_array} with cooperative cancellation: [cancel] is polled once
+    per task claim (on whichever domain claims it); once it returns [true],
+    tasks not yet started are skipped and their slots stay [None].  Tasks
+    already running always finish, so completed slots are in input order and
+    any prefix-shaped reduction over them remains deterministic.  Errors
+    propagate as in {!map_array}. *)
+
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 
 val recommended : unit -> int

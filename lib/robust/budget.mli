@@ -1,0 +1,49 @@
+(** Cooperative wall-clock / evaluation budgets for the optimization layer.
+
+    A budget is polled by the {e coordinator} of a search at round or batch
+    boundaries ({!poll} reads the clock and latches {!stopped}), and by pool
+    {e tasks} through the closure returned by {!task_cancel}.  The split
+    matters for determinism: with an injected [?clock] (tests), tasks only
+    observe the latched flag, so cancellation can only happen at coordinator
+    boundaries and the same seed yields the same degraded result for every
+    domain count.  With the real clock, tasks additionally check the deadline
+    themselves so a wall-clock overrun is noticed mid-batch (best-effort,
+    still yielding a valid best-so-far result). *)
+
+type t
+
+val create : ?deadline:float -> ?max_evals:int -> ?clock:(unit -> float) -> unit -> t
+(** [create ?deadline ?max_evals ?clock ()] starts a budget.  [deadline] is in
+    seconds from now, measured on [clock] (default [Unix.gettimeofday]).
+    [max_evals] caps the number of {!spend}-counted evaluations. *)
+
+val poll : t -> unit
+(** Read the clock; latch {!stopped} if the deadline has passed. *)
+
+val stopped : t -> bool
+(** The latched stop flag (deadline hit, eval cap hit, or {!stop} called).
+    Does not read the clock. *)
+
+val stop : t -> unit
+(** Latch the stop flag manually. *)
+
+val spend : t -> int -> unit
+(** Record [n] evaluations; latches {!stopped} once the cap is exceeded. *)
+
+val spent : t -> int
+
+val would_exceed : t -> int -> bool
+(** [would_exceed t n] is [true] iff an eval cap is set and spending [n] more
+    evaluations would exceed it. *)
+
+val remaining_evals : t -> int option
+(** Evaluations left under the cap ([None] when uncapped); never negative. *)
+
+val task_cancel : t -> unit -> bool
+(** Cancellation closure for pool tasks.  Always reflects the latched flag;
+    with the real clock it also checks the deadline directly. *)
+
+val mark_degraded : t -> unit
+val degraded : t -> bool
+(** Set when a search returned a best-so-far result instead of exhausting its
+    space.  Searches mark this; callers read it to tag results / exit codes. *)

@@ -1,0 +1,431 @@
+type severity = Error | Warning | Info
+
+type subsystem =
+  | Lang
+  | Tech
+  | Geometry
+  | Layout
+  | Compact
+  | Route
+  | Optimize
+  | Parallel
+  | Drc
+  | Extract
+  | Synth
+  | Cli
+  | Internal
+
+type span = { file : string option; line : int; col : int }
+
+type t = {
+  code : string;
+  severity : severity;
+  subsystem : subsystem;
+  message : string;
+  span : span option;
+  hint : string option;
+  payload : (string * string) list;
+}
+
+exception Fail of t
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let subsystems =
+  [
+    (Lang, "lang");
+    (Tech, "tech");
+    (Geometry, "geometry");
+    (Layout, "layout");
+    (Compact, "compact");
+    (Route, "route");
+    (Optimize, "optimize");
+    (Parallel, "parallel");
+    (Drc, "drc");
+    (Extract, "extract");
+    (Synth, "synth");
+    (Cli, "cli");
+    (Internal, "internal");
+  ]
+
+let subsystem_to_string s = List.assoc s subsystems
+
+let subsystem_of_string name =
+  List.find_map (fun (s, n) -> if String.equal n name then Some s else None) subsystems
+
+let span ?file ?(col = 0) line = { file; line; col }
+
+let v ?(severity = Error) ?span ?hint ?(payload = []) subsystem ~code message =
+  { code; severity; subsystem; message; span; hint; payload }
+
+let fail ?span ?hint ?payload subsystem ~code message =
+  raise (Fail (v ?span ?hint ?payload subsystem ~code message))
+
+let failf ?span ?hint ?payload subsystem ~code fmt =
+  Fmt.kstr (fun message -> fail ?span ?hint ?payload subsystem ~code message) fmt
+
+let line_of d = match d.span with Some s -> s.line | None -> 0
+let col_of d = match d.span with Some s -> s.col | None -> 0
+
+let span_equal a b =
+  Option.equal String.equal a.file b.file && a.line = b.line && a.col = b.col
+
+let equal a b =
+  String.equal a.code b.code
+  && a.severity = b.severity
+  && a.subsystem = b.subsystem
+  && String.equal a.message b.message
+  && Option.equal span_equal a.span b.span
+  && Option.equal String.equal a.hint b.hint
+  && List.equal
+       (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && String.equal v1 v2)
+       a.payload b.payload
+
+let pp_span ppf s =
+  (match s.file with Some f -> Fmt.pf ppf "%s:" f | None -> ());
+  Fmt.pf ppf "%d" s.line;
+  if s.col > 0 then Fmt.pf ppf ":%d" s.col
+
+let pp ppf d =
+  Fmt.pf ppf "%s[%s:%s]" (severity_to_string d.severity)
+    (subsystem_to_string d.subsystem)
+    d.code;
+  (match d.span with Some s -> Fmt.pf ppf " %a" pp_span s | None -> ());
+  Fmt.pf ppf ": %s" d.message;
+  (match d.hint with Some h -> Fmt.pf ppf "@ (hint: %s)" h | None -> ());
+  match d.payload with
+  | [] -> ()
+  | kvs ->
+      Fmt.pf ppf "@ {%a}"
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (k, v) -> Fmt.pf ppf "%s=%s" k v))
+        kvs
+
+let to_string d = Fmt.str "%a" pp d
+
+let fatal_exn = function
+  | Out_of_memory | Sys.Break -> true
+  | _ -> false
+
+let guard ?convert f =
+  match f () with
+  | x -> Stdlib.Ok x
+  | exception Fail d -> Stdlib.Error d
+  | exception e when not (fatal_exn e) -> (
+      let bt = Printexc.get_raw_backtrace () in
+      match Option.bind convert (fun c -> c e) with
+      | Some d -> Stdlib.Error d
+      | None -> Printexc.raise_with_backtrace e bt)
+
+(* --- JSON encoding --------------------------------------------------- *)
+
+let buf_add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let buf_add_diag b d =
+  Buffer.add_string b "{\"code\":";
+  buf_add_json_string b d.code;
+  Buffer.add_string b ",\"severity\":";
+  buf_add_json_string b (severity_to_string d.severity);
+  Buffer.add_string b ",\"subsystem\":";
+  buf_add_json_string b (subsystem_to_string d.subsystem);
+  Buffer.add_string b ",\"message\":";
+  buf_add_json_string b d.message;
+  Buffer.add_string b ",\"span\":";
+  (match d.span with
+  | None -> Buffer.add_string b "null"
+  | Some s ->
+      Buffer.add_string b "{\"file\":";
+      (match s.file with
+      | None -> Buffer.add_string b "null"
+      | Some f -> buf_add_json_string b f);
+      Buffer.add_string b (Printf.sprintf ",\"line\":%d,\"col\":%d}" s.line s.col));
+  Buffer.add_string b ",\"hint\":";
+  (match d.hint with
+  | None -> Buffer.add_string b "null"
+  | Some h -> buf_add_json_string b h);
+  Buffer.add_string b ",\"payload\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_add_json_string b k;
+      Buffer.add_char b ':';
+      buf_add_json_string b v)
+    d.payload;
+  Buffer.add_string b "}}"
+
+let to_json d =
+  let b = Buffer.create 256 in
+  buf_add_diag b d;
+  Buffer.contents b
+
+let list_to_json ?(degraded = false) ds =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"version\":1,\"degraded\":";
+  Buffer.add_string b (if degraded then "true" else "false");
+  Buffer.add_string b ",\"diagnostics\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_add_diag b d)
+    ds;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* --- JSON decoding --------------------------------------------------- *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let err msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> err (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then (
+      pos := !pos + l;
+      v)
+    else err (Printf.sprintf "expected %s" lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then err "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents b
+        | '\\' -> (
+            if !pos >= n then err "unterminated escape"
+            else
+              let e = s.[!pos] in
+              advance ();
+              match e with
+              | '"' | '\\' | '/' ->
+                  Buffer.add_char b e;
+                  go ()
+              | 'n' ->
+                  Buffer.add_char b '\n';
+                  go ()
+              | 'r' ->
+                  Buffer.add_char b '\r';
+                  go ()
+              | 't' ->
+                  Buffer.add_char b '\t';
+                  go ()
+              | 'b' ->
+                  Buffer.add_char b '\b';
+                  go ()
+              | 'f' ->
+                  Buffer.add_char b '\012';
+                  go ()
+              | 'u' ->
+                  if !pos + 4 > n then err "bad \\u escape"
+                  else begin
+                    let hex = String.sub s !pos 4 in
+                    pos := !pos + 4;
+                    let code =
+                      try int_of_string ("0x" ^ hex)
+                      with _ -> err "bad \\u escape"
+                    in
+                    (* Only BMP codepoints; encode as UTF-8. *)
+                    if code < 0x80 then Buffer.add_char b (Char.chr code)
+                    else if code < 0x800 then begin
+                      Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                    end
+                    else begin
+                      Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                      Buffer.add_char b
+                        (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                    end;
+                    go ()
+                  end
+              | _ -> err "bad escape")
+        | c ->
+            Buffer.add_char b c;
+            go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then err "expected number"
+    else
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> err "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (
+          advance ();
+          Jobj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> err "expected ',' or '}'"
+          in
+          Jobj (members [])
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (
+          advance ();
+          Jarr [])
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> err "expected ',' or ']'"
+          in
+          Jarr (elems [])
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> Jnum (parse_number ())
+    | None -> err "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then err "trailing garbage";
+  v
+
+let field name = function
+  | Jobj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let as_string = function Jstr s -> Some s | _ -> None
+let as_int = function Jnum f -> Some (int_of_float f) | _ -> None
+
+let diag_of_value v =
+  let ( let* ) o f = match o with Some x -> f x | None -> Stdlib.Error "malformed diagnostic" in
+  let* code = Option.bind (field "code" v) as_string in
+  let* severity =
+    Option.bind (Option.bind (field "severity" v) as_string) severity_of_string
+  in
+  let* subsystem =
+    Option.bind (Option.bind (field "subsystem" v) as_string) subsystem_of_string
+  in
+  let* message = Option.bind (field "message" v) as_string in
+  let span =
+    match field "span" v with
+    | Some (Jobj _ as sp) ->
+        let file = Option.bind (field "file" sp) as_string in
+        let line = Option.value ~default:0 (Option.bind (field "line" sp) as_int) in
+        let col = Option.value ~default:0 (Option.bind (field "col" sp) as_int) in
+        Some { file; line; col }
+    | _ -> None
+  in
+  let hint = Option.bind (field "hint" v) (fun h -> as_string h) in
+  let payload =
+    match field "payload" v with
+    | Some (Jobj kvs) ->
+        List.filter_map
+          (fun (k, pv) -> Option.map (fun s -> (k, s)) (as_string pv))
+          kvs
+    | _ -> []
+  in
+  Stdlib.Ok { code; severity; subsystem; message; span; hint; payload }
+
+let of_json s =
+  match parse_json s with
+  | v -> diag_of_value v
+  | exception Bad_json msg -> Stdlib.Error msg
+
+let list_of_json s =
+  match parse_json s with
+  | exception Bad_json msg -> Stdlib.Error msg
+  | v -> (
+      let degraded =
+        match field "degraded" v with Some (Jbool b) -> b | _ -> false
+      in
+      match field "diagnostics" v with
+      | Some (Jarr items) ->
+          let rec go acc = function
+            | [] -> Stdlib.Ok (degraded, List.rev acc)
+            | item :: rest -> (
+                match diag_of_value item with
+                | Stdlib.Ok d -> go (d :: acc) rest
+                | Stdlib.Error msg -> Stdlib.Error msg)
+          in
+          go [] items
+      | _ -> Stdlib.Error "missing diagnostics array")

@@ -1,0 +1,107 @@
+type site = Rule_lookup | Contact_rebuild | Sindex_query | Pool_task | Drc_check
+
+let all_sites = [ Rule_lookup; Contact_rebuild; Sindex_query; Pool_task; Drc_check ]
+
+let site_to_string = function
+  | Rule_lookup -> "rule-lookup"
+  | Contact_rebuild -> "contact-rebuild"
+  | Sindex_query -> "sindex-query"
+  | Pool_task -> "pool-task"
+  | Drc_check -> "drc-check"
+
+let site_of_string = function
+  | "rule-lookup" -> Some Rule_lookup
+  | "contact-rebuild" -> Some Contact_rebuild
+  | "sindex-query" -> Some Sindex_query
+  | "pool-task" -> Some Pool_task
+  | "drc-check" -> Some Drc_check
+  | _ -> None
+
+exception Fault of site * int
+
+type schedule = (site * int) list
+
+let site_index = function
+  | Rule_lookup -> 0
+  | Contact_rebuild -> 1
+  | Sindex_query -> 2
+  | Pool_task -> 3
+  | Drc_check -> 4
+
+type state = { faults : schedule; counters : int Atomic.t array }
+
+let state : state option Atomic.t = Atomic.make None
+
+let arm faults =
+  Atomic.set state
+    (Some { faults; counters = Array.init 5 (fun _ -> Atomic.make 0) })
+
+let disarm () = Atomic.set state None
+let armed () = Atomic.get state <> None
+
+let hits site =
+  match Atomic.get state with
+  | None -> 0
+  | Some st -> Atomic.get st.counters.(site_index site)
+
+let probe site =
+  match Atomic.get state with
+  | None -> ()
+  | Some st ->
+      let hit = 1 + Atomic.fetch_and_add st.counters.(site_index site) 1 in
+      if List.exists (fun (s, h) -> s = site && h = hit) st.faults then
+        raise (Fault (site, hit))
+
+let of_seed ?(faults = 2) seed =
+  let sites = Array.of_list all_sites in
+  let s = ref (seed land 0x3FFFFFFF) in
+  let next () =
+    s := ((!s * 1664525) + 1013904223) land 0x3FFFFFFF;
+    !s
+  in
+  List.init faults (fun _ ->
+      let site = sites.(next () mod Array.length sites) in
+      let hit = 1 + (next () mod 50) in
+      (site, hit))
+
+let parse_spec spec =
+  let fail msg = Stdlib.Error msg in
+  match String.split_on_char ':' spec with
+  | [ "seed"; n ] -> (
+      match int_of_string_opt n with
+      | Some seed -> Stdlib.Ok (of_seed seed)
+      | None -> fail (Printf.sprintf "bad seed %S" n))
+  | [ "seed"; n; k ] -> (
+      match (int_of_string_opt n, int_of_string_opt k) with
+      | Some seed, Some faults when faults >= 0 -> Stdlib.Ok (of_seed ~faults seed)
+      | _ -> fail (Printf.sprintf "bad seed spec %S" spec))
+  | _ ->
+      let parse_one item =
+        match String.split_on_char '@' item with
+        | [ site; hit ] -> (
+            match (site_of_string site, int_of_string_opt hit) with
+            | Some s, Some h when h >= 1 -> Stdlib.Ok (s, h)
+            | None, _ ->
+                fail
+                  (Printf.sprintf "unknown site %S (expected one of %s)" site
+                     (String.concat ", " (List.map site_to_string all_sites)))
+            | _ -> fail (Printf.sprintf "bad hit count in %S" item))
+        | _ -> fail (Printf.sprintf "bad fault %S (expected SITE@HIT)" item)
+      in
+      if String.equal (String.trim spec) "" then Stdlib.Ok []
+      else
+        String.split_on_char ',' spec
+        |> List.fold_left
+             (fun acc item ->
+               match (acc, parse_one (String.trim item)) with
+               | Stdlib.Ok fs, Stdlib.Ok f -> Stdlib.Ok (f :: fs)
+               | (Stdlib.Error _ as e), _ | _, (Stdlib.Error _ as e) -> e)
+             (Stdlib.Ok [])
+        |> Stdlib.Result.map List.rev
+
+let to_diag site hit =
+  Diag.v Diag.Internal ~code:"inject.fault"
+    ~payload:
+      [ ("site", site_to_string site); ("hit", string_of_int hit) ]
+    ~hint:"this failure was injected deterministically; rerun without --inject"
+    (Printf.sprintf "injected fault at %s (hit %d)" (site_to_string site) hit)

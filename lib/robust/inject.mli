@@ -1,0 +1,49 @@
+(** Deterministic seeded fault injection.
+
+    Probes are planted at the existing observability sites of the pipeline.
+    When disarmed (the default) a probe costs a single atomic load.  When
+    armed with a schedule, each probe increments a per-site hit counter and
+    raises {!Fault} when the hit number matches a scheduled fault — making a
+    given schedule perfectly reproducible regardless of what the faults do to
+    downstream control flow. *)
+
+type site =
+  | Rule_lookup  (** technology rule lookup ([Rules.width]/[space]) *)
+  | Contact_rebuild  (** contact-array rederivation ([Lobj.rederive]) *)
+  | Sindex_query  (** spatial-index candidate query *)
+  | Pool_task  (** domain-pool task boundary *)
+  | Drc_check  (** start of a DRC check pass *)
+
+val all_sites : site list
+val site_to_string : site -> string
+val site_of_string : string -> site option
+
+exception Fault of site * int
+(** [Fault (site, hit)]: the [hit]-th probe at [site] was scheduled to fail. *)
+
+type schedule = (site * int) list
+(** Faults as [(site, nth-hit)] pairs; hits are 1-based. *)
+
+val arm : schedule -> unit
+(** Arm the harness; resets all hit counters.  An empty schedule counts hits
+    but never fires — layouts must be byte-identical to a disarmed run. *)
+
+val disarm : unit -> unit
+val armed : unit -> bool
+
+val hits : site -> int
+(** Probe hits recorded at [site] since the last {!arm} (0 when disarmed). *)
+
+val probe : site -> unit
+(** Plant point: no-op when disarmed; counts and possibly raises {!Fault}. *)
+
+val of_seed : ?faults:int -> int -> schedule
+(** Deterministic schedule from a seed: [faults] (default 2) pairs drawn from
+    an LCG over all sites with hit numbers in [1, 50]. *)
+
+val parse_spec : string -> (schedule, string) Stdlib.result
+(** Parse a CLI spec: ["seed:N"] (optionally ["seed:N:FAULTS"]) or a comma
+    list of [SITE\@HIT] like ["rule-lookup\@3,pool-task\@1"]. *)
+
+val to_diag : site -> int -> Diag.t
+(** Render a caught {!Fault} as a structured diagnostic. *)

@@ -1,0 +1,25 @@
+type mode = Strict | Permissive
+
+let current = Atomic.make Strict
+let set_mode m = Atomic.set current m
+let mode () = Atomic.get current
+let permissive () = Atomic.get current = Permissive
+
+let lock = Mutex.create ()
+let sink : Diag.t list ref = ref []
+
+let report d =
+  Mutex.lock lock;
+  sink := d :: !sink;
+  Mutex.unlock lock
+
+let drain () =
+  Mutex.lock lock;
+  let ds = List.rev !sink in
+  sink := [];
+  Mutex.unlock lock;
+  ds
+
+let reset () =
+  set_mode Strict;
+  ignore (drain ())

@@ -1,0 +1,23 @@
+(** Global failure policy and diagnostic sink.
+
+    [Strict] (the default) keeps historical behavior: any placement failure
+    escapes as an exception.  [Permissive] lets the compactor degrade per
+    placement — retry the opposite direction, then skip the object and
+    {!report} a diagnostic — so one bad placement cannot sink a whole
+    unattended run.  The sink is thread-safe; boundaries {!drain} it into the
+    diagnostics report. *)
+
+type mode = Strict | Permissive
+
+val set_mode : mode -> unit
+val mode : unit -> mode
+val permissive : unit -> bool
+
+val report : Diag.t -> unit
+(** Append a diagnostic to the global sink. *)
+
+val drain : unit -> Diag.t list
+(** Take (and clear) the sink, in report order. *)
+
+val reset : unit -> unit
+(** Back to [Strict] with an empty sink. *)

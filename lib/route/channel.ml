@@ -21,8 +21,12 @@ module Rect = Amg_geometry.Rect
 module Rules = Amg_tech.Rules
 module Lobj = Amg_layout.Lobj
 module Env = Amg_core.Env
+module Diag = Amg_robust.Diag
 
-exception Unroutable of string
+(* Routing failures are structured diagnostics (subsystem [Route]); the
+   message texts are part of the test surface, the codes and hints are the
+   machine-readable layer on top. *)
+let unroutable ?hint code fmt = Diag.failf ?hint Diag.Route ~code fmt
 
 type spec = {
   top : (int * string) list;     (* x position, net *)
@@ -112,10 +116,9 @@ let validate spec =
         List.iter
           (fun (x', n') ->
             if x = x' && not (String.equal n n') then
-              raise
-                (Unroutable
-                   (Printf.sprintf "two %s pins share column x=%d (%s, %s)"
-                      side x n n')))
+              unroutable "route.pin-clash"
+                ~hint:"every column may carry at most one pin per side"
+                "two %s pins share column x=%d (%s, %s)" side x n n')
           pins)
       pins
   in
@@ -127,7 +130,9 @@ let assign spec =
   let nets = nets_of spec in
   let edges = vcg spec in
   if has_cycle nets edges then
-    raise (Unroutable "cyclic vertical constraints (needs doglegs)");
+    unroutable "route.unroutable-cyclic"
+      ~hint:"route_dogleg splits nets into segments to break VCG cycles"
+      "cyclic vertical constraints (needs doglegs)";
   let iv = intervals spec in
   let interval n = Hashtbl.find iv n in
   let placed = Hashtbl.create 16 in
@@ -147,7 +152,8 @@ let assign spec =
       |> List.sort (fun a b -> compare (fst (interval a)) (fst (interval b)))
     in
     if candidates = [] then
-      raise (Unroutable "vertical constraints block every remaining net");
+      unroutable "route.unroutable-blocked"
+        "vertical constraints block every remaining net";
     let on_track = ref [] in
     List.iter
       (fun n ->
@@ -188,10 +194,10 @@ let route env obj ~spec ~y_top ~y_bottom ~x0 =
   in
   let needed = (track_count * pitch) + (2 * pitch) in
   if y_top - y_bottom < needed then
-    raise
-      (Unroutable
-         (Printf.sprintf "channel too short: %d nm for %d tracks (need %d)"
-            (y_top - y_bottom) track_count needed));
+    unroutable "route.channel-too-short"
+      ~hint:"widen the channel or reduce the number of competing nets"
+      "channel too short: %d nm for %d tracks (need %d)" (y_top - y_bottom)
+      track_count needed;
   let iv = intervals spec in
   let track_y t = y_top - ((t + 1) * pitch) in
   List.iter
@@ -291,7 +297,8 @@ let assign_dogleg spec =
   let names = List.map seg_name segs in
   let edges = seg_vcg spec segs in
   if has_cycle names edges then
-    raise (Unroutable "cyclic vertical constraints even with doglegs");
+    unroutable "route.unroutable-cyclic"
+      "cyclic vertical constraints even with doglegs";
   let interval name =
     let s = List.find (fun s -> String.equal (seg_name s) name) segs in
     (s.s_lo, s.s_hi)
@@ -312,7 +319,8 @@ let assign_dogleg spec =
       |> List.sort (fun a b -> compare (fst (interval a)) (fst (interval b)))
     in
     if candidates = [] then
-      raise (Unroutable "vertical constraints block every remaining segment");
+      unroutable "route.unroutable-blocked"
+        "vertical constraints block every remaining segment";
     let on_track = ref [] in
     List.iter
       (fun n ->
@@ -352,10 +360,10 @@ let route_dogleg env obj ~spec ~y_top ~y_bottom ~x0 =
   in
   let needed = (track_count * pitch) + (2 * pitch) in
   if y_top - y_bottom < needed then
-    raise
-      (Unroutable
-         (Printf.sprintf "channel too short: %d nm for %d tracks (need %d)"
-            (y_top - y_bottom) track_count needed));
+    unroutable "route.channel-too-short"
+      ~hint:"widen the channel or reduce the number of competing nets"
+      "channel too short: %d nm for %d tracks (need %d)" (y_top - y_bottom)
+      track_count needed;
   let track_y t = y_top - ((t + 1) * pitch) in
   List.iter
     (fun s ->

@@ -5,9 +5,9 @@
     track), vertical metal2 branches with vias.  Vertical constraints
     (a column with both a top and a bottom pin forces the top net's trunk
     above the bottom net's) are honoured; cyclic constraints would need
-    doglegs and raise {!Unroutable}. *)
-
-exception Unroutable of string
+    doglegs and fail with a structured diagnostic
+    ({!Amg_robust.Diag.Fail}, subsystem [Route], codes under
+    ["route."]). *)
 
 type spec = {
   top : (int * string) list;     (** pin x position (nm), net *)
@@ -31,7 +31,8 @@ val vcg : spec -> (string * string) list
 
 val assign : spec -> (string * int) list * int
 (** Track assignment and track count.
-    @raise Unroutable on cyclic vertical constraints. *)
+    @raise Amg_robust.Diag.Fail on cyclic vertical constraints
+    (code ["route.unroutable-cyclic"]). *)
 
 val route :
   Amg_core.Env.t ->
@@ -43,7 +44,8 @@ val route :
   result
 (** Add the channel's geometry between [y_bottom] and [y_top]: trunks,
     branches from the two edges, vias.
-    @raise Unroutable when the channel is too short for the tracks. *)
+    @raise Amg_robust.Diag.Fail when the channel is too short for the
+    tracks (code ["route.channel-too-short"]). *)
 
 (** {2 Restricted doglegs (Deutsch)}
 
@@ -62,7 +64,8 @@ val seg_vcg : spec -> seg list -> (string * string) list
 
 val assign_dogleg : spec -> seg list * (string * int) list * int
 (** Segments, their track assignment (keyed by {!seg_name}) and the track
-    count.  @raise Unroutable when even the segment graph is cyclic. *)
+    count.  @raise Amg_robust.Diag.Fail when even the segment graph is
+    cyclic. *)
 
 val route_dogleg :
   Amg_core.Env.t ->

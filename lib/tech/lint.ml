@@ -274,3 +274,18 @@ let check tech =
     ]
 
 let is_clean tech = errors (check tech) = []
+
+(* Bridge into the structured diagnostics layer: lint codes become
+   ["tech.lint."]-prefixed Diag codes so 'amgen tech' can report deck
+   problems through the same channel as every other failure. *)
+let to_diags ?file issues =
+  let module Diag = Amg_robust.Diag in
+  List.map
+    (fun i ->
+      let severity =
+        match i.severity with Error -> Diag.Error | Warning -> Diag.Warning
+      in
+      let payload = match file with None -> [] | Some f -> [ ("file", f) ] in
+      Diag.v ~severity ~payload Diag.Tech ~code:("tech.lint." ^ i.code)
+        i.message)
+    issues

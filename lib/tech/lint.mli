@@ -32,3 +32,7 @@ val is_clean : Technology.t -> bool
 
 val pp_issue : Format.formatter -> issue -> unit
 val pp : Format.formatter -> issue list -> unit
+
+val to_diags : ?file:string -> issue list -> Amg_robust.Diag.t list
+(** Issues as structured diagnostics (codes prefixed ["tech.lint."],
+    subsystem [Tech]); [?file] names the deck in each payload. *)

@@ -39,11 +39,14 @@ let set_min_area t layer a = Hashtbl.replace t.min_areas layer a
 let set_latchup_dist t d = t.latchup_dist <- d
 
 let width t layer =
+  Amg_robust.Inject.(probe Rule_lookup);
   match Hashtbl.find_opt t.widths layer with Some d -> d | None -> t.grid
 
 let width_opt t layer = Hashtbl.find_opt t.widths layer
 
-let space t a b = Hashtbl.find_opt t.spaces (norm_pair a b)
+let space t a b =
+  Amg_robust.Inject.(probe Rule_lookup);
+  Hashtbl.find_opt t.spaces (norm_pair a b)
 
 let space_or_zero t a b =
   match space t a b with Some d -> d | None -> 0

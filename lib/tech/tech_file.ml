@@ -15,18 +15,28 @@
 *)
 
 module Units = Amg_geometry.Units
+module Diag = Amg_robust.Diag
 
-exception Parse_error of int * string
+(* Every parse failure is a structured diagnostic carrying the file (when
+   known) and 1-based line of the offending directive. *)
+let fail ?file ~code line fmt =
+  Diag.failf
+    ~span:(Diag.span ?file line)
+    ~hint:"see the technology file format reference in README.md"
+    Diag.Tech ~code fmt
 
-let fail line fmt = Fmt.kstr (fun m -> raise (Parse_error (line, m))) fmt
-
-let nm_of_string line s =
+let nm_of_string ?file line s =
   match float_of_string_opt s with
   | Some f -> Units.of_um f
-  | None -> fail line "expected a number, got %S" s
+  | None -> fail ?file ~code:"tech.parse.bad-number" line "expected a number, got %S" s
 
+(* Tolerate tabs and CRLF line endings: '\r' left by splitting a CRLF file
+   on '\n' is just another separator. *)
 let split_words s =
-  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
+  |> List.filter (fun w -> w <> "")
 
 (* A comment starts at a '#' that begins the line or follows whitespace —
    a '#' inside a token (a colour value like [color=#cc2222]) is data. *)
@@ -40,12 +50,14 @@ let strip_comment s =
   in
   match find 0 with Some i -> String.sub s 0 i | None -> s
 
-let parse_layer_line lineno = function
+let parse_layer_line ?file lineno = function
   | name :: kind_s :: opts ->
       let kind =
         match Layer.kind_of_string kind_s with
         | Some k -> k
-        | None -> fail lineno "unknown layer kind %S" kind_s
+        | None ->
+            fail ?file ~code:"tech.parse.unknown-layer-kind" lineno
+              "unknown layer kind %S" kind_s
       in
       let gds = ref 0
       and res = ref 0.
@@ -57,14 +69,18 @@ let parse_layer_line lineno = function
       let float_opt v =
         match float_of_string_opt v with
         | Some f -> f
-        | None -> fail lineno "bad numeric option value %S" v
+        | None ->
+            fail ?file ~code:"tech.parse.bad-number" lineno
+              "bad numeric option value %S" v
       in
       List.iter
         (fun opt ->
           match String.index_opt opt '=' with
           | None ->
               if opt = "nonconducting" then conducting := false
-              else fail lineno "unknown layer option %S" opt
+              else
+                fail ?file ~code:"tech.parse.unknown-option" lineno
+                  "unknown layer option %S" opt
           | Some i -> (
               let k = String.sub opt 0 i
               and v = String.sub opt (i + 1) (String.length opt - i - 1) in
@@ -77,23 +93,29 @@ let parse_layer_line lineno = function
               | "fill" -> (
                   match Patterns.style_of_string v with
                   | Some s -> style := s
-                  | None -> fail lineno "unknown fill style %S" v)
-              | _ -> fail lineno "unknown layer option %S" k))
+                  | None ->
+                      fail ?file ~code:"tech.parse.unknown-option" lineno
+                        "unknown fill style %S" v)
+              | _ ->
+                  fail ?file ~code:"tech.parse.unknown-option" lineno
+                    "unknown layer option %S" k))
         opts;
       Layer.make ~name ~kind ~gds:!gds ~conducting:!conducting ~sheet_res:!res
         ~area_cap:!acap ~fringe_cap:!fcap
         ~fill:(Patterns.make ~style:!style !color)
         ()
-  | _ -> fail lineno "layer line needs at least a name and a kind"
+  | _ ->
+      fail ?file ~code:"tech.parse.layer-line" lineno
+        "layer line needs at least a name and a kind"
 
-let parse_string src =
+let parse_string ?file src =
   let lines = String.split_on_char '\n' src in
   (* First pass: pick up the grid so the rule table starts correct. *)
   let grid = ref 50 in
   List.iteri
     (fun i line ->
       match split_words (strip_comment line) with
-      | [ "grid"; v ] -> grid := nm_of_string (i + 1) v
+      | [ "grid"; v ] -> grid := nm_of_string ?file (i + 1) v
       | _ -> ())
     lines;
   let rules = Rules.create ~grid:!grid () in
@@ -101,10 +123,13 @@ let parse_string src =
   let get_tech lineno =
     match !tech with
     | Some t -> t
-    | None -> fail lineno "the first directive must be 'technology <name>'"
+    | None ->
+        fail ?file ~code:"tech.parse.missing-technology" lineno
+          "the first directive must be 'technology <name>'"
   in
   let check_layer lineno t l =
-    if not (Technology.mem_layer t l) then fail lineno "unknown layer %S" l
+    if not (Technology.mem_layer t l) then
+      fail ?file ~code:"tech.parse.unknown-layer" lineno "unknown layer %S" l
   in
   List.iteri
     (fun i line ->
@@ -112,59 +137,64 @@ let parse_string src =
       match split_words (strip_comment line) with
       | [] -> ()
       | [ "technology"; name ] ->
-          if !tech <> None then fail lineno "duplicate 'technology' directive";
+          if !tech <> None then
+            fail ?file ~code:"tech.parse.duplicate-technology" lineno
+              "duplicate 'technology' directive";
           tech := Some (Technology.create ~name ~rules ())
       | [ "grid"; _ ] -> ()
       | [ "latchup"; v ] ->
           ignore (get_tech lineno);
-          Rules.set_latchup_dist rules (nm_of_string lineno v)
+          Rules.set_latchup_dist rules (nm_of_string ?file lineno v)
       | "layer" :: rest ->
-          Technology.add_layer (get_tech lineno) (parse_layer_line lineno rest)
+          Technology.add_layer (get_tech lineno)
+            (parse_layer_line ?file lineno rest)
       | [ "width"; l; v ] ->
           check_layer lineno (get_tech lineno) l;
-          Rules.set_width rules l (nm_of_string lineno v)
+          Rules.set_width rules l (nm_of_string ?file lineno v)
       | [ "space"; a; b; v ] ->
           let t = get_tech lineno in
           check_layer lineno t a;
           check_layer lineno t b;
-          Rules.set_space rules a b (nm_of_string lineno v)
+          Rules.set_space rules a b (nm_of_string ?file lineno v)
       | [ "enclose"; outer; inner; v ] ->
           let t = get_tech lineno in
           check_layer lineno t outer;
           check_layer lineno t inner;
-          Rules.set_enclosure rules ~outer ~inner (nm_of_string lineno v)
+          Rules.set_enclosure rules ~outer ~inner (nm_of_string ?file lineno v)
       | [ "extend"; of_; past; v ] ->
           let t = get_tech lineno in
           check_layer lineno t of_;
           check_layer lineno t past;
-          Rules.set_extension rules ~of_ ~past (nm_of_string lineno v)
+          Rules.set_extension rules ~of_ ~past (nm_of_string ?file lineno v)
       | [ "cutsize"; l; v ] ->
           check_layer lineno (get_tech lineno) l;
-          Rules.set_cut_size rules l (nm_of_string lineno v)
+          Rules.set_cut_size rules l (nm_of_string ?file lineno v)
       | [ "cutspace"; l; v ] ->
           check_layer lineno (get_tech lineno) l;
-          Rules.set_cut_space rules l (nm_of_string lineno v)
+          Rules.set_cut_space rules l (nm_of_string ?file lineno v)
       | [ "minarea"; l; v ] ->
           (* Value in um^2. *)
           check_layer lineno (get_tech lineno) l;
           let a =
             match float_of_string_opt v with
             | Some f when f >= 0. -> int_of_float (f *. 1.0e6)
-            | _ -> fail lineno "bad area %S" v
+            | _ -> fail ?file ~code:"tech.parse.bad-number" lineno "bad area %S" v
           in
           Rules.set_min_area rules l a
-      | w :: _ -> fail lineno "unknown directive %S" w)
+      | w :: _ ->
+          fail ?file ~code:"tech.parse.unknown-directive" lineno
+            "unknown directive %S" w)
     lines;
   match !tech with
   | Some t -> t
-  | None -> fail 1 "empty technology file"
+  | None -> fail ?file ~code:"tech.parse.empty" 1 "empty technology file"
 
 let load path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let src = really_input_string ic n in
   close_in ic;
-  parse_string src
+  parse_string ~file:path src
 
 let um_str nm =
   let f = Units.to_um nm in

@@ -5,14 +5,14 @@
     here is line oriented with distances in micrometres; see the project
     README for a full example.  {!to_string} and {!parse_string} round-trip. *)
 
-exception Parse_error of int * string
-(** Line number and message. *)
-
-val parse_string : string -> Technology.t
-(** @raise Parse_error on malformed input. *)
+val parse_string : ?file:string -> string -> Technology.t
+(** @raise Amg_robust.Diag.Fail on malformed input; the diagnostic's span
+    carries [?file] (when given) and the 1-based line of the offending
+    directive, its codes live under ["tech.parse."]. *)
 
 val load : string -> Technology.t
-(** Read a technology from a file. @raise Parse_error, [Sys_error]. *)
+(** Read a technology from a file.
+    @raise Amg_robust.Diag.Fail on malformed input, [Sys_error] on I/O. *)
 
 val to_string : Technology.t -> string
 (** Canonical textual form (sorted rule sections). *)

@@ -8,6 +8,7 @@ module Value = Amg_lang.Value
 module Lobj = Amg_layout.Lobj
 module Rect = Amg_geometry.Rect
 module Env = Amg_core.Env
+module Diag = Amg_robust.Diag
 
 let um = Amg_geometry.Units.of_um
 let env () = Env.bicmos ()
@@ -41,15 +42,15 @@ let test_lexer_basics () =
 let test_lexer_errors () =
   check_bool "unterminated string" true
     (match Lexer.tokenize "x = \"abc" with
-    | exception Lexer.Error (1, _) -> true
+    | exception Diag.Fail d -> Diag.line_of d = 1
     | _ -> false);
   check_bool "bad char" true
     (match Lexer.tokenize "x = §" with
-    | exception Lexer.Error (1, _) -> true
+    | exception Diag.Fail d -> Diag.line_of d = 1
     | _ -> false);
   check_bool "line numbers" true
     (match Lexer.tokenize "a\nb\nx = \"oops" with
-    | exception Lexer.Error (3, _) -> true
+    | exception Diag.Fail d -> Diag.line_of d = 3
     | _ -> false)
 
 (* --- parser --- *)
@@ -90,11 +91,11 @@ let test_parser_blocks () =
 let test_parser_errors () =
   check_bool "missing paren" true
     (match Parser.parse_program "f(1\n" with
-    | exception Parser.Error (_, _) -> true
+    | exception Diag.Fail _ -> true
     | _ -> false);
   check_bool "bad optional param" true
     (match Parser.parse_program "ENT F(<a)\n  f()\n" with
-    | exception Parser.Error (1, _) -> true
+    | exception Diag.Fail d -> Diag.line_of d = 1
     | _ -> false)
 
 (* --- interpreter --- *)
@@ -111,13 +112,13 @@ let test_interp_arithmetic_and_print () =
 let test_interp_division_by_zero () =
   check_bool "raises" true
     (match Interp.run (env ()) (Parser.parse_program "x = 1 / 0\n") with
-    | exception Interp.Runtime_error _ -> true
+    | exception Diag.Fail _ -> true
     | _ -> false)
 
 let test_interp_unbound () =
   check_bool "unbound" true
     (match Interp.run (env ()) (Parser.parse_program "x = nosuch\n") with
-    | exception Interp.Runtime_error _ -> true
+    | exception Diag.Fail _ -> true
     | _ -> false)
 
 let test_interp_contact_row () =
@@ -136,7 +137,7 @@ let test_interp_optional_params () =
   check "one contact" 1 (List.length (Lobj.shapes_on o "contact"));
   check_bool "missing required" true
     (match build Amg_lang.Stdlib.contact_row "ContactRow" [] with
-    | exception Interp.Runtime_error _ -> true
+    | exception Diag.Fail _ -> true
     | _ -> false)
 
 let test_interp_copy_semantics () =
@@ -196,7 +197,7 @@ ENT F()
     (match
        build "ENT G()\n  CHOOSE\n    INBOX(\"metal1\", 0.1, 1)\n  ORELSE\n    INBOX(\"metal1\", 0.2, 1)\n  END\n" "G" []
      with
-    | exception Interp.Runtime_error _ -> true
+    | exception Diag.Fail _ -> true
     | _ -> false)
 
 let test_interp_diff_pair () =
@@ -285,13 +286,16 @@ ENT W()
   check "x1" (um 11.) bb.Amg_geometry.Rect.x1;
   check "y1" (um 9.) bb.Amg_geometry.Rect.y1;
   (* Diagonal segments are rejected. *)
-  Alcotest.check_raises "diagonal"
-    (Amg_lang.Interp.Runtime_error "WIRE: segment (0,0)-(3,4) is diagonal")
-    (fun () ->
-      ignore (build {|
+  check_bool "diagonal" true
+    (match
+       build {|
 ENT W()
   WIRE("metal1", 2, 0, 0, 3, 4)
-|} "W" []))
+|} "W" []
+     with
+    | exception Diag.Fail d ->
+        String.equal d.Diag.message "WIRE: segment (0,0)-(3,4) is diagonal"
+    | _ -> false)
 
 let test_interp_via_contact () =
   let src = {|
@@ -327,15 +331,18 @@ ENT B()
   (* The two landing boxes plus at least one connecting segment. *)
   check_bool "wire added" true (List.length (Lobj.shapes_on o "metal1") >= 3);
   (* Unknown port is a runtime error. *)
-  Alcotest.check_raises "missing port"
-    (Amg_lang.Interp.Runtime_error "CONNECT: first port \"zz\" not found")
-    (fun () ->
-      ignore (build {|
+  check_bool "missing port" true
+    (match
+       build {|
 ENT C()
   INBOX("metal1", 2, 2, net = "n")
   PORT("pa", "n", "metal1")
   CONNECT("zz", "pa")
-|} "C" []))
+|} "C" []
+     with
+    | exception Diag.Fail d ->
+        String.equal d.Diag.message "CONNECT: first port \"zz\" not found"
+    | _ -> false)
 
 let test_interp_numeric_builtins () =
   let src = {|
@@ -375,9 +382,9 @@ ENT Loop()
 |} in
   check_bool "runaway recursion caught" true
     (match build src "Loop" [] with
-    | exception Amg_lang.Interp.Runtime_error m ->
+    | exception Diag.Fail d ->
         (* Mentions the depth limit rather than blowing the stack. *)
-        String.length m > 0 && m.[0] = 'e'
+        String.equal d.Diag.code "lang.run.recursion-limit"
     | _ -> false)
 
 (* --- printer round trip --- *)
@@ -470,8 +477,7 @@ let prop_parser_total =
     (fun src ->
       match Parser.parse_program src with
       | _ -> true
-      | exception Amg_lang.Lexer.Error (line, _) -> line >= 1
-      | exception Amg_lang.Parser.Error (line, _) -> line >= 1)
+      | exception Diag.Fail d -> Diag.line_of d >= 1)
 
 (* Keyword-shaped fuzz: random token soup from the language's own
    vocabulary exercises the parser's error paths much harder than raw
@@ -489,8 +495,7 @@ let prop_parser_total_tokens =
       let src = String.concat " " words in
       match Parser.parse_program src with
       | _ -> true
-      | exception Amg_lang.Lexer.Error _ -> true
-      | exception Amg_lang.Parser.Error _ -> true)
+      | exception Diag.Fail _ -> true)
 
 let suite =
   [

@@ -18,4 +18,5 @@ let () =
       ("amplifier", Test_amplifier.suite);
       ("extract", Test_extract.suite);
       ("tech-indep", Test_tech_indep.suite);
+      ("robust", Test_robust.suite);
     ]

@@ -62,7 +62,8 @@ let test_roundtrip () =
 
 let expect_parse_error ~line src =
   match Tech_file.parse_string src with
-  | exception Tech_file.Parse_error (l, _) -> check "error line" line l
+  | exception Amg_robust.Diag.Fail d ->
+      check "error line" line (Amg_robust.Diag.line_of d)
   | _ -> Alcotest.fail "expected a parse error"
 
 let test_parse_errors () =
