@@ -17,6 +17,8 @@ module Optimize = Amg_core.Optimize
 module Rating = Amg_core.Rating
 module Successive = Amg_compact.Successive
 module Edge_graph = Amg_compact.Edge_graph
+module Budget = Amg_robust.Budget
+module Pcache = Amg_core.Prefix_cache
 module M = Amg_modules
 module A = Amg_amplifier.Amplifier
 
@@ -700,15 +702,28 @@ let compact_steps env n =
       in
       Optimize.step row (if i mod 2 = 0 then Dir.South else Dir.West))
 
+(* Past exhaustive reach the bb search runs under a deterministic eval
+   cap (a per-sub-search node quota), so the n=8 and n=12 rows report a
+   real best-so-far instead of being skipped. *)
+let bb_node_cap n = if n <= 6 then None else Some (500 * n)
+
 (* Returns its result rows; [write_bench_json] merges them with the
-   parallel-scaling rows into one BENCH_compact.json. *)
+   parallel-scaling rows into one BENCH_compact.json.
+
+   Methodology: [*_cold_s] is the first run at that n — the prefix cache
+   holds nothing for these steps yet, so it measures a from-scratch
+   search; [*_s] is the median of 3 further runs sharing the cache, the
+   steady state of a generator that re-optimizes the same module.  Both
+   return byte-identical results (the cache only changes time), and
+   [apply] never touches the cache, so [apply_s] stays a raw compaction
+   measurement. *)
 let compact_scaling env =
   section "COMPACT-SCALING  apply / optimize_bb / optimize_local vs n";
   (* Settle the heap left behind by the preceding sections so the medians
      compare across runs (and against a standalone build of this section). *)
   Gc.compact ();
-  Fmt.pr "%4s %10s %12s %8s %8s %14s@." "n" "apply/ms" "local/ms" "rating"
-    "evals" "bb";
+  Fmt.pr "%4s %10s %11s %11s %8s %8s %22s@." "n" "apply/ms" "localC/ms"
+    "localW/ms" "rating" "evals" "bb cold/warm";
   let rows =
     List.map
       (fun n ->
@@ -717,30 +732,29 @@ let compact_scaling env =
           median_time ~repeats:5 (fun () ->
               ignore (Optimize.apply env ~name:"pack" steps))
         in
+        let (_, r_local, _, evals), t_local_cold =
+          wall (fun () -> Optimize.optimize_local env ~name:"pack" steps)
+        in
         let t_local =
           median_time ~repeats:3 (fun () ->
               ignore (Optimize.optimize_local env ~name:"pack" steps))
         in
-        let _, r_local, _, evals =
-          Optimize.optimize_local env ~name:"pack" steps
+        let run_bb () =
+          match bb_node_cap n with
+          | None -> Optimize.optimize_bb env ~name:"pack" steps
+          | Some cap ->
+              let budget = Budget.create ~max_evals:cap () in
+              Optimize.optimize_bb env ~name:"pack" ~budget steps
         in
-        let bb =
-          if n <= 6 then begin
-            let (_, r, _, nodes), t =
-              wall (fun () -> Optimize.optimize_bb env ~name:"pack" steps)
-            in
-            Some (t, r, nodes)
-          end
-          else None
-        in
-        let bb_str =
-          match bb with
-          | Some (t, r, nodes) ->
-              Printf.sprintf "%.1f ms (%.0f, %d nodes)" (t *. 1000.) r nodes
-          | None -> "skipped"
-        in
-        Fmt.pr "%4d %10.2f %12.2f %8.1f %8d %14s@." n (t_apply *. 1000.)
-          (t_local *. 1000.) r_local evals bb_str;
+        let (_, r_bb, _, nodes), t_bb_cold = wall run_bb in
+        let t_bb = median_time ~repeats:3 (fun () -> ignore (run_bb ())) in
+        let bb = (t_bb_cold, t_bb, r_bb, nodes, bb_node_cap n <> None) in
+        Fmt.pr "%4d %10.2f %11.2f %11.2f %8.1f %8d %10.1f/%.1f ms%s@." n
+          (t_apply *. 1000.)
+          (t_local_cold *. 1000.)
+          (t_local *. 1000.) r_local evals (t_bb_cold *. 1000.)
+          (t_bb *. 1000.)
+          (if bb_node_cap n <> None then " (capped)" else "");
         (* One instrumented (untimed) build per n: the work counters are
            deterministic, so they diff cleanly across runs — unlike wall
            times.  Captured after the timing loops so the probes' cost
@@ -766,7 +780,7 @@ let compact_scaling env =
           Amg_obs.Obs.reset ();
           r
         in
-        (n, t_apply, t_local, r_local, evals, bb, counters))
+        (n, t_apply, t_local_cold, t_local, r_local, evals, bb, counters))
       [ 4; 6; 8; 12 ]
   in
   rows
@@ -818,31 +832,36 @@ let parallel_scaling env =
     [ 8; 12 ]
 
 (* The JSON schema is fixed: every row carries the same keys in the same
-   order (the bb_* keys are null when the search was skipped), and
-   timings are rounded to 0.1 ms, so diffs between runs touch only the
-   digits that actually moved.  The per-row "counters" object holds the
-   deterministic work counters from one instrumented build. *)
+   order, and timings are rounded to 0.1 ms, so diffs between runs touch
+   only the digits that actually moved.  [*_cold_s] is the first
+   (cache-cold) run, [*_s] the median of 3 cache-warm repeats — see
+   [compact_scaling]; [bb_capped] marks rows searched under the
+   deterministic node cap.  The per-row "counters" object holds the
+   deterministic work counters from one instrumented cache-free build;
+   the top-level "prefix_cache" object is this process's cumulative cache
+   traffic (machine-dependent in detail, but hits must be far from 0). *)
 let write_bench_json compact_rows parallel_rows =
   let oc = open_out "BENCH_compact.json" in
-  let bb_json = function
-    | Some (t, r, nodes) ->
-        Printf.sprintf "\"bb_s\":%.4f,\"bb_rating\":%.4f,\"bb_nodes\":%d" t r
-          nodes
-    | None -> "\"bb_s\":null,\"bb_rating\":null,\"bb_nodes\":null"
+  let bb_json (t_cold, t, r, nodes, capped) =
+    Printf.sprintf
+      "\"bb_cold_s\":%.4f,\"bb_s\":%.4f,\"bb_rating\":%.4f,\"bb_nodes\":%d,\"bb_capped\":%b"
+      t_cold t r nodes capped
   in
   let counters_json cs =
     String.concat ","
       (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v) cs)
   in
+  let cs = Pcache.stats (Pcache.default ()) in
   Printf.fprintf oc
-    "{\n  \"workload\": \"contact rows, w=20+(i mod 4)*12 um, S/W alternating\",\n  \"times\": \"median wall seconds, rounded to 0.1 ms\",\n  \"host_recommended_domains\": %d,\n  \"rows\": [\n%s\n  ],\n  \"parallel_scaling\": [\n%s\n  ]\n}\n"
+    "{\n  \"workload\": \"contact rows, w=20+(i mod 4)*12 um, S/W alternating\",\n  \"times\": \"cold = first run, warm = median of 3 repeats sharing the prefix cache; wall seconds, rounded to 0.1 ms\",\n  \"host_recommended_domains\": %d,\n  \"prefix_cache\": {\"hits\":%d,\"misses\":%d,\"evictions\":%d},\n  \"rows\": [\n%s\n  ],\n  \"parallel_scaling\": [\n%s\n  ]\n}\n"
     (Amg_parallel.Pool.recommended ())
+    cs.Pcache.hits cs.Pcache.misses cs.Pcache.evictions
     (String.concat ",\n"
        (List.map
-          (fun (n, ta, tl, r, evals, bb, counters) ->
+          (fun (n, ta, tlc, tl, r, evals, bb, counters) ->
             Printf.sprintf
-              "    {\"n\":%d,\"apply_s\":%.4f,\"local_s\":%.4f,\"local_rating\":%.4f,\"local_evals\":%d,%s,\"counters\":{%s}}"
-              n ta tl r evals (bb_json bb) (counters_json counters))
+              "    {\"n\":%d,\"apply_s\":%.4f,\"local_cold_s\":%.4f,\"local_s\":%.4f,\"local_rating\":%.4f,\"local_evals\":%d,%s,\"counters\":{%s}}"
+              n ta tlc tl r evals (bb_json bb) (counters_json counters))
           compact_rows))
     (String.concat ",\n"
        (List.map
@@ -853,6 +872,111 @@ let write_bench_json compact_rows parallel_rows =
           parallel_rows));
   close_out oc;
   Fmt.pr "(medians written to BENCH_compact.json)@."
+
+(* ------------------------------------------------------------------ *)
+(* Smoke mode (CI): `bench compact_scaling 4,6` re-runs the optimizer  *)
+(* rows for the given n and asserts the ratings match the committed    *)
+(* BENCH_compact.json exactly and that the prefix cache actually hits  *)
+(* for optimize_local.  Never rewrites the JSON; exits 1 on mismatch.  *)
+(* ------------------------------------------------------------------ *)
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go from
+
+(* The committed value of "key":<float> at or after [from]; None when the
+   key is absent or null.  The JSON is machine-written with a fixed key
+   order, so plain substring scanning is reliable here. *)
+let float_after s key from =
+  match find_sub s (Printf.sprintf "\"%s\":" key) from with
+  | None -> None
+  | Some i -> (
+      let j = i + String.length key + 3 in
+      let k = ref j in
+      while
+        !k < String.length s
+        &&
+        match s.[!k] with
+        | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        incr k
+      done;
+      if !k = j then None
+      else Some (float_of_string (String.sub s j (!k - j))))
+
+let compact_smoke env ns =
+  let json =
+    let ic = open_in "BENCH_compact.json" in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let failures = ref 0 in
+  let check what n expected got =
+    (* Compare at the JSON's own 0.1 ms-era rounding: 4 decimals. *)
+    let same =
+      match expected with
+      | None -> false
+      | Some e -> Printf.sprintf "%.4f" e = Printf.sprintf "%.4f" got
+    in
+    if same then Fmt.pr "  ok   n=%d %s = %.4f@." n what got
+    else begin
+      incr failures;
+      Fmt.pr "  FAIL n=%d %s: committed %s, got %.4f@." n what
+        (match expected with
+        | Some e -> Printf.sprintf "%.4f" e
+        | None -> "absent")
+        got
+    end
+  in
+  Fmt.pr "bench smoke: compact_scaling n in {%s}@."
+    (String.concat "," (List.map string_of_int ns));
+  List.iter
+    (fun n ->
+      let row =
+        match find_sub json (Printf.sprintf "{\"n\":%d,\"apply_s\"" n) 0 with
+        | Some i -> i
+        | None ->
+            Fmt.pr "  FAIL no committed row for n=%d@." n;
+            incr failures;
+            0
+      in
+      let steps = compact_steps env n in
+      let hits0 = (Pcache.stats (Pcache.default ())).Pcache.hits in
+      (* Twice: the second run must resume from the first one's prefixes. *)
+      let _, r1, _, _ = Optimize.optimize_local env ~name:"pack" steps in
+      let _, r2, _, _ = Optimize.optimize_local env ~name:"pack" steps in
+      let hits = (Pcache.stats (Pcache.default ())).Pcache.hits - hits0 in
+      check "local_rating" n (float_after json "local_rating" row) r1;
+      if not (Float.equal r1 r2) then begin
+        incr failures;
+        Fmt.pr "  FAIL n=%d warm rerun rating %.4f <> cold %.4f@." n r2 r1
+      end;
+      if hits = 0 then begin
+        incr failures;
+        Fmt.pr "  FAIL n=%d optimize_local never hit the prefix cache@." n
+      end
+      else Fmt.pr "  ok   n=%d prefix-cache hits %d@." n hits;
+      let _, r_bb, _, _ =
+        match bb_node_cap n with
+        | None -> Optimize.optimize_bb env ~name:"pack" steps
+        | Some cap ->
+            let budget = Budget.create ~max_evals:cap () in
+            Optimize.optimize_bb env ~name:"pack" ~budget steps
+      in
+      check "bb_rating" n (float_after json "bb_rating" row) r_bb)
+    ns;
+  if !failures > 0 then begin
+    Fmt.pr "bench smoke: %d failure(s)@." !failures;
+    exit 1
+  end;
+  Fmt.pr "bench smoke: all checks passed@."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core kernels.                      *)
@@ -902,6 +1026,21 @@ let micro env =
   List.iter (fun (name, ns) -> Fmt.pr "%-28s %12.0f ns/run@." name ns) rows
 
 let () =
+  (* The optimizer rows want the whole workload resident: the n=12 local
+     search alone holds ~150 MB of cached prefixes, and an evicting cache
+     churns out exactly the entries the next round resumes from. *)
+  Pcache.set_default_budget_mb 256;
+  (match Array.to_list Sys.argv with
+  | _ :: "compact_scaling" :: rest ->
+      let ns =
+        match rest with
+        | [] -> [ 4; 6 ]
+        | spec :: _ ->
+            List.map int_of_string (String.split_on_char ',' spec)
+      in
+      compact_smoke (Env.bicmos ()) ns;
+      exit 0
+  | _ -> ());
   let env = Env.bicmos () in
   Fmt.pr "Analog module generator environment — benchmark harness@.";
   Fmt.pr "technology: %s@." (Amg_tech.Technology.name (Env.tech env));

@@ -121,6 +121,17 @@ let jobs_arg =
 
 let set_jobs jobs = Option.iter Amg_parallel.Pool.set_default_domains jobs
 
+let cache_mb_arg =
+  let doc =
+    "Byte budget (MiB) of the prefix cache the optimization-mode searches \
+     share; snapshots of already-compacted order prefixes are reused \
+     instead of replayed.  0 disables the cache.  Results are identical \
+     for every value — only the search time changes."
+  in
+  Arg.(value & opt (some int) None & info [ "cache-mb" ] ~docv:"MB" ~doc)
+
+let set_cache_mb mb = Option.iter Amg_core.Prefix_cache.set_default_budget_mb mb
+
 let stats_arg =
   Arg.(value & flag
        & info [ "stats" ]
@@ -405,9 +416,10 @@ let build_cmd =
              ~doc:"After building, print for every compacted object the \
                    binding layer/rule/edge pair that set its final position.")
   in
-  let run tech_file jobs file entity params svg cif gds ascii stats trace
-      explain optimize max_time max_evals mode inject diag_json =
+  let run tech_file jobs cache_mb file entity params svg cif gds ascii stats
+      trace explain optimize max_time max_evals mode inject diag_json =
     set_jobs jobs;
+    set_cache_mb cache_mb;
     run_guarded ~mode ?inject ?diag_json @@ fun () ->
     let code =
       with_obs ~explain ~stats ~trace (fun () ->
@@ -439,10 +451,10 @@ let build_cmd =
   in
   Cmd.v
     (Cmd.info "build" ~doc:"Build an entity from a module source file.")
-    Term.(const run $ tech_arg $ jobs_arg $ file_arg $ entity_arg $ params_arg
-          $ svg_arg $ cif_arg $ gds_arg $ ascii_arg $ stats_arg $ trace_arg
-          $ explain_arg $ optimize_arg $ max_time_arg $ max_evals_arg
-          $ mode_arg $ inject_arg $ diag_json_arg)
+    Term.(const run $ tech_arg $ jobs_arg $ cache_mb_arg $ file_arg
+          $ entity_arg $ params_arg $ svg_arg $ cif_arg $ gds_arg $ ascii_arg
+          $ stats_arg $ trace_arg $ explain_arg $ optimize_arg $ max_time_arg
+          $ max_evals_arg $ mode_arg $ inject_arg $ diag_json_arg)
 
 let diag_of_violation v =
   Diag.v Diag.Drc ~code:"drc.violation" (Amg_drc.Violation.describe v)

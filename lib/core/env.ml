@@ -1,13 +1,20 @@
 module Technology = Amg_tech.Technology
 module Rules = Amg_tech.Rules
 
-type t = { tech : Technology.t }
+type t = { tech : Technology.t; stamp : int }
 
-let create tech = { tech }
+(* Process-unique environment stamp: cache keys derived from step ids are
+   scoped by it, so entries can never leak between environments (different
+   technology decks build different geometry from the same steps). *)
+let next_stamp = Atomic.make 0
+
+let create tech = { tech; stamp = Atomic.fetch_and_add next_stamp 1 }
 
 let bicmos () = create (Amg_tech.Bicmos1u.get ())
 
 let tech t = t.tech
+
+let stamp t = t.stamp
 
 let rules t = Technology.rules t.tech
 

@@ -12,6 +12,11 @@ val bicmos : unit -> t
 (** Environment over the built-in generic 1 um BiCMOS deck. *)
 
 val tech : t -> Amg_tech.Technology.t
+
+val stamp : t -> int
+(** Process-unique id of this environment, assigned at {!create}.  The
+    optimizer's prefix cache scopes its keys by it, so entries built under
+    one technology can never serve another. *)
 val rules : t -> Amg_tech.Rules.t
 val grid : t -> int
 

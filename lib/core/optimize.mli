@@ -15,9 +15,20 @@
     byte-identical layout for {e every} domain count — candidates are
     collected in canonical order and reduced with strict comparisons, so
     scheduling can never change the winner.  Node and evaluation counts are
-    equally domain-count-independent. *)
+    equally domain-count-independent.
+
+    All searches share a {!Prefix_cache}: the layout after a step prefix
+    is a pure function of the environment and the prefix, so an evaluation
+    resumes from the deepest already-built prefix instead of replaying it.
+    [?cache] overrides the process-wide default
+    ({!Prefix_cache.default}; pass {!Prefix_cache.disabled} to opt out).
+    Sharing never changes results: a hit is a faithful copy of a
+    deterministic build, so ratings, chosen orders, layout bytes, node and
+    eval counts are all identical with the cache on or off — only wall
+    time and the [prefix_cache.*] counters differ. *)
 
 type step = {
+  uid : int;  (** canonical identity; the prefix-cache key component *)
   obj : Amg_layout.Lobj.t;
   dir : Amg_geometry.Dir.t;
   ignore_layers : string list;
@@ -32,7 +43,10 @@ val step :
   Amg_layout.Lobj.t ->
   Amg_geometry.Dir.t ->
   step
-(** One [compact(obj, dir, …)] call of a module description. *)
+(** One [compact(obj, dir, …)] call of a module description.  Each call
+    allocates a fresh [uid], so building "the same" step twice yields two
+    cache-distinct steps; searches over a shared step list share cached
+    prefixes, across calls too. *)
 
 val apply :
   ?base:Amg_layout.Lobj.t -> Env.t -> name:string -> step list -> Amg_layout.Lobj.t
@@ -54,6 +68,7 @@ val evaluate_orders :
   ?max_orders:int ->
   ?domains:int ->
   ?budget:Amg_robust.Budget.t ->
+  ?cache:Prefix_cache.t ->
   step list ->
   (Amg_layout.Lobj.t * float * step list) list
 (** Build and rate every order (up to [max_orders], default 720 = 6!);
@@ -79,6 +94,7 @@ val optimize :
   ?max_orders:int ->
   ?domains:int ->
   ?budget:Amg_robust.Budget.t ->
+  ?cache:Prefix_cache.t ->
   step list ->
   Amg_layout.Lobj.t * float * step list
 (** The best order's result, its rating, and the order itself; rating ties
@@ -94,11 +110,18 @@ val optimize_bb :
   ?rating:Rating.t ->
   ?domains:int ->
   ?budget:Amg_robust.Budget.t ->
+  ?cache:Prefix_cache.t ->
   step list ->
   Amg_layout.Lobj.t * float * step list * int
-(** Branch-and-bound over orders: same optimum as the exhaustive search
-    (placing an object never shrinks the bounding box, so the partial area
-    is a sound lower bound), usually visiting far fewer nodes.  The search
+(** Branch-and-bound over orders: same optimum as the exhaustive search,
+    usually visiting far fewer nodes.  The lower bound on a partial order
+    hulls the partial bounding box with the cross-axis spans of the
+    remaining [`Keep] objects (those spans are invariant under placement;
+    under the permissive policy, which may skip objects, the bound falls
+    back to the partial box alone) and is checked both at node entry —
+    pruning a whole subtree before any placement, counted as
+    [optimize.bb_pruned_by_bound] — and per child ([optimize.bb_pruned]),
+    where a cached child bounding box decides without placing.  The search
     decomposes into one sub-search per first step, each seeded with the
     canonical order's rating as initial incumbent, and merges the
     sub-search winners in canonical order — the chosen order, rating and
@@ -122,6 +145,7 @@ val optimize_local :
   ?seed:int ->
   ?domains:int ->
   ?budget:Amg_robust.Budget.t ->
+  ?cache:Prefix_cache.t ->
   step list ->
   Amg_layout.Lobj.t * float * step list * int
 (** Heuristic order search for step counts beyond exhaustive reach:

@@ -1,0 +1,301 @@
+(* Transposition cache over compaction-order prefixes.
+
+   Every optimizer search (exhaustive, branch-and-bound, local) evaluates
+   orders that share long common prefixes, and the successive compactor is
+   deterministic: the layout after placing steps [s1; …; sk] is a pure
+   function of the environment and that prefix.  The cache maps each
+   explored prefix — keyed by the environment stamp and the steps'
+   canonical uids — to a snapshot of the partial layout plus its partial
+   rating ingredient (the bounding-box area), so a later evaluation resumes
+   from the deepest cached prefix instead of replaying it.
+
+   Determinism: an entry is a faithful [Lobj.copy] of a deterministic
+   build, and [find]/[find_longest] hand back fresh copies, so a hit
+   produces byte-identical state to a fresh rebuild — sharing changes
+   time, never results (the §7 contract).  Ratings, chosen orders, node
+   and eval counts are therefore cache-independent; only the hit/miss/
+   eviction counters (and wall time) depend on cache state.
+
+   Concurrency: one shard per pool participant ({!Amg_parallel.Pool.self}),
+   so shard internals (trie, LRU list, counters) are only ever touched by
+   their owning domain — no locks on the hot path.  The global byte total
+   is an atomic; when it exceeds the budget the storing participant evicts
+   from its own shard, least-recently-used first. *)
+
+module Lobj = Amg_layout.Lobj
+module Pool = Amg_parallel.Pool
+module Obs = Amg_obs.Obs
+
+type node = {
+  key : int; (* uid, or the environment stamp at depth 0 *)
+  parent : node option;
+  children : (int, node) Hashtbl.t;
+  mutable entry : entry option;
+}
+
+and entry = {
+  e_obj : Lobj.t; (* private copy; never handed out directly *)
+  e_bbox : Amg_geometry.Rect.t option; (* bbox at store time — the bound peek *)
+  e_bytes : int;
+  e_node : node;
+  mutable e_prev : entry option; (* toward most-recently-used *)
+  mutable e_next : entry option; (* toward least-recently-used *)
+}
+
+type shard = {
+  root : node;
+  mutable mru : entry option;
+  mutable lru : entry option;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_evictions : int;
+  mutable s_bytes : int;
+  mutable s_entries : int;
+}
+
+type t = {
+  budget : int; (* bytes; 0 = disabled *)
+  bytes : int Atomic.t;
+  shards : shard array Atomic.t; (* index = participant; grown on demand *)
+  grow : Mutex.t;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  bytes : int;
+  entries : int;
+}
+
+let mk_node ?parent key =
+  { key; parent; children = Hashtbl.create 4; entry = None }
+
+let mk_shard () =
+  {
+    root = mk_node 0;
+    mru = None;
+    lru = None;
+    s_hits = 0;
+    s_misses = 0;
+    s_evictions = 0;
+    s_bytes = 0;
+    s_entries = 0;
+  }
+
+let create ?(budget_bytes = 64 * 1024 * 1024) () =
+  {
+    budget = max 0 budget_bytes;
+    bytes = Atomic.make 0;
+    shards = Atomic.make [| mk_shard () |];
+    grow = Mutex.create ();
+  }
+
+let disabled = create ~budget_bytes:0 ()
+
+let enabled t = t.budget > 0
+
+(* The calling participant's shard; other participants' shards are never
+   read — their owner may be mutating them. *)
+let shard (t : t) =
+  let i = Pool.self () in
+  let a = Atomic.get t.shards in
+  if i < Array.length a then a.(i)
+  else begin
+    Mutex.lock t.grow;
+    let a = Atomic.get t.shards in
+    let a =
+      if i < Array.length a then a
+      else begin
+        let b =
+          Array.init (i + 1) (fun j ->
+              if j < Array.length a then a.(j) else mk_shard ())
+        in
+        Atomic.set t.shards b;
+        b
+      end
+    in
+    Mutex.unlock t.grow;
+    a.(i)
+  end
+
+(* --- LRU list maintenance (shard-local) --- *)
+
+let unlink sh e =
+  (match e.e_prev with Some p -> p.e_next <- e.e_next | None -> sh.mru <- e.e_next);
+  (match e.e_next with Some n -> n.e_prev <- e.e_prev | None -> sh.lru <- e.e_prev);
+  e.e_prev <- None;
+  e.e_next <- None
+
+let push_front sh e =
+  e.e_next <- sh.mru;
+  e.e_prev <- None;
+  (match sh.mru with Some m -> m.e_prev <- Some e | None -> sh.lru <- Some e);
+  sh.mru <- Some e
+
+let touch sh e =
+  unlink sh e;
+  push_front sh e
+
+(* --- trie walk --- *)
+
+let child node key = Hashtbl.find_opt node.children key
+
+let walk node uids =
+  List.fold_left
+    (fun acc uid ->
+      match acc with None -> None | Some n -> child n uid)
+    (Some node) uids
+
+let rec prune node =
+  match (node.parent, node.entry) with
+  | Some p, None when Hashtbl.length node.children = 0 ->
+      Hashtbl.remove p.children node.key;
+      prune p
+  | _ -> ()
+
+let drop_entry sh e =
+  e.e_node.entry <- None;
+  unlink sh e;
+  sh.s_bytes <- sh.s_bytes - e.e_bytes;
+  sh.s_entries <- sh.s_entries - 1;
+  prune e.e_node
+
+let evict_to_budget (t : t) sh =
+  let continue = ref true in
+  while !continue && Atomic.get t.bytes > t.budget do
+    match sh.lru with
+    | None -> continue := false (* own shard dry; others own their bytes *)
+    | Some e ->
+        drop_entry sh e;
+        sh.s_evictions <- sh.s_evictions + 1;
+        ignore (Atomic.fetch_and_add t.bytes (-e.e_bytes));
+        Obs.count "prefix_cache.evictions" 1
+  done
+
+(* --- public operations --- *)
+
+let find (t : t) ~scope ~name uids =
+  if t.budget = 0 then None
+  else begin
+    let sh = shard t in
+    match walk sh.root (scope :: uids) with
+    | Some { entry = Some e; _ } ->
+        sh.s_hits <- sh.s_hits + 1;
+        Obs.count "prefix_cache.hits" 1;
+        touch sh e;
+        Some (Lobj.copy ~name e.e_obj)
+    | _ ->
+        sh.s_misses <- sh.s_misses + 1;
+        Obs.count "prefix_cache.misses" 1;
+        None
+  end
+
+let find_longest (t : t) ~scope ~name uids =
+  if t.budget = 0 then None
+  else begin
+    let sh = shard t in
+    let best = ref None in
+    let rec go depth node uids =
+      (match node.entry with
+      | Some e -> best := Some (depth, e)
+      | None -> ());
+      match uids with
+      | [] -> ()
+      | uid :: rest -> (
+          match child node uid with Some n -> go (depth + 1) n rest | None -> ())
+    in
+    (match child sh.root scope with Some n -> go 0 n uids | None -> ());
+    match !best with
+    | Some (depth, e) ->
+        sh.s_hits <- sh.s_hits + 1;
+        Obs.count "prefix_cache.hits" 1;
+        touch sh e;
+        Some (depth, Lobj.copy ~name e.e_obj)
+    | None ->
+        sh.s_misses <- sh.s_misses + 1;
+        Obs.count "prefix_cache.misses" 1;
+        None
+  end
+
+(* Bound peek for branch-and-bound: the stored partial bounding box
+   without copying the entry (no counters, no LRU touch). *)
+let peek_bbox (t : t) ~scope uids =
+  if t.budget = 0 then None
+  else
+    match walk (shard t).root (scope :: uids) with
+    | Some { entry = Some e; _ } -> Some e.e_bbox
+    | _ -> None
+
+let store (t : t) ~scope uids obj =
+  if t.budget > 0 && uids <> [] then begin
+    let sh = shard t in
+    let node =
+      List.fold_left
+        (fun n uid ->
+          match child n uid with
+          | Some c -> c
+          | None ->
+              let c = mk_node ~parent:n uid in
+              Hashtbl.replace n.children uid c;
+              c)
+        sh.root (scope :: uids)
+    in
+    match node.entry with
+    | Some e -> touch sh e (* identical by determinism; just refresh *)
+    | None ->
+        let bytes = Lobj.approx_bytes obj in
+        let e =
+          {
+            e_obj = Lobj.copy obj;
+            e_bbox = Lobj.bbox obj;
+            e_bytes = bytes;
+            e_node = node;
+            e_prev = None;
+            e_next = None;
+          }
+        in
+        node.entry <- Some e;
+        push_front sh e;
+        sh.s_bytes <- sh.s_bytes + bytes;
+        sh.s_entries <- sh.s_entries + 1;
+        ignore (Atomic.fetch_and_add t.bytes bytes);
+        Obs.count "prefix_cache.bytes" bytes;
+        evict_to_budget t sh
+  end
+
+let stats (t : t) =
+  Array.fold_left
+    (fun acc sh ->
+      {
+        hits = acc.hits + sh.s_hits;
+        misses = acc.misses + sh.s_misses;
+        evictions = acc.evictions + sh.s_evictions;
+        bytes = acc.bytes + sh.s_bytes;
+        entries = acc.entries + sh.s_entries;
+      })
+    { hits = 0; misses = 0; evictions = 0; bytes = 0; entries = 0 }
+    (Atomic.get t.shards)
+
+(* --- the process-wide default (amgen --cache-mb) --- *)
+
+let default_budget_mb = Atomic.make 64
+
+let default_cache : t option Atomic.t = Atomic.make None
+
+let default () =
+  match Atomic.get default_cache with
+  | Some c -> c
+  | None ->
+      let c =
+        match Atomic.get default_budget_mb with
+        | 0 -> disabled
+        | mb -> create ~budget_bytes:(mb * 1024 * 1024) ()
+      in
+      (* First-use race: both candidates are empty, either wins. *)
+      if Atomic.compare_and_set default_cache None (Some c) then c
+      else Option.get (Atomic.get default_cache)
+
+let set_default_budget_mb mb =
+  Atomic.set default_budget_mb (max 0 mb);
+  Atomic.set default_cache None

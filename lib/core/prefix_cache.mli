@@ -1,0 +1,88 @@
+(** Transposition cache over compaction-order prefixes.
+
+    The successive compactor is deterministic, so the layout after placing
+    a step prefix is a pure function of the environment and the prefix.
+    This cache maps each explored prefix — keyed by a [~scope] integer
+    and the steps' canonical {!Optimize.step} uids — to a snapshot of the
+    partial layout plus its partial rating ingredient (the bounding box).
+    All optimizer searches share it: an evaluation resumes from the
+    deepest cached prefix instead of replaying it.
+
+    The scope delimits where sharing is valid.  A search over a fresh
+    main object passes the environment's {!Env.stamp} (prefix → layout is
+    a pure function of the environment, so sharing across calls is
+    sound); a search seeded from a [?base] object passes a token unique
+    to that call, giving intra-search sharing only.
+
+    {b Determinism (§7 contract).}  Entries are faithful copies of
+    deterministic builds and lookups return fresh {!Amg_layout.Lobj.copy}s,
+    so a hit yields byte-identical state to a fresh rebuild.  Sharing may
+    change wall time, never results: ratings, chosen orders, eval and node
+    counts are cache-independent.  Only the hit/miss/eviction counters
+    depend on cache state (and, with several domains, on scheduling).
+
+    {b Concurrency.}  Internally sharded per pool participant
+    ({!Amg_parallel.Pool.self}); a participant only ever touches its own
+    shard, so the hot path takes no locks.  A single atomic byte total
+    enforces the LRU budget across shards: the storing participant evicts
+    from its own shard when the total exceeds the budget.
+
+    Obs counters: [prefix_cache.hits], [prefix_cache.misses],
+    [prefix_cache.evictions], [prefix_cache.bytes] (cumulative stored
+    bytes); current occupancy is in {!stats}. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  bytes : int;   (** currently resident *)
+  entries : int;
+}
+
+val create : ?budget_bytes:int -> unit -> t
+(** Fresh cache with the given LRU byte budget (default 64 MiB).
+    [budget_bytes = 0] yields a disabled cache. *)
+
+val disabled : t
+(** A no-op cache: lookups miss without counting, stores are ignored.
+    Pass it to a search to opt out of sharing. *)
+
+val enabled : t -> bool
+
+val find : t -> scope:int -> name:string -> int list -> Amg_layout.Lobj.t option
+(** [find t ~scope ~name uids] returns a fresh copy (named [name]) of the
+    layout cached for exactly the prefix [uids], if present. *)
+
+val find_longest :
+  t -> scope:int -> name:string -> int list -> (int * Amg_layout.Lobj.t) option
+(** Deepest cached prefix of [uids]: [(k, obj)] means [obj] is a fresh
+    copy of the layout after the first [k] steps ([k >= 1]). *)
+
+val peek_bbox :
+  t -> scope:int -> int list -> Amg_geometry.Rect.t option option
+(** The stored partial bounding box for exactly [uids], without copying
+    the entry — a cheap bound probe for branch-and-bound ([Some None] is
+    a cached empty layout).  Does not count as a hit or refresh the
+    entry. *)
+
+val store : t -> scope:int -> int list -> Amg_layout.Lobj.t -> unit
+(** Cache the layout for prefix [uids].  The object is copied internally,
+    so the caller may keep mutating it.  Call only with a fully applied
+    prefix — a step aborted mid-placement must not be stored (the
+    budget/fault paths rely on this to keep the cache consistent).
+    No-op on the empty prefix or a disabled cache. *)
+
+val stats : t -> stats
+(** Summed over shards.  Racy-but-consistent-enough when read while other
+    participants are active; exact once the pool is quiesced. *)
+
+val default : unit -> t
+(** The process-wide cache used by searches when [?cache] is omitted.
+    Created on first use with the configured budget. *)
+
+val set_default_budget_mb : int -> unit
+(** Configure the default cache's budget in MiB ([0] disables sharing);
+    [amgen --cache-mb] sets it.  Replaces the default cache, dropping any
+    cached prefixes. *)

@@ -29,6 +29,7 @@ val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
 val run :
   ?pool:Amg_parallel.Pool.t ->
   ?budget:Amg_robust.Budget.t ->
+  ?rollback:Amg_layout.Lobj.t list ->
   'a t ->
   ('a, string) result list
 (** Depth-first enumeration of every alternative; rejections appear as
@@ -39,6 +40,15 @@ val run :
     identical to the sequential enumeration — branch results are
     concatenated in branch order.
 
+    [?rollback] (default [[]]) names shared layout objects the branch
+    bodies mutate in place: each [delay] body runs under an
+    {!Amg_layout.Lobj.snapshot} of every listed object, and a body that
+    raises — backtracking, a budget stop, an injected fault — restores
+    them before the next alternative runs, so a failed branch leaves no
+    partial placements behind.  Successful branches keep their mutations.
+    Because the snapshots rewind shared state, a non-empty [?rollback]
+    forces sequential evaluation even when [?pool] is given.
+
     With [?budget], alternatives beyond the budget are not evaluated and
     appear as [Error] entries ("budget exhausted"), in enumeration order;
     the budget is marked {{!Amg_robust.Budget.degraded} degraded}.  The
@@ -47,20 +57,30 @@ val run :
     always finish. *)
 
 val successes :
-  ?pool:Amg_parallel.Pool.t -> ?budget:Amg_robust.Budget.t -> 'a t -> 'a list
+  ?pool:Amg_parallel.Pool.t ->
+  ?budget:Amg_robust.Budget.t ->
+  ?rollback:Amg_layout.Lobj.t list ->
+  'a t ->
+  'a list
 
 val failures :
-  ?pool:Amg_parallel.Pool.t -> ?budget:Amg_robust.Budget.t -> 'a t -> string list
+  ?pool:Amg_parallel.Pool.t ->
+  ?budget:Amg_robust.Budget.t ->
+  ?rollback:Amg_layout.Lobj.t list ->
+  'a t ->
+  string list
 
-val first : 'a t -> 'a option
-(** Plain backtracking: the first alternative that survives. *)
+val first : ?rollback:Amg_layout.Lobj.t list -> 'a t -> 'a option
+(** Plain backtracking: the first alternative that survives.  [?rollback]
+    as in {!run} — rejected branches restore the listed objects. *)
 
-val first_exn : 'a t -> 'a
+val first_exn : ?rollback:Amg_layout.Lobj.t list -> 'a t -> 'a
 (** @raise Env.Rejected when every alternative is rejected. *)
 
 val best :
   ?pool:Amg_parallel.Pool.t ->
   ?budget:Amg_robust.Budget.t ->
+  ?rollback:Amg_layout.Lobj.t list ->
   rate:('a -> float) ->
   'a t ->
   ('a * float) option
@@ -72,6 +92,7 @@ val best :
 val best_exn :
   ?pool:Amg_parallel.Pool.t ->
   ?budget:Amg_robust.Budget.t ->
+  ?rollback:Amg_layout.Lobj.t list ->
   rate:('a -> float) ->
   'a t ->
   'a * float

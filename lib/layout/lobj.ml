@@ -10,6 +10,22 @@ type array_spec = {
   array_net : string option;
 }
 
+(* Delta-log journal behind [snapshot]/[restore].  While at least one
+   snapshot is live every store mutation pushes its inverse; [restore]
+   pops the log back to the snapshot's length and re-installs the scalar
+   fields (ports, arrays, name, next_id, layer order) captured in the
+   snapshot record — those are immutable lists, so capturing them is O(1)
+   and sharing them is safe.  Chosen over a copy-on-write generation on
+   the store: a snapshot costs nothing and a restore costs O(changes
+   since), while a COW generation taxes every read with a generation
+   check (see DESIGN.md §10 for the measured comparison). *)
+type undo =
+  | U_enter of Shape.t                    (* drop the newest slot *)
+  | U_remove of int * Shape.t             (* slot: re-install the shape *)
+  | U_replace of int * Shape.t * Shape.t  (* slot, old, new *)
+  | U_translate of int * int              (* dx, dy: shift back *)
+  | U_new_layer of string                 (* drop the fresh layer index *)
+
 (* Indexed shape store.  Shapes live in [slots] in insertion order ([None]
    marks a removed shape); [id2slot] gives O(1) find/replace/remove, and
    [by_layer] keeps one spatial index per layer for the candidate queries
@@ -35,7 +51,29 @@ type t = {
   mutable ports : Port.t list;
   mutable arrays : (int * array_spec) list;
   mutable next_id : int;
+  mutable journal : undo list; (* most recent first; only while snaps > 0 *)
+  mutable j_len : int;
+  mutable snaps : int;         (* live snapshots *)
 }
+
+type snapshot = {
+  s_owner : t;
+  s_len : int;
+  s_name : string;
+  s_ports : Port.t list;
+  s_arrays : (int * array_spec) list;
+  s_next_id : int;
+  s_layer_order : string list;
+  mutable s_live : bool;
+}
+
+let journaling t = t.snaps > 0
+
+let push t u =
+  if journaling t then begin
+    t.journal <- u :: t.journal;
+    t.j_len <- t.j_len + 1
+  end
 
 let create name =
   {
@@ -51,6 +89,9 @@ let create name =
     ports = [];
     arrays = [];
     next_id = 0;
+    journal = [];
+    j_len = 0;
+    snaps = 0;
   }
 
 let name t = t.name
@@ -84,6 +125,7 @@ let sindex_of t layer =
       let ix = Sindex.create () in
       Hashtbl.replace t.by_layer layer ix;
       t.layer_order <- t.layer_order @ [ layer ];
+      push t (U_new_layer layer);
       ix
 
 (* --- store primitives --- *)
@@ -102,12 +144,15 @@ let enter t (s : Shape.t) =
   t.n_slots <- t.n_slots + 1;
   t.live <- t.live + 1;
   Sindex.insert (sindex_of t s.layer) s.id s.rect;
-  extend_caches t s.layer s.rect
+  extend_caches t s.layer s.rect;
+  push t (U_enter s)
 
 (* Squeeze out removed slots once more than half the prefix is dead, so
-   iteration stays proportional to the live count. *)
+   iteration stays proportional to the live count.  Suppressed while a
+   snapshot is live: the journal records slot indices, and the append-only
+   discipline is what lets [restore] unwind enters by truncation. *)
 let maybe_squeeze t =
-  if t.n_slots > 16 && 2 * t.live < t.n_slots then begin
+  if (not (journaling t)) && t.n_slots > 16 && 2 * t.live < t.n_slots then begin
     let w = ref 0 in
     for r = 0 to t.n_slots - 1 do
       match t.slots.(r) with
@@ -150,6 +195,7 @@ let replace t (s : Shape.t) =
   | None -> Fmt.invalid_arg "Lobj.replace: no shape %d in %s" s.Shape.id t.name
   | Some slot ->
       let old = Option.get t.slots.(slot) in
+      push t (U_replace (slot, old, s));
       t.slots.(slot) <- Some s;
       if not (String.equal old.Shape.layer s.layer) then begin
         Sindex.remove (sindex_of t old.layer) old.id;
@@ -173,7 +219,8 @@ let remove t id =
       (match t.slots.(slot) with
       | Some s ->
           Sindex.remove (sindex_of t s.layer) s.id;
-          dirty_layer t s.layer
+          dirty_layer t s.layer;
+          push t (U_remove (slot, s))
       | None -> ());
       t.slots.(slot) <- None;
       Hashtbl.remove t.id2slot id;
@@ -266,6 +313,7 @@ let map_shapes_in_place t f =
   done
 
 let translate t ~dx ~dy =
+  push t (U_translate (dx, dy));
   map_shapes_in_place t (fun s -> Shape.translate s ~dx ~dy);
   t.ports <- List.map (fun p -> Port.translate p ~dx ~dy) t.ports;
   Hashtbl.iter (fun _ ix -> Sindex.translate_all ix ~dx ~dy) t.by_layer;
@@ -274,8 +322,13 @@ let translate t ~dx ~dy =
     (fun _ b -> Some (Option.map (fun r -> Rect.translate r ~dx ~dy) b))
     t.layer_bb
 
+let no_snapshots t op =
+  if journaling t then
+    Fmt.invalid_arg "Lobj.%s: %s has a live snapshot (not journalable)" op t.name
+
 (* Arbitrary orientations invalidate the binning wholesale: rebuild. *)
 let transform t tr =
+  no_snapshots t "transform";
   map_shapes_in_place t (fun s -> Shape.transform s tr);
   t.ports <- List.map (fun p -> Port.transform p tr) t.ports;
   Hashtbl.reset t.by_layer;
@@ -307,7 +360,110 @@ let copy ?name t =
     ports = t.ports;
     arrays = t.arrays;
     next_id = t.next_id;
+    (* Snapshots name a specific store; the copy starts a fresh history. *)
+    journal = [];
+    j_len = 0;
+    snaps = 0;
   }
+
+(* --- snapshot / restore --- *)
+
+let snapshot t =
+  t.snaps <- t.snaps + 1;
+  {
+    s_owner = t;
+    s_len = t.j_len;
+    s_name = t.name;
+    s_ports = t.ports;
+    s_arrays = t.arrays;
+    s_next_id = t.next_id;
+    s_layer_order = t.layer_order;
+    s_live = true;
+  }
+
+let undo t = function
+  | U_enter s ->
+      (* Enters append and squeezing is suppressed, so in reverse journal
+         order the enter being undone always owns the last used slot. *)
+      Sindex.remove (sindex_of t s.Shape.layer) s.id;
+      Hashtbl.remove t.id2slot s.id;
+      t.n_slots <- t.n_slots - 1;
+      t.slots.(t.n_slots) <- None;
+      t.live <- t.live - 1
+  | U_remove (slot, s) ->
+      t.slots.(slot) <- Some s;
+      Hashtbl.replace t.id2slot s.id slot;
+      t.live <- t.live + 1;
+      Sindex.insert (sindex_of t s.layer) s.id s.rect
+  | U_replace (slot, old, s) ->
+      t.slots.(slot) <- Some old;
+      if not (String.equal old.Shape.layer s.Shape.layer) then
+        Sindex.remove (sindex_of t s.layer) s.id;
+      Sindex.insert (sindex_of t old.layer) old.id old.rect
+  | U_translate (dx, dy) ->
+      map_shapes_in_place t (fun s -> Shape.translate s ~dx:(-dx) ~dy:(-dy));
+      Hashtbl.iter (fun _ ix -> Sindex.translate_all ix ~dx:(-dx) ~dy:(-dy)) t.by_layer
+  | U_new_layer layer ->
+      (* Every insert into the fresh index came after its creation, so it
+         has already been unwound; the index is empty. *)
+      Hashtbl.remove t.by_layer layer;
+      Hashtbl.remove t.layer_bb layer
+
+let restore t snap =
+  if snap.s_owner != t then
+    Fmt.invalid_arg "Lobj.restore: snapshot belongs to another object";
+  if (not snap.s_live) || snap.s_len > t.j_len then
+    Fmt.invalid_arg "Lobj.restore: snapshot of %s is no longer valid" t.name;
+  while t.j_len > snap.s_len do
+    (match t.journal with
+    | u :: rest ->
+        t.journal <- rest;
+        undo t u
+    | [] -> assert false);
+    t.j_len <- t.j_len - 1
+  done;
+  t.name <- snap.s_name;
+  t.ports <- snap.s_ports;
+  t.arrays <- snap.s_arrays;
+  t.next_id <- snap.s_next_id;
+  t.layer_order <- snap.s_layer_order;
+  (* The unwind retraces geometry exactly but not the incremental cache
+     extensions: drop the hull caches and let the next read re-derive them
+     from the (restored) indexes. *)
+  t.bb <- None;
+  Hashtbl.reset t.layer_bb
+
+let release t snap =
+  if snap.s_owner != t then
+    Fmt.invalid_arg "Lobj.release: snapshot belongs to another object";
+  if snap.s_live then begin
+    snap.s_live <- false;
+    t.snaps <- t.snaps - 1;
+    if t.snaps = 0 then begin
+      t.journal <- [];
+      t.j_len <- 0
+    end
+  end
+
+let with_snapshot t f =
+  let snap = snapshot t in
+  Fun.protect ~finally:(fun () -> release t snap)
+    (fun () ->
+      try f ()
+      with e ->
+        restore t snap;
+        raise e)
+
+(* Rough heap footprint of the store, for the prefix cache's byte budget.
+   Per live shape: the record (~9 fields + a rect), one id-table entry and
+   a handful of spatial-index bin slots; per dead slot one word; plus the
+   fixed tables.  An estimate — eviction needs proportionality, not
+   exactness. *)
+let approx_bytes t =
+  2048 + (320 * t.live) + (16 * (t.n_slots - t.live))
+  + (160 * List.length t.ports)
+  + (96 * List.length t.arrays)
+  + (512 * Hashtbl.length t.by_layer)
 
 let add_port t ~name ~net ~layer ~rect =
   let p = Port.make ~name ~net ~layer ~rect in
@@ -327,6 +483,7 @@ let remove_port t pname =
   t.ports <- List.filter (fun (p : Port.t) -> not (String.equal p.name pname)) t.ports
 
 let rename_net t ~from_ ~to_ =
+  no_snapshots t "rename_net";
   map_shapes_in_place t (fun (s : Shape.t) ->
       if s.net = Some from_ then Shape.with_net s (Some to_) else s);
   t.ports <-
@@ -343,6 +500,7 @@ let rename_net t ~from_ ~to_ =
 
 (* Prefix every net of the object, giving instance-local net names. *)
 let qualify_nets t prefix =
+  no_snapshots t "qualify_nets";
   let q n = prefix ^ "." ^ n in
   map_shapes_in_place t (fun (s : Shape.t) -> Shape.with_net s (Option.map q s.net));
   t.ports <- List.map (fun (p : Port.t) -> { p with net = q p.net }) t.ports;

@@ -82,7 +82,48 @@ val copy : ?name:string -> t -> t
     Immutable shape/port/array values are shared, but every mutable part of
     the store (slots, id table, spatial indexes, caches) is duplicated, so
     mutating either object never affects the other.  Not a deep copy of the
-    shape values themselves — they never mutate. *)
+    shape values themselves — they never mutate.  The copy starts with a
+    fresh (empty) snapshot history. *)
+
+(** {2 Snapshot / restore}
+
+    A snapshot marks a point in the object's mutation history; [restore]
+    rewinds the object to it byte-for-byte.  Taking one is O(1): while at
+    least one snapshot is live, every store mutation (shape enter, remove,
+    replace, translate) pushes its inverse onto a delta log, and the scalar
+    fields (name, ports, arrays, ids, layer order) are captured as shared
+    immutable values.  Restoring costs O(mutations since the snapshot) and
+    may be repeated — the engine behind backtracking and the optimizer's
+    incremental search (see DESIGN.md §10).
+
+    Discipline: snapshots are released LIFO ({!with_snapshot} enforces it);
+    while any snapshot is live the whole-object rewrites {!transform},
+    {!rename_net} and {!qualify_nets} raise [Invalid_argument] — they are
+    not journalable. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** O(1); starts journaling if this is the first live snapshot. *)
+
+val restore : t -> snapshot -> unit
+(** Rewind to the snapshot point.  The layout — shapes, ports, arrays,
+    indexes, ids, name — is byte-identical to the state at {!snapshot}
+    time; bounding-box caches are re-derived lazily.  The snapshot stays
+    valid, so a search can restore to the same point repeatedly.
+    @raise Invalid_argument on another object's or a released snapshot. *)
+
+val release : t -> snapshot -> unit
+(** Drop the snapshot (idempotent).  When the last live snapshot goes, the
+    delta log is discarded.  Restoring to an *older* still-live snapshot
+    invalidates younger ones — release youngest-first. *)
+
+val with_snapshot : t -> (unit -> 'a) -> 'a
+(** [with_snapshot t f] runs [f] under a fresh snapshot, restores on any
+    exception, and releases the snapshot either way. *)
+
+val approx_bytes : t -> int
+(** Rough heap footprint of the store, for cache byte budgets. *)
 
 val add_port :
   t -> name:string -> net:string -> layer:string -> rect:Amg_geometry.Rect.t -> Port.t

@@ -41,6 +41,16 @@ type t = {
 
 let size t = t.n
 
+(* Participant index of the calling domain: 0 for the caller (and for any
+   domain that never joined a pool), k for the k-th spawned worker of the
+   pool it belongs to.  Stored in domain-local state — two participants
+   never share a domain, so the value is stable for the whole life of the
+   worker.  Consumers (the optimizer's prefix cache) use it to pick a
+   participant-private shard without locking. *)
+let participant_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let self () = Domain.DLS.get participant_key
+
 let recommended () = Domain.recommended_domain_count ()
 
 (* Process-wide default, settable from the command line (amgen --jobs). *)
@@ -101,7 +111,10 @@ let create ?domains () =
     }
   in
   t.workers <-
-    List.init (n - 1) (fun k -> Domain.spawn (fun () -> worker_loop t (k + 1) 0));
+    List.init (n - 1) (fun k ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set participant_key (k + 1);
+            worker_loop t (k + 1) 0));
   t
 
 let shutdown t =

@@ -25,6 +25,12 @@ val create : ?domains:int -> unit -> t
 val size : t -> int
 (** Number of participants, including the calling domain. *)
 
+val self : unit -> int
+(** Participant index of the calling domain: [0] for a pool's calling
+    domain (and for any domain outside a pool), [k] for the [k]-th worker
+    of the pool it belongs to.  Stable for a domain's whole life, so it can
+    select participant-private state (e.g. a cache shard) without locks. *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent. *)
 

@@ -9,6 +9,7 @@ let () =
       ("drc", Test_drc.suite);
       ("latchup", Test_latchup.suite);
       ("core", Test_core.suite);
+      ("prefix-cache", Test_prefix_cache.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
       ("lang", Test_lang.suite);
