@@ -797,6 +797,10 @@ let parallel_scaling env =
   Gc.compact ();
   Fmt.pr "(host offers %d recommended domain(s); speedups need real cores)@."
     (Amg_parallel.Pool.recommended ());
+  Fmt.pr
+    "(requested sizes beyond that are clamped by the pool: oversubscribed \
+     domains add only GC-sync and scheduling cost, never compute — rows \
+     measure the clamped pools, results are identical either way)@.";
   Fmt.pr "%4s %8s %12s %10s %8s %8s %10s@." "n" "domains" "local/ms"
     "speedup" "rating" "evals" "same-seq";
   List.concat_map
@@ -825,9 +829,13 @@ let parallel_scaling env =
           let same =
             Float.equal r r_seq && names o = names o_seq && evals = evals_seq
           in
+          (* overhead_x = t / t_seq: how much slower than sequential this
+             domain count runs (1.0 = parity; the speedup's reciprocal,
+             kept explicitly so scheduling regressions are visible as a
+             number that should stay near or below 1). *)
           Fmt.pr "%4d %8d %12.2f %10.2f %8.1f %8d %10b@." n d (t *. 1000.)
             (t_seq /. t) r evals same;
-          (n, d, t, t_seq /. t, r, evals, same))
+          (n, d, t, t_seq /. t, t /. t_seq, r, evals, same))
         [ 1; 2; 4 ])
     [ 8; 12 ]
 
@@ -852,10 +860,34 @@ let write_bench_json compact_rows parallel_rows =
       (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v) cs)
   in
   let cs = Pcache.stats (Pcache.default ()) in
+  let bytes_per_entry =
+    if cs.Pcache.entries = 0 then 0
+    else cs.Pcache.bytes / cs.Pcache.entries
+  in
+  (* Per-depth rows: only buckets with any traffic, so the schema stays
+     stable for a given workload without a dozen all-zero lines. *)
+  let per_depth_json =
+    String.concat ","
+      (List.filter_map
+         (fun (d : Pcache.depth_stats) ->
+           if
+             d.Pcache.d_hits = 0 && d.Pcache.d_misses = 0
+             && d.Pcache.d_evictions = 0 && d.Pcache.d_entries = 0
+           then None
+           else
+             Some
+               (Printf.sprintf
+                  "{\"depth\":%d,\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"entries\":%d,\"bytes\":%d}"
+                  d.Pcache.d_depth d.Pcache.d_hits d.Pcache.d_misses
+                  d.Pcache.d_evictions d.Pcache.d_entries d.Pcache.d_bytes))
+         cs.Pcache.per_depth)
+  in
   Printf.fprintf oc
-    "{\n  \"workload\": \"contact rows, w=20+(i mod 4)*12 um, S/W alternating\",\n  \"times\": \"cold = first run, warm = median of 3 repeats sharing the prefix cache; wall seconds, rounded to 0.1 ms\",\n  \"host_recommended_domains\": %d,\n  \"prefix_cache\": {\"hits\":%d,\"misses\":%d,\"evictions\":%d},\n  \"rows\": [\n%s\n  ],\n  \"parallel_scaling\": [\n%s\n  ]\n}\n"
+    "{\n  \"workload\": \"contact rows, w=20+(i mod 4)*12 um, S/W alternating\",\n  \"times\": \"cold = first run, warm = median of 3 repeats sharing the prefix cache; wall seconds, rounded to 0.1 ms\",\n  \"host_recommended_domains\": %d,\n  \"parallel_note\": \"requested domains are clamped to the recommended count (oversubscription adds cost, never compute); overhead_x = t / t_seq\",\n  \"prefix_cache\": {\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"admitted\":%d,\"rejected\":%d,\"entries\":%d,\"bytes\":%d,\"bytes_per_entry\":%d,\n    \"per_depth\":[%s]},\n  \"rows\": [\n%s\n  ],\n  \"parallel_scaling\": [\n%s\n  ]\n}\n"
     (Amg_parallel.Pool.recommended ())
-    cs.Pcache.hits cs.Pcache.misses cs.Pcache.evictions
+    cs.Pcache.hits cs.Pcache.misses cs.Pcache.evictions cs.Pcache.admitted
+    cs.Pcache.rejected cs.Pcache.entries cs.Pcache.bytes bytes_per_entry
+    per_depth_json
     (String.concat ",\n"
        (List.map
           (fun (n, ta, tlc, tl, r, evals, bb, counters) ->
@@ -865,10 +897,10 @@ let write_bench_json compact_rows parallel_rows =
           compact_rows))
     (String.concat ",\n"
        (List.map
-          (fun (n, d, t, speedup, r, evals, same) ->
+          (fun (n, d, t, speedup, overhead, r, evals, same) ->
             Printf.sprintf
-              "    {\"n\":%d,\"domains\":%d,\"local_s\":%.4f,\"speedup\":%.3f,\"local_rating\":%.4f,\"local_evals\":%d,\"same_as_seq\":%b}"
-              n d t speedup r evals same)
+              "    {\"n\":%d,\"domains\":%d,\"local_s\":%.4f,\"speedup\":%.3f,\"overhead_x\":%.3f,\"local_rating\":%.4f,\"local_evals\":%d,\"same_as_seq\":%b}"
+              n d t speedup overhead r evals same)
           parallel_rows));
   close_out oc;
   Fmt.pr "(medians written to BENCH_compact.json)@."
@@ -948,11 +980,13 @@ let compact_smoke env ns =
             0
       in
       let steps = compact_steps env n in
-      let hits0 = (Pcache.stats (Pcache.default ())).Pcache.hits in
+      let st0 = Pcache.stats (Pcache.default ()) in
       (* Twice: the second run must resume from the first one's prefixes. *)
       let _, r1, _, _ = Optimize.optimize_local env ~name:"pack" steps in
+      let st1 = Pcache.stats (Pcache.default ()) in
       let _, r2, _, _ = Optimize.optimize_local env ~name:"pack" steps in
-      let hits = (Pcache.stats (Pcache.default ())).Pcache.hits - hits0 in
+      let st2 = Pcache.stats (Pcache.default ()) in
+      let hits = st2.Pcache.hits - st0.Pcache.hits in
       check "local_rating" n (float_after json "local_rating" row) r1;
       if not (Float.equal r1 r2) then begin
         incr failures;
@@ -963,6 +997,25 @@ let compact_smoke env ns =
         Fmt.pr "  FAIL n=%d optimize_local never hit the prefix cache@." n
       end
       else Fmt.pr "  ok   n=%d prefix-cache hits %d@." n hits;
+      (* Warm hit-rate floor: the second run walks prefixes the first one
+         published, so its lookups must overwhelmingly hit.  A rate below
+         the floor means the cache is thrashing (eviction storm, admission
+         bug, keying change) even though results still agree — exactly the
+         regression this smoke job exists to catch. *)
+      let warm_hits = st2.Pcache.hits - st1.Pcache.hits in
+      let warm_misses = st2.Pcache.misses - st1.Pcache.misses in
+      let warm_rate =
+        if warm_hits + warm_misses = 0 then 0.
+        else float_of_int warm_hits /. float_of_int (warm_hits + warm_misses)
+      in
+      if warm_rate < 0.9 then begin
+        incr failures;
+        Fmt.pr "  FAIL n=%d warm hit-rate %.3f < 0.9 (%d hits, %d misses)@." n
+          warm_rate warm_hits warm_misses
+      end
+      else
+        Fmt.pr "  ok   n=%d warm hit-rate %.3f (%d hits, %d misses)@." n
+          warm_rate warm_hits warm_misses;
       let _, r_bb, _, _ =
         match bb_node_cap n with
         | None -> Optimize.optimize_bb env ~name:"pack" steps
@@ -1026,9 +1079,10 @@ let micro env =
   List.iter (fun (name, ns) -> Fmt.pr "%-28s %12.0f ns/run@." name ns) rows
 
 let () =
-  (* The optimizer rows want the whole workload resident: the n=12 local
-     search alone holds ~150 MB of cached prefixes, and an evicting cache
-     churns out exactly the entries the next round resumes from. *)
+  (* The optimizer rows want the whole workload resident: an evicting
+     cache churns out exactly the entries the next round resumes from.
+     256 MiB is far more than the delta-suffix entries need — kept at the
+     seed's budget so the hit/miss trajectory stays comparable. *)
   Pcache.set_default_budget_mb 256;
   (match Array.to_list Sys.argv with
   | _ :: "compact_scaling" :: rest ->

@@ -121,16 +121,51 @@ let jobs_arg =
 
 let set_jobs jobs = Option.iter Amg_parallel.Pool.set_default_domains jobs
 
+(* Validating int convs: rejections surface as cmdliner parse errors,
+   which [main] maps to the usage exit code. *)
+let int_at_least lo what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= lo -> Ok v
+    | Some v -> Error (`Msg (Fmt.str "%s must be >= %d, got %d" what lo v))
+    | None -> Error (`Msg (Fmt.str "%s expects an integer, got %s" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let cache_mb_arg =
   let doc =
     "Byte budget (MiB) of the prefix cache the optimization-mode searches \
-     share; snapshots of already-compacted order prefixes are reused \
-     instead of replayed.  0 disables the cache.  Results are identical \
-     for every value — only the search time changes."
+     share; already-compacted order prefixes are stored as delta suffixes \
+     against their parent prefix and replayed instead of rebuilt.  0 \
+     disables the cache; negative values are rejected.  Results are \
+     identical for every value — only the search time changes."
   in
-  Arg.(value & opt (some int) None & info [ "cache-mb" ] ~docv:"MB" ~doc)
+  Arg.(value & opt (some (int_at_least 0 "--cache-mb")) None
+       & info [ "cache-mb" ] ~docv:"MB" ~doc)
 
 let set_cache_mb mb = Option.iter Amg_core.Prefix_cache.set_default_budget_mb mb
+
+let cache_admit_depth_arg =
+  let doc =
+    "Prefix depth up to which the cache admits every order prefix \
+     unconditionally; deeper prefixes must be visited \
+     $(b,--cache-admit-visits) times first.  Admission affects memory and \
+     time only, never results."
+  in
+  Arg.(value & opt (some (int_at_least 1 "--cache-admit-depth")) None
+       & info [ "cache-admit-depth" ] ~docv:"D" ~doc)
+
+let cache_admit_visits_arg =
+  let doc =
+    "Visit count a prefix deeper than $(b,--cache-admit-depth) needs \
+     before the cache stores it."
+  in
+  Arg.(value & opt (some (int_at_least 1 "--cache-admit-visits")) None
+       & info [ "cache-admit-visits" ] ~docv:"K" ~doc)
+
+let set_cache_policy admit_depth admit_visits =
+  if admit_depth <> None || admit_visits <> None then
+    Amg_core.Prefix_cache.set_default_policy ?admit_depth ?admit_visits ()
 
 let stats_arg =
   Arg.(value & flag
@@ -416,10 +451,12 @@ let build_cmd =
              ~doc:"After building, print for every compacted object the \
                    binding layer/rule/edge pair that set its final position.")
   in
-  let run tech_file jobs cache_mb file entity params svg cif gds ascii stats
-      trace explain optimize max_time max_evals mode inject diag_json =
+  let run tech_file jobs cache_mb admit_depth admit_visits file entity params
+      svg cif gds ascii stats trace explain optimize max_time max_evals mode
+      inject diag_json =
     set_jobs jobs;
     set_cache_mb cache_mb;
+    set_cache_policy admit_depth admit_visits;
     run_guarded ~mode ?inject ?diag_json @@ fun () ->
     let code =
       with_obs ~explain ~stats ~trace (fun () ->
@@ -451,7 +488,8 @@ let build_cmd =
   in
   Cmd.v
     (Cmd.info "build" ~doc:"Build an entity from a module source file.")
-    Term.(const run $ tech_arg $ jobs_arg $ cache_mb_arg $ file_arg
+    Term.(const run $ tech_arg $ jobs_arg $ cache_mb_arg
+          $ cache_admit_depth_arg $ cache_admit_visits_arg $ file_arg
           $ entity_arg $ params_arg $ svg_arg $ cif_arg $ gds_arg $ ascii_arg
           $ stats_arg $ trace_arg $ explain_arg $ optimize_arg $ max_time_arg
           $ max_evals_arg $ mode_arg $ inject_arg $ diag_json_arg)

@@ -5,36 +5,83 @@
    deterministic: the layout after placing steps [s1; …; sk] is a pure
    function of the environment and that prefix.  The cache maps each
    explored prefix — keyed by the environment stamp and the steps'
-   canonical uids — to a snapshot of the partial layout plus its partial
-   rating ingredient (the bounding-box area), so a later evaluation resumes
+   canonical uids — to the partial layout plus its partial rating
+   ingredient (the bounding-box area), so a later evaluation resumes
    from the deepest cached prefix instead of replaying it.
 
-   Determinism: an entry is a faithful [Lobj.copy] of a deterministic
-   build, and [find]/[find_longest] hand back fresh copies, so a hit
-   produces byte-identical state to a fresh rebuild — sharing changes
-   time, never results (the §7 contract).  Ratings, chosen orders, node
-   and eval counts are therefore cache-independent; only the hit/miss/
-   eviction counters (and wall time) depend on cache state.
+   Storage (DESIGN.md §11): a depth-1 entry holds a compact full copy of
+   its (one-step) layout — the chain anchor; a deeper entry holds only the
+   [Lobj.delta] between its parent prefix and itself, extracted from the
+   snapshot journal by the optimizer while it applied the step.  A lookup
+   materializes a layout by copying the anchor and replaying the delta
+   chain down to the requested depth.  The invariant that makes every
+   entry materializable: an entry exists only if its parent's entry
+   exists — enforced at store time and preserved by evicting whole entry
+   subtrees.
+
+   Admission: storing every prefix of every candidate order floods the
+   budget with one-shot deep suffixes and evicts the shareable shallow
+   state before it is ever reused (the seed benchmark measured 28k hits
+   against 933k misses).  Prefixes at depth <= [admit_depth] are admitted
+   unconditionally; deeper ones only once their trie node has been
+   visited [admit_visits] times — so only demonstrably shared deep
+   prefixes cost bytes.  Admission changes only which entries exist,
+   i.e. time, never results.
+
+   Determinism: a hit replays a faithful redo log of a deterministic
+   build, so it produces observably identical state to a fresh rebuild —
+   sharing changes time, never results (the §7 contract).  Ratings,
+   chosen orders, node and eval counts are therefore cache-independent;
+   only the hit/miss/eviction counters (and wall time) depend on cache
+   state.
 
    Concurrency: one shard per pool participant ({!Amg_parallel.Pool.self}),
    so shard internals (trie, LRU list, counters) are only ever touched by
    their owning domain — no locks on the hot path.  The global byte total
    is an atomic; when it exceeds the budget the storing participant evicts
-   from its own shard, least-recently-used first. *)
+   from its own shard, least-recently-used first.
+
+   Accounting is conservative by construction: every admitted entry is
+   counted once, every evicted entry once, so
+   [admitted = entries (live) + evictions] holds at any quiescent point —
+   the stats test asserts it. *)
 
 module Lobj = Amg_layout.Lobj
 module Pool = Amg_parallel.Pool
 module Obs = Amg_obs.Obs
 
+(* Per-depth counters are bucketed: depths beyond the last bucket fold
+   into it.  12 buckets cover every workload in the bench suite. *)
+let depth_buckets = 12
+
+let bucket depth = min depth depth_buckets
+
+(* Obs counter names per bucket, precomputed so the hot path never
+   allocates a string. *)
+let obs_names stem =
+  Array.init (depth_buckets + 1) (fun d ->
+      if d = depth_buckets then Printf.sprintf "prefix_cache.%s.d%d+" stem d
+      else Printf.sprintf "prefix_cache.%s.d%d" stem d)
+
+let hit_names = obs_names "hits"
+let miss_names = obs_names "misses"
+let eviction_names = obs_names "evictions"
+
+type data =
+  | Anchor of Lobj.t     (* depth 1: private full copy, the chain root *)
+  | Suffix of Lobj.delta (* depth >= 2: steps from the parent prefix *)
+
 type node = {
-  key : int; (* uid, or the environment stamp at depth 0 *)
+  key : int; (* uid, or the scope at depth 0 *)
+  depth : int;
   parent : node option;
   children : (int, node) Hashtbl.t;
   mutable entry : entry option;
+  mutable visits : int; (* store attempts; drives admission *)
 }
 
 and entry = {
-  e_obj : Lobj.t; (* private copy; never handed out directly *)
+  e_data : data;
   e_bbox : Amg_geometry.Rect.t option; (* bbox at store time — the bound peek *)
   e_bytes : int;
   e_node : node;
@@ -49,43 +96,79 @@ type shard = {
   mutable s_hits : int;
   mutable s_misses : int;
   mutable s_evictions : int;
+  mutable s_admitted : int;
+  mutable s_rejected : int;
   mutable s_bytes : int;
   mutable s_entries : int;
+  (* index 0 unused; index [bucket depth] for depth >= 1 *)
+  sd_hits : int array;
+  sd_misses : int array;
+  sd_evictions : int array;
+  sd_entries : int array;
+  sd_bytes : int array;
 }
 
 type t = {
   budget : int; (* bytes; 0 = disabled *)
+  admit_depth : int;  (* depths <= this admitted unconditionally *)
+  admit_visits : int; (* deeper: admitted from this many store attempts *)
   bytes : int Atomic.t;
   shards : shard array Atomic.t; (* index = participant; grown on demand *)
   grow : Mutex.t;
+}
+
+type depth_stats = {
+  d_depth : int; (** bucket: 1 .. {!depth_buckets}, the last aggregates deeper *)
+  d_hits : int;
+  d_misses : int;
+  d_evictions : int;
+  d_entries : int;
+  d_bytes : int;
 }
 
 type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  admitted : int;
+  rejected : int;
   bytes : int;
   entries : int;
+  per_depth : depth_stats list;
 }
 
-let mk_node ?parent key =
-  { key; parent; children = Hashtbl.create 4; entry = None }
+let mk_node ?parent ~depth key =
+  { key; depth; parent; children = Hashtbl.create 4; entry = None; visits = 0 }
 
 let mk_shard () =
   {
-    root = mk_node 0;
+    root = mk_node ~depth:(-1) 0;
     mru = None;
     lru = None;
     s_hits = 0;
     s_misses = 0;
     s_evictions = 0;
+    s_admitted = 0;
+    s_rejected = 0;
     s_bytes = 0;
     s_entries = 0;
+    sd_hits = Array.make (depth_buckets + 1) 0;
+    sd_misses = Array.make (depth_buckets + 1) 0;
+    sd_evictions = Array.make (depth_buckets + 1) 0;
+    sd_entries = Array.make (depth_buckets + 1) 0;
+    sd_bytes = Array.make (depth_buckets + 1) 0;
   }
 
-let create ?(budget_bytes = 64 * 1024 * 1024) () =
+let default_admit_depth = 4
+let default_admit_visits = 2
+
+let create ?(budget_bytes = 64 * 1024 * 1024)
+    ?(admit_depth = default_admit_depth)
+    ?(admit_visits = default_admit_visits) () =
   {
     budget = max 0 budget_bytes;
+    admit_depth = max 1 admit_depth;
+    admit_visits = max 1 admit_visits;
     bytes = Atomic.make 0;
     shards = Atomic.make [| mk_shard () |];
     grow = Mutex.create ();
@@ -137,41 +220,104 @@ let touch sh e =
   unlink sh e;
   push_front sh e
 
+(* --- counter helpers --- *)
+
+let count_hit sh depth =
+  let b = bucket depth in
+  sh.s_hits <- sh.s_hits + 1;
+  sh.sd_hits.(b) <- sh.sd_hits.(b) + 1;
+  Obs.count "prefix_cache.hits" 1;
+  Obs.count hit_names.(b) 1
+
+(* A miss is attributed to the depth at which the chain broke: the first
+   prefix depth with no entry.  Diagnosable per depth — an eviction storm
+   at depth d shows up as misses at d. *)
+let count_miss sh broke_at =
+  let b = bucket broke_at in
+  sh.s_misses <- sh.s_misses + 1;
+  sh.sd_misses.(b) <- sh.sd_misses.(b) + 1;
+  Obs.count "prefix_cache.misses" 1;
+  Obs.count miss_names.(b) 1
+
 (* --- trie walk --- *)
 
 let child node key = Hashtbl.find_opt node.children key
 
-let walk node uids =
-  List.fold_left
-    (fun acc uid ->
-      match acc with None -> None | Some n -> child n uid)
-    (Some node) uids
-
-let rec prune node =
-  match (node.parent, node.entry) with
-  | Some p, None when Hashtbl.length node.children = 0 ->
-      Hashtbl.remove p.children node.key;
-      prune p
-  | _ -> ()
-
-let drop_entry sh e =
-  e.e_node.entry <- None;
+let drop_one (t : t) sh node e =
+  node.entry <- None;
   unlink sh e;
+  let b = bucket node.depth in
   sh.s_bytes <- sh.s_bytes - e.e_bytes;
   sh.s_entries <- sh.s_entries - 1;
-  prune e.e_node
+  sh.sd_bytes.(b) <- sh.sd_bytes.(b) - e.e_bytes;
+  sh.sd_entries.(b) <- sh.sd_entries.(b) - 1;
+  sh.s_evictions <- sh.s_evictions + 1;
+  sh.sd_evictions.(b) <- sh.sd_evictions.(b) + 1;
+  ignore (Atomic.fetch_and_add t.bytes (-e.e_bytes));
+  Obs.count "prefix_cache.evictions" 1;
+  Obs.count eviction_names.(b) 1
+
+(* Evicting an entry orphans every entry below it (they could no longer be
+   materialized), so the whole entry subtree goes with it — children
+   first, each counted as its own eviction.  Entry-less children cannot
+   have entried descendants (the store-time invariant), so the recursion
+   stops at them. *)
+let rec drop_subtree (t : t) sh node =
+  Hashtbl.iter
+    (fun _ c -> if c.entry <> None then drop_subtree t sh c)
+    node.children;
+  match node.entry with
+  | None -> ()
+  | Some e -> drop_one t sh node e
 
 let evict_to_budget (t : t) sh =
   let continue = ref true in
   while !continue && Atomic.get t.bytes > t.budget do
     match sh.lru with
     | None -> continue := false (* own shard dry; others own their bytes *)
-    | Some e ->
-        drop_entry sh e;
-        sh.s_evictions <- sh.s_evictions + 1;
-        ignore (Atomic.fetch_and_add t.bytes (-e.e_bytes));
-        Obs.count "prefix_cache.evictions" 1
+    | Some e -> drop_subtree t sh e.e_node
   done
+
+(* --- chain walk + materialization --- *)
+
+(* Deepest contiguous run of entries along [uids]: returns the depth
+   reached and the entries, deepest first.  Contiguity equals
+   materializability by the store-time invariant. *)
+let deepest_chain sh ~scope uids =
+  match child sh.root scope with
+  | None -> (0, [])
+  | Some scope_node ->
+      let rec go node depth chain uids =
+        match uids with
+        | [] -> (depth, chain)
+        | uid :: rest -> (
+            match child node uid with
+            | Some c -> (
+                match c.entry with
+                | Some e -> go c (depth + 1) (e :: chain) rest
+                | None -> (depth, chain))
+            | None -> (depth, chain))
+      in
+      go scope_node 0 [] uids
+
+(* Copy the anchor and replay the suffixes down the chain.  Touch order is
+   deepest-first so the anchor ends up most-recently-used: it is the most
+   load-bearing entry (evicting it takes the whole subtree). *)
+let materialize sh ~name chain_deepest_first =
+  List.iter (touch sh) chain_deepest_first;
+  let chain = List.rev chain_deepest_first in
+  match chain with
+  | { e_data = Anchor o; _ } :: suffixes ->
+      let main = Lobj.copy ~name o in
+      List.iter
+        (fun e ->
+          match e.e_data with
+          | Suffix d -> Lobj.replay main d
+          | Anchor _ -> assert false (* anchors only at depth 1 *))
+        suffixes;
+      Lobj.set_name main name;
+      main
+  | _ -> assert false (* non-empty chains start at a depth-1 anchor *)
 
 (* --- public operations --- *)
 
@@ -179,107 +325,180 @@ let find (t : t) ~scope ~name uids =
   if t.budget = 0 then None
   else begin
     let sh = shard t in
-    match walk sh.root (scope :: uids) with
-    | Some { entry = Some e; _ } ->
-        sh.s_hits <- sh.s_hits + 1;
-        Obs.count "prefix_cache.hits" 1;
-        touch sh e;
-        Some (Lobj.copy ~name e.e_obj)
-    | _ ->
-        sh.s_misses <- sh.s_misses + 1;
-        Obs.count "prefix_cache.misses" 1;
-        None
+    let want = List.length uids in
+    let depth, chain = deepest_chain sh ~scope uids in
+    if depth = want && depth > 0 then begin
+      count_hit sh depth;
+      Some (materialize sh ~name chain)
+    end
+    else begin
+      count_miss sh (depth + 1);
+      None
+    end
   end
 
 let find_longest (t : t) ~scope ~name uids =
   if t.budget = 0 then None
   else begin
     let sh = shard t in
-    let best = ref None in
-    let rec go depth node uids =
-      (match node.entry with
-      | Some e -> best := Some (depth, e)
-      | None -> ());
-      match uids with
-      | [] -> ()
-      | uid :: rest -> (
-          match child node uid with Some n -> go (depth + 1) n rest | None -> ())
-    in
-    (match child sh.root scope with Some n -> go 0 n uids | None -> ());
-    match !best with
-    | Some (depth, e) ->
-        sh.s_hits <- sh.s_hits + 1;
-        Obs.count "prefix_cache.hits" 1;
-        touch sh e;
-        Some (depth, Lobj.copy ~name e.e_obj)
-    | None ->
-        sh.s_misses <- sh.s_misses + 1;
-        Obs.count "prefix_cache.misses" 1;
-        None
+    let depth, chain = deepest_chain sh ~scope uids in
+    if depth > 0 then begin
+      count_hit sh depth;
+      Some (depth, materialize sh ~name chain)
+    end
+    else begin
+      count_miss sh 1;
+      None
+    end
   end
 
 (* Bound peek for branch-and-bound: the stored partial bounding box
-   without copying the entry (no counters, no LRU touch). *)
+   without materializing the entry (no counters, no LRU touch). *)
 let peek_bbox (t : t) ~scope uids =
   if t.budget = 0 then None
-  else
-    match walk (shard t).root (scope :: uids) with
-    | Some { entry = Some e; _ } -> Some e.e_bbox
-    | _ -> None
+  else begin
+    let sh = shard t in
+    let rec walk node uids =
+      match uids with
+      | [] -> node.entry
+      | uid :: rest -> (
+          match child node uid with Some c -> walk c rest | None -> None)
+    in
+    match child sh.root scope with
+    | None -> None
+    | Some n -> (
+        match walk n uids with Some e -> Some e.e_bbox | None -> None)
+  end
 
-let store (t : t) ~scope uids obj =
+(* Walk (and create) the trie path for [uids], bumping the target node's
+   visit count — the admission signal. *)
+let visit_node sh ~scope uids =
+  let node =
+    List.fold_left
+      (fun n uid ->
+        match child n uid with
+        | Some c -> c
+        | None ->
+            let c = mk_node ~parent:n ~depth:(n.depth + 1) uid in
+            Hashtbl.replace n.children uid c;
+            c)
+      (match child sh.root scope with
+      | Some s -> s
+      | None ->
+          let s = mk_node ~parent:sh.root ~depth:0 scope in
+          Hashtbl.replace sh.root.children scope s;
+          s)
+      uids
+  in
+  node.visits <- node.visits + 1;
+  node
+
+let note_visit (t : t) ~scope uids =
   if t.budget > 0 && uids <> [] then begin
     let sh = shard t in
-    let node =
-      List.fold_left
-        (fun n uid ->
-          match child n uid with
-          | Some c -> c
-          | None ->
-              let c = mk_node ~parent:n uid in
-              Hashtbl.replace n.children uid c;
-              c)
-        sh.root (scope :: uids)
-    in
+    ignore (visit_node sh ~scope uids);
+    sh.s_rejected <- sh.s_rejected + 1;
+    Obs.count "prefix_cache.rejected" 1
+  end
+
+let store (t : t) ~scope uids ~delta obj =
+  if t.budget = 0 || uids = [] then false
+  else begin
+    let sh = shard t in
+    let node = visit_node sh ~scope uids in
     match node.entry with
-    | Some e -> touch sh e (* identical by determinism; just refresh *)
+    | Some e ->
+        touch sh e (* identical by determinism; just refresh *);
+        true
     | None ->
-        let bytes = Lobj.approx_bytes obj in
-        let e =
-          {
-            e_obj = Lobj.copy obj;
-            e_bbox = Lobj.bbox obj;
-            e_bytes = bytes;
-            e_node = node;
-            e_prev = None;
-            e_next = None;
-          }
+        let depth = node.depth in
+        (* Chain invariant: a deeper entry needs its parent's entry live
+           (otherwise it could never be materialized).  Optimizer stores
+           run shallow-to-deep, so the parent is normally present; it is
+           absent exactly when the parent itself was rejected or evicted —
+           then the child is rejected too. *)
+        let parent_live =
+          depth = 1
+          || (match node.parent with Some p -> p.entry <> None | None -> false)
         in
-        node.entry <- Some e;
-        push_front sh e;
-        sh.s_bytes <- sh.s_bytes + bytes;
-        sh.s_entries <- sh.s_entries + 1;
-        ignore (Atomic.fetch_and_add t.bytes bytes);
-        Obs.count "prefix_cache.bytes" bytes;
-        evict_to_budget t sh
+        let admit =
+          parent_live
+          && (depth <= t.admit_depth || node.visits >= t.admit_visits)
+        in
+        if not admit then begin
+          sh.s_rejected <- sh.s_rejected + 1;
+          Obs.count "prefix_cache.rejected" 1;
+          false
+        end
+        else begin
+          let data, bytes =
+            if depth = 1 then
+              let c = Lobj.copy obj in
+              (Anchor c, Lobj.approx_bytes c)
+            else
+              let d = delta () in
+              (Suffix d, Lobj.delta_bytes d)
+          in
+          let e =
+            {
+              e_data = data;
+              e_bbox = Lobj.bbox obj;
+              e_bytes = bytes;
+              e_node = node;
+              e_prev = None;
+              e_next = None;
+            }
+          in
+          node.entry <- Some e;
+          push_front sh e;
+          let b = bucket depth in
+          sh.s_bytes <- sh.s_bytes + bytes;
+          sh.s_entries <- sh.s_entries + 1;
+          sh.s_admitted <- sh.s_admitted + 1;
+          sh.sd_bytes.(b) <- sh.sd_bytes.(b) + bytes;
+          sh.sd_entries.(b) <- sh.sd_entries.(b) + 1;
+          ignore (Atomic.fetch_and_add t.bytes bytes);
+          Obs.count "prefix_cache.bytes" bytes;
+          Obs.count "prefix_cache.admitted" 1;
+          evict_to_budget t sh;
+          (* Eviction under a tiny budget may reclaim the entry (or an
+             ancestor) we just pushed; report what is actually live. *)
+          node.entry <> None
+        end
   end
 
 let stats (t : t) =
-  Array.fold_left
-    (fun acc sh ->
-      {
-        hits = acc.hits + sh.s_hits;
-        misses = acc.misses + sh.s_misses;
-        evictions = acc.evictions + sh.s_evictions;
-        bytes = acc.bytes + sh.s_bytes;
-        entries = acc.entries + sh.s_entries;
-      })
-    { hits = 0; misses = 0; evictions = 0; bytes = 0; entries = 0 }
-    (Atomic.get t.shards)
+  let shards = Atomic.get t.shards in
+  let sum f = Array.fold_left (fun acc sh -> acc + f sh) 0 shards in
+  let sum_d f b = Array.fold_left (fun acc sh -> acc + (f sh).(b)) 0 shards in
+  let per_depth =
+    List.init depth_buckets (fun i ->
+        let b = i + 1 in
+        {
+          d_depth = b;
+          d_hits = sum_d (fun sh -> sh.sd_hits) b;
+          d_misses = sum_d (fun sh -> sh.sd_misses) b;
+          d_evictions = sum_d (fun sh -> sh.sd_evictions) b;
+          d_entries = sum_d (fun sh -> sh.sd_entries) b;
+          d_bytes = sum_d (fun sh -> sh.sd_bytes) b;
+        })
+  in
+  {
+    hits = sum (fun sh -> sh.s_hits);
+    misses = sum (fun sh -> sh.s_misses);
+    evictions = sum (fun sh -> sh.s_evictions);
+    admitted = sum (fun sh -> sh.s_admitted);
+    rejected = sum (fun sh -> sh.s_rejected);
+    bytes = sum (fun sh -> sh.s_bytes);
+    entries = sum (fun sh -> sh.s_entries);
+    per_depth;
+  }
 
-(* --- the process-wide default (amgen --cache-mb) --- *)
+(* --- the process-wide default (amgen --cache-mb / --cache-admit-…) --- *)
 
 let default_budget_mb = Atomic.make 64
+let default_admit_depth_v = Atomic.make default_admit_depth
+let default_admit_visits_v = Atomic.make default_admit_visits
 
 let default_cache : t option Atomic.t = Atomic.make None
 
@@ -290,7 +509,10 @@ let default () =
       let c =
         match Atomic.get default_budget_mb with
         | 0 -> disabled
-        | mb -> create ~budget_bytes:(mb * 1024 * 1024) ()
+        | mb ->
+            create ~budget_bytes:(mb * 1024 * 1024)
+              ~admit_depth:(Atomic.get default_admit_depth_v)
+              ~admit_visits:(Atomic.get default_admit_visits_v) ()
       in
       (* First-use race: both candidates are empty, either wins. *)
       if Atomic.compare_and_set default_cache None (Some c) then c
@@ -298,4 +520,13 @@ let default () =
 
 let set_default_budget_mb mb =
   Atomic.set default_budget_mb (max 0 mb);
+  Atomic.set default_cache None
+
+let set_default_policy ?admit_depth ?admit_visits () =
+  Option.iter
+    (fun d -> Atomic.set default_admit_depth_v (max 1 d))
+    admit_depth;
+  Option.iter
+    (fun v -> Atomic.set default_admit_visits_v (max 1 v))
+    admit_visits;
   Atomic.set default_cache None

@@ -3,10 +3,26 @@
     The successive compactor is deterministic, so the layout after placing
     a step prefix is a pure function of the environment and the prefix.
     This cache maps each explored prefix — keyed by a [~scope] integer
-    and the steps' canonical {!Optimize.step} uids — to a snapshot of the
-    partial layout plus its partial rating ingredient (the bounding box).
-    All optimizer searches share it: an evaluation resumes from the
-    deepest cached prefix instead of replaying it.
+    and the steps' canonical {!Optimize.step} uids — to the partial
+    layout plus its partial rating ingredient (the bounding box).  All
+    optimizer searches share it: an evaluation resumes from the deepest
+    cached prefix instead of replaying it.
+
+    {b Storage} (DESIGN.md §11).  A depth-1 entry keeps a compact full
+    copy of its one-step layout — the chain anchor.  Every deeper entry
+    keeps only the {!Amg_layout.Lobj.delta} between its parent prefix and
+    itself (the journal window the optimizer extracted while applying
+    that one step), so an entry costs bytes proportional to one step, not
+    to the whole partial layout.  A lookup materializes its result by
+    copying the anchor and replaying the delta chain.  Entries only exist
+    under a live parent entry (chains are always materializable);
+    evicting an entry therefore takes its whole entry subtree with it.
+
+    {b Admission.}  Prefixes at depth <= [admit_depth] are admitted
+    unconditionally; deeper prefixes only once their trie node has seen
+    [admit_visits] store attempts — one-shot deep suffixes (the bulk of a
+    search's stores) never cost budget bytes.  Admission changes which
+    entries exist, i.e. wall time, never results.
 
     The scope delimits where sharing is valid.  A search over a fresh
     main object passes the environment's {!Env.stamp} (prefix → layout is
@@ -14,12 +30,12 @@
     sound); a search seeded from a [?base] object passes a token unique
     to that call, giving intra-search sharing only.
 
-    {b Determinism (§7 contract).}  Entries are faithful copies of
-    deterministic builds and lookups return fresh {!Amg_layout.Lobj.copy}s,
-    so a hit yields byte-identical state to a fresh rebuild.  Sharing may
-    change wall time, never results: ratings, chosen orders, eval and node
-    counts are cache-independent.  Only the hit/miss/eviction counters
-    depend on cache state (and, with several domains, on scheduling).
+    {b Determinism (§7 contract).}  Entries replay a faithful redo log of
+    a deterministic build, so a hit yields observably identical state to
+    a fresh rebuild.  Sharing may change wall time, never results:
+    ratings, chosen orders, eval and node counts are cache-independent.
+    Only the hit/miss/eviction counters depend on cache state (and, with
+    several domains, on scheduling).
 
     {b Concurrency.}  Internally sharded per pool participant
     ({!Amg_parallel.Pool.self}); a participant only ever touches its own
@@ -28,22 +44,44 @@
     from its own shard when the total exceeds the budget.
 
     Obs counters: [prefix_cache.hits], [prefix_cache.misses],
-    [prefix_cache.evictions], [prefix_cache.bytes] (cumulative stored
-    bytes); current occupancy is in {!stats}. *)
+    [prefix_cache.evictions], [prefix_cache.admitted],
+    [prefix_cache.rejected], [prefix_cache.bytes] (cumulative stored
+    bytes), and per-depth variants [prefix_cache.hits.d<k>] (likewise
+    [misses]/[evictions]) bucketed up to [d12+]; current occupancy is in
+    {!stats}. *)
 
 type t
+
+type depth_stats = {
+  d_depth : int;
+      (** Depth bucket, [1 ..] — the last bucket aggregates all deeper. *)
+  d_hits : int;
+  d_misses : int;  (** Attributed to the depth where the chain broke. *)
+  d_evictions : int;
+  d_entries : int;  (** Currently live. *)
+  d_bytes : int;  (** Currently resident. *)
+}
 
 type stats = {
   hits : int;
   misses : int;
   evictions : int;
-  bytes : int;   (** currently resident *)
+  admitted : int;  (** Entries ever inserted; [= entries + evictions]. *)
+  rejected : int;  (** Store attempts refused by the admission policy. *)
+  bytes : int;  (** currently resident *)
   entries : int;
+  per_depth : depth_stats list;
 }
 
-val create : ?budget_bytes:int -> unit -> t
+val depth_buckets : int
+(** Number of per-depth stat buckets (the last aggregates deeper). *)
+
+val create :
+  ?budget_bytes:int -> ?admit_depth:int -> ?admit_visits:int -> unit -> t
 (** Fresh cache with the given LRU byte budget (default 64 MiB).
-    [budget_bytes = 0] yields a disabled cache. *)
+    [budget_bytes = 0] yields a disabled cache.  [admit_depth] (default 4)
+    and [admit_visits] (default 2) set the admission policy; both are
+    clamped to >= 1. *)
 
 val disabled : t
 (** A no-op cache: lookups miss without counting, stores are ignored.
@@ -52,37 +90,70 @@ val disabled : t
 val enabled : t -> bool
 
 val find : t -> scope:int -> name:string -> int list -> Amg_layout.Lobj.t option
-(** [find t ~scope ~name uids] returns a fresh copy (named [name]) of the
-    layout cached for exactly the prefix [uids], if present. *)
+(** [find t ~scope ~name uids] materializes a fresh layout (named [name])
+    for exactly the prefix [uids] — anchor copy plus delta-chain replay —
+    if every entry along the chain is present. *)
 
 val find_longest :
   t -> scope:int -> name:string -> int list -> (int * Amg_layout.Lobj.t) option
 (** Deepest cached prefix of [uids]: [(k, obj)] means [obj] is a fresh
-    copy of the layout after the first [k] steps ([k >= 1]). *)
+    materialization of the layout after the first [k] steps ([k >= 1]). *)
 
 val peek_bbox :
   t -> scope:int -> int list -> Amg_geometry.Rect.t option option
-(** The stored partial bounding box for exactly [uids], without copying
-    the entry — a cheap bound probe for branch-and-bound ([Some None] is
-    a cached empty layout).  Does not count as a hit or refresh the
-    entry. *)
+(** The stored partial bounding box for exactly [uids], without
+    materializing the entry — a cheap bound probe for branch-and-bound
+    ([Some None] is a cached empty layout).  Does not count as a hit or
+    refresh the entry. *)
 
-val store : t -> scope:int -> int list -> Amg_layout.Lobj.t -> unit
-(** Cache the layout for prefix [uids].  The object is copied internally,
-    so the caller may keep mutating it.  Call only with a fully applied
-    prefix — a step aborted mid-placement must not be stored (the
-    budget/fault paths rely on this to keep the cache consistent).
-    No-op on the empty prefix or a disabled cache. *)
+val store :
+  t ->
+  scope:int ->
+  int list ->
+  delta:(unit -> Amg_layout.Lobj.delta) ->
+  Amg_layout.Lobj.t ->
+  bool
+(** Cache the layout for prefix [uids].  [delta] must produce the journal
+    window covering exactly the last step of the prefix (the mutations
+    from the parent prefix's state to [obj]'s); it is only forced when the
+    entry is admitted at depth >= 2 — depth-1 entries copy [obj] instead.
+    Call only with a fully applied prefix — a step aborted mid-placement
+    must not be stored (the budget/fault paths rely on this to keep the
+    cache consistent).  No-op on the empty prefix or a disabled cache.
+    Counts one visit on the prefix's trie node either way; the entry is
+    inserted when the admission policy and the live-parent invariant
+    allow.
+
+    Returns whether the prefix's entry is live in the calling
+    participant's shard after the call.  [false] means no deeper prefix
+    can be admitted or found in this shard until this one is stored again
+    (the live-parent invariant) — callers use it to skip guaranteed-miss
+    lookups and the journaling work feeding [delta], calling {!note_visit}
+    instead. *)
+
+val note_visit : t -> scope:int -> int list -> unit
+(** Count a store attempt for [uids] — one visit on its trie node, one
+    admission rejection — without offering an entry.  The cheap substitute
+    for {!store} when the caller already knows the parent entry is dead
+    (the entry would be rejected anyway); the visit still feeds the
+    admission policy, so a prefix revisited by a later search gets
+    admitted exactly as if {!store} had been called. *)
 
 val stats : t -> stats
 (** Summed over shards.  Racy-but-consistent-enough when read while other
-    participants are active; exact once the pool is quiesced. *)
+    participants are active; exact once the pool is quiesced — then
+    [admitted = entries + evictions] holds exactly. *)
 
 val default : unit -> t
 (** The process-wide cache used by searches when [?cache] is omitted.
-    Created on first use with the configured budget. *)
+    Created on first use with the configured budget and policy. *)
 
 val set_default_budget_mb : int -> unit
 (** Configure the default cache's budget in MiB ([0] disables sharing);
     [amgen --cache-mb] sets it.  Replaces the default cache, dropping any
     cached prefixes. *)
+
+val set_default_policy : ?admit_depth:int -> ?admit_visits:int -> unit -> unit
+(** Configure the default cache's admission policy
+    ([amgen --cache-admit-depth] / [--cache-admit-visits] set it).
+    Replaces the default cache, dropping any cached prefixes. *)

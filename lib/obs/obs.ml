@@ -168,6 +168,8 @@ let span name f =
 
 type strands = Off | On of strand array
 
+let recording = function Off -> false | On _ -> true
+
 let fork n =
   if not (Atomic.get enabled_flag) then Off
   else begin

@@ -51,6 +51,11 @@ val fork : int -> strands
     (a cheap token when disabled).  Must be called from the submitting
     strand, never from inside a task. *)
 
+val recording : strands -> bool
+(** Whether the strands were forked while recording — [false] means
+    {!enter}/{!join} are no-ops, so a hot loop may skip building the
+    per-task closures entirely. *)
+
 val enter : strands -> int -> (unit -> 'a) -> 'a
 (** Route the calling domain's probes to slot [i]'s strand for the
     duration of [f]. *)

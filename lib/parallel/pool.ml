@@ -24,6 +24,7 @@ module Inject = Amg_robust.Inject
 type job = {
   chunks : (int Atomic.t * int) array; (* per-participant (next, stop) *)
   run : int -> unit;                   (* never raises; records errors *)
+  grain : int;                         (* indices claimed per RMW *)
   total : int;
   completed : int Atomic.t;
 }
@@ -61,20 +62,57 @@ let default_domains () =
 
 let set_default_domains n = Atomic.set configured (Some (max 1 n))
 
-(* Drain the job: own chunk first, then steal. [me] is the participant
-   index (0 = caller). *)
-let exec_job t job me =
-  for k = 0 to Array.length job.chunks - 1 do
-    let next, stop = job.chunks.((me + k) mod t.n) in
-    let continue = ref true in
-    while !continue do
-      let i = Atomic.fetch_and_add next 1 in
+(* Oversubscription clamp.  Domains beyond the host's recommended count
+   add no compute — only stop-the-world GC synchronization and scheduling
+   latency (measured 2-3x slowdowns of small searches on a 1-core host) —
+   and determinism makes the participant count unobservable in results,
+   so requested sizes are clamped by default.  The determinism test
+   suites lift the clamp to exercise real multi-domain scheduling on any
+   host. *)
+let oversubscribe = Atomic.make false
+
+let set_oversubscribe b = Atomic.set oversubscribe b
+
+let effective_size n =
+  let n = max 1 n in
+  if Atomic.get oversubscribe then n else min n (recommended ())
+
+(* Tiny optimizer tasks make the per-index claim traffic (one RMW per
+   task) a measurable fraction of the work on a busy memory bus; claiming
+   [grain] indices per RMW amortizes it.  The grain caps the stealable
+   tail a claimant can hold hostage, so it stays small relative to the
+   per-participant share. *)
+let grain_of n total = max 1 (min 8 (total / (4 * n)))
+
+(* Drain a chunk in grain-sized blocks.  The cheap read before each RMW
+   means a drained chunk costs one load to skip — the claim counter does
+   not creep past the bound under contention. *)
+let drain_chunk job (next, stop) =
+  let continue = ref true in
+  while !continue do
+    if Atomic.get next >= stop then continue := false
+    else begin
+      let i = Atomic.fetch_and_add next job.grain in
       if i >= stop then continue := false
       else begin
-        job.run i;
-        ignore (Atomic.fetch_and_add job.completed 1)
+        let hi = min stop (i + job.grain) in
+        for k = i to hi - 1 do
+          job.run k
+        done;
+        ignore (Atomic.fetch_and_add job.completed (hi - i))
       end
-    done
+    end
+  done
+
+(* Drain the job: own chunk first, then steal from the others in
+   round-robin order, backing off (a single atomic load) from any chunk
+   already drained instead of spinning a fetch-and-add over it.  [me] is
+   the participant index (0 = caller). *)
+let exec_job t job me =
+  drain_chunk job job.chunks.(me mod t.n);
+  for k = 1 to Array.length job.chunks - 1 do
+    let (next, stop) as chunk = job.chunks.((me + k) mod t.n) in
+    if Atomic.get next < stop then drain_chunk job chunk
   done
 
 let rec worker_loop t me my_epoch =
@@ -96,7 +134,7 @@ let rec worker_loop t me my_epoch =
 
 let create ?domains () =
   let n =
-    max 1 (match domains with Some d -> d | None -> default_domains ())
+    effective_size (match domains with Some d -> d | None -> default_domains ())
   in
   let t =
     {
@@ -125,9 +163,53 @@ let shutdown t =
   List.iter Domain.join t.workers;
   t.workers <- []
 
+(* Pool checkout.  [with_pool] sits inside every optimizer search, often
+   inside a caller's timed region; creating a pool there means a
+   [Domain.spawn] per worker (milliseconds each, worse while other
+   domains run GC barriers) and a join afterwards — measured as the
+   dominant cost of small parallel searches.  Instead, idle pools are
+   parked per size and handed back out: a checked-out pool is exclusively
+   owned (re-entry stays impossible), a parked pool's workers sleep on
+   the condition variable.  Workers keep their domain — and with it their
+   {!self} participant index — across checkouts, so consumers keyed on
+   the participant index (the prefix cache's shards) keep their state
+   warm too.  Parked pools are shut down at exit so the process never
+   waits on a sleeping domain. *)
+let parked : (int, t list) Hashtbl.t = Hashtbl.create 4
+let park_lock = Mutex.create ()
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock park_lock;
+      let pools = Hashtbl.fold (fun _ ps acc -> ps @ acc) parked [] in
+      Hashtbl.reset parked;
+      Mutex.unlock park_lock;
+      List.iter shutdown pools)
+
+let acquire ?domains () =
+  let n =
+    effective_size (match domains with Some d -> d | None -> default_domains ())
+  in
+  Mutex.lock park_lock;
+  let hit =
+    match Hashtbl.find_opt parked n with
+    | Some (p :: rest) ->
+        Hashtbl.replace parked n rest;
+        Some p
+    | _ -> None
+  in
+  Mutex.unlock park_lock;
+  match hit with Some p -> p | None -> create ~domains:n ()
+
+let park t =
+  Mutex.lock park_lock;
+  let rest = Option.value ~default:[] (Hashtbl.find_opt parked t.n) in
+  Hashtbl.replace parked t.n (t :: rest);
+  Mutex.unlock park_lock
+
 let with_pool ?domains f =
-  let t = create ?domains () in
-  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+  let t = acquire ?domains () in
+  Fun.protect ~finally:(fun () -> park t) (fun () -> f t)
 
 (* Split [0, total) into [n] contiguous chunks, the first [total mod n]
    one element longer. *)
@@ -143,10 +225,14 @@ let run_tasks t total run =
     (* One probe strand per task slot; [fork] is a cheap token when the
        instrumentation is disabled.  Slot tids are assigned here, on the
        submitting strand, so they are deterministic — the same task gets
-       the same tid whatever the domain count. *)
+       the same tid whatever the domain count.  When nothing records, the
+       raw task runs as-is: no strand routing, no span, no per-task
+       closure pair — the claim loop calls [run] directly. *)
     let strands = Obs.fork total in
-    let run i =
-      Obs.enter strands i (fun () -> Obs.span "pool.task" (fun () -> run i))
+    let run =
+      if Obs.recording strands then fun i ->
+        Obs.enter strands i (fun () -> Obs.span "pool.task" (fun () -> run i))
+      else run
     in
     Obs.count "pool.jobs" 1;
     Obs.count "pool.tasks" total;
@@ -156,7 +242,13 @@ let run_tasks t total run =
       for i = 0 to total - 1 do run i done
     else begin
       let job =
-        { chunks = chunks_of t.n total; run; total; completed = Atomic.make 0 }
+        {
+          chunks = chunks_of t.n total;
+          run;
+          grain = grain_of t.n total;
+          total;
+          completed = Atomic.make 0;
+        }
       in
       Mutex.lock t.lock;
       if t.job <> None then begin

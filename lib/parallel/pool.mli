@@ -20,7 +20,10 @@ val create : ?domains:int -> unit -> t
 (** [create ~domains ()] spawns [domains - 1] worker domains
     ([domains] defaults to {!default_domains}; values < 1 are clamped
     to 1, so [create ~domains:1 ()] is a purely sequential pool that
-    spawns nothing). *)
+    spawns nothing).  Unless {!set_oversubscribe}[ true] was called, the
+    size is additionally clamped to {!recommended}: extra domains on an
+    oversubscribed host only add GC-synchronization and scheduling cost,
+    and determinism keeps results identical either way. *)
 
 val size : t -> int
 (** Number of participants, including the calling domain. *)
@@ -32,11 +35,16 @@ val self : unit -> int
     select participant-private state (e.g. a cache shard) without locks. *)
 
 val shutdown : t -> unit
-(** Stop and join the worker domains.  Idempotent. *)
+(** Stop and join the worker domains.  Idempotent.  Only for pools from
+    {!create}; {!with_pool} pools are managed by the checkout registry. *)
 
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
-(** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards,
-    also on exception. *)
+(** [with_pool f] runs [f] with an exclusively owned pool of the requested
+    size and returns it afterwards (also on exception).  Pools are checked
+    out of a process-wide registry keyed by size — spawning domains costs
+    milliseconds, so the workers (and their {!self} participant indices)
+    persist across calls, idling on a condition variable between jobs.
+    Parked pools are shut down at process exit. *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array t f arr] applies [f] to every element, distributing the
@@ -67,3 +75,9 @@ val default_domains : unit -> int
     {!recommended} if never set.  [amgen --jobs N] sets it. *)
 
 val set_default_domains : int -> unit
+
+val set_oversubscribe : bool -> unit
+(** Lift (or restore) the {!recommended}-count clamp on pool sizes, so a
+    requested size is honored exactly even beyond the host's core count.
+    Off by default; the determinism test suites enable it to exercise
+    real multi-domain scheduling on any host. *)

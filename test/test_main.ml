@@ -1,3 +1,9 @@
+(* The determinism suites exercise pools larger than this host's core
+   count; lift the pool's oversubscription clamp so they get real worker
+   domains (results are identical either way — that is what the suites
+   assert). *)
+let () = Amg_parallel.Pool.set_oversubscribe true
+
 let () =
   Alcotest.run "amg"
     [

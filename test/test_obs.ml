@@ -20,7 +20,7 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let check_str_list = Alcotest.(check (list string))
 
-let domain_counts = [ 1; 2; 4 ]
+let domain_counts = Test_util.domain_counts
 
 (* Timestamp-free signature of the event stream: everything the
    determinism contract promises to keep identical across domain counts. *)

@@ -20,7 +20,7 @@ let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let env () = Env.bicmos ()
 
-let domain_counts = [ 1; 2; 4 ]
+let domain_counts = Test_util.domain_counts
 
 (* --- the pool itself --- *)
 

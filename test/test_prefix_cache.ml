@@ -126,7 +126,27 @@ let mk_steps n =
 
 let uids = List.map (fun s -> s.Optimize.uid)
 
-let domain_counts = [ 1; 2; 4 ]
+let domain_counts = Test_util.domain_counts
+
+(* Entry accounting is conservative by construction: every admitted entry
+   is either still live or was evicted exactly once. *)
+let check_conservation what cache =
+  let st = Pcache.stats cache in
+  check_int
+    (what ^ ": admitted = entries + evictions")
+    st.Pcache.admitted
+    (st.Pcache.entries + st.Pcache.evictions);
+  let sum f = List.fold_left (fun a d -> a + f d) 0 st.Pcache.per_depth in
+  check_int (what ^ ": per-depth hits sum") st.Pcache.hits
+    (sum (fun d -> d.Pcache.d_hits));
+  check_int (what ^ ": per-depth misses sum") st.Pcache.misses
+    (sum (fun d -> d.Pcache.d_misses));
+  check_int (what ^ ": per-depth evictions sum") st.Pcache.evictions
+    (sum (fun d -> d.Pcache.d_evictions));
+  check_int (what ^ ": per-depth entries sum") st.Pcache.entries
+    (sum (fun d -> d.Pcache.d_entries));
+  check_int (what ^ ": per-depth bytes sum") st.Pcache.bytes
+    (sum (fun d -> d.Pcache.d_bytes))
 
 (* Identical ratings, chosen orders, eval/node counts and layout bytes
    with the cache enabled and disabled, for every domain count — the
@@ -185,7 +205,95 @@ let test_warm_cache_hits_and_identity () =
     ((Pcache.stats cache).Pcache.hits > cold);
   check_bool "warm rating identical" true (r1 = r2);
   Alcotest.(check (list int)) "warm order identical" (uids ord1) (uids ord2);
-  check_int "warm evals identical" e1 e2
+  check_int "warm evals identical" e1 e2;
+  check_conservation "warm" cache
+
+(* Delta-chain materialization is a faithful rebuild: every prefix entry
+   the searches left behind must materialize byte-identically (CIF bytes,
+   shapes, ports, spatial-index answers) to a plain uncached rebuild of
+   that prefix. *)
+let prop_materialize_is_rebuild =
+  let gen = QCheck2.Gen.(tup2 (int_range 3 6) (int_range 0 1000)) in
+  QCheck2.Test.make ~name:"delta-chain materialization == full rebuild"
+    ~count:15 gen (fun (n, salt) ->
+      let env = Env.bicmos () in
+      (* [salt] varies the shape sizes so runs exercise different
+         geometries; uids are fresh per call by construction. *)
+      let steps =
+        List.init n (fun i ->
+            let name = Printf.sprintf "q%d" i in
+            let o = Lobj.create name in
+            ignore
+              (Lobj.add_shape o ~layer:"metal1"
+                 ~rect:
+                   (Rect.of_size ~x:0 ~y:0
+                      ~w:(um (float_of_int (((i + salt) mod 5) + 2)))
+                      ~h:(um (float_of_int (((i * 3) + salt) mod 6 + 2))))
+                 ~net:name ());
+            Optimize.step o
+              (if (i + salt) mod 2 = 0 then Dir.South else Dir.West))
+      in
+      let cache = Pcache.create ~admit_depth:16 () in
+      let scope = 2 * Env.stamp env in
+      ignore (Optimize.optimize_local env ~name:"p" ~restarts:2 ~cache steps);
+      ignore (Optimize.optimize_bb env ~name:"p" ~cache steps);
+      (* Probe every prefix of a few concrete orders: the canonical one
+         and its reversal (both explored by the searches above or plainly
+         absent — absent prefixes must simply miss, not fail). *)
+      let found = ref 0 in
+      let probe order =
+        List.iteri
+          (fun k _ ->
+            let prefix = List.filteri (fun i _ -> i <= k) order in
+            match
+              Pcache.find cache ~scope ~name:"probe" (uids prefix)
+            with
+            | None -> ()
+            | Some m ->
+                incr found;
+                let fresh = Optimize.apply env ~name:"probe" prefix in
+                if fingerprint env m <> fingerprint env fresh then
+                  QCheck2.Test.fail_reportf
+                    "prefix of depth %d materialized differently" (k + 1))
+          order
+      in
+      probe steps;
+      probe (List.rev steps);
+      if !found = 0 then
+        QCheck2.Test.fail_report "no prefix was ever found in the cache";
+      check_conservation "property" cache;
+      true)
+
+(* The admission policy may change which entries exist — never results.
+   A deliberately tight policy (only depth-1 anchors unconditional, deep
+   entries needing repeat visits) must leave ratings, orders and eval
+   counts identical to the uncached reference, for every domain count. *)
+let test_admission_policy_determinism () =
+  let env = Env.bicmos () in
+  let steps = mk_steps 5 in
+  let _, r_ref, ord_ref, e_ref =
+    Optimize.optimize_local env ~name:"p" ~domains:1 ~restarts:2
+      ~cache:Pcache.disabled steps
+  in
+  List.iter
+    (fun d ->
+      let cache = Pcache.create ~admit_depth:1 ~admit_visits:2 () in
+      let _, r, ord, e =
+        Optimize.optimize_local env ~name:"p" ~domains:d ~restarts:2 ~cache
+          steps
+      in
+      check_bool (Printf.sprintf "rating, %d domains" d) true (r = r_ref);
+      Alcotest.(check (list int))
+        (Printf.sprintf "order, %d domains" d)
+        (uids ord_ref) (uids ord);
+      check_int (Printf.sprintf "evals, %d domains" d) e_ref e;
+      let st = Pcache.stats cache in
+      check_bool
+        (Printf.sprintf "tight policy rejected deep stores, %d domains" d)
+        true
+        (st.Pcache.rejected > 0);
+      check_conservation (Printf.sprintf "admission (%d domains)" d) cache)
+    domain_counts
 
 (* A budget far below the working set forces LRU evictions; results must
    still match the uncached search exactly. *)
@@ -205,7 +313,8 @@ let test_eviction_under_tiny_budget () =
   check_bool "budget respected" true (st.Pcache.bytes <= 50_000);
   check_bool "rating unchanged" true (r = r_ref);
   Alcotest.(check (list int)) "order unchanged" (uids ord_ref) (uids ord);
-  check_int "evals unchanged" e_ref e
+  check_int "evals unchanged" e_ref e;
+  check_conservation "tiny budget" cache
 
 let suite =
   [
@@ -216,6 +325,9 @@ let suite =
       `Quick test_cache_independent_results;
     Alcotest.test_case "warm cache hits and returns identical results" `Quick
       test_warm_cache_hits_and_identity;
+    QCheck_alcotest.to_alcotest prop_materialize_is_rebuild;
+    Alcotest.test_case "admission policy never changes results" `Quick
+      test_admission_policy_determinism;
     Alcotest.test_case "tiny budget evicts without changing results" `Quick
       test_eviction_under_tiny_budget;
   ]

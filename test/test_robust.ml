@@ -158,7 +158,7 @@ let test_deadline_deterministic () =
           (Printf.sprintf "domains=%d: degraded" domains)
           true (Budget.degraded budget);
         (fingerprint obj, rating, order_indices steps order))
-      [ 1; 2; 4 ]
+      Test_util.domain_counts
   in
   match runs with
   | first :: rest ->
@@ -196,7 +196,7 @@ let test_max_evals_deterministic () =
             in
             check bool "degraded" true (Budget.degraded budget);
             (fingerprint obj, rating, order_indices steps order))
-          [ 1; 2; 4 ]
+          Test_util.domain_counts
       in
       match runs with
       | first :: rest ->

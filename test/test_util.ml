@@ -1,0 +1,16 @@
+(* Shared knobs for the determinism suites.
+
+   AMG_TEST_DOMAINS overrides the pool sizes the suites sweep, e.g.
+   AMG_TEST_DOMAINS=2 forces every determinism test onto 2-domain pools
+   (the CI 2-domain job uses it).  A comma-separated list is accepted;
+   unparsable values fall back to the default sweep. *)
+let domain_counts =
+  match Sys.getenv_opt "AMG_TEST_DOMAINS" with
+  | None | Some "" -> [ 1; 2; 4 ]
+  | Some s -> (
+      let parsed =
+        String.split_on_char ',' s
+        |> List.filter_map int_of_string_opt
+        |> List.filter (fun d -> d >= 1)
+      in
+      match parsed with [] -> [ 1; 2; 4 ] | l -> l)
