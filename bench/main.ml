@@ -19,6 +19,9 @@ module Successive = Amg_compact.Successive
 module Edge_graph = Amg_compact.Edge_graph
 module Budget = Amg_robust.Budget
 module Pcache = Amg_core.Prefix_cache
+module Wire = Amg_robust.Wire
+module Server = Amg_serve.Server
+module Client = Amg_serve.Client
 module M = Amg_modules
 module A = Amg_amplifier.Amplifier
 
@@ -1032,6 +1035,236 @@ let compact_smoke env ns =
   Fmt.pr "bench smoke: all checks passed@."
 
 (* ------------------------------------------------------------------ *)
+(* Serving benchmark (daemon): `bench serve [CLIENTS] [SECONDS] [P99]`.*)
+(* Phase 1 measures the request latency of the n=12 contact-row pack   *)
+(* through an in-process daemon: cold (a fresh tenant per request),    *)
+(* warm (an identical repeat — replays the whole-result memo) and      *)
+(* search-warm (a budgeted repeat — re-runs the search against the     *)
+(* resident prefix cache).  Phase 2 runs CLIENTS closed-loop           *)
+(* connections for SECONDS over a warm mix and reports client-side     *)
+(* p50/p99 and throughput.  The numbers are spliced into               *)
+(* BENCH_compact.json as "serving"; exits 1 when result identity, the  *)
+(* warm speedup, the error count or the p99 bound regresses.           *)
+(* ------------------------------------------------------------------ *)
+
+(* The n-row pack of compact_scaling, written in the layout language:
+   widths cycle W, W+12, W+24, W+36 um and the compaction direction
+   alternates SOUTH/WEST — the language has no modulo, so the cycle is
+   unrolled here. *)
+let serve_source n =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "ENT Pack%d(<W>)\n" n);
+  for i = 0 to n - 1 do
+    let w =
+      match i mod 4 * 12 with
+      | 0 -> "W"
+      | off -> Printf.sprintf "W + %d" off
+    in
+    Buffer.add_string b
+      (Printf.sprintf
+         "  x%d = ContactRow(layer = \"metal1\", W = %s, L = 6, net = \
+          \"n%d\")\n"
+         i w i);
+    Buffer.add_string b
+      (Printf.sprintf "  compact(x%d, %s, align = \"MIN\")\n" i
+         (if i mod 2 = 0 then "SOUTH" else "WEST"))
+  done;
+  Buffer.contents b ^ Amg_lang.Stdlib.all
+
+let percentile p xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.
+  else a.(min (n - 1) (max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)))
+
+(* Splice (or replace) the "serving" section at the end of the committed
+   BENCH_compact.json without disturbing the other machine-written keys. *)
+let splice_serving serving =
+  let json =
+    let ic = open_in "BENCH_compact.json" in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let base =
+    match find_sub json ",\n  \"serving\"" 0 with
+    | Some i -> String.sub json 0 i
+    | None ->
+        (* drop the final closing brace *)
+        let n = ref (String.length json - 1) in
+        while !n > 0 && json.[!n] <> '}' do
+          decr n
+        done;
+        String.sub json 0 !n
+  in
+  let base =
+    let n = ref (String.length base) in
+    while !n > 0 && (base.[!n - 1] = '\n' || base.[!n - 1] = ' ') do
+      decr n
+    done;
+    String.sub base 0 !n
+  in
+  let oc = open_out "BENCH_compact.json" in
+  output_string oc (base ^ ",\n  \"serving\": " ^ serving ^ "\n}\n");
+  close_out oc
+
+let serve_bench nclients seconds p99_bound_ms =
+  section
+    (Printf.sprintf "serving (daemon): %d clients, %.0f s closed loop"
+       nclients seconds);
+  let n = 12 in
+  let entity = Printf.sprintf "Pack%d" n in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "amgbench.%d" (Unix.getpid ()))
+  in
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "d.sock" in
+  let t = Server.start (Server.config ~source:(serve_source n) socket) in
+  let failures = ref 0 in
+  let ensure ok what =
+    if ok then Fmt.pr "  ok   %s@." what
+    else begin
+      incr failures;
+      Fmt.pr "  FAIL %s@." what
+    end
+  in
+  let request ?max_evals ~tenant id =
+    Wire.build ~id ~jobs:1 ~optimize:Wire.Local ~format:Wire.Cif ~stats:true
+      ~tenant ?max_evals
+      ~params:[ ("W", Wire.Pnum 20.) ]
+      entity
+  in
+  let serving =
+    Fun.protect
+      ~finally:(fun () ->
+        Server.stop t;
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    let c = Client.connect socket in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    let timed req =
+      let t0 = Unix.gettimeofday () in
+      match Client.roundtrip c req with
+      | Error e -> failwith ("bench serve: " ^ e)
+      | Ok resp -> (resp, (Unix.gettimeofday () -. t0) *. 1000.)
+    in
+    (* cold: a fresh tenant (fresh cache scope, fresh memo key) each time *)
+    let cold =
+      List.init 3 (fun i ->
+          let tenant = Printf.sprintf "cold-%d" i in
+          timed (request ~tenant tenant))
+    in
+    let prime = timed (request ~tenant:"warm" "prime") in
+    (* identical unbudgeted repeats replay the whole-result memo *)
+    let warm =
+      List.init 5 (fun i ->
+          timed (request ~tenant:"warm" (Printf.sprintf "warm-%d" i)))
+    in
+    (* budgeted repeats bypass the memo and re-run the search against the
+       resident prefix cache *)
+    let swarm =
+      List.init 3 (fun i ->
+          timed
+            (request ~max_evals:1_000_000 ~tenant:"warm"
+               (Printf.sprintf "swarm-%d" i)))
+    in
+    let payload (r : Wire.response) = Option.value ~default:"" r.Wire.payload in
+    let rating (r : Wire.response) = Option.value ~default:nan r.Wire.rating in
+    let all = cold @ (prime :: warm) @ swarm in
+    let p0 = payload (fst (List.hd all)) and r0 = rating (fst (List.hd all)) in
+    ensure (p0 <> "") "responses carry a CIF payload";
+    ensure
+      (List.for_all (fun (r, _) -> String.equal (payload r) p0) all)
+      "identical CIF bytes across cold/warm/search-warm";
+    ensure
+      (List.for_all (fun (r, _) -> Float.equal (rating r) r0) all)
+      "identical ratings across cold/warm/search-warm";
+    ensure
+      (List.for_all (fun (r, _) -> r.Wire.status = Wire.status_ok) all)
+      "status 0 everywhere";
+    let cache_hits (r : Wire.response) =
+      match r.Wire.stats with Some s -> s.Wire.cache_hits | None -> 0
+    in
+    let swarm_hits = List.fold_left (fun a (r, _) -> a + cache_hits r) 0 swarm in
+    ensure (swarm_hits > 0)
+      (Printf.sprintf "search-warm requests hit the resident prefix cache (%d)"
+         swarm_hits);
+    let cold_p50 = percentile 0.5 (List.map snd cold) in
+    let warm_p50 = percentile 0.5 (List.map snd warm) in
+    let swarm_p50 = percentile 0.5 (List.map snd swarm) in
+    let speedup = cold_p50 /. warm_p50 in
+    let sspeedup = cold_p50 /. swarm_p50 in
+    Fmt.pr
+      "  cold p50 %.1f ms; warm p50 %.2f ms (%.1fx); search-warm p50 %.1f ms \
+       (%.1fx)@."
+      cold_p50 warm_p50 speedup swarm_p50 sspeedup;
+    ensure (speedup >= 5.)
+      (Printf.sprintf "warm p50 at least 5x faster than cold (%.1fx)" speedup);
+    (* phase 2: a closed loop of pings, warm optimized packs and plain
+       DiffPair builds *)
+    let lat = Array.make nclients [] in
+    let errors = Array.make nclients 0 in
+    let stop_at = Unix.gettimeofday () +. seconds in
+    let worker i =
+      let c = Client.connect socket in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let k = ref 0 in
+      while Unix.gettimeofday () < stop_at do
+        let id = Printf.sprintf "w%d-%d" i !k in
+        let req =
+          match !k mod 3 with
+          | 0 -> Wire.ping ~id ()
+          | 1 -> request ~tenant:"warm" id
+          | _ ->
+              Wire.build ~id ~jobs:1 ~format:Wire.Cif
+                ~params:[ ("W", Wire.Pnum 10.); ("L", Wire.Pnum 5.) ]
+                "DiffPair"
+        in
+        let t0 = Unix.gettimeofday () in
+        (try
+           match Client.roundtrip c req with
+           | Ok resp when resp.Wire.status = Wire.status_ok ->
+               lat.(i) <- ((Unix.gettimeofday () -. t0) *. 1000.) :: lat.(i)
+           | Ok _ | Error _ -> errors.(i) <- errors.(i) + 1
+         with _ -> errors.(i) <- errors.(i) + 1);
+        incr k
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init nclients (fun i -> Thread.create worker i) in
+    List.iter Thread.join threads;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let lats = Array.to_list lat |> List.concat in
+    let total = List.length lats in
+    let errs = Array.fold_left ( + ) 0 errors in
+    let p50 = percentile 0.5 lats and p99 = percentile 0.99 lats in
+    let rps = float_of_int total /. elapsed in
+    Fmt.pr
+      "  loop: %d requests in %.1f s (%.0f rps); p50 %.2f ms, p99 %.2f ms, \
+       %d errors@."
+      total elapsed rps p50 p99 errs;
+    ensure (errs = 0) "no errors in the closed loop";
+    ensure (total > 0) "the loop made progress";
+    ensure (p99 <= p99_bound_ms)
+      (Printf.sprintf "loop p99 %.2f ms within the %.0f ms bound" p99
+         p99_bound_ms);
+    Printf.sprintf
+      "{\"clients\":%d,\"seconds\":%.0f,\"n\":%d,\"cold_p50_ms\":%.2f,\"warm_p50_ms\":%.2f,\"warm_speedup_x\":%.1f,\"search_warm_p50_ms\":%.2f,\"search_warm_speedup_x\":%.1f,\"search_warm_cache_hits\":%d,\n    \"loop_requests\":%d,\"loop_errors\":%d,\"throughput_rps\":%.1f,\"loop_p50_ms\":%.2f,\"loop_p99_ms\":%.2f}"
+      nclients seconds n cold_p50 warm_p50 speedup swarm_p50 sspeedup
+      swarm_hits total errs rps p50 p99
+  in
+  splice_serving serving;
+  Fmt.pr "(serving section spliced into BENCH_compact.json)@.";
+  if !failures > 0 then begin
+    Fmt.pr "bench serve: %d failure(s)@." !failures;
+    exit 1
+  end;
+  Fmt.pr "bench serve: all checks passed@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core kernels.                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1093,6 +1326,17 @@ let () =
             List.map int_of_string (String.split_on_char ',' spec)
       in
       compact_smoke (Env.bicmos ()) ns;
+      exit 0
+  | _ :: "serve" :: rest ->
+      let nclients, seconds, p99 =
+        match rest with
+        | [] -> (4, 10., 1000.)
+        | [ k ] -> (int_of_string k, 10., 1000.)
+        | [ k; s ] -> (int_of_string k, float_of_string s, 1000.)
+        | k :: s :: p :: _ ->
+            (int_of_string k, float_of_string s, float_of_string p)
+      in
+      serve_bench nclients seconds p99;
       exit 0
   | _ -> ());
   let env = Env.bicmos () in

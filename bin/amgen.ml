@@ -5,6 +5,8 @@
      amgen tech   [--out FILE]                     dump the built-in deck
      amgen amp    [--svg out.svg]                  build the BiCMOS amplifier
      amgen trace-lint FILE.json                    validate a --trace file
+     amgen serve  [--socket PATH]                  run the generator daemon
+     amgen request ENTITY [-p k=v]...              query a running daemon
 
    Every pipeline subcommand takes --stats (instrumentation summary) and
    --trace FILE (Chrome trace-event JSON); `build` additionally takes
@@ -818,6 +820,7 @@ let () =
     Cmd.eval'
       (Cmd.group info
          [ build_cmd; check_cmd; tech_cmd; netlist_cmd; gds_cmd; fmt_cmd;
-           synth_cmd; amp_cmd; trace_lint_cmd ])
+           synth_cmd; amp_cmd; trace_lint_cmd; Amg_serve.Cli.serve_cmd;
+           Amg_serve.Cli.request_cmd ])
   in
   exit (if code = Cmd.Exit.cli_error then exit_usage else code)

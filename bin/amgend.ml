@@ -1,0 +1,3 @@
+(* amgend — the generator daemon (see `amgend --help`; the same server is
+   reachable as `amgen serve`). *)
+let () = exit (Amg_serve.Cli.daemon_main ())

@@ -60,6 +60,18 @@ val permutations : 'a list -> 'a list Seq.t
 (** All permutations, lazily: forcing the head never materializes the
     tail, so taking a few orders of a long list stays cheap. *)
 
+val env_scope : Env.t -> int
+(** The prefix-cache scope the searches use for base-free runs: entries
+    are keyed under the environment's stamp and shared across calls.
+    A search seeded with [?base] normally gets a fresh private scope
+    (the layout depends on the base's bytes, which the cache cannot
+    check); a caller that replays a {e frozen} (base, steps) record —
+    the serving daemon's memoized builds — may pass [~scope:(env_scope
+    env)] to the searches to opt back into cross-call sharing.  Sound
+    exactly when every step uid is only ever replayed against the same
+    base bytes, which holds when base and steps are captured together
+    and never mutated. *)
+
 val evaluate_orders :
   Env.t ->
   name:string ->
@@ -69,6 +81,7 @@ val evaluate_orders :
   ?domains:int ->
   ?budget:Amg_robust.Budget.t ->
   ?cache:Prefix_cache.t ->
+  ?scope:int ->
   step list ->
   (Amg_layout.Lobj.t * float * step list) list
 (** Build and rate every order (up to [max_orders], default 720 = 6!);
@@ -95,6 +108,7 @@ val optimize :
   ?domains:int ->
   ?budget:Amg_robust.Budget.t ->
   ?cache:Prefix_cache.t ->
+  ?scope:int ->
   step list ->
   Amg_layout.Lobj.t * float * step list
 (** The best order's result, its rating, and the order itself; rating ties
@@ -111,6 +125,7 @@ val optimize_bb :
   ?domains:int ->
   ?budget:Amg_robust.Budget.t ->
   ?cache:Prefix_cache.t ->
+  ?scope:int ->
   step list ->
   Amg_layout.Lobj.t * float * step list * int
 (** Branch-and-bound over orders: same optimum as the exhaustive search,
@@ -146,6 +161,7 @@ val optimize_local :
   ?domains:int ->
   ?budget:Amg_robust.Budget.t ->
   ?cache:Prefix_cache.t ->
+  ?scope:int ->
   step list ->
   Amg_layout.Lobj.t * float * step list * int
 (** Heuristic order search for step counts beyond exhaustive reach:

@@ -211,6 +211,19 @@ let with_pool ?domains f =
   let t = acquire ?domains () in
   Fun.protect ~finally:(fun () -> park t) (fun () -> f t)
 
+(* Spawn-and-park, so a long-lived process (the serving daemon) can pay
+   the Domain.spawn latency at startup instead of inside the first
+   request's timed region. *)
+let warm ?domains () =
+  let t = acquire ?domains () in
+  park t
+
+let parked_count () =
+  Mutex.lock park_lock;
+  let n = Hashtbl.fold (fun _ ps acc -> acc + List.length ps) parked 0 in
+  Mutex.unlock park_lock;
+  n
+
 (* Split [0, total) into [n] contiguous chunks, the first [total mod n]
    one element longer. *)
 let chunks_of n total =

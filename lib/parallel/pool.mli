@@ -44,7 +44,22 @@ val with_pool : ?domains:int -> (t -> 'a) -> 'a
     out of a process-wide registry keyed by size — spawning domains costs
     milliseconds, so the workers (and their {!self} participant indices)
     persist across calls, idling on a condition variable between jobs.
-    Parked pools are shut down at process exit. *)
+    Parked pools are shut down at process exit.
+
+    The checkout registry is mutex-guarded, so concurrent system threads
+    (the serving daemon's request handlers) may call [with_pool] freely:
+    each checkout hands out an exclusively owned pool, and two concurrent
+    callers asking for the same size simply get two pools.  What is {e
+    not} allowed is sharing one checked-out [t] between threads —
+    {!map_array} is not re-entrant. *)
+
+val warm : ?domains:int -> unit -> unit
+(** Pre-spawn and park a pool of the requested size, so the first
+    {!with_pool} caller does not pay the [Domain.spawn] latency inside
+    its timed region.  The serving daemon warms its pool at startup. *)
+
+val parked_count : unit -> int
+(** Number of currently parked idle pools (daemon observability). *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array t f arr] applies [f] to every element, distributing the

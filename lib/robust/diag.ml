@@ -429,3 +429,92 @@ let list_of_json s =
           in
           go [] items
       | _ -> Stdlib.Error "missing diagnostics array")
+
+(* --- public JSON value layer ------------------------------------------ *)
+
+module Json = struct
+  type t = json =
+    | Jnull
+    | Jbool of bool
+    | Jnum of float
+    | Jstr of string
+    | Jarr of t list
+    | Jobj of (string * t) list
+
+  let of_string s =
+    match parse_json s with
+    | v -> Stdlib.Ok v
+    | exception Bad_json msg -> Stdlib.Error msg
+
+  (* Shortest image that parses back to the same float.  The serving
+     protocol requires byte-deterministic responses, so the image must
+     depend only on the value. *)
+  let float_to_string f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else
+      let s = Printf.sprintf "%.15g" f in
+      if float_of_string s = f then s
+      else
+        let s = Printf.sprintf "%.16g" f in
+        if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+  let rec to_buffer b = function
+    | Jnull -> Buffer.add_string b "null"
+    | Jbool true -> Buffer.add_string b "true"
+    | Jbool false -> Buffer.add_string b "false"
+    | Jnum f -> Buffer.add_string b (float_to_string f)
+    | Jstr s -> buf_add_json_string b s
+    | Jarr items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char b ',';
+            to_buffer b v)
+          items;
+        Buffer.add_char b ']'
+    | Jobj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            buf_add_json_string b k;
+            Buffer.add_char b ':';
+            to_buffer b v)
+          kvs;
+        Buffer.add_char b '}'
+
+  let to_string v =
+    let b = Buffer.create 256 in
+    to_buffer b v;
+    Buffer.contents b
+
+  let member = field
+  let str = as_string
+  let num = function Jnum f -> Some f | _ -> None
+  let int = as_int
+  let bool = function Jbool b -> Some b | _ -> None
+end
+
+let to_value d =
+  let open Json in
+  Jobj
+    [
+      ("code", Jstr d.code);
+      ("severity", Jstr (severity_to_string d.severity));
+      ("subsystem", Jstr (subsystem_to_string d.subsystem));
+      ("message", Jstr d.message);
+      ( "span",
+        match d.span with
+        | None -> Jnull
+        | Some s ->
+            Jobj
+              [
+                ("file", match s.file with None -> Jnull | Some f -> Jstr f);
+                ("line", Jnum (float_of_int s.line));
+                ("col", Jnum (float_of_int s.col));
+              ] );
+      ("hint", match d.hint with None -> Jnull | Some h -> Jstr h);
+      ("payload", Jobj (List.map (fun (k, v) -> (k, Jstr v)) d.payload));
+    ]
+
+let of_value = diag_of_value

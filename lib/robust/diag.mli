@@ -105,3 +105,40 @@ val list_to_json : ?degraded:bool -> t list -> string
 val of_json : string -> (t, string) Stdlib.result
 val list_of_json : string -> (bool * t list, string) Stdlib.result
 (** Parse a report document back; returns [(degraded, diagnostics)]. *)
+
+(** {1 Generic JSON values}
+
+    The hand-rolled JSON layer the report document and the serving wire
+    protocol ({!Wire}) share.  The writer is deterministic: object fields
+    are emitted in construction order and each float prints as the
+    shortest image that parses back to the same value, so equal values
+    always serialize to equal bytes. *)
+module Json : sig
+  type t =
+    | Jnull
+    | Jbool of bool
+    | Jnum of float
+    | Jstr of string
+    | Jarr of t list
+    | Jobj of (string * t) list
+
+  val of_string : string -> (t, string) Stdlib.result
+  (** Parse one complete JSON document (rejects trailing garbage). *)
+
+  val to_buffer : Buffer.t -> t -> unit
+  val to_string : t -> string
+
+  val member : string -> t -> t option
+  (** Object field lookup; [None] on non-objects and missing keys. *)
+
+  val str : t -> string option
+  val num : t -> float option
+  val int : t -> int option
+  val bool : t -> bool option
+end
+
+val to_value : t -> Json.t
+(** The diagnostic as a JSON value;
+    [Json.to_string (to_value d) = to_json d]. *)
+
+val of_value : Json.t -> (t, string) Stdlib.result

@@ -1,0 +1,11 @@
+(** Cmdliner front ends of the generator service.
+
+    [serve_cmd] and [request_cmd] plug into amgen's command group;
+    [daemon_main] is the whole CLI of the standalone amgend binary (the
+    serve options at top level, no subcommand). *)
+
+val serve_cmd : int Cmdliner.Cmd.t
+val request_cmd : int Cmdliner.Cmd.t
+
+val daemon_main : unit -> int
+(** Evaluate the daemon command line and return the process exit code. *)

@@ -1,0 +1,77 @@
+module Wire = Amg_robust.Wire
+
+type t = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
+
+let of_fd fd = { fd; buf = Buffer.create 512; chunk = Bytes.create 8192 }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  of_fd fd
+
+let connect_tcp host port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> Unix.inet_addr_loopback
+      | h -> h.Unix.h_addr_list.(0))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  of_fd fd
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_raw t s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = Unix.write t.fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let send_line t line = send_raw t (line ^ "\n")
+
+let recv_line t =
+  let rec go () =
+    let data = Buffer.contents t.buf in
+    match String.index_opt data '\n' with
+    | Some i ->
+        let rest = String.sub data (i + 1) (String.length data - i - 1) in
+        Buffer.clear t.buf;
+        Buffer.add_string t.buf rest;
+        Some (String.sub data 0 i)
+    | None -> (
+        match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+        | 0 -> None
+        | n ->
+            Buffer.add_subbytes t.buf t.chunk 0 n;
+            go ()
+        | exception Unix.Unix_error ((ECONNRESET | EBADF | EPIPE), _, _) ->
+            None)
+  in
+  go ()
+
+let send t req = send_line t (Wire.encode_request req)
+
+let recv t =
+  match recv_line t with
+  | None -> Error "connection closed"
+  | Some line -> Wire.decode_response line
+
+let roundtrip t req =
+  send t req;
+  recv t
+
+let oneshot path req =
+  let t = connect path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> roundtrip t req)

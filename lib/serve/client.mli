@@ -1,0 +1,38 @@
+(** Minimal blocking client for the generator service.
+
+    One connection carries any number of request/response exchanges; the
+    daemon answers on the same connection in request order, so a
+    closed-loop caller can simply alternate {!send} and {!recv}. *)
+
+type t
+
+val connect : string -> t
+(** Connect to a Unix-domain socket path.
+    @raise Unix.Unix_error when the daemon is not listening. *)
+
+val connect_tcp : string -> int -> t
+(** Connect to the optional TCP listener. *)
+
+val close : t -> unit
+
+val send_line : t -> string -> unit
+(** Write one raw request line (the newline is appended).  For protocol
+    tests that need to send malformed frames. *)
+
+val send_raw : t -> string -> unit
+(** Write raw bytes with no newline — for truncated-frame tests. *)
+
+val recv_line : t -> string option
+(** Read one raw response line; [None] on EOF. *)
+
+val send : t -> Amg_robust.Wire.request -> unit
+
+val recv : t -> (Amg_robust.Wire.response, string) Stdlib.result
+(** Decode the next response line; [Error] on EOF or malformed JSON. *)
+
+val roundtrip :
+  t -> Amg_robust.Wire.request -> (Amg_robust.Wire.response, string) Stdlib.result
+
+val oneshot :
+  string -> Amg_robust.Wire.request -> (Amg_robust.Wire.response, string) Stdlib.result
+(** Connect to a socket path, exchange one request, close. *)

@@ -1,0 +1,790 @@
+(* The generator service.  One system thread per connection does blocking
+   line I/O; build requests funnel through a bounded FIFO ticket queue and
+   run one at a time.  Serialized compute is a deliberate choice, not a
+   shortcut: the engine's request-scoped state is process-global (the
+   policy sink, the fault-injection schedule, Obs strand routing), the
+   searches already parallelize internally over the domain pool, and the
+   §7 determinism contract — identical bytes for every jobs value and
+   arrival order — follows directly when requests cannot interleave.
+
+   Warmth across requests comes from two resident structures, both touched
+   only from the serialized section (so they need no locks):
+
+   - per-tenant environments: each tenant gets its own [Env.t], whose
+     stamp keys the prefix-cache scope — tenants can never hit each
+     other's entries;
+   - a memo of recorded canonical builds keyed by (tenant, entity,
+     params): repeated requests replay the same frozen step list, so
+     their searches share cached prefixes across requests
+     ([Optimize.env_scope]). *)
+
+module Diag = Amg_robust.Diag
+module Policy = Amg_robust.Policy
+module Budget = Amg_robust.Budget
+module Inject = Amg_robust.Inject
+module Wire = Amg_robust.Wire
+module Obs = Amg_obs.Obs
+module Env = Amg_core.Env
+module Optimize = Amg_core.Optimize
+module Prefix_cache = Amg_core.Prefix_cache
+module Rating = Amg_core.Rating
+module Lobj = Amg_layout.Lobj
+module Pool = Amg_parallel.Pool
+
+type config = {
+  socket_path : string;
+  tcp : (string * int) option;
+  source : string;
+  source_file : string option;
+  tech : Amg_tech.Technology.t option;
+  default_jobs : int option;
+  queue_limit : int;
+  max_frame : int;
+  memo_limit : int;
+  warm_pool : bool;
+}
+
+let config ?tcp ?(source = Amg_lang.Stdlib.all) ?source_file ?tech
+    ?default_jobs ?(queue_limit = 64) ?(max_frame = 1 lsl 20)
+    ?(memo_limit = 128) ?(warm_pool = false) socket_path =
+  {
+    socket_path;
+    tcp;
+    source;
+    source_file;
+    tech;
+    default_jobs;
+    queue_limit;
+    max_frame;
+    memo_limit;
+    warm_pool;
+  }
+
+(* --- FIFO admission queue --------------------------------------------- *)
+
+type sched = {
+  s_lock : Mutex.t;
+  s_turn : Condition.t;
+  mutable s_next : int;  (* next ticket to hand out *)
+  mutable s_serving : int;  (* ticket allowed to run now *)
+  mutable s_inflight : int;  (* admitted, not yet released *)
+  s_limit : int;
+}
+
+let sched_create limit =
+  {
+    s_lock = Mutex.create ();
+    s_turn = Condition.create ();
+    s_next = 0;
+    s_serving = 0;
+    s_inflight = 0;
+    s_limit = max 1 limit;
+  }
+
+(* Returns [Some depth] (requests ahead at admission) once it is our
+   turn, or [None] when the queue is full. *)
+let sched_admit s =
+  Mutex.lock s.s_lock;
+  if s.s_inflight >= s.s_limit then begin
+    Mutex.unlock s.s_lock;
+    None
+  end
+  else begin
+    let ticket = s.s_next in
+    s.s_next <- ticket + 1;
+    s.s_inflight <- s.s_inflight + 1;
+    let depth = ticket - s.s_serving in
+    while s.s_serving <> ticket do
+      Condition.wait s.s_turn s.s_lock
+    done;
+    Mutex.unlock s.s_lock;
+    Some depth
+  end
+
+let sched_release s =
+  Mutex.lock s.s_lock;
+  s.s_serving <- s.s_serving + 1;
+  s.s_inflight <- s.s_inflight - 1;
+  Condition.broadcast s.s_turn;
+  Mutex.unlock s.s_lock
+
+(* --- recorded-build memo ---------------------------------------------- *)
+
+type memo_entry = {
+  m_obj : Lobj.t;  (* canonical build; never mutated after capture *)
+  m_recorded : (Amg_lang.Interp.recorded, string) result;
+  m_diags : Diag.t list;  (* warnings the canonical build reported *)
+  mutable m_best : (Wire.opt_mode * (Lobj.t * Diag.t list)) list;
+      (* finished unbudgeted search results per mode: final layout and
+         the full diagnostic report of the request that produced it *)
+  mutable m_tick : int;  (* LRU clock *)
+}
+
+(* --- connection registry ---------------------------------------------- *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  mutable c_busy : bool;  (* inside admission/compute/write *)
+  mutable c_thread : Thread.t option;
+}
+
+type t = {
+  cfg : config;
+  program : Amg_lang.Ast.program;
+  env_default : Env.t;
+  tenants : (string, Env.t) Hashtbl.t;  (* serialized section only *)
+  memo : (string, memo_entry) Hashtbl.t;  (* serialized section only *)
+  mutable memo_tick : int;
+  sched : sched;
+  listeners : Unix.file_descr list;
+  (* Self-pipe: closing [wake_w] makes [wake_r] readable, which is how
+     [stop] interrupts acceptors parked in select — closing a listener
+     does NOT wake a thread blocked in accept on Linux. *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable acceptors : Thread.t list;
+  conns_lock : Mutex.t;
+  mutable conns : conn list;
+  stopping : bool Atomic.t;
+  stopped : bool Atomic.t;
+  served_count : int Atomic.t;
+}
+
+let served t = Atomic.get t.served_count
+let socket_path t = t.cfg.socket_path
+let request_stop t = Atomic.set t.stopping true
+let stop_requested t = Atomic.get t.stopping
+
+(* --- line I/O --------------------------------------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let send_response conn resp =
+  write_all conn.c_fd (Wire.encode_response resp ^ "\n")
+
+(* A per-connection buffered line reader.  Returns [`Line l], [`Oversized]
+   (the offending line has been discarded up to and including its
+   newline, so the stream is re-synchronized), or [`Eof]. *)
+type reader = {
+  r_fd : Unix.file_descr;
+  r_buf : Buffer.t;
+  r_chunk : Bytes.t;
+  r_max : int;
+  mutable r_skipping : bool;
+}
+
+let reader fd max_frame =
+  {
+    r_fd = fd;
+    r_buf = Buffer.create 512;
+    r_chunk = Bytes.create 8192;
+    r_max = max_frame;
+    r_skipping = false;
+  }
+
+let rec read_line r =
+  let data = Buffer.contents r.r_buf in
+  match String.index_opt data '\n' with
+  | Some i ->
+      let rest = String.sub data (i + 1) (String.length data - i - 1) in
+      Buffer.clear r.r_buf;
+      Buffer.add_string r.r_buf rest;
+      if r.r_skipping then begin
+        r.r_skipping <- false;
+        `Oversized
+      end
+      else if i > r.r_max then `Oversized
+      else `Line (String.sub data 0 i)
+  | None ->
+      if String.length data > r.r_max && not r.r_skipping then begin
+        (* Discard the oversized frame but keep the connection: drop
+           what we have and keep dropping until the next newline. *)
+        Buffer.clear r.r_buf;
+        r.r_skipping <- true;
+        read_line r
+      end
+      else begin
+        if r.r_skipping then Buffer.clear r.r_buf;
+        match Unix.read r.r_fd r.r_chunk 0 (Bytes.length r.r_chunk) with
+        | 0 -> `Eof
+        | n ->
+            Buffer.add_subbytes r.r_buf r.r_chunk 0 n;
+            read_line r
+        | exception Unix.Unix_error ((ECONNRESET | EBADF | EPIPE), _, _) ->
+            `Eof
+      end
+
+(* --- request handling ------------------------------------------------- *)
+
+let convert_exn = function
+  | Env.Rejected msg ->
+      Some
+        (Diag.v Diag.Layout ~code:"layout.rejected"
+           ~hint:
+             "every topology alternative failed a design-rule check; relax \
+              the parameters or add a fallback variant"
+           msg)
+  | Inject.Fault (site, hit) -> Some (Inject.to_diag site hit)
+  | Sys_error msg -> Some (Diag.v Diag.Cli ~code:"cli.io-error" msg)
+  | Failure msg -> Some (Diag.v Diag.Cli ~code:"cli.error" msg)
+  | e ->
+      Some
+        (Diag.v Diag.Internal ~code:"internal.uncaught"
+           ~hint:"this is a bug in amgend; please report it"
+           (Printexc.to_string e))
+
+let reject ?id ~code msg =
+  Wire.response ?id
+    ~diagnostics:[ Diag.v Diag.Cli ~code msg ]
+    Wire.status_reject
+
+(* Canonical signature of a build: tenant stamp, entity, sorted params.
+   The float image is hexadecimal, so equal floats always collide and
+   distinct floats never do. *)
+let signature env entity params =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (string_of_int (Env.stamp env));
+  Buffer.add_char b '\x00';
+  Buffer.add_string b entity;
+  List.iter
+    (fun (k, p) ->
+      Buffer.add_char b '\x00';
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      match p with
+      | Wire.Pnum f -> Buffer.add_string b (Printf.sprintf "n%h" f)
+      | Wire.Pstr s ->
+          Buffer.add_char b 's';
+          Buffer.add_string b s)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) params);
+  Buffer.contents b
+
+let tenant_env t = function
+  | None -> t.env_default
+  | Some name -> (
+      match Hashtbl.find_opt t.tenants name with
+      | Some env -> env
+      | None ->
+          let env = Env.create (Env.tech t.env_default) in
+          Hashtbl.add t.tenants name env;
+          env)
+
+(* Canonical build of (entity, params) under [env], memoized.  Returns
+   the layout, the replay record and the diagnostics the build reported.
+   Only strict, fault-free requests may use the memo: a permissive or
+   fault-injected build can differ from the canonical one.  Failed builds
+   are not memoized (the diagnostic is rebuilt per request). *)
+let canonical_build t env ~memoizable entity params =
+  let sg = signature env entity params in
+  match if memoizable then Hashtbl.find_opt t.memo sg else None with
+  | Some e ->
+      t.memo_tick <- t.memo_tick + 1;
+      e.m_tick <- t.memo_tick;
+      Obs.count "serve.memo.hits" 1;
+      (* Replay the canonical build's diagnostics so a memo-served
+         response carries the same report as the cold one. *)
+      List.iter Policy.report e.m_diags;
+      (e.m_obj, e.m_recorded)
+  | None ->
+      Obs.count "serve.memo.misses" 1;
+      let args =
+        List.map
+          (fun (k, p) ->
+            ( k,
+              match p with
+              | Wire.Pnum f -> Amg_lang.Value.Num f
+              | Wire.Pstr s -> Amg_lang.Value.Str s ))
+          params
+      in
+      let obj, recorded =
+        Amg_lang.Interp.build_recorded env t.program entity args
+      in
+      let build_diags = Policy.drain () in
+      List.iter Policy.report build_diags;
+      if memoizable then begin
+        t.memo_tick <- t.memo_tick + 1;
+        if Hashtbl.length t.memo >= max 1 t.cfg.memo_limit then begin
+          (* Evict the least recently used signature. *)
+          let victim =
+            Hashtbl.fold
+              (fun k e acc ->
+                match acc with
+                | Some (_, tick) when tick <= e.m_tick -> acc
+                | _ -> Some (k, e.m_tick))
+              t.memo None
+          in
+          match victim with
+          | Some (k, _) ->
+              Hashtbl.remove t.memo k;
+              Obs.count "serve.memo.evictions" 1
+          | None -> ()
+        end;
+        Hashtbl.add t.memo sg
+          {
+            m_obj = obj;
+            m_recorded = recorded;
+            m_diags = build_diags;
+            m_best = [];
+            m_tick = t.memo_tick;
+          }
+      end;
+      (obj, recorded)
+
+(* The optimizer replays compacts only; ports are re-derived on the
+   winning layout the same way PORT() derives them — as the hull of the
+   port's net/layer shapes (mirrors the CLI). *)
+let transplant_ports ~from obj =
+  List.iter
+    (fun (p : Amg_layout.Port.t) ->
+      let shapes =
+        List.filter
+          (fun (s : Amg_layout.Shape.t) -> Amg_layout.Shape.on_layer s p.layer)
+          (Lobj.shapes_on_net obj p.net)
+      in
+      match
+        Amg_geometry.Rect.hull_list
+          (List.map (fun (s : Amg_layout.Shape.t) -> s.rect) shapes)
+      with
+      | Some rect ->
+          ignore (Lobj.add_port obj ~name:p.name ~net:p.net ~layer:p.layer ~rect)
+      | None ->
+          Policy.report
+            (Diag.v ~severity:Diag.Warning Diag.Optimize
+               ~code:"optimize.port-dropped"
+               (Fmt.str
+                  "port %s: no shapes of net %s on layer %s in the optimized \
+                   layout"
+                  p.name p.net p.layer)))
+    (Lobj.ports from)
+
+(* Run one build request.  Called from the serialized section only. *)
+let handle_build t (req : Wire.request) ~queue_depth =
+  let started = Unix.gettimeofday () in
+  let cache_before = Prefix_cache.stats (Prefix_cache.default ()) in
+  Policy.reset ();
+  Policy.set_mode (if req.permissive then Policy.Permissive else Policy.Strict);
+  let armed =
+    match req.inject with
+    | None ->
+        Inject.disarm ();
+        Ok ()
+    | Some spec -> (
+        match Inject.parse_spec spec with
+        | Ok sched ->
+            Inject.arm sched;
+            Ok ()
+        | Error msg -> Error msg)
+  in
+  match armed with
+  | Error msg ->
+      Policy.reset ();
+      reject ?id:req.id ~code:"serve.bad-inject"
+        (Printf.sprintf "bad inject spec: %s" msg)
+  | Ok () ->
+      let budget =
+        match (req.max_time, req.max_evals) with
+        | None, None -> None
+        | max_time, max_evals ->
+            (* Budget deadlines are relative: seconds from now. *)
+            Some (Budget.create ?deadline:max_time ?max_evals ())
+      in
+      let env = tenant_env t req.tenant in
+      let memoizable = (not req.permissive) && req.inject = None in
+      let sg = signature env req.entity req.params in
+      (* Finished optimized results are deterministic for strict,
+         fault-free, unbudgeted requests, so they are memoized whole next
+         to the canonical build: a repeated identical request skips the
+         search and replays the stored report byte-for-byte.  Budgeted
+         requests bypass this memo — their result depends on the budget —
+         and resume from the resident prefix cache instead. *)
+      let best_hit =
+        match (req.optimize, budget) with
+        | Some opt, None when memoizable -> (
+            match Hashtbl.find_opt t.memo sg with
+            | Some e -> (
+                match List.assoc_opt opt e.m_best with
+                | Some _ as hit ->
+                    t.memo_tick <- t.memo_tick + 1;
+                    e.m_tick <- t.memo_tick;
+                    Obs.count "serve.memo.best-hits" 1;
+                    hit
+                | None -> None)
+            | None -> None)
+        | _ -> None
+      in
+      let result, reported, degraded =
+        match best_hit with
+        | Some (obj, diags) ->
+            Inject.disarm ();
+            Policy.reset ();
+            (Ok obj, diags, false)
+        | None ->
+      let result =
+        Diag.guard ~convert:convert_exn (fun () ->
+            let obj, recorded =
+              canonical_build t env ~memoizable req.entity req.params
+            in
+            match req.optimize with
+            | None -> obj
+            | Some opt -> (
+                match recorded with
+                | Error why ->
+                    Policy.report
+                      (Diag.v ~severity:Diag.Warning Diag.Optimize
+                         ~code:"optimize.not-replayable"
+                         ~hint:
+                           "the entity must perform at least two top-level \
+                            compacts and draw no shapes between or after them"
+                         (Fmt.str
+                            "%s: cannot reorder compacts (%s); emitting the \
+                             canonical build"
+                            req.entity why));
+                    obj
+                | Ok { Amg_lang.Interp.base; steps } ->
+                    (* The record is frozen together with its base, so the
+                       searches may share cached prefixes across requests
+                       under the tenant's stable scope. *)
+                    let scope =
+                      if memoizable then Some (Optimize.env_scope env)
+                      else None
+                    in
+                    let domains =
+                      match req.jobs with
+                      | Some j -> Some j
+                      | None -> t.cfg.default_jobs
+                    in
+                    let best, _rating, order =
+                      match opt with
+                      | Wire.Orders ->
+                          Optimize.optimize env ~name:req.entity ~base
+                            ?domains ?budget ?scope steps
+                      | Wire.Bb ->
+                          let o, r, ord, _nodes =
+                            Optimize.optimize_bb env ~name:req.entity ~base
+                              ?domains ?budget ?scope steps
+                          in
+                          (o, r, ord)
+                      | Wire.Local ->
+                          let o, r, ord, _evals =
+                            Optimize.optimize_local env ~name:req.entity ~base
+                              ?domains ?budget ?scope steps
+                          in
+                          (o, r, ord)
+                    in
+                    let canonical_won =
+                      List.length order = List.length steps
+                      && List.for_all2 ( == ) order steps
+                    in
+                    if canonical_won then obj
+                    else begin
+                      transplant_ports ~from:obj best;
+                      best
+                    end))
+      in
+      Inject.disarm ();
+      let degraded =
+        match budget with Some b -> Budget.degraded b | None -> false
+      in
+      if degraded then begin
+        Obs.count "serve.degraded" 1;
+        Policy.report
+          (Diag.v ~severity:Diag.Warning Diag.Optimize
+             ~code:"optimize.degraded"
+             ~hint:
+               "raise max_time/max_evals to search further; the emitted \
+                layout is valid but possibly not the optimum"
+             (Fmt.str "%s: search stopped by the budget after %s" req.entity
+                (match budget with
+                | Some b -> Fmt.str "%d evaluations" (Budget.spent b)
+                | None -> "?")))
+      end;
+      let reported = Policy.drain () in
+      Policy.reset ();
+      (match (result, req.optimize, budget) with
+      | Ok obj, Some opt, None
+        when memoizable && (not degraded)
+             && not
+                  (List.exists
+                     (fun d -> d.Diag.severity = Diag.Error)
+                     reported) -> (
+          match Hashtbl.find_opt t.memo sg with
+          | Some e when not (List.mem_assoc opt e.m_best) ->
+              e.m_best <- (opt, (obj, reported)) :: e.m_best
+          | _ -> ())
+      | _ -> ());
+      (result, reported, degraded)
+      in
+      let resp =
+        match result with
+        | Error d ->
+            Wire.response ?id:req.id
+              ~diagnostics:(reported @ [ d ])
+              Wire.status_diag
+        | Ok obj ->
+            let has_error =
+              List.exists (fun d -> d.Diag.severity = Diag.Error) reported
+            in
+            let status =
+              if has_error then Wire.status_diag
+              else if degraded then Wire.status_degraded
+              else Wire.status_ok
+            in
+            let tech = Env.tech env in
+            let payload =
+              match req.format with
+              | Wire.No_payload -> None
+              | Wire.Cif -> Some (Amg_layout.Cif.of_lobj ~tech obj)
+              | Wire.Svg -> Some (Amg_layout.Svg.of_lobj ~tech obj)
+            in
+            let rating = Rating.rate env Rating.default obj in
+            Wire.response ?id:req.id ~rating ~format:req.format ?payload
+              ~diagnostics:reported status
+      in
+      let stats =
+        if req.stats then
+          let cache_after = Prefix_cache.stats (Prefix_cache.default ()) in
+          Some
+            {
+              Wire.elapsed_ms = (Unix.gettimeofday () -. started) *. 1000.;
+              queue_depth;
+              cache_hits =
+                cache_after.Prefix_cache.hits - cache_before.Prefix_cache.hits;
+              cache_misses =
+                cache_after.Prefix_cache.misses
+                - cache_before.Prefix_cache.misses;
+            }
+        else None
+      in
+      { resp with Wire.stats = stats }
+
+(* --- connection loop -------------------------------------------------- *)
+
+let set_busy t conn busy =
+  Mutex.lock t.conns_lock;
+  conn.c_busy <- busy;
+  let stopping = Atomic.get t.stopping in
+  Mutex.unlock t.conns_lock;
+  stopping
+
+let handle_request t conn (req : Wire.request) =
+  let resp =
+    match req.op with
+    | Wire.Ping -> Wire.response ?id:req.id Wire.status_ok
+    | Wire.Stop ->
+        request_stop t;
+        Wire.response ?id:req.id Wire.status_ok
+    | Wire.Build -> (
+        if Atomic.get t.stopping then
+          reject ?id:req.id ~code:"serve.stopping" "daemon is shutting down"
+        else
+          match sched_admit t.sched with
+          | None ->
+              Obs.count "serve.overloaded" 1;
+              reject ?id:req.id ~code:"serve.overloaded"
+                (Printf.sprintf "admission queue full (limit %d)"
+                   t.sched.s_limit)
+          | Some queue_depth ->
+              Fun.protect
+                ~finally:(fun () -> sched_release t.sched)
+                (fun () ->
+                  Obs.span "serve.request" @@ fun () ->
+                  Obs.sample "serve.queue_depth" (float_of_int queue_depth);
+                  handle_build t req ~queue_depth))
+  in
+  Atomic.incr t.served_count;
+  send_response conn resp
+
+let connection_loop t conn =
+  let r = reader conn.c_fd t.cfg.max_frame in
+  let rec loop () =
+    if not (set_busy t conn false) then
+      match read_line r with
+      | `Eof -> ()
+      | `Oversized ->
+          let stopping = set_busy t conn true in
+          if not stopping then begin
+            send_response conn
+              (reject ~code:"serve.frame-too-large"
+                 (Printf.sprintf "request line exceeds %d bytes" r.r_max));
+            loop ()
+          end
+      | `Line line ->
+          let stopping = set_busy t conn true in
+          if not stopping then begin
+            (match Wire.decode_request line with
+            | Error msg ->
+                send_response conn
+                  (reject ~code:"serve.bad-request"
+                     (Printf.sprintf "malformed request: %s" msg))
+            | Ok req -> handle_request t conn req);
+            loop ()
+          end
+  in
+  (try loop () with _ -> ());
+  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conns_lock;
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  Mutex.unlock t.conns_lock
+
+let accept_loop t listener =
+  let rec loop () =
+    match Unix.select [ listener; t.wake_r ] [] [] (-1.) with
+    | ready, _, _ when List.mem t.wake_r ready -> ()
+    | ready, _, _ when not (List.mem listener ready) -> loop ()
+    | _ -> (
+        match Unix.accept listener with
+        | fd, _ ->
+            if Atomic.get t.stopping then begin
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              loop ()
+            end
+            else begin
+              let conn = { c_fd = fd; c_busy = false; c_thread = None } in
+              Mutex.lock t.conns_lock;
+              t.conns <- conn :: t.conns;
+              Mutex.unlock t.conns_lock;
+              conn.c_thread <- Some (Thread.create (connection_loop t) conn);
+              loop ()
+            end
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+            loop ()
+        | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED), _, _) ->
+            ()
+        | exception _ -> loop ())
+    | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> ()
+  in
+  loop ()
+
+(* --- lifecycle -------------------------------------------------------- *)
+
+let listen_unix path =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp host port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> Unix.inet_addr_loopback
+      | h -> h.Unix.h_addr_list.(0))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 64;
+  fd
+
+let start cfg =
+  let program =
+    Amg_lang.Parser.parse_program ?file:cfg.source_file cfg.source
+  in
+  let env_default =
+    match cfg.tech with None -> Env.bicmos () | Some tech -> Env.create tech
+  in
+  if cfg.warm_pool then Pool.warm ?domains:cfg.default_jobs ();
+  let unix_fd = listen_unix cfg.socket_path in
+  let tcp_fd =
+    match cfg.tcp with
+    | None -> None
+    | Some (host, port) -> (
+        try Some (listen_tcp host port)
+        with e ->
+          (try Unix.close unix_fd with Unix.Unix_error _ -> ());
+          (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+          raise e)
+  in
+  let listeners = unix_fd :: Option.to_list tcp_fd in
+  (* Acceptors select on the listener; keep accept itself from blocking
+     when a pending connection vanishes between the two calls. *)
+  List.iter Unix.set_nonblock listeners;
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    {
+      cfg;
+      program;
+      env_default;
+      tenants = Hashtbl.create 8;
+      memo = Hashtbl.create 64;
+      memo_tick = 0;
+      sched = sched_create cfg.queue_limit;
+      listeners;
+      wake_r;
+      wake_w;
+      acceptors = [];
+      conns_lock = Mutex.create ();
+      conns = [];
+      stopping = Atomic.make false;
+      stopped = Atomic.make false;
+      served_count = Atomic.make 0;
+    }
+  in
+  t.acceptors <- List.map (fun fd -> Thread.create (accept_loop t) fd) listeners;
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    Atomic.set t.stopping true;
+    (* Closing the pipe's write end wakes the acceptors out of select;
+       then the listeners can be closed so new connects fail. *)
+    (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+    List.iter Thread.join t.acceptors;
+    t.acceptors <- [];
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      t.listeners;
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    (* Wake idle connections: they are blocked in read; a shutdown makes
+       the read return EOF.  Busy connections finish their in-flight
+       request, answer it, then observe the stopping flag and exit —
+       [set_busy] and this walk run under the same lock, so a connection
+       cannot slip back into a blocking read unobserved. *)
+    Mutex.lock t.conns_lock;
+    let conns = t.conns in
+    List.iter
+      (fun c ->
+        if not c.c_busy then
+          try Unix.shutdown c.c_fd Unix.SHUTDOWN_RECEIVE
+          with Unix.Unix_error _ -> ())
+      conns;
+    Mutex.unlock t.conns_lock;
+    List.iter
+      (fun c -> match c.c_thread with Some th -> Thread.join th | None -> ())
+      conns;
+    (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ())
+  end
+
+let wait t =
+  while not (Atomic.get t.stopping) do
+    Thread.delay 0.05
+  done
+
+let run cfg =
+  let t = start cfg in
+  let on_signal _ = request_stop t in
+  let previous =
+    List.map
+      (fun s -> (s, Sys.signal s (Sys.Signal_handle on_signal)))
+      [ Sys.sigterm; Sys.sigint ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (s, b) -> Sys.set_signal s b) previous)
+    (fun () ->
+      wait t;
+      stop t)

@@ -1,0 +1,88 @@
+(** The generator service: a long-running daemon serving module builds
+    over a Unix-domain socket (and optionally TCP) with the prefix cache
+    resident between requests.
+
+    {b Protocol.}  Newline-delimited JSON ({!Amg_robust.Wire}): one
+    request per line, one response line per request, answered on the same
+    connection in request order.  Malformed or oversized request lines get
+    a structured [status = 2] error response and the connection survives;
+    a line truncated by EOF is dropped with the connection.
+
+    {b Scheduling.}  Connections are handled by one system thread each
+    (blocking I/O); build requests are admitted into a bounded FIFO queue
+    and executed one at a time.  Serializing the compute keeps the §7
+    determinism contract intact — each search still fans out over the
+    domain pool internally via [?jobs] — and makes the process-global
+    request state (policy sink, fault-injection schedule, Obs strands)
+    safe without sprinkling locks through the engine.
+
+    {b Warm serving.}  The daemon keeps per-tenant environments (distinct
+    {!Amg_core.Env.stamp} → distinct prefix-cache scopes) and memoizes
+    the recorded canonical build per (tenant, entity, params) signature,
+    so repeated requests replay the same frozen step list and hit the
+    resident cache across requests.
+
+    {b Shutdown.}  A [stop] request or {!request_stop} (wired to SIGTERM
+    by {!run}) drains in-flight requests, wakes idle connections, rejects
+    new connects, and leaves the process at exit code 0. *)
+
+type config = {
+  socket_path : string;  (** Unix-domain socket path; created at start. *)
+  tcp : (string * int) option;  (** Optional TCP listener (host, port). *)
+  source : string;  (** Module library source text. *)
+  source_file : string option;  (** Name for parse diagnostics. *)
+  tech : Amg_tech.Technology.t option;  (** Default: built-in BiCMOS. *)
+  default_jobs : int option;  (** Domains when a request names none. *)
+  queue_limit : int;  (** Admitted-but-unfinished request cap. *)
+  max_frame : int;  (** Request line byte cap. *)
+  memo_limit : int;  (** Recorded-build signatures kept (LRU). *)
+  warm_pool : bool;  (** Pre-spawn the domain pool at start. *)
+}
+
+val config :
+  ?tcp:string * int ->
+  ?source:string ->
+  ?source_file:string ->
+  ?tech:Amg_tech.Technology.t ->
+  ?default_jobs:int ->
+  ?queue_limit:int ->
+  ?max_frame:int ->
+  ?memo_limit:int ->
+  ?warm_pool:bool ->
+  string ->
+  config
+(** [config socket_path] with defaults: no TCP, the built-in
+    {!Amg_lang.Stdlib.all} module library, built-in technology, queue
+    limit 64, 1 MiB frames, 128 memo signatures, no pool warm-up. *)
+
+type t
+
+val start : config -> t
+(** Parse the module library, bind the listeners and spawn the accept
+    thread.  @raise Amg_robust.Diag.Fail on a bad source or tech;
+    [Unix.Unix_error] on bind failures (stale socket paths are
+    unlinked first). *)
+
+val request_stop : t -> unit
+(** Ask the daemon to stop; returns immediately.  Safe from signal
+    handlers and from connection threads (the [stop] op calls it). *)
+
+val stop_requested : t -> bool
+
+val stop : t -> unit
+(** Graceful shutdown: reject new connects, wake idle connections, let
+    in-flight requests finish and answer, join every thread, unlink the
+    socket.  Idempotent. *)
+
+val wait : t -> unit
+(** Block until {!request_stop} has been called (polling; usable from
+    the main thread while signal handlers fire). *)
+
+val run : config -> unit
+(** [start], install SIGTERM/SIGINT handlers that {!request_stop}, then
+    {!wait} and {!stop}.  The CLI entry points wrap this. *)
+
+val served : t -> int
+(** Requests answered so far (all ops). *)
+
+val socket_path : t -> string

@@ -26,4 +26,5 @@ let () =
       ("extract", Test_extract.suite);
       ("tech-indep", Test_tech_indep.suite);
       ("robust", Test_robust.suite);
+      ("serve", Test_serve.suite);
     ]

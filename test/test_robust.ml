@@ -408,6 +408,41 @@ let test_positioned_errors () =
       check bool "lang position recorded" true
         (Diag.line_of d >= 1 && Diag.col_of d >= 1)
 
+(* --- fault schedules through the serving daemon --- *)
+
+(* The same contract as [prop_fault_schedule], one layer up: schedules are
+   armed per request via the wire protocol's inject spec, so the faults
+   fire inside the daemon's request handling.  Every schedule must yield
+   either a layout response or a structured diagnostic response — never a
+   dropped connection, never a crashed daemon. *)
+let test_fault_schedule_served () =
+  let module Wire = Amg_robust.Wire in
+  let module Client = Amg_serve.Client in
+  Test_util.with_server @@ fun _t sock ->
+  let test =
+    QCheck2.Test.make
+      ~name:"served fault schedule: layout or diagnostic, never a drop"
+      ~print:print_schedule ~count:100 gen_schedule (fun schedule ->
+        let req =
+          Wire.build ~jobs:1 ~format:Wire.Cif
+            ~inject:(print_schedule schedule)
+            ~params:[ ("W", Wire.Pnum 10.); ("L", Wire.Pnum 5.) ]
+            "Trans"
+        in
+        match Client.oneshot sock req with
+        | Error _ -> false (* dropped connection *)
+        | Ok resp ->
+            (resp.Wire.status = Wire.status_ok && resp.Wire.payload <> None)
+            || resp.Wire.status = Wire.status_diag
+               && resp.Wire.diagnostics <> [])
+  in
+  QCheck2.Test.check_exn test;
+  (* and the daemon is still standing afterwards *)
+  match Client.oneshot sock (Wire.ping ()) with
+  | Ok resp ->
+      check int "daemon alive after the drill" Wire.status_ok resp.Wire.status
+  | Error e -> failf "daemon dropped after the drill: %s" e
+
 (* --- policy sink --- *)
 
 let test_policy_sink () =
@@ -446,4 +481,6 @@ let suite =
     test_case "front-end errors carry file/line/col" `Quick
       test_positioned_errors;
     test_case "policy sink" `Quick test_policy_sink;
+    test_case "served fault schedules: response or diagnostic, never a drop"
+      `Quick test_fault_schedule_served;
   ]

@@ -1,0 +1,423 @@
+(* The generator service: wire protocol round-trips, malformed frames,
+   response-byte determinism, tenant cache isolation, concurrent clients,
+   per-request budgets and graceful shutdown.  Every daemon here runs
+   in-process on a fresh temp socket (Test_util.with_server), so the tests
+   need no subprocess plumbing and teardown is exception-safe. *)
+
+open Alcotest
+module Diag = Amg_robust.Diag
+module Wire = Amg_robust.Wire
+module Server = Amg_serve.Server
+module Client = Amg_serve.Client
+
+(* A parameterized stack of four contact rows: the same shape as the
+   robustness suite's Stack, but taking W so different requests produce
+   different layouts (and different cache signatures). *)
+let pack_source =
+  {|
+ENT Pack(<W>)
+  a = ContactRow(layer = "pdiff", W = W, L = 6, net = "a")
+  b = ContactRow(layer = "pdiff", W = W + 2, L = 4, net = "b")
+  c = ContactRow(layer = "poly", W = W - 1, L = 8, net = "c")
+  d = ContactRow(layer = "pdiff", W = W + 1, L = 5, net = "d")
+  compact(a, NORTH, align = "MIN")
+  compact(b, NORTH, align = "MIN")
+  compact(c, NORTH, align = "MIN")
+  compact(d, NORTH, align = "MIN")
+|}
+  ^ Amg_lang.Stdlib.all
+
+let with_server ?default_jobs ?queue_limit ?max_frame ?memo_limit f =
+  Test_util.with_server ~source:pack_source ?default_jobs ?queue_limit
+    ?max_frame ?memo_limit f
+
+let get sock req =
+  match Client.oneshot sock req with
+  | Ok resp -> resp
+  | Error e -> failf "request failed: %s" e
+
+let pack ?id ?optimize ?max_evals ?max_time ?tenant ?(format = Wire.No_payload)
+    ?stats ?inject ?(jobs = 1) ?(w = 4.) () =
+  Wire.build ?id ?optimize ?max_evals ?max_time ~jobs ?tenant ~format ?stats
+    ?inject
+    ~params:[ ("W", Wire.Pnum w) ]
+    "Pack"
+
+let has_code code resp =
+  List.exists (fun (d : Diag.t) -> d.Diag.code = code) resp.Wire.diagnostics
+
+(* --- wire round-trip properties --------------------------------------- *)
+
+let gen_name =
+  QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 8))
+
+(* Printable includes '\n', '"' and '\\': the property exercises JSON
+   escaping, not just the happy path. *)
+let gen_text = QCheck2.Gen.(string_size ~gen:printable (int_range 0 12))
+
+(* Dyadic rationals round-trip exactly and avoid nan/inf, which would
+   break structural equality (nan <> nan). *)
+let gen_num =
+  QCheck2.Gen.(
+    map (fun i -> float_of_int i /. 16.) (int_range (-1_000_000) 1_000_000))
+
+let gen_request =
+  let open QCheck2.Gen in
+  let gparam =
+    oneof [ map (fun f -> Wire.Pnum f) gen_num; map (fun s -> Wire.Pstr s) gen_text ]
+  in
+  let* op = frequencyl [ (6, Wire.Build); (1, Wire.Ping); (1, Wire.Stop) ] in
+  let* id = option gen_text in
+  let* entity = gen_name in
+  let* params = list_size (int_range 0 4) (pair gen_name gparam) in
+  let* optimize = option (oneofl [ Wire.Orders; Wire.Bb; Wire.Local ]) in
+  let* max_evals = option (int_range 0 100_000) in
+  let* max_time = option (map Float.abs gen_num) in
+  let* jobs = option (int_range 1 8) in
+  let* tenant = option gen_text in
+  let* format = oneofl [ Wire.Cif; Wire.Svg; Wire.No_payload ] in
+  let* permissive = bool in
+  let* stats = bool in
+  let* inject = option gen_text in
+  pure
+    {
+      Wire.id;
+      op;
+      entity;
+      params;
+      optimize;
+      max_evals;
+      max_time;
+      jobs;
+      tenant;
+      format;
+      permissive;
+      stats;
+      inject;
+    }
+
+let gen_diag =
+  let open QCheck2.Gen in
+  let* severity = oneofl [ Diag.Error; Diag.Warning; Diag.Info ] in
+  let* subsystem =
+    oneofl [ Diag.Lang; Diag.Layout; Diag.Optimize; Diag.Cli; Diag.Internal ]
+  in
+  let* code = gen_name in
+  let* message = gen_text in
+  let* hint = option gen_text in
+  let* payload = list_size (int_range 0 2) (pair gen_name gen_text) in
+  let* span =
+    option
+      (let* file = option gen_name in
+       let* line = int_range 1 500 in
+       let* col = int_range 0 80 in
+       pure { Diag.file; line; col })
+  in
+  pure { Diag.code; severity; subsystem; message; span; hint; payload }
+
+let gen_response =
+  let open QCheck2.Gen in
+  let* id = option gen_text in
+  let* status = int_range 0 3 in
+  let* rating = option gen_num in
+  let* format = oneofl [ Wire.Cif; Wire.Svg; Wire.No_payload ] in
+  let* payload = option gen_text in
+  let* diagnostics = list_size (int_range 0 3) gen_diag in
+  let* stats =
+    option
+      (let* elapsed_ms = map Float.abs gen_num in
+       let* queue_depth = int_range 0 64 in
+       let* cache_hits = int_range 0 10_000 in
+       let* cache_misses = int_range 0 10_000 in
+       pure { Wire.elapsed_ms; queue_depth; cache_hits; cache_misses })
+  in
+  pure { Wire.id; status; rating; format; payload; diagnostics; stats }
+
+let prop_request_roundtrip =
+  QCheck2.Test.make ~name:"request: decode (encode r) = r" ~count:500
+    ~print:Wire.encode_request gen_request (fun r ->
+      match Wire.decode_request (Wire.encode_request r) with
+      | Ok r' -> r' = r
+      | Error _ -> false)
+
+let prop_response_roundtrip =
+  QCheck2.Test.make ~name:"response: decode (encode r) = r" ~count:500
+    ~print:Wire.encode_response gen_response (fun r ->
+      match Wire.decode_response (Wire.encode_response r) with
+      | Ok r' -> r' = r
+      | Error _ -> false)
+
+(* --- malformed, oversized and truncated frames ------------------------ *)
+
+let test_bad_frames () =
+  with_server ~max_frame:2048 @@ fun _t sock ->
+  let c = Client.connect sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* not JSON at all *)
+  Client.send_line c "this is { not json";
+  (match Client.recv c with
+  | Ok resp ->
+      check int "malformed: status" Wire.status_reject resp.Wire.status;
+      check bool "malformed: serve.bad-request" true
+        (has_code "serve.bad-request" resp)
+  | Error e -> failf "malformed frame: %s" e);
+  (* valid JSON, wrong shape *)
+  Client.send_line c "[1,2,3]";
+  (match Client.recv c with
+  | Ok resp -> check int "non-object: status" Wire.status_reject resp.Wire.status
+  | Error e -> failf "non-object frame: %s" e);
+  (* valid JSON object, bad field type *)
+  Client.send_line c {|{"op":"build","entity":7}|};
+  (match Client.recv c with
+  | Ok resp -> check int "bad field: status" Wire.status_reject resp.Wire.status
+  | Error e -> failf "bad-field frame: %s" e);
+  (* oversized frame: the reader must discard it and keep the framing *)
+  Client.send_line c (String.make 4096 'a');
+  (match Client.recv c with
+  | Ok resp ->
+      check int "oversized: status" Wire.status_reject resp.Wire.status;
+      check bool "oversized: serve.frame-too-large" true
+        (has_code "serve.frame-too-large" resp)
+  | Error e -> failf "oversized frame: %s" e);
+  (* the same connection still serves real requests after all that *)
+  match Client.roundtrip c (Wire.ping ~id:"alive" ()) with
+  | Ok resp ->
+      check int "after garbage: ping ok" Wire.status_ok resp.Wire.status;
+      check (option string) "after garbage: id echoed" (Some "alive")
+        resp.Wire.id
+  | Error e -> failf "ping after garbage: %s" e
+
+let test_truncated_frame () =
+  with_server @@ fun _t sock ->
+  (* a client that dies mid-frame must not hurt the daemon *)
+  let c = Client.connect sock in
+  Client.send_raw c {|{"op":"build","entity":"Pa|};
+  Client.close c;
+  let resp = get sock (Wire.ping ()) in
+  check int "daemon survives truncated frame" Wire.status_ok resp.Wire.status
+
+(* --- status mapping ---------------------------------------------------- *)
+
+let test_statuses () =
+  with_server @@ fun _t sock ->
+  (* ok + payloads *)
+  let r = get sock (pack ~format:Wire.Cif ()) in
+  check int "build: status ok" Wire.status_ok r.Wire.status;
+  check bool "build: rating present" true (r.Wire.rating <> None);
+  (match r.Wire.payload with
+  | Some p -> check bool "cif payload" true (String.length p > 0)
+  | None -> fail "build: no CIF payload");
+  let r = get sock (pack ~format:Wire.Svg ()) in
+  (match r.Wire.payload with
+  | Some p ->
+      check bool "svg payload" true
+        (String.length p > 4 && String.sub p 0 4 = "<svg")
+  | None -> fail "build: no SVG payload");
+  (* unknown entity: structured diagnostics, status 1 *)
+  let r = get sock (Wire.build ~format:Wire.No_payload "Nope") in
+  check int "unknown entity: status" Wire.status_diag r.Wire.status;
+  check bool "unknown entity: diagnostics" true (r.Wire.diagnostics <> []);
+  (* bad inject spec: rejected up front *)
+  let r = get sock (pack ~inject:"bogus spec" ()) in
+  check int "bad inject: status" Wire.status_reject r.Wire.status;
+  check bool "bad inject: serve.bad-inject" true
+    (has_code "serve.bad-inject" r)
+
+(* --- response-byte determinism ----------------------------------------- *)
+
+(* Same request, cold then warm, at jobs=1 and jobs=2: every response line
+   must be byte-identical (stats omitted — it is the one deliberately
+   nondeterministic field). *)
+let test_determinism () =
+  let lines_for jobs =
+    with_server @@ fun _t sock ->
+    let c = Client.connect sock in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    List.init 3 (fun _ ->
+        Client.send c (pack ~id:"det" ~optimize:Wire.Local ~format:Wire.Cif ~jobs ());
+        match Client.recv_line c with
+        | Some line -> line
+        | None -> fail "connection closed mid-test")
+  in
+  let l1 = lines_for 1 in
+  let l2 = lines_for 2 in
+  let reference = List.hd l1 in
+  check bool "response is non-trivial" true (String.length reference > 100);
+  List.iteri
+    (fun i line -> check string (Printf.sprintf "jobs=1 run %d" i) reference line)
+    l1;
+  List.iteri
+    (fun i line -> check string (Printf.sprintf "jobs=2 run %d" i) reference line)
+    l2
+
+(* --- tenant cache isolation -------------------------------------------- *)
+
+let test_tenant_isolation () =
+  with_server @@ fun _t sock ->
+  let req tenant = pack ~optimize:Wire.Local ~tenant ~stats:true () in
+  let st r =
+    match r.Wire.stats with
+    | Some s -> s
+    | None -> fail "stats requested but absent"
+  in
+  let a1 = st (get sock (req "tenant-a")) in
+  let a2 = st (get sock (req "tenant-a")) in
+  let b1 = st (get sock (req "tenant-b")) in
+  (* a budgeted repeat bypasses the whole-result memo, so it re-runs the
+     search against the tenant's warm prefix cache *)
+  let a3 =
+    st
+      (get sock
+         (pack ~optimize:Wire.Local ~max_evals:100_000 ~tenant:"tenant-a"
+            ~stats:true ()))
+  in
+  (* same module, same params: tenant-b's first request must look exactly
+     as cold as tenant-a's did — nothing leaked across scopes *)
+  check int "tenant-b cold hits = tenant-a cold hits" a1.Wire.cache_hits
+    b1.Wire.cache_hits;
+  check int "tenant-b cold misses = tenant-a cold misses" a1.Wire.cache_misses
+    b1.Wire.cache_misses;
+  (* an identical unbudgeted repeat replays the memoized result without
+     touching the prefix cache at all *)
+  check int "tenant-a memo repeat does no cache work" 0
+    (a2.Wire.cache_hits + a2.Wire.cache_misses);
+  (* while a budgeted repeat inside one tenant is visibly warmer *)
+  check bool "tenant-a warm search hits more" true
+    (a3.Wire.cache_hits > a1.Wire.cache_hits)
+
+(* --- concurrent clients ------------------------------------------------ *)
+
+let test_concurrent_clients () =
+  with_server @@ fun _t sock ->
+  let nclients = 6 and per_client = 5 in
+  let results = Array.make nclients [||] in
+  let worker i =
+    let c = Client.connect sock in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    results.(i) <-
+      Array.init per_client (fun k ->
+          let id = Printf.sprintf "c%d-%d" i k in
+          let req =
+            match k mod 3 with
+            | 0 -> Wire.ping ~id ()
+            | 1 -> pack ~id ~optimize:Wire.Local ~format:Wire.Cif ()
+            | _ ->
+                Wire.build ~id ~jobs:1 ~format:Wire.Cif
+                  ~params:[ ("W", Wire.Pnum 10.); ("L", Wire.Pnum 5.) ]
+                  "DiffPair"
+          in
+          match Client.roundtrip c req with
+          | Ok resp -> (id, resp)
+          | Error e -> failf "client %d: %s" i e)
+  in
+  let threads = List.init nclients (fun i -> Thread.create worker i) in
+  List.iter Thread.join threads;
+  (* every request answered, on the right connection, in order *)
+  Array.iteri
+    (fun i arr ->
+      check int (Printf.sprintf "client %d: all answered" i) per_client
+        (Array.length arr);
+      Array.iter
+        (fun (id, resp) ->
+          check (option string)
+            (Printf.sprintf "client %d: id echoed" i)
+            (Some id) resp.Wire.id;
+          check int (Printf.sprintf "%s: status ok" id) Wire.status_ok
+            resp.Wire.status)
+        arr)
+    results;
+  (* identical build requests got identical layouts, whatever the
+     interleaving: compare payloads across clients *)
+  let payloads k =
+    Array.to_list results
+    |> List.filter_map (fun arr ->
+           if Array.length arr = 0 then None
+           else (snd arr.(k)).Wire.payload)
+  in
+  List.iter
+    (fun k ->
+      match payloads k with
+      | [] -> fail "no payloads collected"
+      | p :: rest ->
+          List.iter (check string "same payload across clients" p) rest)
+    [ 1; 2; 4 ]
+
+(* --- budgets degrade, the daemon survives ------------------------------ *)
+
+let test_deadline_degrades () =
+  with_server @@ fun _t sock ->
+  (* eval cap: 4 steps = 24 orders, far over a 1-eval budget *)
+  let r =
+    get sock (pack ~optimize:Wire.Orders ~max_evals:1 ~format:Wire.Cif ())
+  in
+  check int "eval budget: degraded" Wire.status_degraded r.Wire.status;
+  check bool "eval budget: best-so-far payload" true (r.Wire.payload <> None);
+  check bool "eval budget: rating present" true (r.Wire.rating <> None);
+  check bool "eval budget: optimize.degraded diag" true
+    (has_code "optimize.degraded" r);
+  (* wall-clock deadline that has already passed when the search starts *)
+  let r =
+    get sock
+      (pack ~optimize:Wire.Orders ~max_time:1e-9 ~tenant:"cold" ~format:Wire.Cif ())
+  in
+  check int "deadline: degraded" Wire.status_degraded r.Wire.status;
+  check bool "deadline: best-so-far payload" true (r.Wire.payload <> None);
+  (* a degraded search must not wedge the daemon *)
+  let r = get sock (pack ~format:Wire.Cif ()) in
+  check int "daemon serves after degradation" Wire.status_ok r.Wire.status
+
+(* --- graceful shutdown -------------------------------------------------- *)
+
+let test_graceful_shutdown () =
+  Test_util.with_tmp_dir "amgs" @@ fun dir ->
+  let socket = Filename.concat dir "d.sock" in
+  let t = Server.start (Server.config ~source:pack_source socket) in
+  (* park a slow request in flight (cold order search on a fresh scope) *)
+  let slow_result = ref (Error "never ran") in
+  let slow =
+    Thread.create
+      (fun () ->
+        slow_result :=
+          Client.oneshot socket
+            (pack ~id:"slow" ~optimize:Wire.Orders ~tenant:"shutdown" ()))
+      ()
+  in
+  Thread.delay 0.05;
+  (* ask the daemon to stop over the wire *)
+  (match Client.oneshot socket (Wire.stop ~id:"bye" ()) with
+  | Ok resp -> check int "stop acknowledged" Wire.status_ok resp.Wire.status
+  | Error e -> failf "stop request: %s" e);
+  Server.stop t;
+  Thread.join slow;
+  (* the in-flight request drained with a real answer, not a dropped
+     connection *)
+  (match !slow_result with
+  | Ok resp -> check int "in-flight request drained" Wire.status_ok resp.Wire.status
+  | Error e -> failf "in-flight request dropped: %s" e);
+  check bool "stop was requested" true (Server.stop_requested t);
+  (* new connections are refused once the daemon is gone *)
+  match Client.connect socket with
+  | c ->
+      Client.close c;
+      fail "connect after stop should fail"
+  | exception Unix.Unix_error _ -> ()
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_request_roundtrip;
+    QCheck_alcotest.to_alcotest prop_response_roundtrip;
+    test_case "malformed and oversized frames keep the connection" `Quick
+      test_bad_frames;
+    test_case "truncated frame drops only that client" `Quick
+      test_truncated_frame;
+    test_case "status mapping and payload formats" `Quick test_statuses;
+    test_case "response bytes deterministic (cold/warm, jobs 1 and 2)" `Quick
+      test_determinism;
+    test_case "tenant cache scopes are isolated" `Quick test_tenant_isolation;
+    test_case "concurrent clients all answered in order" `Quick
+      test_concurrent_clients;
+    test_case "budgets degrade to status 3, daemon keeps serving" `Quick
+      test_deadline_degrades;
+    test_case "graceful shutdown drains in-flight requests" `Quick
+      test_graceful_shutdown;
+  ]

@@ -14,3 +14,63 @@ let domain_counts =
         |> List.filter (fun d -> d >= 1)
       in
       match parsed with [] -> [ 1; 2; 4 ] | l -> l)
+
+(* --- temp paths -------------------------------------------------------
+
+   Every test that writes files goes through [with_tmp_dir]: a fresh
+   directory under the system temp dir, removed (recursively) on the way
+   out, so `dune runtest` never litters the build or source tree.  The
+   names stay short on purpose — Unix-domain socket paths have a ~100
+   byte limit. *)
+
+let tmp_counter = ref 0
+
+let fresh_dir prefix =
+  let base = Filename.get_temp_dir_name () in
+  let rec attempt n =
+    incr tmp_counter;
+    let path =
+      Filename.concat base
+        (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !tmp_counter)
+    in
+    match Unix.mkdir path 0o700 with
+    | () -> path
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) when n < 100 ->
+        attempt (n + 1)
+  in
+  attempt 0
+
+let rec remove_tree path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun name -> remove_tree (Filename.concat path name))
+        (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let with_tmp_dir prefix f =
+  let dir = fresh_dir prefix in
+  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+
+(* --- daemon spawn/teardown --------------------------------------------
+
+   [with_server f] starts an in-process generator daemon on a fresh
+   Unix-domain socket in a fresh temp dir and passes the handle and the
+   socket path to [f]; the daemon is stopped (gracefully: in-flight
+   requests drain) and the temp dir removed afterwards, also on
+   exception. *)
+
+let with_server ?tcp ?source ?default_jobs ?queue_limit ?max_frame ?memo_limit
+    f =
+  with_tmp_dir "amgt" @@ fun dir ->
+  let socket = Filename.concat dir "d.sock" in
+  let cfg =
+    Amg_serve.Server.config ?tcp ?source ?default_jobs ?queue_limit ?max_frame
+      ?memo_limit socket
+  in
+  let t = Amg_serve.Server.start cfg in
+  Fun.protect
+    ~finally:(fun () -> Amg_serve.Server.stop t)
+    (fun () -> f t socket)
