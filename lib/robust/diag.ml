@@ -448,9 +448,13 @@ module Json = struct
 
   (* Shortest image that parses back to the same float.  The serving
      protocol requires byte-deterministic responses, so the image must
-     depend only on the value. *)
+     depend only on the value.  JSON has no non-finite numbers, so nan
+     and the infinities encode as [null] — never as the unparsable
+     nan/inf images printf would produce. *)
   let float_to_string f =
-    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    if not (Float.is_finite f) then "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
     else
       let s = Printf.sprintf "%.15g" f in
       if float_of_string s = f then s

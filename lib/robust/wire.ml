@@ -195,16 +195,33 @@ let opt_str name v =
   | Some (J.Jstr s) -> Ok (Some s)
   | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
 
+(* [int_of_float] is unspecified for nan and for doubles outside
+   [min_int, max_int], so integer fields reject anything that is not a
+   finite integral double in a sane range instead of decoding to an
+   arbitrary value. *)
+let int_bound = 1e9
+
+let as_int name f =
+  if Float.is_integer f && Float.abs f <= int_bound then Ok (int_of_float f)
+  else
+    Error
+      (Printf.sprintf "field %S must be an integer with magnitude at most %.0f"
+         name int_bound)
+
 let opt_int name v =
   match J.member name v with
   | None | Some J.Jnull -> Ok None
-  | Some (J.Jnum f) -> Ok (Some (int_of_float f))
+  | Some (J.Jnum f) ->
+      let* n = as_int name f in
+      Ok (Some n)
   | Some _ -> Error (Printf.sprintf "field %S must be a number" name)
 
 let opt_num name v =
   match J.member name v with
   | None | Some J.Jnull -> Ok None
-  | Some (J.Jnum f) -> Ok (Some f)
+  | Some (J.Jnum f) ->
+      if Float.is_finite f then Ok (Some f)
+      else Error (Printf.sprintf "field %S must be a finite number" name)
   | Some _ -> Error (Printf.sprintf "field %S must be a number" name)
 
 let opt_flag name v =
@@ -304,7 +321,7 @@ let decode_response line =
       let* id = opt_str "id" v in
       let* status =
         match J.member "status" v with
-        | Some (J.Jnum f) -> Ok (int_of_float f)
+        | Some (J.Jnum f) -> as_int "status" f
         | Some _ -> Error "field \"status\" must be a number"
         | None -> Error "missing field \"status\""
       in
@@ -334,18 +351,15 @@ let decode_response line =
               | _ ->
                   Error (Printf.sprintf "stats field %S must be a number" name)
             in
+            let need_int name =
+              let* f = need name in
+              as_int name f
+            in
             let* elapsed_ms = need "elapsed_ms" in
-            let* queue_depth = need "queue_depth" in
-            let* cache_hits = need "cache_hits" in
-            let* cache_misses = need "cache_misses" in
-            Ok
-              (Some
-                 {
-                   elapsed_ms;
-                   queue_depth = int_of_float queue_depth;
-                   cache_hits = int_of_float cache_hits;
-                   cache_misses = int_of_float cache_misses;
-                 })
+            let* queue_depth = need_int "queue_depth" in
+            let* cache_hits = need_int "cache_hits" in
+            let* cache_misses = need_int "cache_misses" in
+            Ok (Some { elapsed_ms; queue_depth; cache_hits; cache_misses })
         | Some _ -> Error "field \"stats\" must be an object"
       in
       Ok { id; status; rating; format; payload; diagnostics; stats }

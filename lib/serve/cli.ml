@@ -126,6 +126,15 @@ let memo_limit_arg =
     & info [ "memo-limit" ] ~docv:"N"
         ~doc:"Recorded canonical builds kept resident (LRU by signature).")
 
+let tenant_limit_arg =
+  Arg.(
+    value
+    & opt (int_at_least 1 "--tenant-limit") 64
+    & info [ "tenant-limit" ] ~docv:"N"
+        ~doc:
+          "Tenant environments kept resident (LRU); an evicted tenant that \
+           returns starts from a cold cache scope.")
+
 let no_warm_arg =
   Arg.(
     value & flag
@@ -159,7 +168,7 @@ let trace_arg =
            (written at shutdown; validate with amgen trace-lint).")
 
 let run_serve socket tcp library tech jobs queue_limit max_frame memo_limit
-    no_warm cache_mb stats trace =
+    tenant_limit no_warm cache_mb stats trace =
   Option.iter Amg_core.Prefix_cache.set_default_budget_mb cache_mb;
   let on = stats || trace <> None in
   if on then Obs.enable ();
@@ -184,7 +193,8 @@ let run_serve socket tcp library tech jobs queue_limit max_frame memo_limit
         let tech = Option.map Amg_tech.Tech_file.load tech in
         let cfg =
           Server.config ?tcp ~source ?source_file ?tech ?default_jobs:jobs
-            ~queue_limit ~max_frame ~memo_limit ~warm_pool:(not no_warm) socket
+            ~queue_limit ~max_frame ~memo_limit ~tenant_limit
+            ~warm_pool:(not no_warm) socket
         in
         Fmt.pr "amgend: serving on %s%s@." socket
           (match tcp with
@@ -204,8 +214,8 @@ let run_serve socket tcp library tech jobs queue_limit max_frame memo_limit
 let serve_term =
   Term.(
     const run_serve $ socket_arg $ tcp_arg $ library_arg $ tech_arg $ jobs_arg
-    $ queue_limit_arg $ max_frame_arg $ memo_limit_arg $ no_warm_arg
-    $ cache_mb_arg $ stats_arg $ trace_arg)
+    $ queue_limit_arg $ max_frame_arg $ memo_limit_arg $ tenant_limit_arg
+    $ no_warm_arg $ cache_mb_arg $ stats_arg $ trace_arg)
 
 let serve_cmd =
   Cmd.v

@@ -41,12 +41,13 @@ type config = {
   queue_limit : int;
   max_frame : int;
   memo_limit : int;
+  tenant_limit : int;
   warm_pool : bool;
 }
 
 let config ?tcp ?(source = Amg_lang.Stdlib.all) ?source_file ?tech
     ?default_jobs ?(queue_limit = 64) ?(max_frame = 1 lsl 20)
-    ?(memo_limit = 128) ?(warm_pool = false) socket_path =
+    ?(memo_limit = 128) ?(tenant_limit = 64) ?(warm_pool = false) socket_path =
   {
     socket_path;
     tcp;
@@ -57,6 +58,7 @@ let config ?tcp ?(source = Amg_lang.Stdlib.all) ?source_file ?tech
     queue_limit;
     max_frame;
     memo_limit;
+    tenant_limit;
     warm_pool;
   }
 
@@ -132,9 +134,10 @@ type t = {
   cfg : config;
   program : Amg_lang.Ast.program;
   env_default : Env.t;
-  tenants : (string, Env.t) Hashtbl.t;  (* serialized section only *)
+  tenants : (string, Env.t * int ref) Hashtbl.t;  (* serialized section only *)
   memo : (string, memo_entry) Hashtbl.t;  (* serialized section only *)
   mutable memo_tick : int;
+  mutable tenant_tick : int;
   sched : sched;
   listeners : Unix.file_descr list;
   (* Self-pipe: closing [wake_w] makes [wake_r] readable, which is how
@@ -247,34 +250,60 @@ let reject ?id ~code msg =
     Wire.status_reject
 
 (* Canonical signature of a build: tenant stamp, entity, sorted params.
-   The float image is hexadecimal, so equal floats always collide and
-   distinct floats never do. *)
+   Every token is length-prefixed, so the encoding is injective even for
+   keys or string values containing separator bytes; the float image is
+   hexadecimal, so equal floats always collide and distinct floats never
+   do. *)
 let signature env entity params =
   let b = Buffer.create 64 in
+  let token s =
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_char b ':';
+    Buffer.add_string b s
+  in
   Buffer.add_string b (string_of_int (Env.stamp env));
-  Buffer.add_char b '\x00';
-  Buffer.add_string b entity;
+  Buffer.add_char b '/';
+  token entity;
   List.iter
     (fun (k, p) ->
-      Buffer.add_char b '\x00';
-      Buffer.add_string b k;
-      Buffer.add_char b '=';
-      match p with
-      | Wire.Pnum f -> Buffer.add_string b (Printf.sprintf "n%h" f)
-      | Wire.Pstr s ->
-          Buffer.add_char b 's';
-          Buffer.add_string b s)
+      token k;
+      token
+        (match p with
+        | Wire.Pnum f -> Printf.sprintf "n%h" f
+        | Wire.Pstr s -> "s" ^ s))
     (List.sort (fun (a, _) (b, _) -> String.compare a b) params);
   Buffer.contents b
 
+(* Per-tenant environments are LRU-bounded like the memo: an unauthenticated
+   stream of fresh tenant names must not grow the daemon without limit.  An
+   evicted tenant that returns simply gets a fresh [Env] (new stamp, cold
+   cache scope); its orphaned memo entries age out of the memo LRU. *)
 let tenant_env t = function
   | None -> t.env_default
   | Some name -> (
+      t.tenant_tick <- t.tenant_tick + 1;
       match Hashtbl.find_opt t.tenants name with
-      | Some env -> env
+      | Some (env, tick) ->
+          tick := t.tenant_tick;
+          env
       | None ->
+          if Hashtbl.length t.tenants >= max 1 t.cfg.tenant_limit then begin
+            let victim =
+              Hashtbl.fold
+                (fun k (_, tick) acc ->
+                  match acc with
+                  | Some (_, best) when best <= !tick -> acc
+                  | _ -> Some (k, !tick))
+                t.tenants None
+            in
+            match victim with
+            | Some (k, _) ->
+                Hashtbl.remove t.tenants k;
+                Obs.count "serve.tenant.evictions" 1
+            | None -> ()
+          end;
           let env = Env.create (Env.tech t.env_default) in
-          Hashtbl.add t.tenants name env;
+          Hashtbl.add t.tenants name (env, ref t.tenant_tick);
           env)
 
 (* Canonical build of (entity, params) under [env], memoized.  Returns
@@ -691,6 +720,11 @@ let listen_tcp host port =
   fd
 
 let start cfg =
+  (* A peer that disconnects before its response is written must surface
+     as EPIPE on the write (handled per connection), not as a SIGPIPE
+     whose default action kills the whole daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let program =
     Amg_lang.Parser.parse_program ?file:cfg.source_file cfg.source
   in
@@ -722,6 +756,7 @@ let start cfg =
       tenants = Hashtbl.create 8;
       memo = Hashtbl.create 64;
       memo_tick = 0;
+      tenant_tick = 0;
       sched = sched_create cfg.queue_limit;
       listeners;
       wake_r;

@@ -36,6 +36,7 @@ type config = {
   queue_limit : int;  (** Admitted-but-unfinished request cap. *)
   max_frame : int;  (** Request line byte cap. *)
   memo_limit : int;  (** Recorded-build signatures kept (LRU). *)
+  tenant_limit : int;  (** Tenant environments kept resident (LRU). *)
   warm_pool : bool;  (** Pre-spawn the domain pool at start. *)
 }
 
@@ -48,18 +49,22 @@ val config :
   ?queue_limit:int ->
   ?max_frame:int ->
   ?memo_limit:int ->
+  ?tenant_limit:int ->
   ?warm_pool:bool ->
   string ->
   config
 (** [config socket_path] with defaults: no TCP, the built-in
     {!Amg_lang.Stdlib.all} module library, built-in technology, queue
-    limit 64, 1 MiB frames, 128 memo signatures, no pool warm-up. *)
+    limit 64, 1 MiB frames, 128 memo signatures, 64 resident tenant
+    environments, no pool warm-up. *)
 
 type t
 
 val start : config -> t
 (** Parse the module library, bind the listeners and spawn the accept
-    thread.  @raise Amg_robust.Diag.Fail on a bad source or tech;
+    thread.  Ignores SIGPIPE process-wide so a peer that vanishes
+    mid-response surfaces as a clean connection close instead of killing
+    the daemon.  @raise Amg_robust.Diag.Fail on a bad source or tech;
     [Unix.Unix_error] on bind failures (stale socket paths are
     unlinked first). *)
 

@@ -27,9 +27,10 @@ ENT Pack(<W>)
 |}
   ^ Amg_lang.Stdlib.all
 
-let with_server ?default_jobs ?queue_limit ?max_frame ?memo_limit f =
+let with_server ?default_jobs ?queue_limit ?max_frame ?memo_limit ?tenant_limit
+    f =
   Test_util.with_server ~source:pack_source ?default_jobs ?queue_limit
-    ?max_frame ?memo_limit f
+    ?max_frame ?memo_limit ?tenant_limit f
 
 let get sock req =
   match Client.oneshot sock req with
@@ -147,6 +148,46 @@ let prop_response_roundtrip =
       | Ok r' -> r' = r
       | Error _ -> false)
 
+(* Integer fields must be finite integral doubles in a sane range —
+   int_of_float on 1e300 or nan is unspecified and would smuggle an
+   arbitrary budget into the daemon — and number fields must be finite. *)
+let test_decode_validation () =
+  let bad name line =
+    match Wire.decode_request line with
+    | Ok _ -> failf "%s: decoded instead of rejecting" name
+    | Error _ -> ()
+  in
+  bad "huge max_evals" {|{"op":"build","entity":"e","max_evals":1e300}|};
+  bad "fractional max_evals" {|{"op":"build","entity":"e","max_evals":2.5}|};
+  bad "infinite jobs" {|{"op":"build","entity":"e","jobs":1e999}|};
+  bad "infinite max_time" {|{"op":"build","entity":"e","max_time":1e999}|};
+  (match
+     Wire.decode_request {|{"op":"build","entity":"e","max_evals":42}|}
+   with
+  | Ok r ->
+      check (option int) "integral max_evals decodes" (Some 42)
+        r.Wire.max_evals
+  | Error e -> failf "integral max_evals rejected: %s" e);
+  match Wire.decode_response {|{"status":1e300,"diagnostics":[]}|} with
+  | Ok _ -> fail "huge status decoded instead of rejecting"
+  | Error _ -> ()
+
+(* JSON has no nan/inf: non-finite numbers must encode as null, never as
+   the nan/inf images printf would produce — those break the protocol's
+   own decoder. *)
+let test_nonfinite_encode () =
+  let enc f = Diag.Json.to_string (Diag.Json.Jnum f) in
+  check string "nan encodes as null" "null" (enc Float.nan);
+  check string "inf encodes as null" "null" (enc Float.infinity);
+  check string "-inf encodes as null" "null" (enc Float.neg_infinity);
+  (* end to end: a non-finite rating degrades to an absent rating, not an
+     unparsable frame *)
+  let resp = Wire.response ~rating:Float.nan Wire.status_ok in
+  match Wire.decode_response (Wire.encode_response resp) with
+  | Ok r ->
+      check bool "non-finite rating decodes as absent" true (r.Wire.rating = None)
+  | Error e -> failf "non-finite rating broke the frame: %s" e
+
 (* --- malformed, oversized and truncated frames ------------------------ *)
 
 let test_bad_frames () =
@@ -195,6 +236,22 @@ let test_truncated_frame () =
   Client.close c;
   let resp = get sock (Wire.ping ()) in
   check int "daemon survives truncated frame" Wire.status_ok resp.Wire.status
+
+(* A peer that sends a request and vanishes before reading the response
+   must cost only that connection: the response write surfaces as EPIPE
+   on the connection thread, not as a process-killing SIGPIPE. *)
+let test_disconnect_before_response () =
+  with_server @@ fun _t sock ->
+  for i = 1 to 3 do
+    let c = Client.connect sock in
+    (* a cold search on a fresh tenant: the daemon is still computing
+       when the peer disappears *)
+    Client.send c
+      (pack ~optimize:Wire.Local ~tenant:(Printf.sprintf "gone%d" i) ());
+    Client.close c
+  done;
+  let r = get sock (pack ~format:Wire.Cif ()) in
+  check int "daemon alive after dead peers" Wire.status_ok r.Wire.status
 
 (* --- status mapping ---------------------------------------------------- *)
 
@@ -284,6 +341,34 @@ let test_tenant_isolation () =
   (* while a budgeted repeat inside one tenant is visibly warmer *)
   check bool "tenant-a warm search hits more" true
     (a3.Wire.cache_hits > a1.Wire.cache_hits)
+
+(* The tenant table is LRU-bounded: a stream of fresh tenant names cannot
+   grow the daemon without limit.  An evicted tenant that returns gets a
+   fresh environment — observably cold again — while residents stay
+   warm.  Budgeted requests bypass the whole-result memo, so warmth shows
+   up in the prefix-cache counters. *)
+let test_tenant_eviction () =
+  with_server ~tenant_limit:2 @@ fun _t sock ->
+  let budgeted tenant =
+    pack ~optimize:Wire.Local ~max_evals:100_000 ~tenant ~stats:true ()
+  in
+  let st r =
+    match r.Wire.stats with
+    | Some s -> s
+    | None -> fail "stats requested but absent"
+  in
+  let a1 = st (get sock (budgeted "ta")) in
+  let a2 = st (get sock (budgeted "ta")) in
+  check bool "resident tenant runs warm" true
+    (a2.Wire.cache_hits > a1.Wire.cache_hits);
+  (* fill the table past the limit: inserting "tc" evicts "ta" (LRU) *)
+  ignore (get sock (budgeted "tb"));
+  ignore (get sock (budgeted "tc"));
+  let a3 = st (get sock (budgeted "ta")) in
+  check int "evicted tenant is cold again (hits)" a1.Wire.cache_hits
+    a3.Wire.cache_hits;
+  check int "evicted tenant is cold again (misses)" a1.Wire.cache_misses
+    a3.Wire.cache_misses
 
 (* --- concurrent clients ------------------------------------------------ *)
 
@@ -406,14 +491,20 @@ let suite =
   [
     QCheck_alcotest.to_alcotest prop_request_roundtrip;
     QCheck_alcotest.to_alcotest prop_response_roundtrip;
+    test_case "decoder rejects non-integral and non-finite numbers" `Quick
+      test_decode_validation;
+    test_case "non-finite floats encode as null" `Quick test_nonfinite_encode;
     test_case "malformed and oversized frames keep the connection" `Quick
       test_bad_frames;
     test_case "truncated frame drops only that client" `Quick
       test_truncated_frame;
+    test_case "peer disconnect before response leaves the daemon alive" `Quick
+      test_disconnect_before_response;
     test_case "status mapping and payload formats" `Quick test_statuses;
     test_case "response bytes deterministic (cold/warm, jobs 1 and 2)" `Quick
       test_determinism;
     test_case "tenant cache scopes are isolated" `Quick test_tenant_isolation;
+    test_case "tenant table is LRU-bounded" `Quick test_tenant_eviction;
     test_case "concurrent clients all answered in order" `Quick
       test_concurrent_clients;
     test_case "budgets degrade to status 3, daemon keeps serving" `Quick

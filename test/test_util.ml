@@ -63,12 +63,12 @@ let with_tmp_dir prefix f =
    exception. *)
 
 let with_server ?tcp ?source ?default_jobs ?queue_limit ?max_frame ?memo_limit
-    f =
+    ?tenant_limit f =
   with_tmp_dir "amgt" @@ fun dir ->
   let socket = Filename.concat dir "d.sock" in
   let cfg =
     Amg_serve.Server.config ?tcp ?source ?default_jobs ?queue_limit ?max_frame
-      ?memo_limit socket
+      ?memo_limit ?tenant_limit socket
   in
   let t = Amg_serve.Server.start cfg in
   Fun.protect
