@@ -1078,6 +1078,62 @@ let percentile p xs =
   if n = 0 then 0.
   else a.(min (n - 1) (max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)))
 
+(* Merge the scraped [serve.latency] histograms of op="build" label sets
+   (one per status/cache-outcome combination) into one
+   {!Amg_obs.Metrics.hsnap}, so the server-side percentiles come from the
+   same bucket math the registry uses. *)
+let server_build_hist payload =
+  let module J = Amg_robust.Diag.Json in
+  let nums = function
+    | Some (J.Jarr xs) ->
+        Some
+          (Array.of_list
+             (List.map (function J.Jnum f -> f | _ -> nan) xs))
+    | _ -> None
+  in
+  match J.of_string payload with
+  | Error _ -> None
+  | Ok v -> (
+      match J.member "metrics" v with
+      | Some (J.Jarr items) -> (
+          let parts =
+            List.filter_map
+              (fun item ->
+                match (J.member "name" item, J.member "labels" item) with
+                | Some (J.Jstr "serve.latency"), Some labels
+                  when J.member "op" labels = Some (J.Jstr "build") -> (
+                    match
+                      ( nums (J.member "bounds" item),
+                        nums (J.member "counts" item),
+                        J.member "sum" item )
+                    with
+                    | Some bounds, Some counts, Some (J.Jnum sum) ->
+                        Some (bounds, counts, sum)
+                    | _ -> None)
+                | _ -> None)
+              items
+          in
+          match parts with
+          | [] -> None
+          | (bounds0, counts0, _) :: _ ->
+              let counts = Array.make (Array.length counts0) 0 in
+              let sum = ref 0. in
+              List.iter
+                (fun (_, cs, s) ->
+                  Array.iteri
+                    (fun i c -> counts.(i) <- counts.(i) + int_of_float c)
+                    cs;
+                  sum := !sum +. s)
+                parts;
+              Some
+                {
+                  Amg_obs.Metrics.h_bounds = bounds0;
+                  h_counts = counts;
+                  h_count = Array.fold_left ( + ) 0 counts;
+                  h_sum = !sum;
+                })
+      | _ -> None)
+
 (* Splice (or replace) the "serving" section at the end of the committed
    BENCH_compact.json without disturbing the other machine-written keys. *)
 let splice_serving serving =
@@ -1157,6 +1213,36 @@ let serve_bench nclients seconds p99_bound_ms =
           let tenant = Printf.sprintf "cold-%d" i in
           timed (request ~tenant tenant))
     in
+    let cold_p50 = percentile 0.5 (List.map snd cold) in
+    (* Mid-load scrape drill: while a cold build occupies the serialized
+       compute section, metrics and health must answer straight from the
+       connection thread, never queueing behind the build. *)
+    let scrape_ms =
+      let builder =
+        Thread.create
+          (fun () ->
+            let c2 = Client.connect socket in
+            Fun.protect ~finally:(fun () -> Client.close c2) @@ fun () ->
+            ignore
+              (Client.roundtrip c2 (request ~tenant:"scrape-cold" "scrape-cold")))
+          ()
+      in
+      Thread.yield ();
+      let t0 = Unix.gettimeofday () in
+      let h = Client.roundtrip c (Wire.health ()) in
+      let m = Client.roundtrip c (Wire.metrics ~json:true ()) in
+      let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      Thread.join builder;
+      let ok = function
+        | Ok (r : Wire.response) -> r.Wire.status = Wire.status_ok
+        | Error _ -> false
+      in
+      ensure (ok h && ok m) "metrics/health answered during a cold build";
+      let bound = Float.max 50. (cold_p50 /. 2.) in
+      ensure (ms <= bound)
+        (Printf.sprintf "mid-load scrape in %.2f ms (bound %.0f ms)" ms bound);
+      ms
+    in
     let prime = timed (request ~tenant:"warm" "prime") in
     (* identical unbudgeted repeats replay the whole-result memo *)
     let warm =
@@ -1192,7 +1278,6 @@ let serve_bench nclients seconds p99_bound_ms =
     ensure (swarm_hits > 0)
       (Printf.sprintf "search-warm requests hit the resident prefix cache (%d)"
          swarm_hits);
-    let cold_p50 = percentile 0.5 (List.map snd cold) in
     let warm_p50 = percentile 0.5 (List.map snd warm) in
     let swarm_p50 = percentile 0.5 (List.map snd swarm) in
     let speedup = cold_p50 /. warm_p50 in
@@ -1206,6 +1291,7 @@ let serve_bench nclients seconds p99_bound_ms =
     (* phase 2: a closed loop of pings, warm optimized packs and plain
        DiffPair builds *)
     let lat = Array.make nclients [] in
+    let blat = Array.make nclients [] in
     let errors = Array.make nclients 0 in
     let stop_at = Unix.gettimeofday () +. seconds in
     let worker i =
@@ -1214,6 +1300,7 @@ let serve_bench nclients seconds p99_bound_ms =
       let k = ref 0 in
       while Unix.gettimeofday () < stop_at do
         let id = Printf.sprintf "w%d-%d" i !k in
+        let is_build = !k mod 3 <> 0 in
         let req =
           match !k mod 3 with
           | 0 -> Wire.ping ~id ()
@@ -1227,7 +1314,9 @@ let serve_bench nclients seconds p99_bound_ms =
         (try
            match Client.roundtrip c req with
            | Ok resp when resp.Wire.status = Wire.status_ok ->
-               lat.(i) <- ((Unix.gettimeofday () -. t0) *. 1000.) :: lat.(i)
+               let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+               lat.(i) <- ms :: lat.(i);
+               if is_build then blat.(i) <- ms :: blat.(i)
            | Ok _ | Error _ -> errors.(i) <- errors.(i) + 1
          with _ -> errors.(i) <- errors.(i) + 1);
         incr k
@@ -1251,10 +1340,41 @@ let serve_bench nclients seconds p99_bound_ms =
     ensure (p99 <= p99_bound_ms)
       (Printf.sprintf "loop p99 %.2f ms within the %.0f ms bound" p99
          p99_bound_ms);
+    (* Cross-check: the daemon's own latency histograms (scraped over the
+       wire) must tell the same story as the client-side stopwatch.  The
+       registry quantile is a bucket upper bound (factor-2 buckets) and
+       the client adds wire overhead, so the agreement bound is a
+       generous factor, not an equality. *)
+    let client_bp50 = percentile 0.5 (Array.to_list blat |> List.concat) in
+    let client_bp99 = percentile 0.99 (Array.to_list blat |> List.concat) in
+    let server_p50, server_p99 =
+      match Client.roundtrip c (Wire.metrics ~json:true ()) with
+      | Ok { Wire.payload = Some p; _ } -> (
+          match server_build_hist p with
+          | Some h ->
+              ( Amg_obs.Metrics.quantile h 0.5 *. 1000.,
+                Amg_obs.Metrics.quantile h 0.99 *. 1000. )
+          | None -> (0., 0.))
+      | _ -> (0., 0.)
+    in
+    Fmt.pr
+      "  build latency: server p50 %.2f ms / p99 %.2f ms (scraped); client \
+       p50 %.2f ms / p99 %.2f ms@."
+      server_p50 server_p99 client_bp50 client_bp99;
+    ensure (server_p50 > 0.) "scraped server latency histogram is populated";
+    let agree factor a b = a <= b *. factor && b <= a *. factor in
+    ensure
+      (agree 4. server_p50 client_bp50)
+      (Printf.sprintf "server/client build p50 agree (%.2f vs %.2f ms)"
+         server_p50 client_bp50);
+    ensure
+      (agree 8. server_p99 client_bp99)
+      (Printf.sprintf "server/client build p99 agree (%.2f vs %.2f ms)"
+         server_p99 client_bp99);
     Printf.sprintf
-      "{\"clients\":%d,\"seconds\":%.0f,\"n\":%d,\"cold_p50_ms\":%.2f,\"warm_p50_ms\":%.2f,\"warm_speedup_x\":%.1f,\"search_warm_p50_ms\":%.2f,\"search_warm_speedup_x\":%.1f,\"search_warm_cache_hits\":%d,\n    \"loop_requests\":%d,\"loop_errors\":%d,\"throughput_rps\":%.1f,\"loop_p50_ms\":%.2f,\"loop_p99_ms\":%.2f}"
+      "{\"clients\":%d,\"seconds\":%.0f,\"n\":%d,\"cold_p50_ms\":%.2f,\"warm_p50_ms\":%.2f,\"warm_speedup_x\":%.1f,\"search_warm_p50_ms\":%.2f,\"search_warm_speedup_x\":%.1f,\"search_warm_cache_hits\":%d,\n    \"loop_requests\":%d,\"loop_errors\":%d,\"throughput_rps\":%.1f,\"loop_p50_ms\":%.2f,\"loop_p99_ms\":%.2f,\n    \"scrape_ms\":%.2f,\"server_build_p50_ms\":%.2f,\"server_build_p99_ms\":%.2f}"
       nclients seconds n cold_p50 warm_p50 speedup swarm_p50 sspeedup
-      swarm_hits total errs rps p50 p99
+      swarm_hits total errs rps p50 p99 scrape_ms server_p50 server_p99
   in
   splice_serving serving;
   Fmt.pr "(serving section spliced into BENCH_compact.json)@.";

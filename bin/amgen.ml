@@ -7,6 +7,8 @@
      amgen trace-lint FILE.json                    validate a --trace file
      amgen serve  [--socket PATH]                  run the generator daemon
      amgen request ENTITY [-p k=v]...              query a running daemon
+     amgen metrics [--json]                        scrape a daemon's registry
+     amgen health                                  probe a daemon's liveness
 
    Every pipeline subcommand takes --stats (instrumentation summary) and
    --trace FILE (Chrome trace-event JSON); `build` additionally takes
@@ -790,8 +792,12 @@ let trace_lint_cmd =
     match Amg_obs.Trace.validate_file path with
     | Ok s ->
         let open Amg_obs.Trace in
-        Fmt.pr "%s: valid trace (%d events, %d threads, %d spans, %d marks)@."
-          path s.v_events s.v_threads s.v_spans s.v_marks;
+        Fmt.pr "%s: valid trace (%d events, %d threads, %d spans, %d marks%a)@."
+          path s.v_events s.v_threads s.v_spans s.v_marks
+          (fun ppf -> function
+            | Some rid -> Fmt.pf ppf ", request %s" rid
+            | None -> ())
+          s.v_request_id;
         exit_ok
     | Error msg ->
         Fmt.epr "%s: invalid trace: %s@." path msg;
@@ -821,6 +827,7 @@ let () =
       (Cmd.group info
          [ build_cmd; check_cmd; tech_cmd; netlist_cmd; gds_cmd; fmt_cmd;
            synth_cmd; amp_cmd; trace_lint_cmd; Amg_serve.Cli.serve_cmd;
-           Amg_serve.Cli.request_cmd ])
+           Amg_serve.Cli.request_cmd; Amg_serve.Cli.metrics_cmd;
+           Amg_serve.Cli.health_cmd ])
   in
   exit (if code = Cmd.Exit.cli_error then exit_usage else code)

@@ -530,3 +530,36 @@ let set_default_policy ?admit_depth ?admit_visits () =
     (fun v -> Atomic.set default_admit_visits_v (max 1 v))
     admit_visits;
   Atomic.set default_cache None
+
+(* --- serving metrics registration -------------------------------------
+
+   Callback-backed instruments over the process default cache, for the
+   serve daemon's scrape surface.  Callbacks run [stats (default ())] at
+   snapshot time, so they follow budget/policy resets that swap the
+   default instance out.  Registration is idempotent (re-registering
+   replaces the callbacks). *)
+
+module Metrics = Amg_obs.Metrics
+
+let register_metrics () =
+  let st f () = f (stats (default ())) in
+  Metrics.counter_fn "prefix_cache.hits" (st (fun s -> s.hits));
+  Metrics.counter_fn "prefix_cache.misses" (st (fun s -> s.misses));
+  Metrics.counter_fn "prefix_cache.evictions" (st (fun s -> s.evictions));
+  Metrics.counter_fn "prefix_cache.admitted" (st (fun s -> s.admitted));
+  Metrics.counter_fn "prefix_cache.rejected" (st (fun s -> s.rejected));
+  Metrics.gauge_fn "prefix_cache.bytes" (st (fun s -> float_of_int s.bytes));
+  Metrics.gauge_fn "prefix_cache.entries" (st (fun s -> float_of_int s.entries));
+  for b = 1 to depth_buckets do
+    let label =
+      if b = depth_buckets then Printf.sprintf "%d+" b else string_of_int b
+    in
+    Metrics.gauge_fn ~labels:[ ("depth", label) ] "prefix_cache.hit_rate"
+      (st (fun s ->
+           match List.find_opt (fun d -> d.d_depth = b) s.per_depth with
+           | None -> 0.
+           | Some d ->
+               let total = d.d_hits + d.d_misses in
+               if total = 0 then 0.
+               else float_of_int d.d_hits /. float_of_int total))
+  done

@@ -157,3 +157,11 @@ val set_default_policy : ?admit_depth:int -> ?admit_visits:int -> unit -> unit
 (** Configure the default cache's admission policy
     ([amgen --cache-admit-depth] / [--cache-admit-visits] set it).
     Replaces the default cache, dropping any cached prefixes. *)
+
+val register_metrics : unit -> unit
+(** Register callback-backed instruments over the {!default} cache in
+    the {!Amg_obs.Metrics} registry: hit/miss/eviction/admission
+    counters, byte and entry gauges, and a per-depth-bucket hit-rate
+    gauge (label [depth="1".."12+"]).  Idempotent; callbacks read the
+    current default instance at snapshot time, so they survive budget
+    and policy resets.  The serve daemon calls this at startup. *)

@@ -41,6 +41,8 @@ type span_stat = {
 type strand = {
   tid : int;
   mutable events : event list; (* newest first *)
+  mutable n_events : int;      (* length of [events] *)
+  mutable balance : int;       (* unmatched Begins in [events] *)
   mutable last_ts : float;     (* per-strand monotonic clamp *)
   counts : (string, int ref) Hashtbl.t;
   samples : (string, sample_acc) Hashtbl.t;
@@ -68,10 +70,75 @@ let new_strand tid =
   {
     tid;
     events = [];
+    n_events = 0;
+    balance = 0;
     last_ts = 0.;
     counts = Hashtbl.create 16;
     samples = Hashtbl.create 8;
   }
+
+(* --- event retention ---------------------------------------------------
+
+   A long-running daemon with instrumentation armed would otherwise
+   accumulate events without bound (counters and samples are fixed-size
+   aggregates; the event list is not).  [set_max_events (Some cap)]
+   bounds each strand: when a strand reaches 2*cap events it is
+   truncated back to the newest cap, amortising the O(cap) rebuild over
+   cap pushes.  Truncation walks the kept window oldest-to-newest and
+   also drops End events whose Begin fell off, so the retained stream
+   still validates as properly nested.  Dropped events are tallied in a
+   process-wide counter ([dropped_events]), reset by [enable]. *)
+
+let max_events : int option Atomic.t = Atomic.make None
+let dropped : int Atomic.t = Atomic.make 0
+let set_max_events cap = Atomic.set max_events cap
+let dropped_events () = Atomic.get dropped
+
+let truncate_strand s cap =
+  let arr = Array.of_list s.events in
+  (* newest first *)
+  let keep = min cap (Array.length arr) in
+  let n_dropped = ref (Array.length arr - keep) in
+  let out = ref [] and n_out = ref 0 and depth = ref 0 in
+  for i = keep - 1 downto 0 do
+    (* oldest kept -> newest *)
+    match arr.(i) with
+    | Begin _ as e ->
+        incr depth;
+        out := e :: !out;
+        incr n_out
+    | End _ as e ->
+        if !depth > 0 then begin
+          decr depth;
+          out := e :: !out;
+          incr n_out
+        end
+        else incr n_dropped (* its Begin was dropped *)
+    | Mark _ as e ->
+        out := e :: !out;
+        incr n_out
+  done;
+  s.events <- !out;
+  s.n_events <- !n_out;
+  s.balance <- !depth;
+  if !n_dropped > 0 then ignore (Atomic.fetch_and_add dropped !n_dropped)
+
+let push s ev =
+  match ev with
+  | End _ when s.balance = 0 ->
+      (* The matching Begin was truncated away; keeping this End would
+         make the retained stream fail B/E validation. *)
+      ignore (Atomic.fetch_and_add dropped 1)
+  | _ ->
+      (match ev with
+      | Begin _ -> s.balance <- s.balance + 1
+      | End _ -> s.balance <- s.balance - 1
+      | Mark _ -> ());
+      s.events <- ev :: s.events;
+      s.n_events <- s.n_events + 1;
+      (match Atomic.get max_events with
+      | Some cap when s.n_events >= 2 * cap -> truncate_strand s cap
+      | _ -> ())
 
 let root : strand option Atomic.t = Atomic.make None
 
@@ -98,6 +165,7 @@ let reset () =
 
 let enable () =
   reset ();
+  Atomic.set dropped 0;
   Atomic.set t0 (Unix.gettimeofday ());
   let s = new_strand 0 in
   Atomic.set root (Some s);
@@ -136,13 +204,13 @@ let mark name args =
   if Atomic.get enabled_flag then
     match current () with
     | None -> ()
-    | Some s -> s.events <- Mark { name; tid = s.tid; ts = now s; args } :: s.events
+    | Some s -> push s (Mark { name; tid = s.tid; ts = now s; args })
 
 let markf name f =
   if Atomic.get enabled_flag then
     match current () with
     | None -> ()
-    | Some s -> s.events <- Mark { name; tid = s.tid; ts = now s; args = f () } :: s.events
+    | Some s -> push s (Mark { name; tid = s.tid; ts = now s; args = f () })
 
 let span name f =
   if not (Atomic.get enabled_flag) then f ()
@@ -150,11 +218,11 @@ let span name f =
     match current () with
     | None -> f ()
     | Some s ->
-        s.events <- Begin { name; tid = s.tid; ts = now s } :: s.events;
+        push s (Begin { name; tid = s.tid; ts = now s });
         let finish () =
           (* Exception-safe: the strand may have changed is impossible —
              [enter]/[exit] pair around whole tasks — so close on [s]. *)
-          s.events <- End { name; tid = s.tid; ts = now s } :: s.events
+          push s (End { name; tid = s.tid; ts = now s })
         in
         (match f () with
         | v ->
@@ -195,6 +263,11 @@ let enter strands i f =
 
 let merge_into (dst : strand) (src : strand) =
   dst.events <- List.rev_append (List.rev src.events) dst.events;
+  dst.n_events <- dst.n_events + src.n_events;
+  dst.balance <- dst.balance + src.balance;
+  (match Atomic.get max_events with
+  | Some cap when dst.n_events >= 2 * cap -> truncate_strand dst cap
+  | _ -> ());
   Hashtbl.iter
     (fun name r ->
       match Hashtbl.find_opt dst.counts name with
@@ -258,6 +331,33 @@ let marks () =
   List.filter_map
     (function Mark { name; args; _ } -> Some (name, args) | _ -> None)
     (events ())
+
+(* --- windows -----------------------------------------------------------
+
+   A window captures the calling strand's current position in its event
+   list (the head cons cell); [window_events] later returns just the
+   events recorded since, oldest first.  The serve daemon opens one per
+   request to export request-scoped traces.  If retention truncation
+   rebuilt the list in between, the captured cell is gone and the walk
+   falls off the end — the slice then degrades to the whole retained
+   buffer, which is still a valid (if over-wide) trace. *)
+
+type window = { w_strand : strand option; w_tail : event list }
+
+let window () =
+  match current () with
+  | None -> { w_strand = None; w_tail = [] }
+  | Some s -> { w_strand = Some s; w_tail = s.events }
+
+let window_events w =
+  match w.w_strand with
+  | None -> []
+  | Some s ->
+      let rec take acc l =
+        if l == w.w_tail then acc
+        else match l with [] -> acc | e :: rest -> take (e :: acc) rest
+      in
+      take [] s.events
 
 (* Aggregate span durations from the merged B/E stream: a stack per tid
    matches each End with its Begin. *)

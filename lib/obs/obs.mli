@@ -42,6 +42,22 @@ val mark : string -> (string * string) list -> unit
 val markf : string -> (unit -> (string * string) list) -> unit
 (** Like {!mark} but the argument list is only built when enabled. *)
 
+(** {1 Event retention} — bound a long-running process.
+
+    Counter and sample tables are fixed-size aggregates, but the event
+    list grows with every span/mark; a daemon that never disables
+    instrumentation would accumulate without bound. *)
+
+val set_max_events : int option -> unit
+(** Cap each strand's retained events (default: no cap).  A strand
+    reaching twice the cap is truncated back to the newest [cap] events
+    (amortised O(1) per push); [End] events whose [Begin] fell off are
+    dropped too, so the retained stream still validates as properly
+    nested B/E pairs.  Counters and samples stay exact. *)
+
+val dropped_events : unit -> int
+(** Total events discarded by retention truncation since {!enable}. *)
+
 (** {1 Pool integration} *)
 
 type strands
@@ -83,6 +99,19 @@ val samples : unit -> (string * sample_stat) list
 val spans : unit -> (string * span_stat) list
 val marks : unit -> (string * (string * string) list) list
 (** Mark events in recorded order. *)
+
+(** {1 Windows} — request-scoped event slices. *)
+
+type window
+
+val window : unit -> window
+(** Capture the calling strand's current event position. *)
+
+val window_events : window -> event list
+(** The events the capturing strand recorded since {!window} (including
+    slot strands merged by {!join} in between), oldest first.  Returns
+    the whole retained buffer if retention truncation discarded the
+    captured position, and [[]] when recording was off at capture. *)
 
 val pp_stats : Format.formatter -> unit -> unit
 (** The [--stats] summary table: spans, counters, histograms. *)

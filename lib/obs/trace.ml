@@ -186,7 +186,7 @@ let escape b s =
 
 let us ts = ts *. 1.0e6
 
-let to_string () =
+let events_to_string ?(metadata = []) ?(counters = []) evs =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"traceEvents\":[";
   let first = ref true in
@@ -227,7 +227,7 @@ let to_string () =
               Buffer.add_char b '"')
             args;
           Buffer.add_string b "}}"))
-    (Obs.events ());
+    evs;
   (* Counter totals as one "C" sample each, on the root thread at the
      final timestamp, so Perfetto shows them as counter tracks. *)
   List.iter
@@ -235,22 +235,67 @@ let to_string () =
       sep ();
       common ~name ~ph:"C" ~tid:0 ~ts:!last_ts;
       Buffer.add_string b (Printf.sprintf ",\"args\":{\"value\":%d}}" v))
-    (Obs.counters ());
-  Buffer.add_string b "\n]}\n";
+    counters;
+  Buffer.add_string b "\n]";
+  if metadata <> [] then begin
+    Buffer.add_string b ",\"metadata\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        escape b k;
+        Buffer.add_string b "\":\"";
+        escape b v;
+        Buffer.add_char b '"')
+      metadata;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_string b "}\n";
   Buffer.contents b
 
-let write path =
+let to_string () =
+  events_to_string ~counters:(Obs.counters ()) (Obs.events ())
+
+let write_string path s =
   let oc = open_out path in
-  output_string oc (to_string ());
+  output_string oc s;
   close_out oc
+
+let write path = write_string path (to_string ())
+
+let write_events ?metadata ?counters path evs =
+  write_string path (events_to_string ?metadata ?counters evs)
 
 (* --- validator --- *)
 
-type summary = { v_events : int; v_threads : int; v_spans : int; v_marks : int }
+type summary = {
+  v_events : int;
+  v_threads : int;
+  v_spans : int;
+  v_marks : int;
+  v_request_id : string option;
+}
 
 let field name = function
   | Obj kvs -> List.assoc_opt name kvs
   | _ -> None
+
+(* Per-request traces exported by the serve daemon carry a top-level
+   "metadata" object; when present it must identify the request.  Whole-
+   run traces have no metadata object and stay valid unchanged. *)
+let check_metadata (j : json) : (string option, string) result =
+  match j with
+  | Obj _ -> (
+      match field "metadata" j with
+      | None -> Ok None
+      | Some (Obj kvs) -> (
+          match List.assoc_opt "request_id" kvs with
+          | Some (Str s) when s <> "" -> Ok (Some s)
+          | Some (Str _) -> Error "metadata.request_id is empty"
+          | Some _ -> Error "metadata.request_id is not a string"
+          | None -> Error "metadata object lacks \"request_id\"")
+      | Some _ -> Error "\"metadata\" is not an object")
+  | _ -> Ok None
 
 let validate (j : json) : (summary, string) result =
   let events =
@@ -263,9 +308,10 @@ let validate (j : json) : (summary, string) result =
     | Arr evs -> Ok evs (* the spec's bare array format *)
     | _ -> Error "top level is neither an object nor an array"
   in
-  match events with
-  | Error _ as e -> e
-  | Ok evs -> (
+  match (events, check_metadata j) with
+  | (Error _ as e), _ -> e
+  | _, Error e -> Error e
+  | Ok evs, Ok request_id -> (
       (* Per-(pid, tid) state: last ts and the open B stack. *)
       let threads : (int * int, float ref * string list ref) Hashtbl.t =
         Hashtbl.create 8
@@ -356,6 +402,7 @@ let validate (j : json) : (summary, string) result =
                 v_threads = Hashtbl.length threads;
                 v_spans = !spans;
                 v_marks = !marks;
+                v_request_id = request_id;
               })
 
 let validate_string s =

@@ -10,12 +10,40 @@ val to_string : unit -> string
 val write : string -> unit
 (** [write path] saves {!to_string} to [path]. *)
 
-type summary = { v_events : int; v_threads : int; v_spans : int; v_marks : int }
+val events_to_string :
+  ?metadata:(string * string) list ->
+  ?counters:(string * int) list ->
+  Obs.event list ->
+  string
+(** Serialise an explicit event slice (e.g. one request's window) rather
+    than the whole recording.  [metadata] becomes a top-level
+    ["metadata"] object of string values — per-request traces put the
+    request id there (key ["request_id"], checked by the validator).
+    [counters] are appended as "C" samples like {!to_string} does. *)
+
+val write_events :
+  ?metadata:(string * string) list ->
+  ?counters:(string * int) list ->
+  string ->
+  Obs.event list ->
+  unit
+(** [write_events path evs] saves {!events_to_string} to [path]. *)
+
+type summary = {
+  v_events : int;
+  v_threads : int;
+  v_spans : int;
+  v_marks : int;
+  v_request_id : string option;
+      (** [metadata.request_id] when the trace carries one. *)
+}
 
 val validate_string : string -> (summary, string) result
 (** Check a trace: well-formed JSON, [traceEvents] array (or the spec's
     bare-array form), required keys ([name]/[ph]/[ts]/[pid]/[tid]) on
     every event, non-decreasing [ts] per (pid, tid), and matched,
-    properly nested B/E pairs. *)
+    properly nested B/E pairs.  A top-level ["metadata"] object, when
+    present, must carry a non-empty string [request_id] — the shape the
+    serve daemon's per-request exports use. *)
 
 val validate_file : string -> (summary, string) result

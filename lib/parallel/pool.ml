@@ -84,10 +84,20 @@ let effective_size n =
    per-participant share. *)
 let grain_of n total = max 1 (min 8 (total / (4 * n)))
 
-(* Drain a chunk in grain-sized blocks.  The cheap read before each RMW
-   means a drained chunk costs one load to skip — the claim counter does
-   not creep past the bound under contention. *)
+(* Cumulative count of tasks executed out of another participant's
+   chunk, process-wide.  Purely a load gauge for the serving metrics
+   registry — steal totals are scheduling-dependent by nature and are
+   deliberately not part of the deterministic [Obs] counter stream. *)
+let steal_total = Atomic.make 0
+
+let steals () = Atomic.get steal_total
+
+(* Drain a chunk in grain-sized blocks, returning the number of tasks
+   executed here.  The cheap read before each RMW means a drained chunk
+   costs one load to skip — the claim counter does not creep past the
+   bound under contention. *)
 let drain_chunk job (next, stop) =
+  let executed = ref 0 in
   let continue = ref true in
   while !continue do
     if Atomic.get next >= stop then continue := false
@@ -99,20 +109,25 @@ let drain_chunk job (next, stop) =
         for k = i to hi - 1 do
           job.run k
         done;
+        executed := !executed + (hi - i);
         ignore (Atomic.fetch_and_add job.completed (hi - i))
       end
     end
-  done
+  done;
+  !executed
 
 (* Drain the job: own chunk first, then steal from the others in
    round-robin order, backing off (a single atomic load) from any chunk
    already drained instead of spinning a fetch-and-add over it.  [me] is
    the participant index (0 = caller). *)
 let exec_job t job me =
-  drain_chunk job job.chunks.(me mod t.n);
+  ignore (drain_chunk job job.chunks.(me mod t.n));
   for k = 1 to Array.length job.chunks - 1 do
     let (next, stop) as chunk = job.chunks.((me + k) mod t.n) in
-    if Atomic.get next < stop then drain_chunk job chunk
+    if Atomic.get next < stop then begin
+      let stolen = drain_chunk job chunk in
+      if stolen > 0 then ignore (Atomic.fetch_and_add steal_total stolen)
+    end
   done
 
 let rec worker_loop t me my_epoch =

@@ -61,6 +61,12 @@ val warm : ?domains:int -> unit -> unit
 val parked_count : unit -> int
 (** Number of currently parked idle pools (daemon observability). *)
 
+val steals : unit -> int
+(** Cumulative number of tasks executed out of another participant's
+    chunk, process-wide — a load-balance gauge for the serving metrics
+    registry.  Steal totals depend on scheduling and are deliberately
+    not part of the deterministic {!Amg_obs.Obs} counter stream. *)
+
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array t f arr] applies [f] to every element, distributing the
     index range over the participants (each starts on its own contiguous

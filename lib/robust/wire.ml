@@ -8,7 +8,7 @@ module J = Diag.Json
 type param = Pnum of float | Pstr of string
 type opt_mode = Orders | Bb | Local
 type payload_format = Cif | Svg | No_payload
-type op = Build | Ping | Stop
+type op = Build | Ping | Stop | Metrics | Health
 
 type request = {
   id : string option;
@@ -23,6 +23,7 @@ type request = {
   format : payload_format;
   permissive : bool;
   stats : bool;
+  json : bool;
   inject : string option;
 }
 
@@ -41,10 +42,11 @@ let build ?id ?(params = []) ?optimize ?max_evals ?max_time ?jobs ?tenant
     format;
     permissive;
     stats;
+    json = false;
     inject;
   }
 
-let control op ?id () =
+let control op ?id ?(json = false) () =
   {
     id;
     op;
@@ -58,11 +60,14 @@ let control op ?id () =
     format = No_payload;
     permissive = false;
     stats = false;
+    json;
     inject = None;
   }
 
 let ping ?id () = control Ping ?id ()
 let stop ?id () = control Stop ?id ()
+let metrics ?id ?json () = control Metrics ?id ?json ()
+let health ?id () = control Health ?id ()
 
 type server_stats = {
   elapsed_ms : float;
@@ -92,12 +97,19 @@ let response ?id ?rating ?(format = No_payload) ?payload ?(diagnostics = [])
 
 (* --- names ------------------------------------------------------------ *)
 
-let op_to_string = function Build -> "build" | Ping -> "ping" | Stop -> "stop"
+let op_to_string = function
+  | Build -> "build"
+  | Ping -> "ping"
+  | Stop -> "stop"
+  | Metrics -> "metrics"
+  | Health -> "health"
 
 let op_of_string = function
   | "build" -> Some Build
   | "ping" -> Some Ping
   | "stop" -> Some Stop
+  | "metrics" -> Some Metrics
+  | "health" -> Some Health
   | _ -> None
 
 let opt_to_string = function Orders -> "orders" | Bb -> "bb" | Local -> "local"
@@ -121,7 +133,9 @@ let format_of_string = function
 
 (* The format a decoder assumes when the field is absent; the encoder
    omits the field exactly in that case. *)
-let default_format = function Build -> Cif | Ping | Stop -> No_payload
+let default_format = function
+  | Build -> Cif
+  | Ping | Stop | Metrics | Health -> No_payload
 
 (* --- encoding --------------------------------------------------------- *)
 
@@ -152,6 +166,7 @@ let encode_request (r : request) =
          else None);
         (if r.permissive then Some ("permissive", Jbool true) else None);
         (if r.stats then Some ("stats", Jbool true) else None);
+        (if r.json then Some ("json", Jbool true) else None);
         Option.map (fun s -> ("inject", Jstr s)) r.inject;
       ]
   in
@@ -295,6 +310,7 @@ let decode_request line =
       in
       let* permissive = opt_flag "permissive" v in
       let* stats = opt_flag "stats" v in
+      let* json = opt_flag "json" v in
       let* inject = opt_str "inject" v in
       Ok
         {
@@ -310,6 +326,7 @@ let decode_request line =
           format;
           permissive;
           stats;
+          json;
           inject;
         }
   | _ -> Error "request must be a JSON object"

@@ -22,9 +22,14 @@ type opt_mode = Orders | Bb | Local
 type payload_format = Cif | Svg | No_payload
 (** What layout rendering the response should carry. *)
 
-type op = Build | Ping | Stop
+type op = Build | Ping | Stop | Metrics | Health
 (** [Build] generates a module; [Ping] answers immediately (liveness);
-    [Stop] asks the daemon to shut down gracefully. *)
+    [Stop] asks the daemon to shut down gracefully.  [Metrics] and
+    [Health] are scrape ops: the daemon answers them without entering
+    the compute queue — [Metrics] with a registry snapshot (Prometheus
+    text, or JSON when the request sets [json]), [Health] with a small
+    JSON liveness object (uptime, in-flight, queue depth, tenant count,
+    pool size). *)
 
 type request = {
   id : string option;  (** Echoed verbatim in the response. *)
@@ -42,6 +47,9 @@ type request = {
       (** Ask for timing/cache counters in the response.  Responses with
           [stats = false] are byte-deterministic; the stats object is the
           one deliberately nondeterministic field. *)
+  json : bool;
+      (** For [Metrics]: answer with the JSON encoding of the registry
+          snapshot instead of the Prometheus text exposition. *)
   inject : string option;
       (** Fault-injection spec ([site@hit,...]), for drills and tests. *)
 }
@@ -64,6 +72,13 @@ val build :
 
 val ping : ?id:string -> unit -> request
 val stop : ?id:string -> unit -> request
+
+val metrics : ?id:string -> ?json:bool -> unit -> request
+(** Scrape the metrics registry ([json] defaults to [false]:
+    Prometheus text). *)
+
+val health : ?id:string -> unit -> request
+(** Liveness/readiness probe. *)
 
 type server_stats = {
   elapsed_ms : float;  (** Wall time inside the request handler. *)

@@ -167,8 +167,45 @@ let trace_arg =
           "Record the daemon's lifetime as a Chrome trace-event JSON file \
            (written at shutdown; validate with amgen trace-lint).")
 
+let trace_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory for per-request Chrome traces (one FILE per sampled or \
+           slow request, named by request id; created if absent).")
+
+let trace_sample_arg =
+  Arg.(
+    value
+    & opt (int_at_least 0 "--trace-sample") 0
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:
+          "With --trace-dir: export every N-th request's trace (0, the \
+           default, samples none).")
+
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "With --trace-dir: also export the trace of any request that took \
+           at least MS milliseconds.")
+
+let access_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "access-log" ] ~docv:"FILE"
+        ~doc:
+          "Append one JSON line per request (id, tenant, op, status, cache \
+           outcome, latency, queue wait, evals, cache hits/misses).")
+
 let run_serve socket tcp library tech jobs queue_limit max_frame memo_limit
-    tenant_limit no_warm cache_mb stats trace =
+    tenant_limit no_warm cache_mb stats trace trace_dir trace_sample slow_ms
+    access_log =
   Option.iter Amg_core.Prefix_cache.set_default_budget_mb cache_mb;
   let on = stats || trace <> None in
   if on then Obs.enable ();
@@ -194,7 +231,8 @@ let run_serve socket tcp library tech jobs queue_limit max_frame memo_limit
         let cfg =
           Server.config ?tcp ~source ?source_file ?tech ?default_jobs:jobs
             ~queue_limit ~max_frame ~memo_limit ~tenant_limit
-            ~warm_pool:(not no_warm) socket
+            ~warm_pool:(not no_warm) ?trace_dir ~trace_sample ?slow_ms
+            ?access_log socket
         in
         Fmt.pr "amgend: serving on %s%s@." socket
           (match tcp with
@@ -215,7 +253,8 @@ let serve_term =
   Term.(
     const run_serve $ socket_arg $ tcp_arg $ library_arg $ tech_arg $ jobs_arg
     $ queue_limit_arg $ max_frame_arg $ memo_limit_arg $ tenant_limit_arg
-    $ no_warm_arg $ cache_mb_arg $ stats_arg $ trace_arg)
+    $ no_warm_arg $ cache_mb_arg $ stats_arg $ trace_arg $ trace_dir_arg
+    $ trace_sample_arg $ slow_ms_arg $ access_log_arg)
 
 let serve_cmd =
   Cmd.v
@@ -410,6 +449,57 @@ let request_cmd =
       $ params_arg $ optimize_arg $ max_evals_arg $ max_time_arg $ jobs_arg
       $ tenant_arg $ format_arg $ id_arg $ rstats_arg $ permissive_arg
       $ inject_arg $ out_arg)
+
+(* --- metrics / health -------------------------------------------------- *)
+
+(* One scrape request; the payload (Prometheus text or JSON) goes to
+   stdout verbatim, so the commands compose with curl-style tooling. *)
+let run_scrape socket req =
+  let answer =
+    try Client.oneshot socket req
+    with Unix.Unix_error (e, _, _) ->
+      Error (Fmt.str "%s: %s" socket (Unix.error_message e))
+  in
+  match answer with
+  | Error msg ->
+      Fmt.epr "amgen: request failed: %s@." msg;
+      exit_diag
+  | Ok resp ->
+      List.iter (fun d -> Fmt.epr "%a@." Diag.pp d) resp.Wire.diagnostics;
+      (match resp.Wire.payload with
+      | Some p ->
+          print_string p;
+          if String.length p > 0 && p.[String.length p - 1] <> '\n' then
+            print_newline ()
+      | None -> ());
+      resp.Wire.status
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the registry snapshot as JSON instead of the Prometheus text \
+           exposition.")
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Scrape a running daemon's metrics registry (counters, gauges, \
+          latency histograms).  Answered without queueing behind compute.")
+    Term.(
+      const (fun socket json -> run_scrape socket (Wire.metrics ~json ()))
+      $ socket_arg $ json_arg)
+
+let health_cmd =
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Probe a running daemon's liveness: uptime, served count, queue \
+          depth, resident tenants and memo entries, pool size.  Answered \
+          without queueing behind compute.")
+    Term.(const (fun socket -> run_scrape socket (Wire.health ())) $ socket_arg)
 
 (* --- the standalone daemon --------------------------------------------- *)
 

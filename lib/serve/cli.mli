@@ -7,5 +7,12 @@
 val serve_cmd : int Cmdliner.Cmd.t
 val request_cmd : int Cmdliner.Cmd.t
 
+val metrics_cmd : int Cmdliner.Cmd.t
+(** [amgen metrics [--json]]: scrape a running daemon's metrics
+    registry (Prometheus text by default). *)
+
+val health_cmd : int Cmdliner.Cmd.t
+(** [amgen health]: liveness/readiness probe of a running daemon. *)
+
 val daemon_main : unit -> int
 (** Evaluate the daemon command line and return the process exit code. *)

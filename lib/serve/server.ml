@@ -23,7 +23,10 @@ module Policy = Amg_robust.Policy
 module Budget = Amg_robust.Budget
 module Inject = Amg_robust.Inject
 module Wire = Amg_robust.Wire
+module J = Amg_robust.Diag.Json
 module Obs = Amg_obs.Obs
+module Metrics = Amg_obs.Metrics
+module Trace = Amg_obs.Trace
 module Env = Amg_core.Env
 module Optimize = Amg_core.Optimize
 module Prefix_cache = Amg_core.Prefix_cache
@@ -43,11 +46,16 @@ type config = {
   memo_limit : int;
   tenant_limit : int;
   warm_pool : bool;
+  trace_dir : string option;
+  trace_sample : int;
+  slow_ms : float option;
+  access_log : string option;
 }
 
 let config ?tcp ?(source = Amg_lang.Stdlib.all) ?source_file ?tech
     ?default_jobs ?(queue_limit = 64) ?(max_frame = 1 lsl 20)
-    ?(memo_limit = 128) ?(tenant_limit = 64) ?(warm_pool = false) socket_path =
+    ?(memo_limit = 128) ?(tenant_limit = 64) ?(warm_pool = false) ?trace_dir
+    ?(trace_sample = 0) ?slow_ms ?access_log socket_path =
   {
     socket_path;
     tcp;
@@ -60,6 +68,10 @@ let config ?tcp ?(source = Amg_lang.Stdlib.all) ?source_file ?tech
     memo_limit;
     tenant_limit;
     warm_pool;
+    trace_dir;
+    trace_sample;
+    slow_ms;
+    access_log;
   }
 
 (* --- FIFO admission queue --------------------------------------------- *)
@@ -110,6 +122,16 @@ let sched_release s =
   Condition.broadcast s.s_turn;
   Mutex.unlock s.s_lock
 
+(* (admitted-but-unfinished, waiting-behind-the-running-one).  Safe to
+   call from any thread: the lock is only ever held for pointer-sized
+   updates, never across compute ([sched_admit] waits on the condition
+   variable with the lock released). *)
+let sched_counts s =
+  Mutex.lock s.s_lock;
+  let inflight = s.s_inflight in
+  Mutex.unlock s.s_lock;
+  (inflight, max 0 (inflight - 1))
+
 (* --- recorded-build memo ---------------------------------------------- *)
 
 type memo_entry = {
@@ -151,12 +173,28 @@ type t = {
   stopping : bool Atomic.t;
   stopped : bool Atomic.t;
   served_count : int Atomic.t;
+  (* --- telemetry ---
+     The scrape ops answer from any connection thread, concurrently with
+     serialized compute, so everything they read is either atomic or
+     behind a short-lived lock.  [tenant_count]/[memo_count]/[best_count]
+     mirror the sizes of the serialized-section hash tables (scanning the
+     tables themselves from another thread would race with resizes). *)
+  started_at : float;
+  req_seq : int Atomic.t;
+  tenant_count : int Atomic.t;
+  memo_count : int Atomic.t;
+  best_count : int Atomic.t;
+  access : (Mutex.t * out_channel) option;
+  obs_owned : bool;  (* this server enabled Obs (for traces/access log) *)
 }
 
 let served t = Atomic.get t.served_count
 let socket_path t = t.cfg.socket_path
 let request_stop t = Atomic.set t.stopping true
 let stop_requested t = Atomic.get t.stopping
+
+let pool_size t =
+  match t.cfg.default_jobs with Some j -> j | None -> Pool.default_domains ()
 
 (* --- line I/O --------------------------------------------------------- *)
 
@@ -299,18 +337,21 @@ let tenant_env t = function
             match victim with
             | Some (k, _) ->
                 Hashtbl.remove t.tenants k;
-                Obs.count "serve.tenant.evictions" 1
+                Obs.count "serve.tenant.evictions" 1;
+                Metrics.incr (Metrics.counter "serve.tenant.evictions")
             | None -> ()
           end;
           let env = Env.create (Env.tech t.env_default) in
           Hashtbl.add t.tenants name (env, ref t.tenant_tick);
+          Atomic.set t.tenant_count (Hashtbl.length t.tenants);
           env)
 
 (* Canonical build of (entity, params) under [env], memoized.  Returns
-   the layout, the replay record and the diagnostics the build reported.
-   Only strict, fault-free requests may use the memo: a permissive or
-   fault-injected build can differ from the canonical one.  Failed builds
-   are not memoized (the diagnostic is rebuilt per request). *)
+   the layout, the replay record, the diagnostics the build reported and
+   whether the memo served it.  Only strict, fault-free requests may use
+   the memo: a permissive or fault-injected build can differ from the
+   canonical one.  Failed builds are not memoized (the diagnostic is
+   rebuilt per request). *)
 let canonical_build t env ~memoizable entity params =
   let sg = signature env entity params in
   match if memoizable then Hashtbl.find_opt t.memo sg else None with
@@ -318,12 +359,14 @@ let canonical_build t env ~memoizable entity params =
       t.memo_tick <- t.memo_tick + 1;
       e.m_tick <- t.memo_tick;
       Obs.count "serve.memo.hits" 1;
+      Metrics.incr (Metrics.counter "serve.memo.hits");
       (* Replay the canonical build's diagnostics so a memo-served
          response carries the same report as the cold one. *)
       List.iter Policy.report e.m_diags;
-      (e.m_obj, e.m_recorded)
+      (e.m_obj, e.m_recorded, true)
   | None ->
       Obs.count "serve.memo.misses" 1;
+      Metrics.incr (Metrics.counter "serve.memo.misses");
       let args =
         List.map
           (fun (k, p) ->
@@ -352,8 +395,15 @@ let canonical_build t env ~memoizable entity params =
           in
           match victim with
           | Some (k, _) ->
+              (match Hashtbl.find_opt t.memo k with
+              | Some victim_e ->
+                  ignore
+                    (Atomic.fetch_and_add t.best_count
+                       (-List.length victim_e.m_best))
+              | None -> ());
               Hashtbl.remove t.memo k;
-              Obs.count "serve.memo.evictions" 1
+              Obs.count "serve.memo.evictions" 1;
+              Metrics.incr (Metrics.counter "serve.memo.evictions")
           | None -> ()
         end;
         Hashtbl.add t.memo sg
@@ -363,9 +413,10 @@ let canonical_build t env ~memoizable entity params =
             m_diags = build_diags;
             m_best = [];
             m_tick = t.memo_tick;
-          }
+          };
+        Atomic.set t.memo_count (Hashtbl.length t.memo)
       end;
-      (obj, recorded)
+      (obj, recorded, false)
 
 (* The optimizer replays compacts only; ports are re-derived on the
    winning layout the same way PORT() derives them — as the hull of the
@@ -394,10 +445,42 @@ let transplant_ports ~from obj =
                   p.name p.net p.layer)))
     (Lobj.ports from)
 
+(* What a request did, for the latency histograms and the access log.
+   [ro_outcome] is the cache-outcome label: memo-hit (either memo layer
+   answered), search-warm (the search resumed from prefix-cache entries),
+   cold (neither helped), degraded, error or — set by the caller, not
+   here — overloaded. *)
+type req_obs = {
+  ro_outcome : string;
+  ro_evals : int;
+  ro_hits : int;
+  ro_misses : int;
+}
+
+let quiet_obs = { ro_outcome = "none"; ro_evals = 0; ro_hits = 0; ro_misses = 0 }
+
+(* Search-effort counters the optimizer records per mode; their delta
+   over a request is the access log's [evals] field.  Zero when Obs is
+   off (the daemon arms it whenever traces or the access log are on). *)
+let eval_counter_names =
+  [
+    "optimize.orders_ok";
+    "optimize.orders_rejected";
+    "optimize.bb_nodes";
+    "optimize.local_evals";
+  ]
+
+let evals_now () =
+  List.fold_left (fun acc n -> acc + Obs.counter n) 0 eval_counter_names
+
 (* Run one build request.  Called from the serialized section only. *)
 let handle_build t (req : Wire.request) ~queue_depth =
   let started = Unix.gettimeofday () in
   let cache_before = Prefix_cache.stats (Prefix_cache.default ()) in
+  let evals_before = evals_now () in
+  (* True when the response was served whole from a memo layer: a best
+     result hit, or a canonical memo hit with no search to run. *)
+  let served_from_memo = ref false in
   Policy.reset ();
   Policy.set_mode (if req.permissive then Policy.Permissive else Policy.Strict);
   let armed =
@@ -415,8 +498,9 @@ let handle_build t (req : Wire.request) ~queue_depth =
   match armed with
   | Error msg ->
       Policy.reset ();
-      reject ?id:req.id ~code:"serve.bad-inject"
-        (Printf.sprintf "bad inject spec: %s" msg)
+      ( reject ?id:req.id ~code:"serve.bad-inject"
+          (Printf.sprintf "bad inject spec: %s" msg),
+        { quiet_obs with ro_outcome = "error" } )
   | Ok () ->
       let budget =
         match (req.max_time, req.max_evals) with
@@ -444,6 +528,7 @@ let handle_build t (req : Wire.request) ~queue_depth =
                     t.memo_tick <- t.memo_tick + 1;
                     e.m_tick <- t.memo_tick;
                     Obs.count "serve.memo.best-hits" 1;
+                    Metrics.incr (Metrics.counter "serve.memo.best_hits");
                     hit
                 | None -> None)
             | None -> None)
@@ -452,15 +537,17 @@ let handle_build t (req : Wire.request) ~queue_depth =
       let result, reported, degraded =
         match best_hit with
         | Some (obj, diags) ->
+            served_from_memo := true;
             Inject.disarm ();
             Policy.reset ();
             (Ok obj, diags, false)
         | None ->
       let result =
         Diag.guard ~convert:convert_exn (fun () ->
-            let obj, recorded =
+            let obj, recorded, from_memo =
               canonical_build t env ~memoizable req.entity req.params
             in
+            if from_memo && req.optimize = None then served_from_memo := true;
             match req.optimize with
             | None -> obj
             | Some opt -> (
@@ -546,7 +633,8 @@ let handle_build t (req : Wire.request) ~queue_depth =
                      reported) -> (
           match Hashtbl.find_opt t.memo sg with
           | Some e when not (List.mem_assoc opt e.m_best) ->
-              e.m_best <- (opt, (obj, reported)) :: e.m_best
+              e.m_best <- (opt, (obj, reported)) :: e.m_best;
+              ignore (Atomic.fetch_and_add t.best_count 1)
           | _ -> ())
       | _ -> ());
       (result, reported, degraded)
@@ -577,22 +665,195 @@ let handle_build t (req : Wire.request) ~queue_depth =
             Wire.response ?id:req.id ~rating ~format:req.format ?payload
               ~diagnostics:reported status
       in
+      let cache_after = Prefix_cache.stats (Prefix_cache.default ()) in
+      let ro_hits =
+        cache_after.Prefix_cache.hits - cache_before.Prefix_cache.hits
+      in
+      let ro_misses =
+        cache_after.Prefix_cache.misses - cache_before.Prefix_cache.misses
+      in
       let stats =
         if req.stats then
-          let cache_after = Prefix_cache.stats (Prefix_cache.default ()) in
           Some
             {
               Wire.elapsed_ms = (Unix.gettimeofday () -. started) *. 1000.;
               queue_depth;
-              cache_hits =
-                cache_after.Prefix_cache.hits - cache_before.Prefix_cache.hits;
-              cache_misses =
-                cache_after.Prefix_cache.misses
-                - cache_before.Prefix_cache.misses;
+              cache_hits = ro_hits;
+              cache_misses = ro_misses;
             }
         else None
       in
-      { resp with Wire.stats = stats }
+      let outcome =
+        if resp.Wire.status = Wire.status_diag then "error"
+        else if resp.Wire.status = Wire.status_degraded then "degraded"
+        else if !served_from_memo then "memo-hit"
+        else if ro_hits > 0 then "search-warm"
+        else "cold"
+      in
+      ( { resp with Wire.stats = stats },
+        {
+          ro_outcome = outcome;
+          ro_evals = evals_now () - evals_before;
+          ro_hits;
+          ro_misses;
+        } )
+
+(* --- telemetry: scrape payloads, access log, request traces ----------- *)
+
+let op_name = function
+  | Wire.Build -> "build"
+  | Wire.Ping -> "ping"
+  | Wire.Stop -> "stop"
+  | Wire.Metrics -> "metrics"
+  | Wire.Health -> "health"
+
+(* JSON form of the registry snapshot, on the Wire discipline: fixed
+   field order, optional fields omitted, shortest round-trip floats
+   ({!Diag.Json}).  Equal snapshots encode to equal bytes. *)
+let metrics_json () =
+  let value_fields = function
+    | Metrics.Counter n ->
+        [ ("type", J.Jstr "counter"); ("value", J.Jnum (float_of_int n)) ]
+    | Metrics.Gauge v -> [ ("type", J.Jstr "gauge"); ("value", J.Jnum v) ]
+    | Metrics.Histogram h ->
+        let nums conv arr =
+          J.Jarr (Array.to_list (Array.map (fun x -> J.Jnum (conv x)) arr))
+        in
+        [
+          ("type", J.Jstr "histogram");
+          ("count", J.Jnum (float_of_int h.Metrics.h_count));
+          ("sum", J.Jnum h.Metrics.h_sum);
+          ("p50", J.Jnum (Metrics.quantile h 0.5));
+          ("p90", J.Jnum (Metrics.quantile h 0.9));
+          ("p99", J.Jnum (Metrics.quantile h 0.99));
+          ("bounds", nums Fun.id h.Metrics.h_bounds);
+          (* one count per bound plus the trailing overflow slot *)
+          ("counts", nums float_of_int h.Metrics.h_counts);
+        ]
+  in
+  let sample (s : Metrics.sample) =
+    J.Jobj
+      (("name", J.Jstr s.Metrics.m_name)
+       ::
+       (if s.Metrics.m_labels = [] then []
+        else
+          [
+            ( "labels",
+              J.Jobj
+                (List.map (fun (k, v) -> (k, J.Jstr v)) s.Metrics.m_labels) );
+          ])
+      @ value_fields s.Metrics.m_value)
+  in
+  J.to_string (J.Jobj [ ("metrics", J.Jarr (List.map sample (Metrics.snapshot ()))) ])
+
+let health_payload t =
+  let inflight, depth = sched_counts t.sched in
+  J.to_string
+    (J.Jobj
+       [
+         ( "status",
+           J.Jstr (if Atomic.get t.stopping then "stopping" else "ok") );
+         ("uptime_s", J.Jnum (Unix.gettimeofday () -. t.started_at));
+         ("served", J.Jnum (float_of_int (Atomic.get t.served_count)));
+         ("in_flight", J.Jnum (float_of_int inflight));
+         ("queue_depth", J.Jnum (float_of_int depth));
+         ("tenants", J.Jnum (float_of_int (Atomic.get t.tenant_count)));
+         ("memo_entries", J.Jnum (float_of_int (Atomic.get t.memo_count)));
+         ("pool_size", J.Jnum (float_of_int (pool_size t)));
+         ("pool_parked", J.Jnum (float_of_int (Pool.parked_count ())));
+       ])
+
+(* One ndjson line per finished request.  High-cardinality detail
+   (request id, tenant, entity) lives here, never in metric labels. *)
+let access_line t ~rid ~(req : Wire.request) ~status ~lat_ms ~queue_ms
+    ~(ro : req_obs) =
+  match t.access with
+  | None -> ()
+  | Some (lock, oc) ->
+      let line =
+        J.to_string
+          (J.Jobj
+             (List.filter_map Fun.id
+                [
+                  Some ("ts", J.Jnum (Unix.gettimeofday ()));
+                  Some ("request_id", J.Jstr rid);
+                  Option.map (fun s -> ("id", J.Jstr s)) req.id;
+                  Some
+                    ( "tenant",
+                      match req.tenant with
+                      | Some s -> J.Jstr s
+                      | None -> J.Jnull );
+                  Some ("op", J.Jstr (op_name req.op));
+                  (if req.entity <> "" then
+                     Some ("entity", J.Jstr req.entity)
+                   else None);
+                  Some ("status", J.Jnum (float_of_int status));
+                  Some ("outcome", J.Jstr ro.ro_outcome);
+                  Some ("latency_ms", J.Jnum lat_ms);
+                  Some ("queue_ms", J.Jnum queue_ms);
+                  Some ("evals", J.Jnum (float_of_int ro.ro_evals));
+                  Some ("cache_hits", J.Jnum (float_of_int ro.ro_hits));
+                  Some ("cache_misses", J.Jnum (float_of_int ro.ro_misses));
+                ]))
+      in
+      Mutex.lock lock;
+      (try
+         output_string oc line;
+         output_char oc '\n';
+         flush oc
+       with Sys_error _ -> ());
+      Mutex.unlock lock
+
+(* Export one request's Obs window as a Chrome trace when the request is
+   sampled (every [trace_sample]-th) or slower than [slow_ms].  Called
+   inside the serialized section, before the next request can touch the
+   strand. *)
+let export_request_trace t ~rid ~rid_n ~(req : Wire.request) ~lat_ms window =
+  match t.cfg.trace_dir with
+  | None -> ()
+  | Some dir ->
+      let sampled =
+        t.cfg.trace_sample > 0 && rid_n mod t.cfg.trace_sample = 0
+      in
+      let slow =
+        match t.cfg.slow_ms with Some ms -> lat_ms >= ms | None -> false
+      in
+      if sampled || slow then begin
+        match Obs.window_events window with
+        | [] -> ()
+        | evs ->
+            let metadata =
+              List.filter_map Fun.id
+                [
+                  Some ("request_id", rid);
+                  Some ("op", op_name req.op);
+                  (if req.entity <> "" then Some ("entity", req.entity)
+                   else None);
+                  Option.map (fun s -> ("tenant", s)) req.tenant;
+                  (if slow then Some ("slow", "true") else None);
+                ]
+            in
+            let path = Filename.concat dir (rid ^ ".json") in
+            (try Trace.write_events ~metadata path evs with Sys_error _ -> ())
+      end
+
+(* Callback-backed gauges over the daemon's live state.  Callbacks only
+   read atomics or short-lock counters, so a scrape never waits on
+   compute. *)
+let register_metrics t =
+  let g name f = Metrics.gauge_fn name f in
+  g "serve.uptime_seconds" (fun () -> Unix.gettimeofday () -. t.started_at);
+  g "serve.in_flight" (fun () -> float_of_int (fst (sched_counts t.sched)));
+  g "serve.queue_depth" (fun () -> float_of_int (snd (sched_counts t.sched)));
+  g "serve.tenants" (fun () -> float_of_int (Atomic.get t.tenant_count));
+  g "serve.memo.entries" (fun () -> float_of_int (Atomic.get t.memo_count));
+  g "serve.memo.best_entries" (fun () ->
+      float_of_int (Atomic.get t.best_count));
+  g "serve.pool.size" (fun () -> float_of_int (pool_size t));
+  g "serve.pool.parked" (fun () -> float_of_int (Pool.parked_count ()));
+  Metrics.counter_fn "serve.pool.steals" Pool.steals;
+  Metrics.counter_fn "serve.obs_events_dropped" Obs.dropped_events;
+  Prefix_cache.register_metrics ()
 
 (* --- connection loop -------------------------------------------------- *)
 
@@ -603,33 +864,73 @@ let set_busy t conn busy =
   Mutex.unlock t.conns_lock;
   stopping
 
+(* Every request gets a stable id from a process-wide sequence; the
+   scrape ops (metrics/health) answer directly from the connection
+   thread, never entering the compute queue, so they stay responsive
+   while a build runs. *)
 let handle_request t conn (req : Wire.request) =
-  let resp =
-    match req.op with
-    | Wire.Ping -> Wire.response ?id:req.id Wire.status_ok
-    | Wire.Stop ->
-        request_stop t;
-        Wire.response ?id:req.id Wire.status_ok
-    | Wire.Build -> (
-        if Atomic.get t.stopping then
-          reject ?id:req.id ~code:"serve.stopping" "daemon is shutting down"
-        else
-          match sched_admit t.sched with
-          | None ->
-              Obs.count "serve.overloaded" 1;
-              reject ?id:req.id ~code:"serve.overloaded"
-                (Printf.sprintf "admission queue full (limit %d)"
-                   t.sched.s_limit)
-          | Some queue_depth ->
-              Fun.protect
-                ~finally:(fun () -> sched_release t.sched)
-                (fun () ->
+  let rid_n = Atomic.fetch_and_add t.req_seq 1 in
+  let rid = Printf.sprintf "r%06d" rid_n in
+  let arrived = Unix.gettimeofday () in
+  let finish ?(queue_ms = 0.) ?(ro = quiet_obs) resp =
+    let lat_ms = (Unix.gettimeofday () -. arrived) *. 1000. in
+    let labels =
+      [
+        ("cache", ro.ro_outcome);
+        ("op", op_name req.op);
+        ("status", string_of_int resp.Wire.status);
+      ]
+    in
+    Metrics.incr (Metrics.counter ~labels "serve.requests");
+    Metrics.observe (Metrics.histogram ~labels "serve.latency")
+      (lat_ms /. 1000.);
+    access_line t ~rid ~req ~status:resp.Wire.status ~lat_ms ~queue_ms ~ro;
+    Atomic.incr t.served_count;
+    send_response conn resp
+  in
+  match req.op with
+  | Wire.Ping -> finish (Wire.response ?id:req.id Wire.status_ok)
+  | Wire.Stop ->
+      request_stop t;
+      finish (Wire.response ?id:req.id Wire.status_ok)
+  | Wire.Metrics ->
+      let payload =
+        if req.json then metrics_json () else Metrics.to_prometheus ()
+      in
+      finish (Wire.response ?id:req.id ~payload Wire.status_ok)
+  | Wire.Health ->
+      finish (Wire.response ?id:req.id ~payload:(health_payload t) Wire.status_ok)
+  | Wire.Build -> (
+      if Atomic.get t.stopping then
+        finish
+          (reject ?id:req.id ~code:"serve.stopping" "daemon is shutting down")
+      else
+        match sched_admit t.sched with
+        | None ->
+            finish
+              ~ro:{ quiet_obs with ro_outcome = "overloaded" }
+              (reject ?id:req.id ~code:"serve.overloaded"
+                 (Printf.sprintf "admission queue full (limit %d)"
+                    t.sched.s_limit))
+        | Some queue_depth ->
+            let queue_ms = (Unix.gettimeofday () -. arrived) *. 1000. in
+            Fun.protect
+              ~finally:(fun () -> sched_release t.sched)
+              (fun () ->
+                (* The window is taken before the request span opens so
+                   the span's End lands inside it; every connection
+                   thread shares domain 0's root strand, and only the
+                   serialized request can be recording, so the window is
+                   exactly this request's slice. *)
+                let window = Obs.window () in
+                let resp, ro =
                   Obs.span "serve.request" @@ fun () ->
                   Obs.sample "serve.queue_depth" (float_of_int queue_depth);
-                  handle_build t req ~queue_depth))
-  in
-  Atomic.incr t.served_count;
-  send_response conn resp
+                  handle_build t req ~queue_depth
+                in
+                let lat_ms = (Unix.gettimeofday () -. arrived) *. 1000. in
+                export_request_trace t ~rid ~rid_n ~req ~lat_ms window;
+                finish ~queue_ms ~ro resp))
 
 let connection_loop t conn =
   let r = reader conn.c_fd t.cfg.max_frame in
@@ -732,6 +1033,26 @@ let start cfg =
     match cfg.tech with None -> Env.bicmos () | Some tech -> Env.create tech
   in
   if cfg.warm_pool then Pool.warm ?domains:cfg.default_jobs ();
+  (* Per-request traces and the access log's evals field read the Obs
+     stream; arm it if the caller has not, and bound event retention so
+     a long-running daemon cannot accumulate without limit (counters and
+     samples stay exact — only span/mark events are capped). *)
+  let obs_owned =
+    (cfg.trace_dir <> None || cfg.access_log <> None) && not (Obs.enabled ())
+  in
+  if obs_owned then Obs.enable ();
+  Obs.set_max_events (Some 65536);
+  (match cfg.trace_dir with
+  | None -> ()
+  | Some dir -> (
+      try Unix.mkdir dir 0o755 with
+      | Unix.Unix_error (EEXIST, _, _) -> ()));
+  let access =
+    match cfg.access_log with
+    | None -> None
+    | Some path ->
+        Some (Mutex.create (), open_out_gen [ Open_append; Open_creat ] 0o644 path)
+  in
   let unix_fd = listen_unix cfg.socket_path in
   let tcp_fd =
     match cfg.tcp with
@@ -767,8 +1088,16 @@ let start cfg =
       stopping = Atomic.make false;
       stopped = Atomic.make false;
       served_count = Atomic.make 0;
+      started_at = Unix.gettimeofday ();
+      req_seq = Atomic.make 0;
+      tenant_count = Atomic.make 0;
+      memo_count = Atomic.make 0;
+      best_count = Atomic.make 0;
+      access;
+      obs_owned;
     }
   in
+  register_metrics t;
   t.acceptors <- List.map (fun fd -> Thread.create (accept_loop t) fd) listeners;
   t
 
@@ -801,7 +1130,12 @@ let stop t =
     List.iter
       (fun c -> match c.c_thread with Some th -> Thread.join th | None -> ())
       conns;
-    (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ())
+    (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+    (match t.access with
+    | Some (_, oc) -> ( try close_out oc with Sys_error _ -> ())
+    | None -> ());
+    Obs.set_max_events None;
+    if t.obs_owned then Obs.disable ()
   end
 
 let wait t =

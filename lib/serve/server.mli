@@ -24,7 +24,21 @@
 
     {b Shutdown.}  A [stop] request or {!request_stop} (wired to SIGTERM
     by {!run}) drains in-flight requests, wakes idle connections, rejects
-    new connects, and leaves the process at exit code 0. *)
+    new connects, and leaves the process at exit code 0.
+
+    {b Telemetry.}  Every request updates the {!Amg_obs.Metrics}
+    registry: a [serve.requests] counter and a [serve.latency] histogram,
+    both labelled by op, response status and cache outcome
+    ([memo-hit]/[search-warm]/[cold]/[degraded]/[error]/[overloaded]),
+    plus callback gauges over the queue, the memo layers, the tenant
+    table, the domain pool and the prefix cache.  The [metrics] and
+    [health] wire ops are answered straight from the connection thread —
+    never queued behind compute — so a scrape stays fast under load.
+    Optional extras: an ndjson access log ([access_log]), and per-request
+    Chrome traces for sampled or slow requests ([trace_dir] /
+    [trace_sample] / [slow_ms]); both arm {!Amg_obs.Obs} if the caller
+    has not, with event retention capped so a long-running daemon stays
+    bounded. *)
 
 type config = {
   socket_path : string;  (** Unix-domain socket path; created at start. *)
@@ -38,6 +52,14 @@ type config = {
   memo_limit : int;  (** Recorded-build signatures kept (LRU). *)
   tenant_limit : int;  (** Tenant environments kept resident (LRU). *)
   warm_pool : bool;  (** Pre-spawn the domain pool at start. *)
+  trace_dir : string option;
+      (** Directory for per-request Chrome traces (created if absent). *)
+  trace_sample : int;
+      (** Export every [N]-th request's trace; [0] disables sampling. *)
+  slow_ms : float option;
+      (** Also export any request at least this slow (needs
+          [trace_dir]). *)
+  access_log : string option;  (** ndjson access log path (appended). *)
 }
 
 val config :
@@ -51,12 +73,16 @@ val config :
   ?memo_limit:int ->
   ?tenant_limit:int ->
   ?warm_pool:bool ->
+  ?trace_dir:string ->
+  ?trace_sample:int ->
+  ?slow_ms:float ->
+  ?access_log:string ->
   string ->
   config
 (** [config socket_path] with defaults: no TCP, the built-in
     {!Amg_lang.Stdlib.all} module library, built-in technology, queue
     limit 64, 1 MiB frames, 128 memo signatures, 64 resident tenant
-    environments, no pool warm-up. *)
+    environments, no pool warm-up, no traces, no access log. *)
 
 type t
 

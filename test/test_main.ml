@@ -18,6 +18,7 @@ let () =
       ("prefix-cache", Test_prefix_cache.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
+      ("metrics", Test_metrics.suite);
       ("lang", Test_lang.suite);
       ("route", Test_route.suite);
       ("modules", Test_modules.suite);

@@ -112,6 +112,52 @@ let test_fork_join_slot_order () =
     (signature ());
   check_int "counters folded" 6 (Obs.counter "items")
 
+(* --- event retention and request windows --- *)
+
+(* A serving process caps per-strand event retention: the event list
+   stays bounded, End events whose Begin fell off are dropped so the
+   stream still validates, and the aggregate tables stay exact. *)
+let test_retention_cap () =
+  finally_reset @@ fun () ->
+  Obs.set_max_events (Some 8);
+  Fun.protect ~finally:(fun () -> Obs.set_max_events None) @@ fun () ->
+  Obs.enable ();
+  for i = 1 to 100 do
+    Obs.span "tick" (fun () -> Obs.count "k" i)
+  done;
+  let evs = Obs.events () in
+  check_bool "retained events bounded near the cap" true
+    (List.length evs > 0 && List.length evs <= 16);
+  check_bool "truncation was counted" true (Obs.dropped_events () > 0);
+  check_int "counters stay exact through truncation" 5050 (Obs.counter "k");
+  Obs.disable ();
+  match Trace.validate_string (Trace.to_string ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "truncated stream fails validation: %s" e
+
+let window_names w =
+  List.map
+    (function
+      | Obs.Begin { name; _ } -> "B " ^ name
+      | Obs.End { name; _ } -> "E " ^ name
+      | Obs.Mark { name; _ } -> "M " ^ name)
+    (Obs.window_events w)
+
+let test_window_slices () =
+  finally_reset @@ fun () ->
+  (* capture while disabled: the window stays empty even after enabling *)
+  let off = Obs.window () in
+  Obs.enable ();
+  Obs.span "before" (fun () -> ());
+  let w = Obs.window () in
+  Obs.span "during" (fun () -> Obs.mark "m" []);
+  check_str_list "window sees only events after capture"
+    [ "B during"; "M m"; "E during" ]
+    (window_names w);
+  check_bool "disabled-capture window is empty" true (window_names off = []);
+  check_int "the full stream keeps everything" 5
+    (List.length (Obs.events ()))
+
 (* --- determinism across domain counts --- *)
 
 let pool_run d =
@@ -268,6 +314,50 @@ let test_trace_validator_rejects () =
   | Ok s -> check_int "bare array spans" 1 s.Trace.v_spans
   | Error e -> Alcotest.failf "bare array rejected: %s" e
 
+(* Per-request exports: a window slice serialised with request-id
+   metadata must satisfy the validator, and the metadata discipline is
+   enforced — a metadata object without a usable request_id, or spans
+   that overlap, are rejected even when everything else is well formed. *)
+let test_trace_metadata () =
+  finally_reset @@ fun () ->
+  Obs.enable ();
+  let w = Obs.window () in
+  Obs.span "req" (fun () -> Obs.mark "step" []);
+  let evs = Obs.window_events w in
+  Obs.disable ();
+  let good =
+    Trace.events_to_string
+      ~metadata:[ ("request_id", "r000042"); ("op", "build") ]
+      ~counters:[ ("k", 3) ]
+      evs
+  in
+  (match Trace.validate_string good with
+  | Ok s ->
+      Alcotest.(check (option string))
+        "request id surfaced by the validator" (Some "r000042")
+        s.Trace.v_request_id;
+      check_int "one span" 1 s.Trace.v_spans
+  | Error e -> Alcotest.failf "per-request trace rejected: %s" e);
+  let bad =
+    [
+      ( "metadata without request_id",
+        Trace.events_to_string ~metadata:[ ("op", "build") ] evs );
+      ( "empty request_id",
+        Trace.events_to_string ~metadata:[ ("request_id", "") ] evs );
+      ( "non-string request_id",
+        "{\"traceEvents\":[],\"metadata\":{\"request_id\":7}}" );
+      ( "overlapping spans",
+        "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"B\",\"ts\":1,\"pid\":0,\"tid\":0},{\"name\":\"b\",\"ph\":\"B\",\"ts\":2,\"pid\":0,\"tid\":0},{\"name\":\"a\",\"ph\":\"E\",\"ts\":3,\"pid\":0,\"tid\":0},{\"name\":\"b\",\"ph\":\"E\",\"ts\":4,\"pid\":0,\"tid\":0}],\"metadata\":{\"request_id\":\"r1\"}}"
+      );
+    ]
+  in
+  List.iter
+    (fun (label, s) ->
+      match Trace.validate_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "validator accepted %s" label)
+    bad
+
 let suite =
   [
     Alcotest.test_case "span nesting and counters" `Quick test_span_nesting;
@@ -285,4 +375,10 @@ let suite =
     Alcotest.test_case "trace export validates" `Quick test_trace_roundtrip;
     Alcotest.test_case "trace validator rejects malformed input" `Quick
       test_trace_validator_rejects;
+    Alcotest.test_case "event retention stays bounded and exact" `Quick
+      test_retention_cap;
+    Alcotest.test_case "windows slice the stream per request" `Quick
+      test_window_slices;
+    Alcotest.test_case "per-request trace metadata validates" `Quick
+      test_trace_metadata;
   ]

@@ -67,7 +67,16 @@ let gen_request =
   let gparam =
     oneof [ map (fun f -> Wire.Pnum f) gen_num; map (fun s -> Wire.Pstr s) gen_text ]
   in
-  let* op = frequencyl [ (6, Wire.Build); (1, Wire.Ping); (1, Wire.Stop) ] in
+  let* op =
+    frequencyl
+      [
+        (6, Wire.Build);
+        (1, Wire.Ping);
+        (1, Wire.Stop);
+        (1, Wire.Metrics);
+        (1, Wire.Health);
+      ]
+  in
   let* id = option gen_text in
   let* entity = gen_name in
   let* params = list_size (int_range 0 4) (pair gen_name gparam) in
@@ -79,6 +88,7 @@ let gen_request =
   let* format = oneofl [ Wire.Cif; Wire.Svg; Wire.No_payload ] in
   let* permissive = bool in
   let* stats = bool in
+  let* json = bool in
   let* inject = option gen_text in
   pure
     {
@@ -94,6 +104,7 @@ let gen_request =
       format;
       permissive;
       stats;
+      json;
       inject;
     }
 
@@ -487,6 +498,200 @@ let test_graceful_shutdown () =
       fail "connect after stop should fail"
   | exception Unix.Unix_error _ -> ()
 
+(* --- telemetry: scrape ops, access log, per-request traces ------------- *)
+
+module Json = Diag.Json
+module Metrics = Amg_obs.Metrics
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* metrics and health answer over the wire with scrapeable payloads:
+   health is a small JSON object, metrics comes as Prometheus text or as
+   the JSON form behind `amgen metrics --json` and the bench cross-check. *)
+let test_scrape_ops () =
+  with_server @@ fun _t sock ->
+  ignore (get sock (pack ~format:Wire.Cif ()));
+  let payload r =
+    match r.Wire.payload with Some p -> p | None -> fail "scrape: no payload"
+  in
+  let h = get sock (Wire.health ()) in
+  check int "health: status ok" Wire.status_ok h.Wire.status;
+  (match Json.of_string (payload h) with
+  | Ok j ->
+      check (option string) "health: status field" (Some "ok")
+        (Option.bind (Json.member "status" j) Json.str);
+      List.iter
+        (fun k ->
+          check bool (Printf.sprintf "health: %s is a number" k) true
+            (Option.bind (Json.member k j) Json.num <> None))
+        [
+          "uptime_s";
+          "served";
+          "in_flight";
+          "queue_depth";
+          "tenants";
+          "memo_entries";
+          "pool_size";
+        ]
+  | Error e -> failf "health payload: %s" e);
+  let m = get sock (Wire.metrics ()) in
+  check int "metrics: status ok" Wire.status_ok m.Wire.status;
+  let text = payload m in
+  List.iter
+    (fun needle ->
+      check bool (Printf.sprintf "exposition has %S" needle) true
+        (contains_sub text needle))
+    [
+      "# TYPE serve_requests_total counter";
+      "op=\"build\"";
+      "serve_latency_bucket{";
+      "serve_uptime_seconds";
+    ];
+  let mj = get sock (Wire.metrics ~json:true ()) in
+  match Json.of_string (payload mj) with
+  | Ok j -> (
+      match Json.member "metrics" j with
+      | Some (Json.Jarr samples) ->
+          let has name =
+            List.exists
+              (fun s -> Option.bind (Json.member "name" s) Json.str = Some name)
+              samples
+          in
+          check bool "json metrics: serve.requests present" true
+            (has "serve.requests");
+          check bool "json metrics: serve.latency present" true
+            (has "serve.latency")
+      | _ -> fail "json metrics: no metrics array")
+  | Error e -> failf "metrics json payload: %s" e
+
+(* Every request appends one ndjson line; the line parses back and
+   carries the schema the log readers rely on. *)
+let test_access_log () =
+  Test_util.with_tmp_dir "amgl" @@ fun dir ->
+  let log = Filename.concat dir "access.ndjson" in
+  Test_util.with_server ~source:pack_source ~access_log:log (fun _t sock ->
+      ignore (get sock (Wire.ping ()));
+      ignore (get sock (pack ~id:"one" ~format:Wire.Cif ()));
+      ignore (get sock (pack ~id:"two" ~format:Wire.Cif ()));
+      ignore (get sock (Wire.build ~format:Wire.No_payload "Nope")));
+  let ic = open_in log in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  check int "one line per request" 4 (List.length lines);
+  let parsed =
+    List.map
+      (fun line ->
+        match Json.of_string line with
+        | Ok j -> j
+        | Error e -> failf "unparsable access line %S: %s" line e)
+      lines
+  in
+  let str k j = Option.bind (Json.member k j) Json.str in
+  List.iter
+    (fun j ->
+      List.iter
+        (fun k ->
+          check bool (Printf.sprintf "access: %s present" k) true
+            (str k j <> None))
+        [ "request_id"; "op"; "outcome" ];
+      List.iter
+        (fun k ->
+          check bool (Printf.sprintf "access: %s is a number" k) true
+            (Option.bind (Json.member k j) Json.num <> None))
+        [ "ts"; "status"; "latency_ms"; "evals"; "cache_hits"; "cache_misses" ])
+    parsed;
+  let rids = List.filter_map (str "request_id") parsed in
+  check int "request ids are distinct" 4
+    (List.length (List.sort_uniq compare rids));
+  let by_id id =
+    match List.find_opt (fun j -> str "id" j = Some id) parsed with
+    | Some j -> j
+    | None -> failf "no access line for request id %S" id
+  in
+  check (option string) "repeat build logged as memo-hit" (Some "memo-hit")
+    (str "outcome" (by_id "two"));
+  let ping = List.hd parsed in
+  check (option string) "ping logged with op" (Some "ping") (str "op" ping);
+  check (option string) "ping outcome is none" (Some "none")
+    (str "outcome" ping);
+  let last = List.nth parsed 3 in
+  check (option string) "failed build logged as error" (Some "error")
+    (str "outcome" last);
+  check (option int) "failed build logged with diag status"
+    (Some Wire.status_diag)
+    (Option.bind (Json.member "status" last) Json.int)
+
+(* With --trace-sample 1 every compute request exports a Chrome trace
+   named after its request id; scrape and ping requests record no events
+   and must not litter the directory.  The file has to satisfy the same
+   validator `amgen trace-lint` runs, request-id metadata included. *)
+let test_request_traces () =
+  Test_util.with_tmp_dir "amgtr" @@ fun dir ->
+  let traces = Filename.concat dir "traces" in
+  Test_util.with_server ~source:pack_source ~trace_dir:traces ~trace_sample:1
+    (fun _t sock ->
+      ignore (get sock (Wire.ping ()));
+      ignore (get sock (pack ~format:Wire.Cif ()));
+      ignore (get sock (Wire.metrics ())));
+  let files = Sys.readdir traces |> Array.to_list |> List.sort compare in
+  check int "exactly the build request left a trace" 1 (List.length files);
+  let f = List.hd files in
+  let rid = Filename.remove_extension f in
+  match Amg_obs.Trace.validate_file (Filename.concat traces f) with
+  | Ok s ->
+      check (option string) "trace metadata carries the request id" (Some rid)
+        s.Amg_obs.Trace.v_request_id;
+      check bool "trace has spans" true (s.Amg_obs.Trace.v_spans > 0)
+  | Error e -> failf "trace %s fails validation: %s" f e
+
+(* The determinism discipline extended to the registry: a fixed request
+   sequence must leave byte-identical request-labelled counters at jobs=1
+   and jobs=2 — outcome classification (cold / memo-hit / search-warm /
+   error) may not depend on the parallel schedule. *)
+let request_counter_signature jobs =
+  with_server @@ fun _t sock ->
+  Metrics.reset ();
+  let send req = ignore (get sock req) in
+  send (Wire.ping ());
+  send (pack ~jobs ~w:7. ());
+  send (pack ~jobs ~w:7. ());
+  send (pack ~jobs ~w:7. ~optimize:Wire.Local ());
+  send (pack ~jobs ~w:7. ~optimize:Wire.Local ());
+  send (Wire.build ~jobs ~format:Wire.No_payload "Nope");
+  Metrics.snapshot ()
+  |> List.filter_map (fun (s : Metrics.sample) ->
+         match s.Metrics.m_value with
+         | Metrics.Counter n when s.Metrics.m_name = "serve.requests" && n > 0
+           ->
+             Some
+               (Printf.sprintf "%s{%s} %d" s.Metrics.m_name
+                  (String.concat ","
+                     (List.map
+                        (fun (k, v) -> k ^ "=" ^ v)
+                        s.Metrics.m_labels))
+                  n)
+         | _ -> None)
+  |> String.concat "\n"
+
+let test_counter_determinism () =
+  let s1 = request_counter_signature 1 in
+  let s2 = request_counter_signature 2 in
+  check bool "sequence exercised a cold build" true
+    (contains_sub s1 "cache=cold");
+  check bool "sequence exercised memo hits" true
+    (contains_sub s1 "cache=memo-hit");
+  check bool "sequence exercised the error path" true
+    (contains_sub s1 "cache=error");
+  check string "request counters byte-identical at jobs 1 and 2" s1 s2
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_request_roundtrip;
@@ -511,4 +716,11 @@ let suite =
       test_deadline_degrades;
     test_case "graceful shutdown drains in-flight requests" `Quick
       test_graceful_shutdown;
+    test_case "metrics and health scrape over the wire" `Quick test_scrape_ops;
+    test_case "access log lines parse and carry the schema" `Quick
+      test_access_log;
+    test_case "sampled requests export valid per-request traces" `Quick
+      test_request_traces;
+    test_case "request counters deterministic across jobs" `Quick
+      test_counter_determinism;
   ]
