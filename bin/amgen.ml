@@ -9,6 +9,11 @@
      amgen request ENTITY [-p k=v]...              query a running daemon
      amgen metrics [--json]                        scrape a daemon's registry
      amgen health                                  probe a daemon's liveness
+     amgen store  stat|verify|compact FILE         inspect a result store
+
+   `build --optimize MODE --store FILE` reuses (and feeds) a durable
+   result store: a crash-safe log of best compaction orders, shared with
+   `amgen serve --store`.
 
    Every pipeline subcommand takes --stats (instrumentation summary) and
    --trace FILE (Chrome trace-event JSON); `build` additionally takes
@@ -26,6 +31,7 @@ module Policy = Amg_robust.Policy
 module Inject = Amg_robust.Inject
 module Budget = Amg_robust.Budget
 module Optimize = Amg_core.Optimize
+module Store = Amg_store.Store
 
 open Cmdliner
 
@@ -386,7 +392,8 @@ let optimize_arg =
    to emit and the exit code.  The canonical build is the fallback at every
    turn: not-replayable entities and canonical winners emit the original
    object byte-for-byte. *)
-let optimized_build env ~file ~entity ~src ~params ~opt ~max_time ~max_evals =
+let optimized_build env ~file ~entity ~src ~params ~opt ~max_time ~max_evals
+    ?store () =
   let obj, record =
     Amg_lang.Interp.parse_and_build_recorded ~file env src entity params
   in
@@ -408,15 +415,17 @@ let optimized_build env ~file ~entity ~src ~params ~opt ~max_time ~max_evals =
       in
       let best, rating, order =
         match opt with
-        | `Orders -> Optimize.optimize env ~name:entity ~base ?budget steps
+        | `Orders ->
+            Optimize.optimize env ~name:entity ~base ?budget ?store steps
         | `Bb ->
             let o, r, ord, _nodes =
-              Optimize.optimize_bb env ~name:entity ~base ?budget steps
+              Optimize.optimize_bb env ~name:entity ~base ?budget ?store steps
             in
             (o, r, ord)
         | `Local ->
             let o, r, ord, _evals =
-              Optimize.optimize_local env ~name:entity ~base ?budget steps
+              Optimize.optimize_local env ~name:entity ~base ?budget ?store
+                steps
             in
             (o, r, ord)
       in
@@ -448,6 +457,47 @@ let optimized_build env ~file ~entity ~src ~params ~opt ~max_time ~max_evals =
       in
       (final, if degraded then exit_degraded else exit_ok)
 
+(* Durable result store: only strict, fault-free runs may feed it (a
+   permissive or injected run can rate orders against degraded layouts),
+   so under --permissive/--inject the flag downgrades to a warning.  The
+   key is restart-stable: tech fingerprint + entity + parameter values —
+   [Optimize] appends the search-mode component itself. *)
+let with_store ~mode ~inject ~env ~entity ~params store_path f =
+  match store_path with
+  | None -> f None
+  | Some path when mode <> Policy.Strict || inject <> None ->
+      Policy.report
+        (Diag.v ~severity:Diag.Warning Diag.Store ~code:"store.disabled"
+           ~hint:"drop --permissive/--inject to reuse and feed the store"
+           (Fmt.str "%s: result store disabled (stored orders must come from \
+                     strict, fault-free runs)" path));
+      f None
+  | Some path ->
+      let st, diags = Store.open_ path in
+      List.iter Policy.report diags;
+      let key =
+        Store.signature
+          ~tech:
+            (Store.tech_fingerprint
+               (Amg_tech.Tech_file.to_string (Env.tech env)))
+          ~entity
+          ~params:
+            (List.map
+               (fun (k, v) ->
+                 ( k,
+                   match v with
+                   | Amg_lang.Value.Num f -> Store.Num f
+                   | Amg_lang.Value.Str s -> Store.Str s
+                   (* unreachable from -p parsing; keep the match total *)
+                   | Amg_lang.Value.Bool b -> Store.Str (string_of_bool b)
+                   | Amg_lang.Value.Obj _ | Amg_lang.Value.Unit ->
+                       Store.Str "" ))
+               params)
+      in
+      Fun.protect
+        ~finally:(fun () -> Store.close st)
+        (fun () -> f (Some (st, key)))
+
 let build_cmd =
   let explain_arg =
     Arg.(value & flag
@@ -455,9 +505,19 @@ let build_cmd =
              ~doc:"After building, print for every compacted object the \
                    binding layer/rule/edge pair that set its final position.")
   in
+  let store_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"FILE"
+             ~doc:"Durable result store (created if absent): reuse the best \
+                   known compaction order for this (tech, entity, params, \
+                   mode) if one is stored, and record a strictly better one \
+                   found by this search.  Shared with $(b,amgen serve \
+                   --store); inspect with $(b,amgen store).  Only meaningful \
+                   with --optimize.")
+  in
   let run tech_file jobs cache_mb admit_depth admit_visits file entity params
-      svg cif gds ascii stats trace explain optimize max_time max_evals mode
-      inject diag_json =
+      svg cif gds ascii stats trace explain optimize max_time max_evals store
+      mode inject diag_json =
     set_jobs jobs;
     set_cache_mb cache_mb;
     set_cache_policy admit_depth admit_visits;
@@ -476,13 +536,20 @@ let build_cmd =
           in
           match opt with
           | None ->
+              if store <> None then
+                Policy.report
+                  (Diag.v ~severity:Diag.Warning Diag.Store
+                     ~code:"store.unused"
+                     ~hint:"add --optimize orders|bb|local"
+                     "--store has no effect without --optimize");
               let obj = Amg_lang.Interp.parse_and_build ~file env src entity params in
               emit env obj svg cif gds ascii;
               exit_ok
           | Some opt ->
+              with_store ~mode ~inject ~env ~entity ~params store @@ fun store ->
               let obj, code =
                 optimized_build env ~file ~entity ~src ~params ~opt ~max_time
-                  ~max_evals
+                  ~max_evals ?store ()
               in
               emit env obj svg cif gds ascii;
               code)
@@ -496,7 +563,7 @@ let build_cmd =
           $ cache_admit_depth_arg $ cache_admit_visits_arg $ file_arg
           $ entity_arg $ params_arg $ svg_arg $ cif_arg $ gds_arg $ ascii_arg
           $ stats_arg $ trace_arg $ explain_arg $ optimize_arg $ max_time_arg
-          $ max_evals_arg $ mode_arg $ inject_arg $ diag_json_arg)
+          $ max_evals_arg $ store_arg $ mode_arg $ inject_arg $ diag_json_arg)
 
 let diag_of_violation v =
   Diag.v Diag.Drc ~code:"drc.violation" (Amg_drc.Violation.describe v)
@@ -809,6 +876,91 @@ let trace_lint_cmd =
              well-formed, monotonic timestamps per thread, matched B/E pairs.")
     Term.(const run $ trace_file)
 
+(* --- store maintenance --- *)
+
+let store_file_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"STORE" ~doc:"Result-store file.")
+
+let pp_store_stats ppf (s : Store.stats) =
+  Fmt.pf ppf
+    "%d keys, %d records, %d bytes%a%a"
+    s.Store.entries s.Store.log_records s.Store.log_bytes
+    (fun ppf n -> if n > 0 then Fmt.pf ppf ", %d torn-tail truncation(s)" n)
+    s.Store.torn_tail_truncations
+    (fun ppf n -> if n > 0 then Fmt.pf ppf ", %d corrupt record(s)" n)
+    s.Store.corrupt_records
+
+let store_stat_cmd =
+  let run path diag_json =
+    run_guarded ?diag_json @@ fun () ->
+    let s, diags = Store.verify path in
+    List.iter Policy.report diags;
+    Fmt.pr "%s: %a@." path pp_store_stats s;
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:"Print a result store's summary (keys, records, bytes) without \
+             modifying it.")
+    Term.(const run $ store_file_arg $ diag_json_arg)
+
+let store_verify_cmd =
+  let run path diag_json =
+    run_guarded ?diag_json @@ fun () ->
+    let s, diags = Store.verify path in
+    List.iter Policy.report diags;
+    if s.Store.corrupt_records > 0 then begin
+      Fmt.pr "%s: CORRUPT — %a@." path pp_store_stats s;
+      exit_diag
+    end
+    else begin
+      Fmt.pr "%s: ok — %a@." path pp_store_stats s;
+      exit_ok
+    end
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Scan a result store read-only and exit non-zero if any interior \
+             record is corrupt.  A torn tail (crash mid-append) is reported \
+             but is not corruption — opening the store repairs it.")
+    Term.(const run $ store_file_arg $ diag_json_arg)
+
+let store_compact_cmd =
+  let run path diag_json =
+    run_guarded ?diag_json @@ fun () ->
+    let st, diags = Store.open_ path in
+    List.iter Policy.report diags;
+    let before = (Store.stats st).Store.log_bytes in
+    let ok =
+      Fun.protect
+        ~finally:(fun () -> Store.close st)
+        (fun () ->
+          Store.checkpoint st;
+          let s = Store.stats st in
+          if s.Store.checkpoints > 0 then begin
+            Fmt.pr "compacted %s: %d keys, %d -> %d bytes@." path
+              s.Store.entries before s.Store.log_bytes;
+            true
+          end
+          else false)
+    in
+    if ok then exit_ok else exit_diag
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Rewrite a result store as one record per live key (repairing \
+             any torn tail on the way) via write-to-temp + fsync + atomic \
+             rename.")
+    Term.(const run $ store_file_arg $ diag_json_arg)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect and maintain a durable result store (as written by \
+             $(b,build --store) and $(b,serve --store)).")
+    [ store_stat_cmd; store_verify_cmd; store_compact_cmd ]
+
 let () =
   let doc = "analog module generator environment (DATE'96 reproduction)" in
   let exits =
@@ -826,8 +978,8 @@ let () =
     Cmd.eval'
       (Cmd.group info
          [ build_cmd; check_cmd; tech_cmd; netlist_cmd; gds_cmd; fmt_cmd;
-           synth_cmd; amp_cmd; trace_lint_cmd; Amg_serve.Cli.serve_cmd;
-           Amg_serve.Cli.request_cmd; Amg_serve.Cli.metrics_cmd;
-           Amg_serve.Cli.health_cmd ])
+           synth_cmd; amp_cmd; trace_lint_cmd; store_cmd;
+           Amg_serve.Cli.serve_cmd; Amg_serve.Cli.request_cmd;
+           Amg_serve.Cli.metrics_cmd; Amg_serve.Cli.health_cmd ])
   in
   exit (if code = Cmd.Exit.cli_error then exit_usage else code)

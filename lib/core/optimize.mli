@@ -109,12 +109,23 @@ val optimize :
   ?budget:Amg_robust.Budget.t ->
   ?cache:Prefix_cache.t ->
   ?scope:int ->
+  ?store:Amg_store.Store.t * string ->
   step list ->
   Amg_layout.Lobj.t * float * step list
 (** The best order's result, its rating, and the order itself; rating ties
     go to the earliest order in exploration order.  With [?budget], the best
     of the evaluated prefix (see {!evaluate_orders}) — best-so-far when the
     budget marks degraded.
+
+    [?store] is [(store, key)]: a durable result store plus the canonical
+    key for this module instance (see {!Amg_store.Store.signature}).  On an
+    exact key hit — the search strategy and its parameters are appended to
+    the key internally — the stored order replays through the prefix cache
+    and the search is skipped entirely; the rating is recomputed from the
+    rebuilt layout, never trusted from disk.  The store is only consulted
+    for unbudgeted, default-rated searches and only written back (strictly
+    better ratings win) by non-degraded ones, so results stay byte-identical
+    to a store-less run.
     @raise Env.Rejected when every order is rejected. *)
 
 val optimize_bb :
@@ -126,6 +137,7 @@ val optimize_bb :
   ?budget:Amg_robust.Budget.t ->
   ?cache:Prefix_cache.t ->
   ?scope:int ->
+  ?store:Amg_store.Store.t * string ->
   step list ->
   Amg_layout.Lobj.t * float * step list * int
 (** Branch-and-bound over orders: same optimum as the exhaustive search,
@@ -162,6 +174,7 @@ val optimize_local :
   ?budget:Amg_robust.Budget.t ->
   ?cache:Prefix_cache.t ->
   ?scope:int ->
+  ?store:Amg_store.Store.t * string ->
   step list ->
   Amg_layout.Lobj.t * float * step list * int
 (** Heuristic order search for step counts beyond exhaustive reach:

@@ -13,6 +13,7 @@ type subsystem =
   | Extract
   | Synth
   | Cli
+  | Store
   | Internal
 
 type span = { file : string option; line : int; col : int }
@@ -54,6 +55,7 @@ let subsystems =
     (Extract, "extract");
     (Synth, "synth");
     (Cli, "cli");
+    (Store, "store");
     (Internal, "internal");
   ]
 

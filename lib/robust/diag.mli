@@ -24,6 +24,7 @@ type subsystem =
   | Extract
   | Synth
   | Cli
+  | Store
   | Internal
 
 type span = { file : string option; line : int; col : int }

@@ -1,6 +1,26 @@
-type site = Rule_lookup | Contact_rebuild | Sindex_query | Pool_task | Drc_check
+type site =
+  | Rule_lookup
+  | Contact_rebuild
+  | Sindex_query
+  | Pool_task
+  | Drc_check
+  | Store_read
+  | Store_write
+  | Store_fsync
+  | Store_rename
 
-let all_sites = [ Rule_lookup; Contact_rebuild; Sindex_query; Pool_task; Drc_check ]
+let all_sites =
+  [
+    Rule_lookup;
+    Contact_rebuild;
+    Sindex_query;
+    Pool_task;
+    Drc_check;
+    Store_read;
+    Store_write;
+    Store_fsync;
+    Store_rename;
+  ]
 
 let site_to_string = function
   | Rule_lookup -> "rule-lookup"
@@ -8,6 +28,10 @@ let site_to_string = function
   | Sindex_query -> "sindex-query"
   | Pool_task -> "pool-task"
   | Drc_check -> "drc-check"
+  | Store_read -> "store-read"
+  | Store_write -> "store-write"
+  | Store_fsync -> "store-fsync"
+  | Store_rename -> "store-rename"
 
 let site_of_string = function
   | "rule-lookup" -> Some Rule_lookup
@@ -15,6 +39,10 @@ let site_of_string = function
   | "sindex-query" -> Some Sindex_query
   | "pool-task" -> Some Pool_task
   | "drc-check" -> Some Drc_check
+  | "store-read" -> Some Store_read
+  | "store-write" -> Some Store_write
+  | "store-fsync" -> Some Store_fsync
+  | "store-rename" -> Some Store_rename
   | _ -> None
 
 exception Fault of site * int
@@ -27,6 +55,12 @@ let site_index = function
   | Sindex_query -> 2
   | Pool_task -> 3
   | Drc_check -> 4
+  | Store_read -> 5
+  | Store_write -> 6
+  | Store_fsync -> 7
+  | Store_rename -> 8
+
+let n_sites = 9
 
 type state = { faults : schedule; counters : int Atomic.t array }
 
@@ -34,7 +68,7 @@ let state : state option Atomic.t = Atomic.make None
 
 let arm faults =
   Atomic.set state
-    (Some { faults; counters = Array.init 5 (fun _ -> Atomic.make 0) })
+    (Some { faults; counters = Array.init n_sites (fun _ -> Atomic.make 0) })
 
 let disarm () = Atomic.set state None
 let armed () = Atomic.get state <> None

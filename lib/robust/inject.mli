@@ -13,6 +13,12 @@ type site =
   | Sindex_query  (** spatial-index candidate query *)
   | Pool_task  (** domain-pool task boundary *)
   | Drc_check  (** start of a DRC check pass *)
+  | Store_read  (** result-store log read during recovery *)
+  | Store_write  (** result-store record append (fires mid-record: the
+                     first half of the record is already on disk, leaving a
+                     genuine torn tail) *)
+  | Store_fsync  (** result-store durability barrier *)
+  | Store_rename  (** checkpoint atomic-rename publish (crash-before-rename) *)
 
 val all_sites : site list
 val site_to_string : site -> string

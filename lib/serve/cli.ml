@@ -201,11 +201,23 @@ let access_log_arg =
     & info [ "access-log" ] ~docv:"FILE"
         ~doc:
           "Append one JSON line per request (id, tenant, op, status, cache \
-           outcome, latency, queue wait, evals, cache hits/misses).")
+           outcome, latency, queue wait, evals, cache hits/misses).  \
+           Reopened on SIGHUP for log rotation.")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"FILE"
+        ~doc:
+          "Durable result store (created if absent): best compaction orders \
+           survive restarts, so previously-served optimized builds answer \
+           warm even after kill -9.  Checkpointed on SIGUSR1 and at \
+           graceful shutdown; inspect with amgen store.")
 
 let run_serve socket tcp library tech jobs queue_limit max_frame memo_limit
     tenant_limit no_warm cache_mb stats trace trace_dir trace_sample slow_ms
-    access_log =
+    access_log store =
   Option.iter Amg_core.Prefix_cache.set_default_budget_mb cache_mb;
   let on = stats || trace <> None in
   if on then Obs.enable ();
@@ -232,7 +244,7 @@ let run_serve socket tcp library tech jobs queue_limit max_frame memo_limit
           Server.config ?tcp ~source ?source_file ?tech ?default_jobs:jobs
             ~queue_limit ~max_frame ~memo_limit ~tenant_limit
             ~warm_pool:(not no_warm) ?trace_dir ~trace_sample ?slow_ms
-            ?access_log socket
+            ?access_log ?store socket
         in
         Fmt.pr "amgend: serving on %s%s@." socket
           (match tcp with
@@ -254,7 +266,7 @@ let serve_term =
     const run_serve $ socket_arg $ tcp_arg $ library_arg $ tech_arg $ jobs_arg
     $ queue_limit_arg $ max_frame_arg $ memo_limit_arg $ tenant_limit_arg
     $ no_warm_arg $ cache_mb_arg $ stats_arg $ trace_arg $ trace_dir_arg
-    $ trace_sample_arg $ slow_ms_arg $ access_log_arg)
+    $ trace_sample_arg $ slow_ms_arg $ access_log_arg $ store_arg)
 
 let serve_cmd =
   Cmd.v
@@ -262,7 +274,8 @@ let serve_cmd =
        ~doc:
          "Run the generator daemon: newline-delimited JSON requests over a \
           Unix-domain socket, served against the resident prefix cache.  \
-          SIGTERM/SIGINT shut down gracefully.")
+          SIGTERM/SIGINT shut down gracefully; SIGUSR1 checkpoints the \
+          --store; SIGHUP reopens the --access-log.")
     serve_term
 
 (* --- request ----------------------------------------------------------- *)
@@ -363,6 +376,17 @@ let out_arg =
     & info [ "o"; "out" ] ~docv:"FILE"
         ~doc:"Write the payload to FILE instead of stdout.")
 
+let retries_arg =
+  Arg.(
+    value
+    & opt (int_at_least 1 "--retries") 1
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Total connect attempts on transient failures (ECONNREFUSED, \
+           ECONNRESET, missing socket) with exponential, deterministically \
+           jittered backoff — enough to ride through a daemon restart.  \
+           Default 1: fail fast.")
+
 let parse_params params =
   List.map
     (fun kv ->
@@ -386,7 +410,7 @@ let parse_params params =
   |> Result.map List.rev
 
 let run_request socket ping stop entity params optimize max_evals max_time jobs
-    tenant format id rstats permissive inject out =
+    tenant format id rstats permissive inject out retries =
   let req =
     match (ping, stop, entity) with
     | true, true, _ -> Error "--ping and --stop are mutually exclusive"
@@ -406,7 +430,7 @@ let run_request socket ping stop entity params optimize max_evals max_time jobs
       exit_usage
   | Ok req -> (
       let answer =
-        try Client.oneshot socket req
+        try Client.oneshot ~attempts:retries socket req
         with Unix.Unix_error (e, _, _) ->
           Error (Fmt.str "%s: %s" socket (Unix.error_message e))
       in
@@ -448,7 +472,7 @@ let request_cmd =
       const run_request $ socket_arg $ ping_arg $ stop_arg $ entity_arg
       $ params_arg $ optimize_arg $ max_evals_arg $ max_time_arg $ jobs_arg
       $ tenant_arg $ format_arg $ id_arg $ rstats_arg $ permissive_arg
-      $ inject_arg $ out_arg)
+      $ inject_arg $ out_arg $ retries_arg)
 
 (* --- metrics / health -------------------------------------------------- *)
 

@@ -4,13 +4,31 @@ type t = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
 
 let of_fd fd = { fd; buf = Buffer.create 512; chunk = Bytes.create 8192 }
 
-let connect path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
+(* A signal during connect(2) leaves the connection completing in the
+   background (POSIX forbids re-calling connect on the socket): wait for
+   writability, then read the final status from SO_ERROR. *)
+let await_connect fd =
+  let rec wait () =
+    match Unix.select [] [ fd ] [] (-1.) with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  wait ();
+  match Unix.getsockopt_error fd with
+  | None -> ()
+  | Some err -> raise (Unix.Unix_error (err, "connect", ""))
+
+let connect_addr domain addr =
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try
+     try Unix.connect fd addr
+     with Unix.Unix_error (Unix.EINTR, _, _) -> await_connect fd
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
   of_fd fd
+
+let connect path = connect_addr Unix.PF_UNIX (Unix.ADDR_UNIX path)
 
 let connect_tcp host port =
   let addr =
@@ -20,12 +38,41 @@ let connect_tcp host port =
       | { Unix.h_addr_list = [||]; _ } -> Unix.inet_addr_loopback
       | h -> h.Unix.h_addr_list.(0))
   in
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
-  of_fd fd
+  connect_addr Unix.PF_INET (Unix.ADDR_INET (addr, port))
+
+(* --- bounded retry with deterministic jittered backoff ------------------
+
+   Transient connect failures are what a client sees across a daemon
+   restart: nothing is listening yet (ECONNREFUSED), the old socket file
+   is gone (ENOENT), or the dying daemon reset us (ECONNRESET).  The
+   backoff doubles per attempt and is jittered by a seeded LCG — the
+   exact delay sequence is a pure function of [seed], so tests (and
+   the serving benchmark) stay reproducible. *)
+
+let transient = function
+  | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT), _, _)
+    ->
+      true
+  | _ -> false
+
+let backoff_delay ~base ~seed attempt =
+  let s = ref (((seed * 2654435761) + attempt + 1) land 0x3FFFFFFF) in
+  let next () =
+    s := ((!s * 1664525) + 1013904223) land 0x3FFFFFFF;
+    !s
+  in
+  let jitter = float_of_int (next () mod 1024) /. 1024. in
+  base *. (2. ** float_of_int attempt) *. (0.5 +. (0.5 *. jitter))
+
+let connect_retry ?(attempts = 5) ?(delay = 0.05) ?(seed = 1) ?on_retry path =
+  let rec go i =
+    try connect path
+    with e when transient e && i + 1 < attempts ->
+      (match on_retry with Some f -> f (i + 1) | None -> ());
+      Unix.sleepf (backoff_delay ~base:delay ~seed i);
+      go (i + 1)
+  in
+  go 0
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
@@ -34,8 +81,9 @@ let send_raw t s =
   let n = Bytes.length b in
   let rec go off =
     if off < n then
-      let w = Unix.write t.fd b off (n - off) in
-      go (off + w)
+      match Unix.write t.fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
   go 0
 
@@ -56,6 +104,7 @@ let recv_line t =
         | n ->
             Buffer.add_subbytes t.buf t.chunk 0 n;
             go ()
+        | exception Unix.Unix_error (EINTR, _, _) -> go ()
         | exception Unix.Unix_error ((ECONNRESET | EBADF | EPIPE), _, _) ->
             None)
   in
@@ -72,6 +121,27 @@ let roundtrip t req =
   send t req;
   recv t
 
-let oneshot path req =
-  let t = connect path in
-  Fun.protect ~finally:(fun () -> close t) (fun () -> roundtrip t req)
+let oneshot ?(attempts = 1) ?(delay = 0.05) ?(seed = 1) path req =
+  let rec go i =
+    let retryable = i + 1 < attempts in
+    let pause () = Unix.sleepf (backoff_delay ~base:delay ~seed i) in
+    match connect path with
+    | exception e when transient e && retryable ->
+        pause ();
+        go (i + 1)
+    | t -> (
+        match
+          Fun.protect ~finally:(fun () -> close t) (fun () -> roundtrip t req)
+        with
+        (* EOF before any response byte: the daemon went down between
+           accept and answer.  Requests are idempotent (the service is
+           deterministic), so re-dialing is safe. *)
+        | Error "connection closed" when retryable ->
+            pause ();
+            go (i + 1)
+        | exception e when transient e && retryable ->
+            pause ();
+            go (i + 1)
+        | r -> r)
+  in
+  go 0

@@ -7,11 +7,27 @@
 type t
 
 val connect : string -> t
-(** Connect to a Unix-domain socket path.
+(** Connect to a Unix-domain socket path.  A signal arriving mid-connect
+    is handled (the completion is awaited), not surfaced as [EINTR].
     @raise Unix.Unix_error when the daemon is not listening. *)
 
 val connect_tcp : string -> int -> t
 (** Connect to the optional TCP listener. *)
+
+val connect_retry :
+  ?attempts:int ->
+  ?delay:float ->
+  ?seed:int ->
+  ?on_retry:(int -> unit) ->
+  string ->
+  t
+(** {!connect} with bounded retry on transient failures — ECONNREFUSED,
+    ECONNRESET and ENOENT, the three shapes of "the daemon is
+    restarting".  Up to [attempts] (default 5) tries, sleeping an
+    exponentially growing, deterministically jittered delay (base
+    [delay], default 50 ms; jitter is a pure function of [seed]) between
+    them; [on_retry] is called with the retry number before each sleep.
+    The last failure is re-raised unchanged. *)
 
 val close : t -> unit
 
@@ -34,5 +50,16 @@ val roundtrip :
   t -> Amg_robust.Wire.request -> (Amg_robust.Wire.response, string) Stdlib.result
 
 val oneshot :
-  string -> Amg_robust.Wire.request -> (Amg_robust.Wire.response, string) Stdlib.result
-(** Connect to a socket path, exchange one request, close. *)
+  ?attempts:int ->
+  ?delay:float ->
+  ?seed:int ->
+  string ->
+  Amg_robust.Wire.request ->
+  (Amg_robust.Wire.response, string) Stdlib.result
+(** Connect to a socket path, exchange one request, close.  With
+    [attempts > 1] (default 1: fail fast), transient connect failures
+    and an EOF before any response byte are retried with the same
+    deterministic jittered backoff as {!connect_retry} — enough for a
+    client to ride through a daemon restart.  Requests are idempotent
+    (the service is deterministic), so a re-send never changes the
+    answer. *)

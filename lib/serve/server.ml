@@ -33,6 +33,7 @@ module Prefix_cache = Amg_core.Prefix_cache
 module Rating = Amg_core.Rating
 module Lobj = Amg_layout.Lobj
 module Pool = Amg_parallel.Pool
+module Store = Amg_store.Store
 
 type config = {
   socket_path : string;
@@ -50,12 +51,13 @@ type config = {
   trace_sample : int;
   slow_ms : float option;
   access_log : string option;
+  store : string option;
 }
 
 let config ?tcp ?(source = Amg_lang.Stdlib.all) ?source_file ?tech
     ?default_jobs ?(queue_limit = 64) ?(max_frame = 1 lsl 20)
     ?(memo_limit = 128) ?(tenant_limit = 64) ?(warm_pool = false) ?trace_dir
-    ?(trace_sample = 0) ?slow_ms ?access_log socket_path =
+    ?(trace_sample = 0) ?slow_ms ?access_log ?store socket_path =
   {
     socket_path;
     tcp;
@@ -72,6 +74,7 @@ let config ?tcp ?(source = Amg_lang.Stdlib.all) ?source_file ?tech
     trace_sample;
     slow_ms;
     access_log;
+    store;
   }
 
 (* --- FIFO admission queue --------------------------------------------- *)
@@ -184,8 +187,19 @@ type t = {
   tenant_count : int Atomic.t;
   memo_count : int Atomic.t;
   best_count : int Atomic.t;
-  access : (Mutex.t * out_channel) option;
+  (* The channel is behind a ref so SIGHUP can swing it to a freshly
+     opened file (log rotation) without touching every writer: writers
+     take the lock, then deref. *)
+  access : (Mutex.t * out_channel ref) option;
   obs_owned : bool;  (* this server enabled Obs (for traces/access log) *)
+  (* Durable result store: loaded before the listeners open (a warm
+     restart answers its first request from disk), checkpointed on
+     SIGUSR1 and on drain.  The handle is internally locked — worker
+     threads append while the wait loop checkpoints. *)
+  result_store : Store.t option;
+  tech_fp : string;  (* restart-stable store key prefix, not Env.stamp *)
+  checkpoint_req : bool Atomic.t;  (* set by SIGUSR1, drained by [wait] *)
+  reopen_req : bool Atomic.t;  (* set by SIGHUP, drained by [wait] *)
 }
 
 let served t = Atomic.get t.served_count
@@ -512,6 +526,32 @@ let handle_build t (req : Wire.request) ~queue_depth =
       let env = tenant_env t req.tenant in
       let memoizable = (not req.permissive) && req.inject = None in
       let sg = signature env req.entity req.params in
+      (* Durable-store key: like the memo signature but restart-stable —
+         tech fingerprint instead of the process-local Env.stamp, and no
+         tenant (stored results are pure functions of tech/entity/params,
+         so all tenants share them).  Only strict fault-free requests may
+         consult or feed the store, mirroring the memo gate. *)
+      let store_handle =
+        match (t.result_store, req.optimize) with
+        | Some st, Some _ when memoizable ->
+            Some
+              ( st,
+                Store.signature ~tech:t.tech_fp ~entity:req.entity
+                  ~params:
+                    (List.map
+                       (fun (k, p) ->
+                         ( k,
+                           match p with
+                           | Wire.Pnum f -> Store.Num f
+                           | Wire.Pstr s -> Store.Str s ))
+                       req.params) )
+        | _ -> None
+      in
+      let store_hits_before =
+        match t.result_store with
+        | Some st -> (Store.stats st).Store.hits
+        | None -> 0
+      in
       (* Finished optimized results are deterministic for strict,
          fault-free, unbudgeted requests, so they are memoized whole next
          to the canonical build: a repeated identical request skips the
@@ -581,17 +621,17 @@ let handle_build t (req : Wire.request) ~queue_depth =
                       match opt with
                       | Wire.Orders ->
                           Optimize.optimize env ~name:req.entity ~base
-                            ?domains ?budget ?scope steps
+                            ?domains ?budget ?scope ?store:store_handle steps
                       | Wire.Bb ->
                           let o, r, ord, _nodes =
                             Optimize.optimize_bb env ~name:req.entity ~base
-                              ?domains ?budget ?scope steps
+                              ?domains ?budget ?scope ?store:store_handle steps
                           in
                           (o, r, ord)
                       | Wire.Local ->
                           let o, r, ord, _evals =
                             Optimize.optimize_local env ~name:req.entity ~base
-                              ?domains ?budget ?scope steps
+                              ?domains ?budget ?scope ?store:store_handle steps
                           in
                           (o, r, ord)
                     in
@@ -683,10 +723,19 @@ let handle_build t (req : Wire.request) ~queue_depth =
             }
         else None
       in
+      let store_hits =
+        match t.result_store with
+        | Some st -> (Store.stats st).Store.hits - store_hits_before
+        | None -> 0
+      in
+      (* A store hit replays one order through the prefix cache, so it
+         usually also scores prefix-cache hits; rank it above search-warm
+         to keep the label specific. *)
       let outcome =
         if resp.Wire.status = Wire.status_diag then "error"
         else if resp.Wire.status = Wire.status_degraded then "degraded"
         else if !served_from_memo then "memo-hit"
+        else if store_hits > 0 then "store-hit"
         else if ro_hits > 0 then "search-warm"
         else "cold"
       in
@@ -769,7 +818,7 @@ let access_line t ~rid ~(req : Wire.request) ~status ~lat_ms ~queue_ms
     ~(ro : req_obs) =
   match t.access with
   | None -> ()
-  | Some (lock, oc) ->
+  | Some (lock, ocr) ->
       let line =
         J.to_string
           (J.Jobj
@@ -798,6 +847,7 @@ let access_line t ~rid ~(req : Wire.request) ~status ~lat_ms ~queue_ms
       in
       Mutex.lock lock;
       (try
+         let oc = !ocr in
          output_string oc line;
          output_char oc '\n';
          flush oc
@@ -1051,7 +1101,25 @@ let start cfg =
     match cfg.access_log with
     | None -> None
     | Some path ->
-        Some (Mutex.create (), open_out_gen [ Open_append; Open_creat ] 0o644 path)
+        Some
+          ( Mutex.create (),
+            ref (open_out_gen [ Open_append; Open_creat ] 0o644 path) )
+  in
+  (* Load the durable store before the listeners open, so a warm restart
+     can answer its very first request from disk.  Recovery diagnostics
+     (corrupt interior records, partial reads) go to stderr — there is no
+     request to attach them to. *)
+  let result_store =
+    match cfg.store with
+    | None -> None
+    | Some path ->
+        let st, diags = Store.open_ path in
+        List.iter (fun d -> Fmt.epr "%a@." Diag.pp d) diags;
+        Store.register_metrics st;
+        Some st
+  in
+  let tech_fp =
+    Store.tech_fingerprint (Amg_tech.Tech_file.to_string (Env.tech env_default))
   in
   let unix_fd = listen_unix cfg.socket_path in
   let tcp_fd =
@@ -1095,6 +1163,10 @@ let start cfg =
       best_count = Atomic.make 0;
       access;
       obs_owned;
+      result_store;
+      tech_fp;
+      checkpoint_req = Atomic.make false;
+      reopen_req = Atomic.make false;
     }
   in
   register_metrics t;
@@ -1132,15 +1204,43 @@ let stop t =
       conns;
     (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
     (match t.access with
-    | Some (_, oc) -> ( try close_out oc with Sys_error _ -> ())
+    | Some (_, ocr) -> ( try close_out !ocr with Sys_error _ -> ())
+    | None -> ());
+    (* Persist on drain: every request is answered by now, so the table
+       is final; compact it into a one-record-per-key snapshot.  Failures
+       are contained as store.* warnings — print them, the daemon is the
+       last reader of the sink here. *)
+    (match t.result_store with
+    | Some st ->
+        Store.checkpoint st;
+        Store.close st;
+        List.iter (fun d -> Fmt.epr "%a@." Diag.pp d) (Policy.drain ())
     | None -> ());
     Obs.set_max_events None;
     if t.obs_owned then Obs.disable ()
   end
 
+let checkpoint t =
+  match t.result_store with Some st -> Store.checkpoint st | None -> ()
+
+let reopen_access_log t =
+  match (t.access, t.cfg.access_log) with
+  | Some (lock, ocr), Some path ->
+      Mutex.lock lock;
+      (try close_out !ocr with Sys_error _ -> ());
+      (try ocr := open_out_gen [ Open_append; Open_creat ] 0o644 path
+       with Sys_error _ -> ());
+      Mutex.unlock lock
+  | _ -> ()
+
+(* Signal work happens here, not in the handlers: OCaml signal handlers
+   run at safepoints with almost nothing guaranteed about context, so
+   they only flip an atomic and the wait loop does the actual I/O. *)
 let wait t =
   while not (Atomic.get t.stopping) do
-    Thread.delay 0.05
+    Thread.delay 0.05;
+    if Atomic.exchange t.checkpoint_req false then checkpoint t;
+    if Atomic.exchange t.reopen_req false then reopen_access_log t
   done
 
 let run cfg =
@@ -1150,6 +1250,20 @@ let run cfg =
     List.map
       (fun s -> (s, Sys.signal s (Sys.Signal_handle on_signal)))
       [ Sys.sigterm; Sys.sigint ]
+  in
+  let previous =
+    (try
+       (Sys.sigusr1, Sys.signal Sys.sigusr1
+          (Sys.Signal_handle (fun _ -> Atomic.set t.checkpoint_req true)))
+       :: previous
+     with Invalid_argument _ | Sys_error _ -> previous)
+  in
+  let previous =
+    (try
+       (Sys.sighup, Sys.signal Sys.sighup
+          (Sys.Signal_handle (fun _ -> Atomic.set t.reopen_req true)))
+       :: previous
+     with Invalid_argument _ | Sys_error _ -> previous)
   in
   Fun.protect
     ~finally:(fun () ->

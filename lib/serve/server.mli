@@ -29,7 +29,7 @@
     {b Telemetry.}  Every request updates the {!Amg_obs.Metrics}
     registry: a [serve.requests] counter and a [serve.latency] histogram,
     both labelled by op, response status and cache outcome
-    ([memo-hit]/[search-warm]/[cold]/[degraded]/[error]/[overloaded]),
+    ([memo-hit]/[store-hit]/[search-warm]/[cold]/[degraded]/[error]/[overloaded]),
     plus callback gauges over the queue, the memo layers, the tenant
     table, the domain pool and the prefix cache.  The [metrics] and
     [health] wire ops are answered straight from the connection thread —
@@ -60,6 +60,10 @@ type config = {
       (** Also export any request at least this slow (needs
           [trace_dir]). *)
   access_log : string option;  (** ndjson access log path (appended). *)
+  store : string option;
+      (** Durable result-store path ({!Amg_store.Store}): loaded before
+          the listeners open (warm restart), fed by strict fault-free
+          optimized builds, checkpointed on SIGUSR1 and on drain. *)
 }
 
 val config :
@@ -77,12 +81,14 @@ val config :
   ?trace_sample:int ->
   ?slow_ms:float ->
   ?access_log:string ->
+  ?store:string ->
   string ->
   config
 (** [config socket_path] with defaults: no TCP, the built-in
     {!Amg_lang.Stdlib.all} module library, built-in technology, queue
     limit 64, 1 MiB frames, 128 memo signatures, 64 resident tenant
-    environments, no pool warm-up, no traces, no access log. *)
+    environments, no pool warm-up, no traces, no access log, no durable
+    store. *)
 
 type t
 
@@ -109,9 +115,24 @@ val wait : t -> unit
 (** Block until {!request_stop} has been called (polling; usable from
     the main thread while signal handlers fire). *)
 
+val checkpoint : t -> unit
+(** Compact the durable store (if configured) into a one-record-per-key
+    snapshot via write-to-temp + fsync + atomic rename.  No-op without a
+    store.  Safe while requests are being served — the store handle is
+    internally locked.  {!run} wires this to SIGUSR1. *)
+
+val reopen_access_log : t -> unit
+(** Close and reopen the access log at its configured path, for log
+    rotation without a restart.  No-op without an access log.  {!run}
+    wires this to SIGHUP. *)
+
 val run : config -> unit
-(** [start], install SIGTERM/SIGINT handlers that {!request_stop}, then
-    {!wait} and {!stop}.  The CLI entry points wrap this. *)
+(** [start], install the daemon signal contract, then {!wait} and
+    {!stop}.  Signals: SIGTERM/SIGINT request a graceful stop (drain,
+    persist the store, exit 0); SIGUSR1 {!checkpoint}s the store;
+    SIGHUP {!reopen_access_log}s.  The signal handlers only flip atomic
+    flags — the actual I/O runs on the waiting main thread.  The CLI
+    entry points wrap this. *)
 
 val served : t -> int
 (** Requests answered so far (all ops). *)

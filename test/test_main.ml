@@ -27,5 +27,6 @@ let () =
       ("extract", Test_extract.suite);
       ("tech-indep", Test_tech_indep.suite);
       ("robust", Test_robust.suite);
+      ("store", Test_store.suite);
       ("serve", Test_serve.suite);
     ]
