@@ -10,6 +10,7 @@
      amgen metrics [--json]                        scrape a daemon's registry
      amgen health                                  probe a daemon's liveness
      amgen store  stat|verify|compact FILE         inspect a result store
+     amgen sweep  SPEC.json [-o out.csv]           batch parameter-grid sweep
 
    `build --optimize MODE --store FILE` reuses (and feeds) a durable
    result store: a crash-safe log of best compaction orders, shared with
@@ -961,6 +962,164 @@ let store_cmd =
              $(b,build --store) and $(b,serve --store)).")
     [ store_stat_cmd; store_verify_cmd; store_compact_cmd ]
 
+(* --- sweep (batch parameter-grid exploration) --- *)
+
+(* The sweep engine computes its own per-instance store keys, so the
+   handle is passed whole — but the same feeding rule as single builds
+   applies: only strict, fault-free runs may consult or feed the store. *)
+let with_sweep_store ~mode ~inject store_path f =
+  match store_path with
+  | None -> f None
+  | Some path when mode <> Policy.Strict || inject <> None ->
+      Policy.report
+        (Diag.v ~severity:Diag.Warning Diag.Store ~code:"store.disabled"
+           ~hint:"drop --permissive/--inject to reuse and feed the store"
+           (Fmt.str "%s: result store disabled (stored orders must come from \
+                     strict, fault-free runs)" path));
+      f None
+  | Some path ->
+      let st, diags = Store.open_ path in
+      List.iter Policy.report diags;
+      Fun.protect
+        ~finally:(fun () -> Store.close st)
+        (fun () -> f (Some st))
+
+let sweep_cmd =
+  let spec_arg =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"SPEC.json"
+             ~doc:"Sweep spec file: one entity, one value axis per \
+                   parameter, optional search mode (see the README's \
+                   \"Sweeping\" section).")
+  in
+  let library_arg =
+    Arg.(value & opt (some file) None
+         & info [ "f"; "file" ] ~docv:"FILE.amg"
+             ~doc:"Module library the swept entity lives in (default: the \
+                   built-in library).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Result file — a one-line JSON schema header, a CSV \
+                   column line, then one CSV row per instance, written and \
+                   flushed in canonical order so a killed sweep keeps its \
+                   completed prefix.  Default: stdout.")
+  in
+  let chunk_arg =
+    Arg.(value & opt (int_at_least 1 "--chunk") 8
+         & info [ "chunk" ] ~docv:"N"
+             ~doc:"Walk-consecutive instances scheduled as one pool task; \
+                   neighbours in a chunk stay on one cache shard.  Results \
+                   are identical for every value.")
+  in
+  let shuffle_arg =
+    Arg.(value & flag
+         & info [ "shuffle" ]
+             ~doc:"Schedule the instances in a deterministically shuffled \
+                   order instead of the locality walk (an ablation switch: \
+                   rows and ratings are identical, only timings change).")
+  in
+  let sweep_store_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"FILE"
+             ~doc:"Durable result store (created if absent): every instance \
+                   reuses its stored best compaction order and records a \
+                   strictly better one it finds.  Shared with $(b,amgen \
+                   serve --store).")
+  in
+  let check_arg =
+    Arg.(value & opt (some file) None
+         & info [ "check" ] ~docv:"FILE"
+             ~doc:"Validate an existing result file against its own schema \
+                   header (column arity and cell types) and exit without \
+                   running a sweep.")
+  in
+  let run tech_file jobs cache_mb admit_depth admit_visits library spec out
+      chunk shuffle store check stats trace mode inject diag_json =
+    match check with
+    | Some path -> (
+        match Amg_sweep.Sweep.check_file path with
+        | Ok rows ->
+            Fmt.pr "%s: ok — %d rows@." path rows;
+            exit_ok
+        | Error e ->
+            Fmt.epr "%s: %s@." path e;
+            exit_diag)
+    | None -> (
+        match spec with
+        | None ->
+            Fmt.epr "amgen: a SPEC.json file is required (or --check FILE)@.";
+            exit_usage
+        | Some spec_file ->
+            set_jobs jobs;
+            set_cache_mb cache_mb;
+            set_cache_policy admit_depth admit_visits;
+            run_guarded ~mode ?inject ?diag_json @@ fun () ->
+            with_obs ~stats ~trace @@ fun () ->
+            let spec =
+              Amg_sweep.Sweep.parse_spec ~file:spec_file (read_file spec_file)
+            in
+            let env = env_of_tech tech_file in
+            let source, source_file =
+              match library with
+              | None -> (Amg_lang.Stdlib.all, None)
+              | Some f -> (read_file f, Some f)
+            in
+            let domains =
+              match jobs with
+              | Some j -> j
+              | None -> Amg_parallel.Pool.default_domains ()
+            in
+            let oc = Option.map open_out out in
+            let on_line =
+              match oc with
+              | None ->
+                  fun line ->
+                    print_string line;
+                    print_newline ()
+              | Some oc ->
+                  fun line ->
+                    output_string oc line;
+                    output_char oc '\n';
+                    flush oc
+            in
+            let result =
+              Fun.protect
+                ~finally:(fun () -> Option.iter close_out oc)
+                (fun () ->
+                  with_sweep_store ~mode ~inject store @@ fun store ->
+                  Amg_sweep.Sweep.run ~domains ~chunk ~shuffle ?store
+                    ?source_file ~on_line ~env ~source spec)
+            in
+            Fmt.epr
+              "sweep %s (%s): %d rows, %d failures, %d duplicates dropped, \
+               %d store hits, %.2f s@."
+              spec.Amg_sweep.Sweep.s_entity
+              (Amg_sweep.Sweep.mode_to_string spec.Amg_sweep.Sweep.s_mode)
+              result.Amg_sweep.Sweep.rows result.Amg_sweep.Sweep.failures
+              result.Amg_sweep.Sweep.duplicates
+              result.Amg_sweep.Sweep.store_hits
+              result.Amg_sweep.Sweep.elapsed_s;
+            Option.iter (fun p -> Fmt.epr "wrote %s@." p) out;
+            if result.Amg_sweep.Sweep.failures > 0 then exit_degraded
+            else exit_ok)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Expand a parameter-grid spec into its canonical instance list \
+             (Gray-code locality walk, duplicates removed), build and \
+             order-optimize every instance on the domain pool, and emit one \
+             layout-derived metric row per instance into a columnar result \
+             file.  Rows are byte-identical for every --jobs, --chunk and \
+             --shuffle setting; a partial sweep (some instances failed) \
+             exits 3 with per-row diagnostics.")
+    Term.(
+      const run $ tech_arg $ jobs_arg $ cache_mb_arg $ cache_admit_depth_arg
+      $ cache_admit_visits_arg $ library_arg $ spec_arg $ out_arg $ chunk_arg
+      $ shuffle_arg $ sweep_store_arg $ check_arg $ stats_arg $ trace_arg
+      $ mode_arg $ inject_arg $ diag_json_arg)
+
 let () =
   let doc = "analog module generator environment (DATE'96 reproduction)" in
   let exits =
@@ -978,7 +1137,7 @@ let () =
     Cmd.eval'
       (Cmd.group info
          [ build_cmd; check_cmd; tech_cmd; netlist_cmd; gds_cmd; fmt_cmd;
-           synth_cmd; amp_cmd; trace_lint_cmd; store_cmd;
+           synth_cmd; amp_cmd; trace_lint_cmd; store_cmd; sweep_cmd;
            Amg_serve.Cli.serve_cmd; Amg_serve.Cli.request_cmd;
            Amg_serve.Cli.metrics_cmd; Amg_serve.Cli.health_cmd ])
   in

@@ -266,6 +266,40 @@ let label_components t label =
     t.pieces;
   Hashtbl.fold (fun _ pieces acc -> pieces :: acc) tbl []
 
+(* Half-perimeter wirelength of a user net, in micrometres: for every
+   node carrying the label, the hull of *all* conducting pieces unioned
+   into that node (labelled or not — the wire is the whole node, not
+   just its labelled shapes) contributes width + height.  A multi-node
+   (label-only) net sums its islands, so repairs that physically join
+   them change the number instead of hiding behind it. *)
+let net_wirelength_um t label =
+  let hulls = Hashtbl.create 8 in
+  Array.iteri
+    (fun i p ->
+      if p.p_conducting && p.p_net = Some label then
+        Hashtbl.replace hulls (find t i) None)
+    t.pieces;
+  Array.iteri
+    (fun i p ->
+      if p.p_conducting then
+        let r = find t i in
+        match Hashtbl.find_opt hulls r with
+        | None -> ()
+        | Some cur ->
+            let h =
+              match cur with
+              | None -> p.p_rect
+              | Some h -> Rect.hull h p.p_rect
+            in
+            Hashtbl.replace hulls r (Some h))
+    t.pieces;
+  Hashtbl.fold
+    (fun _root hull acc ->
+      match hull with
+      | None -> acc
+      | Some h -> acc +. (float (Rect.width h + Rect.height h) /. 1000.))
+    hulls 0.
+
 (* Distinct conducting nodes. *)
 let node_count t =
   let roots = Hashtbl.create 32 in

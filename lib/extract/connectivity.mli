@@ -40,6 +40,12 @@ val label_components : t -> string -> (string * Amg_geometry.Rect.t) list list
 val label_node_count : t -> string -> int
 (** Number of distinct nodes carrying the label: 1 = physically one net. *)
 
+val net_wirelength_um : t -> string -> float
+(** Half-perimeter wirelength of a user net in micrometres: every node
+    carrying the label contributes width + height of the hull of all its
+    conducting pieces (labelled or not); a label-only multi-node net sums
+    its islands.  0. when the label appears nowhere. *)
+
 val node_count : t -> int
 
 val split_diffusion :

@@ -34,6 +34,29 @@ let of_lobj obj =
        else um2 (Lobj.union_area obj) /. um2 bbox_area);
   }
 
+(* Area-weighted x-centroid offset from the bounding-box centre, in um.
+   Analog modules (differential pairs, current mirrors) want mass
+   balanced about the vertical axis; this is the cheapest layout-derived
+   proxy for that matching quality.  Double counting where shapes overlap
+   is deliberate — stacked conducting mass counts for the side it sits
+   on — and keeps the metric a pure per-shape sum, independent of
+   decomposition order. *)
+let symmetry_error_um obj =
+  match Lobj.bbox obj with
+  | None -> 0.
+  | Some bb ->
+      let mass = ref 0. and moment = ref 0. in
+      List.iter
+        (fun (s : Shape.t) ->
+          let a = float_of_int (Rect.area s.Shape.rect) in
+          mass := !mass +. a;
+          moment := !moment +. (a *. float_of_int (Rect.center_x s.Shape.rect)))
+        (Lobj.shapes obj);
+      if !mass = 0. then 0.
+      else
+        let centroid = !moment /. !mass in
+        Float.abs (centroid -. float_of_int (Rect.center_x bb)) /. 1000.
+
 let pp ppf s =
   Fmt.pf ppf "@[<v>%s: %d shapes, %d ports@," s.object_name s.shape_count
     s.port_count;

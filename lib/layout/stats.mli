@@ -13,4 +13,11 @@ type t = {
 }
 
 val of_lobj : Lobj.t -> t
+
+val symmetry_error_um : Lobj.t -> float
+(** Area-weighted x-centroid offset from the bounding-box centre, in um —
+    a layout-derived proxy for matching quality (0 = mass balanced about
+    the vertical axis).  Overlapping shapes count their full area each;
+    0. for an empty object. *)
+
 val pp : Format.formatter -> t -> unit

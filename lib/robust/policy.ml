@@ -8,10 +8,40 @@ let permissive () = Atomic.get current = Permissive
 let lock = Mutex.create ()
 let sink : Diag.t list ref = ref []
 
+(* Per-domain capture scope: while a [capture] body runs on this domain,
+   reports land in its private list instead of the global sink, so
+   parallel batch drivers can attribute diagnostics to the instance that
+   raised them.  One level is enough; nested captures stack naturally
+   because the key holds the innermost scope. *)
+let capture_key : Diag.t list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
 let report d =
-  Mutex.lock lock;
-  sink := d :: !sink;
-  Mutex.unlock lock
+  match Domain.DLS.get capture_key with
+  | Some scoped ->
+      (* Only this domain mutates the scoped list: no lock needed. *)
+      scoped := d :: !scoped
+  | None ->
+      Mutex.lock lock;
+      sink := d :: !sink;
+      Mutex.unlock lock
+
+let capture f =
+  let scoped = ref [] in
+  let outer = Domain.DLS.get capture_key in
+  Domain.DLS.set capture_key (Some scoped);
+  let restore () = Domain.DLS.set capture_key outer in
+  match f () with
+  | v ->
+      restore ();
+      (v, List.rev !scoped)
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      restore ();
+      (* Reports made before the raise still matter to the caller's
+         failure handling: spill them to wherever reports now go. *)
+      List.iter report (List.rev !scoped);
+      Printexc.raise_with_backtrace e bt
 
 let drain () =
   Mutex.lock lock;

@@ -14,7 +14,16 @@ val mode : unit -> mode
 val permissive : unit -> bool
 
 val report : Diag.t -> unit
-(** Append a diagnostic to the global sink. *)
+(** Append a diagnostic to the global sink — or, inside a {!capture}
+    running on the calling domain, to that capture's scoped list. *)
+
+val capture : (unit -> 'a) -> 'a * Diag.t list
+(** [capture f] runs [f ()] with a private, domain-local diagnostic
+    scope: every {!report} made on this domain during the call is
+    collected and returned (in report order) instead of entering the
+    global sink.  Captures nest; other domains are unaffected.  If [f]
+    raises, the diagnostics reported so far are spilled to the enclosing
+    scope (or the global sink) before the exception is re-raised. *)
 
 val drain : unit -> Diag.t list
 (** Take (and clear) the sink, in report order. *)

@@ -8,7 +8,7 @@ module J = Diag.Json
 type param = Pnum of float | Pstr of string
 type opt_mode = Orders | Bb | Local
 type payload_format = Cif | Svg | No_payload
-type op = Build | Ping | Stop | Metrics | Health
+type op = Build | Sweep | Ping | Stop | Metrics | Health
 
 type request = {
   id : string option;
@@ -25,6 +25,7 @@ type request = {
   stats : bool;
   json : bool;
   inject : string option;
+  spec : string option;
 }
 
 let build ?id ?(params = []) ?optimize ?max_evals ?max_time ?jobs ?tenant
@@ -44,6 +45,26 @@ let build ?id ?(params = []) ?optimize ?max_evals ?max_time ?jobs ?tenant
     stats;
     json = false;
     inject;
+    spec = None;
+  }
+
+let sweep ?id ?jobs ?tenant ?(stats = false) spec =
+  {
+    id;
+    op = Sweep;
+    entity = "";
+    params = [];
+    optimize = None;
+    max_evals = None;
+    max_time = None;
+    jobs;
+    tenant;
+    format = No_payload;
+    permissive = false;
+    stats;
+    json = false;
+    inject = None;
+    spec = Some spec;
   }
 
 let control op ?id ?(json = false) () =
@@ -62,6 +83,7 @@ let control op ?id ?(json = false) () =
     stats = false;
     json;
     inject = None;
+    spec = None;
   }
 
 let ping ?id () = control Ping ?id ()
@@ -99,6 +121,7 @@ let response ?id ?rating ?(format = No_payload) ?payload ?(diagnostics = [])
 
 let op_to_string = function
   | Build -> "build"
+  | Sweep -> "sweep"
   | Ping -> "ping"
   | Stop -> "stop"
   | Metrics -> "metrics"
@@ -106,6 +129,7 @@ let op_to_string = function
 
 let op_of_string = function
   | "build" -> Some Build
+  | "sweep" -> Some Sweep
   | "ping" -> Some Ping
   | "stop" -> Some Stop
   | "metrics" -> Some Metrics
@@ -135,7 +159,7 @@ let format_of_string = function
    omits the field exactly in that case. *)
 let default_format = function
   | Build -> Cif
-  | Ping | Stop | Metrics | Health -> No_payload
+  | Sweep | Ping | Stop | Metrics | Health -> No_payload
 
 (* --- encoding --------------------------------------------------------- *)
 
@@ -168,6 +192,7 @@ let encode_request (r : request) =
         (if r.stats then Some ("stats", Jbool true) else None);
         (if r.json then Some ("json", Jbool true) else None);
         Option.map (fun s -> ("inject", Jstr s)) r.inject;
+        Option.map (fun s -> ("spec", Jstr s)) r.spec;
       ]
   in
   J.to_string (Jobj fields)
@@ -312,6 +337,7 @@ let decode_request line =
       let* stats = opt_flag "stats" v in
       let* json = opt_flag "json" v in
       let* inject = opt_str "inject" v in
+      let* spec = opt_str "spec" v in
       Ok
         {
           id;
@@ -328,6 +354,7 @@ let decode_request line =
           stats;
           json;
           inject;
+          spec;
         }
   | _ -> Error "request must be a JSON object"
 
@@ -381,3 +408,23 @@ let decode_response line =
       in
       Ok { id; status; rating; format; payload; diagnostics; stats }
   | _ -> Error "response must be a JSON object"
+
+(* --- sweep row events --------------------------------------------------
+
+   While a sweep runs, the daemon interleaves one row event per output
+   line before the final response.  Clients tell the two apart by the
+   ["row"] member: responses never carry one. *)
+
+let encode_sweep_row ~index line =
+  J.to_string
+    (J.Jobj [ ("row", J.Jnum (float_of_int index)); ("line", J.Jstr line) ])
+
+let decode_sweep_row s =
+  match J.of_string s with
+  | Error _ -> None
+  | Ok v -> (
+      match (J.member "row" v, J.member "line" v) with
+      | Some (J.Jnum f), Some (J.Jstr line)
+        when Float.is_integer f && Float.abs f <= int_bound ->
+          Some (int_of_float f, line)
+      | _ -> None)

@@ -22,8 +22,10 @@ type opt_mode = Orders | Bb | Local
 type payload_format = Cif | Svg | No_payload
 (** What layout rendering the response should carry. *)
 
-type op = Build | Ping | Stop | Metrics | Health
-(** [Build] generates a module; [Ping] answers immediately (liveness);
+type op = Build | Sweep | Ping | Stop | Metrics | Health
+(** [Build] generates a module; [Sweep] runs a bounded parameter-grid
+    sweep server-side, streaming one {!encode_sweep_row} event per result
+    line before the final response; [Ping] answers immediately (liveness);
     [Stop] asks the daemon to shut down gracefully.  [Metrics] and
     [Health] are scrape ops: the daemon answers them without entering
     the compute queue — [Metrics] with a registry snapshot (Prometheus
@@ -52,6 +54,8 @@ type request = {
           snapshot instead of the Prometheus text exposition. *)
   inject : string option;
       (** Fault-injection spec ([site@hit,...]), for drills and tests. *)
+  spec : string option;
+      (** For [Sweep]: the sweep spec document (JSON text), verbatim. *)
 }
 
 val build :
@@ -69,6 +73,11 @@ val build :
   string ->
   request
 (** [build entity] is a build request (default format [Cif]). *)
+
+val sweep :
+  ?id:string -> ?jobs:int -> ?tenant:string -> ?stats:bool -> string -> request
+(** [sweep spec] runs the spec document server-side; the daemon streams
+    the result file line by line as row events, then the response. *)
 
 val ping : ?id:string -> unit -> request
 val stop : ?id:string -> unit -> request
@@ -119,3 +128,11 @@ val encode_request : request -> string
 val decode_request : string -> (request, string) Stdlib.result
 val encode_response : response -> string
 val decode_response : string -> (response, string) Stdlib.result
+
+val encode_sweep_row : index:int -> string -> string
+(** One streamed sweep output line ([index] counts from 0 and includes
+    the two header lines), as one JSON object on one line. *)
+
+val decode_sweep_row : string -> (int * string) option
+(** Recognise a sweep row event; [None] means the line is something else
+    (in particular the final response). *)

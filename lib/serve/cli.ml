@@ -215,9 +215,18 @@ let store_arg =
            warm even after kill -9.  Checkpointed on SIGUSR1 and at \
            graceful shutdown; inspect with amgen store.")
 
+let sweep_limit_arg =
+  Arg.(
+    value
+    & opt (int_at_least 1 "--sweep-limit") 256
+    & info [ "sweep-limit" ] ~docv:"N"
+        ~doc:
+          "Largest parameter grid a sweep request may expand to; larger \
+           specs are rejected with status 2 before any compute runs.")
+
 let run_serve socket tcp library tech jobs queue_limit max_frame memo_limit
     tenant_limit no_warm cache_mb stats trace trace_dir trace_sample slow_ms
-    access_log store =
+    access_log store sweep_limit =
   Option.iter Amg_core.Prefix_cache.set_default_budget_mb cache_mb;
   let on = stats || trace <> None in
   if on then Obs.enable ();
@@ -244,7 +253,7 @@ let run_serve socket tcp library tech jobs queue_limit max_frame memo_limit
           Server.config ?tcp ~source ?source_file ?tech ?default_jobs:jobs
             ~queue_limit ~max_frame ~memo_limit ~tenant_limit
             ~warm_pool:(not no_warm) ?trace_dir ~trace_sample ?slow_ms
-            ?access_log ?store socket
+            ?access_log ?store ~sweep_limit socket
         in
         Fmt.pr "amgend: serving on %s%s@." socket
           (match tcp with
@@ -266,7 +275,8 @@ let serve_term =
     const run_serve $ socket_arg $ tcp_arg $ library_arg $ tech_arg $ jobs_arg
     $ queue_limit_arg $ max_frame_arg $ memo_limit_arg $ tenant_limit_arg
     $ no_warm_arg $ cache_mb_arg $ stats_arg $ trace_arg $ trace_dir_arg
-    $ trace_sample_arg $ slow_ms_arg $ access_log_arg $ store_arg)
+    $ trace_sample_arg $ slow_ms_arg $ access_log_arg $ store_arg
+    $ sweep_limit_arg)
 
 let serve_cmd =
   Cmd.v
@@ -361,6 +371,17 @@ let inject_arg =
           "Fault-injection spec for this request ($(b,seed:N) or \
            SITE@HIT,...), for drills.")
 
+let sweep_spec_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "sweep" ] ~docv:"SPEC"
+        ~doc:
+          "Run a parameter-grid sweep server-side instead of a build: send \
+           the JSON spec in FILE, stream the columnar result (header, \
+           column line, rows) to stdout or --out as the daemon completes \
+           each canonical prefix.")
+
 let ping_arg =
   Arg.(value & flag & info [ "ping" ] ~doc:"Liveness check instead of a build.")
 
@@ -409,15 +430,68 @@ let parse_params params =
        (Ok [])
   |> Result.map List.rev
 
-let run_request socket ping stop entity params optimize max_evals max_time jobs
-    tenant format id rstats permissive inject out retries =
+(* Sweep exchanges are streams, not one-line roundtrips: connect (with
+   the same retry policy as oneshot), forward every row event line's
+   payload to the sink, then report the final response like a build. *)
+let run_sweep_request socket spec_file id jobs tenant rstats out retries =
+  let spec = read_file spec_file in
+  let req = Wire.sweep ?id ?jobs ?tenant ~stats:rstats spec in
+  let oc, close_oc =
+    match out with
+    | None -> (stdout, fun () -> flush stdout)
+    | Some path ->
+        let oc = open_out path in
+        (oc, fun () -> close_out oc)
+  in
+  let answer =
+    try
+      let c = Client.connect_retry ~attempts:retries socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Client.sweep c
+            ~on_row:(fun ~index:_ line ->
+              output_string oc line;
+              output_char oc '\n')
+            req)
+    with Unix.Unix_error (e, _, _) ->
+      Error (Fmt.str "%s: %s" socket (Unix.error_message e))
+  in
+  close_oc ();
+  match answer with
+  | Error msg ->
+      Fmt.epr "amgen: request failed: %s@." msg;
+      exit_diag
+  | Ok resp ->
+      List.iter (fun d -> Fmt.epr "%a@." Diag.pp d) resp.Wire.diagnostics;
+      Option.iter (fun p -> Fmt.epr "sweep %s@." p) resp.Wire.payload;
+      Option.iter
+        (fun (s : Wire.server_stats) ->
+          Fmt.epr
+            "served in %.1f ms, queue depth %d, cache %d hits / %d misses@."
+            s.Wire.elapsed_ms s.Wire.queue_depth s.Wire.cache_hits
+            s.Wire.cache_misses)
+        resp.Wire.stats;
+      (match (out, resp.Wire.status) with
+      | Some path, (0 | 3) -> Fmt.epr "wrote %s@." path
+      | _ -> ());
+      resp.Wire.status
+
+let run_request socket ping stop sweep entity params optimize max_evals
+    max_time jobs tenant format id rstats permissive inject out retries =
+  match sweep with
+  | Some spec_file when not (ping || stop) ->
+      run_sweep_request socket spec_file id jobs tenant rstats out retries
+  | _ ->
   let req =
-    match (ping, stop, entity) with
-    | true, true, _ -> Error "--ping and --stop are mutually exclusive"
-    | true, false, _ -> Ok (Wire.ping ?id ())
-    | false, true, _ -> Ok (Wire.stop ?id ())
-    | false, false, None -> Error "an ENTITY is required unless --ping/--stop"
-    | false, false, Some entity ->
+    match (ping, stop, entity, sweep) with
+    | _, _, _, Some _ -> Error "--sweep is mutually exclusive with --ping/--stop"
+    | true, true, _, _ -> Error "--ping and --stop are mutually exclusive"
+    | true, false, _, _ -> Ok (Wire.ping ?id ())
+    | false, true, _, _ -> Ok (Wire.stop ?id ())
+    | false, false, None, _ ->
+        Error "an ENTITY is required unless --ping/--stop/--sweep"
+    | false, false, Some entity, _ ->
         Result.map
           (fun params ->
             Wire.build ?id ~params ?optimize ?max_evals ?max_time ?jobs ?tenant
@@ -469,8 +543,8 @@ let request_cmd =
           status (0 ok, 1 diagnostics, 2 rejected, 3 degraded).  The \
           payload goes to stdout, everything else to stderr.")
     Term.(
-      const run_request $ socket_arg $ ping_arg $ stop_arg $ entity_arg
-      $ params_arg $ optimize_arg $ max_evals_arg $ max_time_arg $ jobs_arg
+      const run_request $ socket_arg $ ping_arg $ stop_arg $ sweep_spec_arg
+      $ entity_arg $ params_arg $ optimize_arg $ max_evals_arg $ max_time_arg $ jobs_arg
       $ tenant_arg $ format_arg $ id_arg $ rstats_arg $ permissive_arg
       $ inject_arg $ out_arg $ retries_arg)
 

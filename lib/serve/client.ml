@@ -121,6 +121,24 @@ let roundtrip t req =
   send t req;
   recv t
 
+(* A sweep answer is a stream: zero or more row event lines, then the
+   ordinary response line.  Rows are forwarded in arrival order — which
+   the daemon guarantees is canonical walk order — and the first line
+   that is not a row event terminates the stream. *)
+let sweep t ~on_row req =
+  send t req;
+  let rec loop () =
+    match recv_line t with
+    | None -> Error "connection closed"
+    | Some line -> (
+        match Wire.decode_sweep_row line with
+        | Some (index, row) ->
+            on_row ~index row;
+            loop ()
+        | None -> Wire.decode_response line)
+  in
+  loop ()
+
 let oneshot ?(attempts = 1) ?(delay = 0.05) ?(seed = 1) path req =
   let rec go i =
     let retryable = i + 1 < attempts in

@@ -49,6 +49,17 @@ val recv : t -> (Amg_robust.Wire.response, string) Stdlib.result
 val roundtrip :
   t -> Amg_robust.Wire.request -> (Amg_robust.Wire.response, string) Stdlib.result
 
+val sweep :
+  t ->
+  on_row:(index:int -> string -> unit) ->
+  Amg_robust.Wire.request ->
+  (Amg_robust.Wire.response, string) Stdlib.result
+(** Exchange one sweep request ({!Amg_robust.Wire.sweep}): forward every
+    streamed row event to [on_row] — [index] counts output lines from 0
+    (the schema header, the column line, then the data rows) in
+    canonical walk order — and return the final response that follows
+    the stream.  [Error] on EOF or a malformed final line. *)
+
 val oneshot :
   ?attempts:int ->
   ?delay:float ->

@@ -34,6 +34,7 @@ module Rating = Amg_core.Rating
 module Lobj = Amg_layout.Lobj
 module Pool = Amg_parallel.Pool
 module Store = Amg_store.Store
+module Sweep = Amg_sweep.Sweep
 
 type config = {
   socket_path : string;
@@ -52,12 +53,14 @@ type config = {
   slow_ms : float option;
   access_log : string option;
   store : string option;
+  sweep_limit : int;
 }
 
 let config ?tcp ?(source = Amg_lang.Stdlib.all) ?source_file ?tech
     ?default_jobs ?(queue_limit = 64) ?(max_frame = 1 lsl 20)
     ?(memo_limit = 128) ?(tenant_limit = 64) ?(warm_pool = false) ?trace_dir
-    ?(trace_sample = 0) ?slow_ms ?access_log ?store socket_path =
+    ?(trace_sample = 0) ?slow_ms ?access_log ?store ?(sweep_limit = 256)
+    socket_path =
   {
     socket_path;
     tcp;
@@ -75,6 +78,7 @@ let config ?tcp ?(source = Amg_lang.Stdlib.all) ?source_file ?tech
     slow_ms;
     access_log;
     store;
+    sweep_limit = max 1 sweep_limit;
   }
 
 (* --- FIFO admission queue --------------------------------------------- *)
@@ -747,10 +751,147 @@ let handle_build t (req : Wire.request) ~queue_depth =
           ro_misses;
         } )
 
+(* Run one sweep request: expand the spec into a bounded grid, run it
+   under the same tenant environment / prefix cache / result store as
+   build requests, stream one {!Wire.encode_sweep_row} event line per
+   output line over the connection as the canonical prefix completes,
+   and finish with an ordinary response whose payload summarizes the
+   run.  Called from the serialized section only, so the streamed rows
+   can never interleave with another request's response line. *)
+let handle_sweep t conn (req : Wire.request) ~queue_depth =
+  let started = Unix.gettimeofday () in
+  let cache_before = Prefix_cache.stats (Prefix_cache.default ()) in
+  let evals_before = evals_now () in
+  Policy.reset ();
+  Policy.set_mode (if req.permissive then Policy.Permissive else Policy.Strict);
+  let error_resp d reported =
+    Policy.reset ();
+    ( Wire.response ?id:req.id ~diagnostics:(reported @ [ d ]) Wire.status_diag,
+      { quiet_obs with ro_outcome = "error" } )
+  in
+  match req.spec with
+  | None ->
+      Policy.reset ();
+      ( reject ?id:req.id ~code:"serve.bad-request" "sweep request carries no spec",
+        { quiet_obs with ro_outcome = "error" } )
+  | Some spec_src -> (
+      match
+        Diag.guard ~convert:convert_exn (fun () -> Sweep.parse_spec spec_src)
+      with
+      | Error d -> error_resp d (Policy.drain ())
+      | Ok spec ->
+          let gs = Sweep.grid_size spec in
+          if gs > t.cfg.sweep_limit then begin
+            Policy.reset ();
+            ( reject ?id:req.id ~code:"serve.sweep-too-large"
+                (Printf.sprintf "grid expands to %d instances (limit %d)" gs
+                   t.cfg.sweep_limit),
+              { quiet_obs with ro_outcome = "error" } )
+          end
+          else begin
+            let env = tenant_env t req.tenant in
+            let domains =
+              match req.jobs with
+              | Some j -> j
+              | None -> (
+                  match t.cfg.default_jobs with
+                  | Some j -> j
+                  | None -> Pool.default_domains ())
+            in
+            (* Stream rows as raw event lines ahead of the response.  A
+               peer that vanished mid-sweep stops the writes (the sweep
+               itself runs to completion — its rows also feed the store)
+               and the final send surfaces the close as EPIPE upstream. *)
+            let index = ref 0 in
+            let alive = ref true in
+            let on_line line =
+              if !alive then begin
+                try
+                  write_all conn.c_fd (Wire.encode_sweep_row ~index:!index line ^ "\n")
+                with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+                  alive := false
+              end;
+              incr index
+            in
+            let result =
+              Diag.guard ~convert:convert_exn (fun () ->
+                  Sweep.run ~domains ?store:t.result_store
+                    ?source_file:t.cfg.source_file ~on_line ~env
+                    ~source:t.cfg.source spec)
+            in
+            let reported = Policy.drain () in
+            Policy.reset ();
+            let cache_after = Prefix_cache.stats (Prefix_cache.default ()) in
+            let ro_hits =
+              cache_after.Prefix_cache.hits - cache_before.Prefix_cache.hits
+            in
+            let ro_misses =
+              cache_after.Prefix_cache.misses - cache_before.Prefix_cache.misses
+            in
+            match result with
+            | Error d ->
+                ( Wire.response ?id:req.id
+                    ~diagnostics:(reported @ [ d ])
+                    Wire.status_diag,
+                  {
+                    ro_outcome = "error";
+                    ro_evals = evals_now () - evals_before;
+                    ro_hits;
+                    ro_misses;
+                  } )
+            | Ok r ->
+                let status =
+                  if r.Sweep.failures > 0 then Wire.status_degraded
+                  else Wire.status_ok
+                in
+                let payload =
+                  J.to_string
+                    (J.Jobj
+                       [
+                         ("rows", J.Jnum (float_of_int r.Sweep.rows));
+                         ("failures", J.Jnum (float_of_int r.Sweep.failures));
+                         ( "duplicates",
+                           J.Jnum (float_of_int r.Sweep.duplicates) );
+                         ( "store_hits",
+                           J.Jnum (float_of_int r.Sweep.store_hits) );
+                       ])
+                in
+                let resp =
+                  Wire.response ?id:req.id ~payload ~diagnostics:reported
+                    status
+                in
+                let stats =
+                  if req.stats then
+                    Some
+                      {
+                        Wire.elapsed_ms =
+                          (Unix.gettimeofday () -. started) *. 1000.;
+                        queue_depth;
+                        cache_hits = ro_hits;
+                        cache_misses = ro_misses;
+                      }
+                  else None
+                in
+                let outcome =
+                  if r.Sweep.failures > 0 then "degraded"
+                  else if r.Sweep.store_hits > 0 then "store-hit"
+                  else if ro_hits > 0 then "search-warm"
+                  else "cold"
+                in
+                ( { resp with Wire.stats = stats },
+                  {
+                    ro_outcome = outcome;
+                    ro_evals = evals_now () - evals_before;
+                    ro_hits;
+                    ro_misses;
+                  } )
+          end)
+
 (* --- telemetry: scrape payloads, access log, request traces ----------- *)
 
 let op_name = function
   | Wire.Build -> "build"
+  | Wire.Sweep -> "sweep"
   | Wire.Ping -> "ping"
   | Wire.Stop -> "stop"
   | Wire.Metrics -> "metrics"
@@ -938,6 +1079,41 @@ let handle_request t conn (req : Wire.request) =
     Atomic.incr t.served_count;
     send_response conn resp
   in
+  (* Compute ops (build, sweep) share the admission path: the stopping
+     gate, the bounded FIFO queue, the Obs window/span bracket and the
+     trace export all behave identically — only the handler differs. *)
+  let serialized handler =
+    if Atomic.get t.stopping then
+      finish
+        (reject ?id:req.id ~code:"serve.stopping" "daemon is shutting down")
+    else
+      match sched_admit t.sched with
+      | None ->
+          finish
+            ~ro:{ quiet_obs with ro_outcome = "overloaded" }
+            (reject ?id:req.id ~code:"serve.overloaded"
+               (Printf.sprintf "admission queue full (limit %d)"
+                  t.sched.s_limit))
+      | Some queue_depth ->
+          let queue_ms = (Unix.gettimeofday () -. arrived) *. 1000. in
+          Fun.protect
+            ~finally:(fun () -> sched_release t.sched)
+            (fun () ->
+              (* The window is taken before the request span opens so
+                 the span's End lands inside it; every connection
+                 thread shares domain 0's root strand, and only the
+                 serialized request can be recording, so the window is
+                 exactly this request's slice. *)
+              let window = Obs.window () in
+              let resp, ro =
+                Obs.span "serve.request" @@ fun () ->
+                Obs.sample "serve.queue_depth" (float_of_int queue_depth);
+                handler ~queue_depth
+              in
+              let lat_ms = (Unix.gettimeofday () -. arrived) *. 1000. in
+              export_request_trace t ~rid ~rid_n ~req ~lat_ms window;
+              finish ~queue_ms ~ro resp)
+  in
   match req.op with
   | Wire.Ping -> finish (Wire.response ?id:req.id Wire.status_ok)
   | Wire.Stop ->
@@ -950,37 +1126,9 @@ let handle_request t conn (req : Wire.request) =
       finish (Wire.response ?id:req.id ~payload Wire.status_ok)
   | Wire.Health ->
       finish (Wire.response ?id:req.id ~payload:(health_payload t) Wire.status_ok)
-  | Wire.Build -> (
-      if Atomic.get t.stopping then
-        finish
-          (reject ?id:req.id ~code:"serve.stopping" "daemon is shutting down")
-      else
-        match sched_admit t.sched with
-        | None ->
-            finish
-              ~ro:{ quiet_obs with ro_outcome = "overloaded" }
-              (reject ?id:req.id ~code:"serve.overloaded"
-                 (Printf.sprintf "admission queue full (limit %d)"
-                    t.sched.s_limit))
-        | Some queue_depth ->
-            let queue_ms = (Unix.gettimeofday () -. arrived) *. 1000. in
-            Fun.protect
-              ~finally:(fun () -> sched_release t.sched)
-              (fun () ->
-                (* The window is taken before the request span opens so
-                   the span's End lands inside it; every connection
-                   thread shares domain 0's root strand, and only the
-                   serialized request can be recording, so the window is
-                   exactly this request's slice. *)
-                let window = Obs.window () in
-                let resp, ro =
-                  Obs.span "serve.request" @@ fun () ->
-                  Obs.sample "serve.queue_depth" (float_of_int queue_depth);
-                  handle_build t req ~queue_depth
-                in
-                let lat_ms = (Unix.gettimeofday () -. arrived) *. 1000. in
-                export_request_trace t ~rid ~rid_n ~req ~lat_ms window;
-                finish ~queue_ms ~ro resp))
+  | Wire.Build -> serialized (fun ~queue_depth -> handle_build t req ~queue_depth)
+  | Wire.Sweep ->
+      serialized (fun ~queue_depth -> handle_sweep t conn req ~queue_depth)
 
 let connection_loop t conn =
   let r = reader conn.c_fd t.cfg.max_frame in

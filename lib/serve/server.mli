@@ -64,6 +64,10 @@ type config = {
       (** Durable result-store path ({!Amg_store.Store}): loaded before
           the listeners open (warm restart), fed by strict fault-free
           optimized builds, checkpointed on SIGUSR1 and on drain. *)
+  sweep_limit : int;
+      (** Largest parameter grid a [sweep] request may expand to; larger
+          specs are rejected with [serve.sweep-too-large] before any
+          compute runs. *)
 }
 
 val config :
@@ -82,13 +86,14 @@ val config :
   ?slow_ms:float ->
   ?access_log:string ->
   ?store:string ->
+  ?sweep_limit:int ->
   string ->
   config
 (** [config socket_path] with defaults: no TCP, the built-in
     {!Amg_lang.Stdlib.all} module library, built-in technology, queue
     limit 64, 1 MiB frames, 128 memo signatures, 64 resident tenant
     environments, no pool warm-up, no traces, no access log, no durable
-    store. *)
+    store, sweep grids capped at 256 instances. *)
 
 type t
 

@@ -523,18 +523,21 @@ let record t key e =
       Hashtbl.replace t.tbl key e;
       append_locked t (encode_record key e))
 
-let record_better t key e =
+let record_if t key ~keep e =
   with_lock t (fun () ->
-      let better =
+      let write =
         match Hashtbl.find_opt t.tbl key with
         | None -> true
-        | Some old -> e.rating < old.rating
+        | Some old -> not (keep old)
       in
-      if better then begin
+      if write then begin
         Hashtbl.replace t.tbl key e;
         append_locked t (encode_record key e)
       end;
-      better)
+      write)
+
+let record_better t key e =
+  record_if t key ~keep:(fun old -> old.rating <= e.rating) e
 
 let sync t =
   with_lock t (fun () ->

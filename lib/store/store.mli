@@ -85,9 +85,18 @@ val iter : (string -> entry -> unit) -> t -> unit
 val record : t -> string -> entry -> unit
 (** Unconditionally bind [key], in memory and in the log. *)
 
+val record_if : t -> string -> keep:(entry -> bool) -> entry -> bool
+(** [record_if t key ~keep e] atomically tests and binds: if [key] is
+    absent, or [keep old] is false for the current entry, bind [e] (in
+    memory and in the log) and return [true]; otherwise leave the
+    incumbent untouched and return [false].  The test and the write
+    happen under the handle lock, so two racing writers cannot clobber
+    each other's strictly-better record. *)
+
 val record_better : t -> string -> entry -> bool
 (** Bind [key] only if it is absent or the new rating is strictly lower
-    (ratings are minimized); returns whether the entry was recorded. *)
+    (ratings are minimized); returns whether the entry was recorded.
+    Equivalent to [record_if ~keep:(fun old -> old.rating <= e.rating)]. *)
 
 val sync : t -> unit
 (** Force a durability barrier if there are unsynced appends. *)

@@ -28,5 +28,6 @@ let () =
       ("tech-indep", Test_tech_indep.suite);
       ("robust", Test_robust.suite);
       ("store", Test_store.suite);
+      ("sweep", Test_sweep.suite);
       ("serve", Test_serve.suite);
     ]

@@ -71,6 +71,7 @@ let gen_request =
     frequencyl
       [
         (6, Wire.Build);
+        (2, Wire.Sweep);
         (1, Wire.Ping);
         (1, Wire.Stop);
         (1, Wire.Metrics);
@@ -90,6 +91,7 @@ let gen_request =
   let* stats = bool in
   let* json = bool in
   let* inject = option gen_text in
+  let* spec = option gen_text in
   pure
     {
       Wire.id;
@@ -106,6 +108,7 @@ let gen_request =
       stats;
       json;
       inject;
+      spec;
     }
 
 let gen_diag =

@@ -323,6 +323,71 @@ let test_optimize_seeding () =
   check bool "bb keyed separately from local" true (bb_nodes > 0);
   Store.close st
 
+(* --- record_if: racing writers never clobber a strictly-better record -- *)
+
+let test_record_race () =
+  Test_util.with_tmp_dir "amgst" @@ fun dir ->
+  let path = Filename.concat dir "race.store" in
+  let st, _ = Store.open_ path in
+  let key = "contended" in
+  (* The sequential contract first: only a strict improvement writes. *)
+  check bool "first write lands" true (Store.record_better st key (entry 7.));
+  check bool "worse write refused" false (Store.record_better st key (entry 9.));
+  check bool "equal write refused" false (Store.record_better st key (entry 7.));
+  check bool "better write lands" true (Store.record_better st key (entry 3.));
+  (* Then the race: many domains interleave record_better on one key.
+     Whatever the schedule, the surviving record is the minimum rating —
+     the test-and-set runs under the handle lock, so a slow writer can
+     never clobber a better record that landed after its read. *)
+  let ratings = Array.init 64 (fun i -> float_of_int (1 + ((i * 37) mod 64))) in
+  Amg_parallel.Pool.with_pool ~domains:4 (fun pool ->
+      ignore
+        (Amg_parallel.Pool.map_array pool
+           (fun r -> ignore (Store.record_better st key (entry r)))
+           ratings));
+  let best st =
+    match Store.find st key with Some e -> e.Store.rating | None -> nan
+  in
+  check (float 0.) "minimum rating survives the race" 1. (best st);
+  Store.close st;
+  (* The append-only log replays in write order, so the reopened handle
+     converges to the same minimum. *)
+  let st, diags = Store.open_ path in
+  no_warnings "clean reopen after the race" diags;
+  check (float 0.) "reopen replays to the minimum" 1. (best st);
+  Store.close st
+
+(* --- stale records are replaced, not just ignored ---------------------- *)
+
+let test_stale_record_replaced () =
+  Test_util.with_tmp_dir "amgst" @@ fun dir ->
+  let path = Filename.concat dir "stale.store" in
+  let e, { Interp.base; steps } = recorded () in
+  let key = key_of e in
+  let st, _ = Store.open_ path in
+  (* A stale record: impossibly good rating, but its permutation no
+     longer maps the step list (wrong arity — the module definition
+     changed under the same key).  The lookup must reject it, and the
+     finished search must replace it even though its honest rating is
+     worse — otherwise every later run under this key re-pays the full
+     search forever, while the diagnostic keeps promising replacement. *)
+  ignore
+    (Store.record st (key ^ "|m=local:r3:s1")
+       { Store.rating = 0.; perm = [| 0 |]; meta = [] });
+  Policy.reset ();
+  let _, r1, _, evals1 =
+    Optimize.optimize_local e ~name:"stack" ~base ~store:(st, key) steps
+  in
+  check bool "stale record forced a real search" true (evals1 > 0);
+  check bool "stale record diagnosed" true
+    (List.exists (fun d -> d.Diag.code = "store.stale_record") (Policy.drain ()));
+  let _, r2, _, evals2 =
+    Optimize.optimize_local e ~name:"stack" ~base ~store:(st, key) steps
+  in
+  check int "replacement record hits without searching" 0 evals2;
+  check (float 0.) "replayed rating matches the search" r1 r2;
+  Store.close st
+
 (* --- the fault-schedule property --------------------------------------- *)
 
 let store_sites = [ Inject.Store_read; Inject.Store_write; Inject.Store_fsync; Inject.Store_rename ]
@@ -562,6 +627,10 @@ let suite =
     test_case "signature canonicalizes parameters" `Quick test_signature;
     test_case "optimize ?store: hit skips search, bytes identical" `Quick
       test_optimize_seeding;
+    test_case "record_if race keeps the strictly-better record" `Quick
+      test_record_race;
+    test_case "stale store record is replaced by the next search" `Quick
+      test_stale_record_replaced;
     QCheck_alcotest.to_alcotest prop_store_fault_schedule;
     test_case "daemon warm restart answers from the store" `Quick
       test_warm_restart;

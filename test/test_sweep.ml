@@ -1,0 +1,277 @@
+(* The batch sweep engine: spec parsing, the Gray-code locality walk,
+   dedup, the §7 determinism contract over every scheduling knob
+   (domains, chunk size, shuffle, cache, store), failure rows, and the
+   columnar file validator.
+
+   The centrepiece is the determinism property: the emitted bytes are a
+   pure function of (env, spec, source) — domains in {1,2,4}, chunks in
+   {1,8,64}, shuffled or locality scheduling, cache or store on or off
+   must all produce the identical file. *)
+
+open Alcotest
+module Env = Amg_core.Env
+module Sweep = Amg_sweep.Sweep
+module Store = Amg_store.Store
+module Diag = Amg_robust.Diag
+module Policy = Amg_robust.Policy
+module Value = Amg_lang.Value
+
+(* Three fully replayable top-level compacts per instance, parameterized
+   on two axes — small enough that one property case sweeps a whole grid
+   in milliseconds. *)
+let source =
+  {|
+ENT ContactRow(layer, <W>, <L>, <net>)
+  INBOX(layer, W, L, net = net)
+  INBOX("metal1", net = net)
+  ARRAY("contact", net = net)
+
+ENT Pair(<W>, <L>)
+  a = ContactRow(layer = "pdiff", W = W, L = L, net = "a")
+  b = ContactRow(layer = "poly", W = L + 2, L = W, net = "b")
+  c = ContactRow(layer = "pdiff", W = 4, L = 4, net = "c")
+  compact(a, NORTH, align = "MIN")
+  compact(b, NORTH, align = "MIN")
+  compact(c, NORTH, align = "MIN")
+|}
+
+let spec_src =
+  {|{ "entity": "Pair",
+      "params": { "W": { "from": 3, "to": 6, "step": 1 }, "L": [4, 6] },
+      "optimize": "local" }|}
+
+let run_lines ?domains ?chunk ?shuffle ?cache ?store () =
+  let buf = Buffer.create 2048 in
+  let on_line l =
+    Buffer.add_string buf l;
+    Buffer.add_char buf '\n'
+  in
+  let env = Env.bicmos () in
+  let res =
+    Sweep.run ?domains ?chunk ?shuffle ?cache ?store ~on_line ~env ~source
+      (Sweep.parse_spec spec_src)
+  in
+  (res, Buffer.contents buf)
+
+(* --- spec parsing ------------------------------------------------------ *)
+
+let bad_spec what src =
+  match Sweep.parse_spec src with
+  | _ -> failf "%s: expected sweep.bad-spec" what
+  | exception Diag.Fail d -> check string what "sweep.bad-spec" d.Diag.code
+
+let test_parse_spec () =
+  let spec = Sweep.parse_spec spec_src in
+  check int "grid size" 8 (Sweep.grid_size spec);
+  check (list string) "axes are sorted by name" [ "L"; "W" ]
+    (List.map (fun (a : Sweep.axis) -> a.Sweep.a_name) spec.Sweep.s_axes);
+  bad_spec "not json" "nonsense";
+  bad_spec "no entity" {|{ "params": { "W": [1] } }|};
+  bad_spec "no params" {|{ "entity": "Pair" }|};
+  bad_spec "empty axis" {|{ "entity": "Pair", "params": { "W": [] } }|};
+  bad_spec "mixed axis types"
+    {|{ "entity": "Pair", "params": { "W": [1, "x"] } }|};
+  bad_spec "unknown mode"
+    {|{ "entity": "Pair", "params": { "W": [1] }, "optimize": "best" }|};
+  bad_spec "comma in value"
+    {|{ "entity": "Pair", "params": { "W": ["a,b"] } }|};
+  bad_spec "non-numeric step"
+    {|{ "entity": "Pair", "params": { "W": { "from": 1, "to": 2, "step": "x" } } }|};
+  bad_spec "backwards range"
+    {|{ "entity": "Pair", "params": { "W": { "from": 5, "to": 1, "step": 1 } } }|}
+
+(* --- the locality walk ------------------------------------------------- *)
+
+(* Position of an instance's value on each axis, in axis order. *)
+let digits (spec : Sweep.spec) inst =
+  List.map2
+    (fun (a : Sweep.axis) (_, v) ->
+      let eq a b =
+        match (a, b) with
+        | Value.Num x, Value.Num y -> Float.equal x y
+        | Value.Str x, Value.Str y -> String.equal x y
+        | _ -> false
+      in
+      let rec idx i = function
+        | [] -> -1
+        | x :: tl -> if eq x v then i else idx (i + 1) tl
+      in
+      idx 0 a.Sweep.a_values)
+    spec.Sweep.s_axes inst
+
+let test_gray_walk () =
+  let spec =
+    Sweep.parse_spec
+      {|{ "entity": "Pair",
+          "params": { "W": [1, 2, 3], "L": [4, 5], "layer": ["a", "b", "c", "d"] } }|}
+  in
+  let insts = Sweep.instances spec in
+  check int "walk covers the whole grid" (Sweep.grid_size spec)
+    (List.length insts);
+  check int "walk has no repeats"
+    (List.length insts)
+    (List.length (List.sort_uniq compare (List.map (digits spec) insts)));
+  (* Consecutive instances differ on exactly one axis, by one position:
+     the defining property of the reflected Gray walk, and the reason
+     chunked neighbours share store access patterns. *)
+  let rec adjacent = function
+    | a :: (b :: _ as tl) ->
+        let da = digits spec a and db = digits spec b in
+        let diffs =
+          List.filter (fun (x, y) -> x <> y) (List.combine da db)
+        in
+        (match diffs with
+        | [ (x, y) ] -> check int "one-step move" 1 (abs (x - y))
+        | _ -> failf "instances differ on %d axes" (List.length diffs));
+        adjacent tl
+    | _ -> ()
+  in
+  adjacent insts
+
+let test_dedup () =
+  let spec =
+    Sweep.parse_spec
+      {|{ "entity": "Pair", "params": { "W": [3, 4, 3], "L": [4] } }|}
+  in
+  check int "grid counts the duplicate" 3 (Sweep.grid_size spec);
+  check int "walk drops the duplicate" 2 (List.length (Sweep.instances spec))
+
+(* --- determinism: bytes are a pure function of the spec ---------------- *)
+
+let reference = lazy (snd (run_lines ~domains:1 ~chunk:1 ()))
+
+let prop_schedule_invariance =
+  QCheck2.Test.make
+    ~name:"rows byte-identical for any domains/chunk/shuffle/cache"
+    ~print:(fun (d, c, sh, cache) ->
+      Printf.sprintf "domains=%d chunk=%d shuffle=%b cache=%b" d c sh cache)
+    ~count:12
+    QCheck2.Gen.(
+      quad (oneofl [ 1; 2; 4 ]) (oneofl [ 1; 8; 64 ]) bool bool)
+    (fun (domains, chunk, shuffle, cache) ->
+      let cache =
+        if cache then None else Some Amg_core.Prefix_cache.disabled
+      in
+      let res, lines = run_lines ~domains ~chunk ~shuffle ?cache () in
+      res.Sweep.failures = 0
+      && String.equal (Lazy.force reference) lines)
+
+let test_store_invariance () =
+  Test_util.with_tmp_dir "amgsw" @@ fun dir ->
+  let st, _ = Store.open_ (Filename.concat dir "s.store") in
+  let cold, lines_cold = run_lines ~domains:2 ~store:st () in
+  check int "cold run never hits the store" 0 cold.Sweep.store_hits;
+  let warm, lines_warm = run_lines ~domains:2 ~store:st () in
+  check int "warm run answers every row from the store" warm.Sweep.rows
+    warm.Sweep.store_hits;
+  Store.close st;
+  check string "store-cold bytes match store-less" (Lazy.force reference)
+    lines_cold;
+  check string "store-warm bytes match store-less" (Lazy.force reference)
+    lines_warm
+
+(* --- failure rows ------------------------------------------------------ *)
+
+let test_failure_rows () =
+  let buf = Buffer.create 1024 in
+  let env = Env.bicmos () in
+  let spec =
+    Sweep.parse_spec
+      {|{ "entity": "Pair", "params": { "W": [4, -5], "L": [4] } }|}
+  in
+  Policy.reset ();
+  Policy.set_mode Policy.Permissive;
+  let res =
+    Sweep.run
+      ~on_line:(fun l ->
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n')
+      ~env ~source spec
+  in
+  let reported = Policy.drain () in
+  Policy.reset ();
+  check int "both rows emitted" 2 res.Sweep.rows;
+  check int "one failure" 1 res.Sweep.failures;
+  let lines = String.split_on_char '\n' (Buffer.contents buf) in
+  check int "header + columns + 2 rows" 4 (List.length lines - 1);
+  let data = List.filteri (fun i _ -> i >= 2 && i < 4) lines in
+  check int "one row is ok" 1
+    (List.length
+       (List.filter
+          (fun l ->
+            match String.split_on_char ',' l with
+            | _ :: _ :: _ :: status :: _ -> status = "ok"
+            | _ -> false)
+          data));
+  (* The failing row's diagnostic reaches the caller's sink after the
+     run, tagged with its canonical row index. *)
+  check bool "row-tagged error diagnostic reported" true
+    (List.exists
+       (fun d ->
+         d.Diag.severity = Diag.Error
+         && List.mem_assoc "row" d.Diag.payload)
+       reported)
+
+(* --- the columnar file validator --------------------------------------- *)
+
+let test_check_file () =
+  Test_util.with_tmp_dir "amgsw" @@ fun dir ->
+  let path = Filename.concat dir "out.csv" in
+  let write s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
+  let _, lines = run_lines ~domains:1 () in
+  write lines;
+  (match Sweep.check_file path with
+  | Ok n -> check int "full file validates" 8 n
+  | Error e -> failf "full file rejected: %s" e);
+  (* A killed sweep keeps a prefix: fewer rows than announced is the
+     documented crash shape and must validate. *)
+  let all = String.split_on_char '\n' lines in
+  let truncated =
+    String.concat "\n" (List.filteri (fun i _ -> i < 5) all) ^ "\n"
+  in
+  write truncated;
+  (match Sweep.check_file path with
+  | Ok n -> check int "truncated file validates with fewer rows" 3 n
+  | Error e -> failf "truncated file rejected: %s" e);
+  (* More rows than announced, a malformed cell, or a tampered column
+     line are corruption, not a crash shape. *)
+  let data_row =
+    List.find (fun l -> String.length l > 0) (List.filteri (fun i _ -> i = 2) all)
+  in
+  write (lines ^ data_row ^ "\n");
+  check bool "extra row rejected" true (Result.is_error (Sweep.check_file path));
+  write
+    (String.concat "\n"
+       (List.mapi
+          (fun i l -> if i = 2 then "Pair,4,3,ok,not-a-number,,,,,,,," else l)
+          all));
+  check bool "non-numeric metric cell rejected" true
+    (Result.is_error (Sweep.check_file path));
+  write
+    (String.concat "\n"
+       (List.mapi (fun i l -> if i = 1 then l ^ ",extra" else l) all));
+  check bool "tampered column line rejected" true
+    (Result.is_error (Sweep.check_file path));
+  write "not json\n";
+  check bool "missing header rejected" true
+    (Result.is_error (Sweep.check_file path))
+
+let suite =
+  [
+    test_case "spec parses; malformed specs get sweep.bad-spec" `Quick
+      test_parse_spec;
+    test_case "locality walk is a gray code over the grid" `Quick
+      test_gray_walk;
+    test_case "duplicate grid points are dropped" `Quick test_dedup;
+    QCheck_alcotest.to_alcotest prop_schedule_invariance;
+    test_case "store on/off/warm never changes the bytes" `Quick
+      test_store_invariance;
+    test_case "per-instance failures become rows, sweep completes" `Quick
+      test_failure_rows;
+    test_case "check_file accepts crash prefixes, rejects corruption" `Quick
+      test_check_file;
+  ]
